@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates paper Fig. 6: impact of batching on prompt-phase and
+ * token-phase throughput (Insight IV: cap prompt batches at ~2048
+ * tokens; batch the token phase as hard as memory allows).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "model/memory_model.h"
+#include "model/perf_model.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    const model::AnalyticalPerfModel llama(model::llama2_70b(),
+                                           hw::dgxH100());
+    const model::AnalyticalPerfModel bloom(model::bloom_176b(),
+                                           hw::dgxH100());
+
+    bench::banner("Fig. 6a: prompt phase throughput vs batched tokens");
+    Table prompt({"batched prompt tokens", "Llama2-70B (tokens/s)",
+                  "BLOOM-176B (tokens/s)"});
+    for (std::int64_t p : {256, 512, 1024, 1536, 2048, 2560, 3072, 4096,
+                           6144, 8192}) {
+        prompt.addRow({std::to_string(p),
+                       Table::fmt(llama.promptThroughput(p), 0),
+                       Table::fmt(bloom.promptThroughput(p), 0)});
+    }
+    prompt.print();
+    std::printf("Paper: throughput peaks near 2048 batched prompt tokens,"
+                " then declines\n");
+
+    bench::banner("Fig. 6b: token phase throughput vs batch size");
+    const model::MemoryModel llama_mem(model::llama2_70b(), hw::dgxH100());
+    const model::MemoryModel bloom_mem(model::bloom_176b(), hw::dgxH100());
+    const std::int64_t ctx = 900;  // conversation-like mean context
+    Table token({"batch size", "Llama2-70B (tokens/s)",
+                 "BLOOM-176B (tokens/s)"});
+    for (int b : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        auto cell = [&](const model::AnalyticalPerfModel& perf,
+                        const model::MemoryModel& mem) -> std::string {
+            if (static_cast<std::int64_t>(b) * ctx > mem.kvCapacityTokens())
+                return "OOM";
+            return Table::fmt(perf.tokenThroughput(b, ctx), 0);
+        };
+        token.addRow({std::to_string(b), cell(llama, llama_mem),
+                      cell(bloom, bloom_mem)});
+    }
+    token.print();
+    std::printf("Paper: token throughput keeps scaling with batch size"
+                " until the machine runs out of memory (~64 for BLOOM)\n");
+    return 0;
+}

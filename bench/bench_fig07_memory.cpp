@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates paper Fig. 7: GPU memory required as the number of
+ * batched tokens grows, per phase (Insight V: the prompt phase is
+ * compute-bound, the token phase memory-capacity-bound).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "model/memory_model.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    bench::banner("Fig. 7: required memory vs tokens in batch (DGX-H100)");
+    const model::MemoryModel llama(model::llama2_70b(), hw::dgxH100());
+    const model::MemoryModel bloom(model::bloom_176b(), hw::dgxH100());
+    const double hbm_gb = hw::dgxH100().totalHbmBytes() / 1e9;
+
+    Table table({"tokens in batch", "Llama2-70B (GB)", "BLOOM-176B (GB)"});
+    auto cell = [&](const model::MemoryModel& m, std::int64_t tokens) {
+        const double gb = m.requiredGb(tokens);
+        std::string s = Table::fmt(gb, 0);
+        if (gb > hbm_gb)
+            s += " (OOM)";
+        return s;
+    };
+    for (std::int64_t t : {0LL, 1024LL, 4096LL, 16384LL, 32768LL, 65536LL,
+                           131072LL}) {
+        // Prompt phase with t batched prompt tokens and token phase
+        // with t tokens of resident context need the same KV.
+        table.addRow({std::to_string(t), cell(llama, t), cell(bloom, t)});
+    }
+    table.print();
+
+    std::printf("\nMachine HBM: %.0f GB. KV per token: Llama %.2f MB,"
+                " BLOOM %.2f MB\n",
+                hbm_gb, llama.kvBytesPerToken() / 1e6,
+                bloom.kvBytesPerToken() / 1e6);
+    std::printf("KV capacity (92%% usable): Llama %lld tokens, BLOOM %lld"
+                " tokens\n",
+                static_cast<long long>(llama.kvCapacityTokens()),
+                static_cast<long long>(bloom.kvCapacityTokens()));
+    return 0;
+}

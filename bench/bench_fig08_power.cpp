@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: GPU power draw (fraction of TDP) while
+ * varying the batch size in each phase (Insight VI: the token phase
+ * never uses the power budget).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "model/power_model.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    bench::banner("Fig. 8a: prompt phase power vs batched tokens");
+    Table prompt({"batched prompt tokens", "A100 (frac of TDP)",
+                  "H100 (frac of TDP)"});
+    const model::PowerModel a100(hw::a100());
+    const model::PowerModel h100(hw::h100());
+    for (std::int64_t p : {64, 128, 256, 512, 1024, 1500, 2048, 4096}) {
+        prompt.addRow({std::to_string(p),
+                       Table::fmt(a100.promptPowerFraction(p)),
+                       Table::fmt(h100.promptPowerFraction(p))});
+    }
+    prompt.print();
+    std::printf("Paper: prompt-phase draw rises with batch toward TDP\n");
+
+    bench::banner("Fig. 8b: token phase power vs batch size");
+    Table token({"batch size", "A100 (frac of TDP)", "H100 (frac of TDP)"});
+    for (int b : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        token.addRow({std::to_string(b),
+                      Table::fmt(a100.tokenPowerFraction(b)),
+                      Table::fmt(h100.tokenPowerFraction(b))});
+    }
+    token.print();
+    std::printf("Paper: token-phase draw is flat near half of TDP\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Fig. 14: visible KV-cache transfer latency as
+ * the prompt size grows, serialized vs. layer-wise optimized, on
+ * A100 and H100 InfiniBand setups — plus the threshold ablation
+ * behind the 512-token switch (SIV-C).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hw/interconnect.h"
+#include "model/perf_model.h"
+#include "model/transfer_model.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    const model::LlmConfig llm = model::llama2_70b();
+    const model::TransferModel aa(
+        llm, hw::linkBetween(hw::dgxA100(), hw::dgxA100()));
+    const model::TransferModel hh(
+        llm, hw::linkBetween(hw::dgxH100(), hw::dgxH100()));
+    const model::AnalyticalPerfModel perf_a(llm, hw::dgxA100());
+    const model::AnalyticalPerfModel perf_h(llm, hw::dgxH100());
+
+    bench::banner("Fig. 14: visible KV-cache transfer latency (ms), "
+                  "Llama2-70B");
+    Table table({"prompt tokens", "A100 serialized", "A100 layer-wise",
+                 "H100 serialized", "H100 layer-wise",
+                 "% of H100 prompt time (layer-wise)"});
+    for (std::int64_t p : {128, 256, 512, 1024, 1536, 2048, 3072, 4096,
+                           6144, 8192}) {
+        const auto compute_a = perf_a.promptTime(p, 1);
+        const auto compute_h = perf_h.promptTime(p, 1);
+        const double lw_h =
+            sim::usToMs(hh.layerwiseVisibleTime(p, compute_h));
+        table.addRow({
+            std::to_string(p),
+            Table::fmt(sim::usToMs(aa.serializedTime(p)), 1),
+            Table::fmt(sim::usToMs(aa.layerwiseVisibleTime(p, compute_a)),
+                       1),
+            Table::fmt(sim::usToMs(hh.serializedTime(p)), 1),
+            Table::fmt(lw_h, 1),
+            Table::fmt(100.0 * lw_h / sim::usToMs(compute_h), 1) + "%",
+        });
+    }
+    table.print();
+    std::printf("\nPaper: serialized grows linearly; layer-wise leaves a"
+                " near-constant ~8 ms (A100) / ~5 ms (H100); overhead"
+                " < 7%% of prompt time\n");
+
+    bench::banner("Ablation: technique switch threshold (H100)");
+    Table ablation({"prompt tokens", "serialized (ms)", "layer-wise (ms)",
+                    "Splitwise picks"});
+    for (std::int64_t p : {64, 128, 256, 384, 512, 768, 1024}) {
+        const auto plan = hh.plan(p, perf_h.promptTime(p, 1));
+        ablation.addRow({
+            std::to_string(p),
+            Table::fmt(sim::usToMs(hh.serializedTime(p)), 2),
+            Table::fmt(sim::usToMs(hh.layerwiseVisibleTime(
+                           p, perf_h.promptTime(p, 1))),
+                       2),
+            plan.layerwise ? "layer-wise" : "serialized",
+        });
+    }
+    ablation.print();
+    std::printf("\nPaper: serialized below 512 prompt tokens on H100,"
+                " layer-wise above (SVI-A)\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot kernels:
+ * event queue operations, performance-model evaluation, the paged
+ * block manager, piecewise interpolation, and end-to-end simulated
+ * cluster throughput (simulated-seconds per wall-second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.h"
+#include "core/designs.h"
+#include "engine/block_manager.h"
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+#include "model/perf_model.h"
+#include "model/piecewise.h"
+#include "model/piecewise_perf_model.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace {
+
+using namespace splitwise;
+
+void
+BM_EventQueueScheduleAndPop(benchmark::State& state)
+{
+    sim::EventQueue queue;
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            queue.schedule(t + (i * 37) % 1000, [] {});
+        while (!queue.empty())
+            benchmark::DoNotOptimize(queue.pop());
+        t += 1000;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void
+BM_AnalyticalPerfModelIteration(benchmark::State& state)
+{
+    const model::AnalyticalPerfModel perf(model::llama2_70b(),
+                                          hw::dgxH100());
+    model::IterationShape shape;
+    shape.promptTokens = 1500;
+    shape.promptRequests = 2;
+    shape.tokenRequests = 32;
+    shape.contextTokens = 32 * 1200;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perf.iterationTime(shape));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyticalPerfModelIteration);
+
+void
+BM_PiecewisePerfModelIteration(benchmark::State& state)
+{
+    const model::AnalyticalPerfModel reference(model::llama2_70b(),
+                                               hw::dgxH100());
+    const auto fitted = model::PiecewiseLinearPerfModel::fit(reference);
+    model::IterationShape shape;
+    shape.promptTokens = 1500;
+    shape.promptRequests = 2;
+    shape.tokenRequests = 32;
+    shape.contextTokens = 32 * 1200;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitted->iterationTime(shape));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiecewisePerfModelIteration);
+
+void
+BM_BlockManagerChurn(benchmark::State& state)
+{
+    engine::BlockManager bm(1 << 20, 16);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 32; ++i)
+            bm.allocate(id + i, 1000 + i);
+        for (int i = 0; i < 32; ++i)
+            bm.extend(id + i, 1100 + i);
+        for (int i = 0; i < 32; ++i)
+            bm.release(id + i);
+        id += 32;
+    }
+    state.SetItemsProcessed(state.iterations() * 96);
+}
+BENCHMARK(BM_BlockManagerChurn);
+
+void
+BM_PiecewiseLinearEval(benchmark::State& state)
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 64; ++i) {
+        xs.push_back(i * 256.0);
+        ys.push_back(i * 3.0 + 1);
+    }
+    const model::PiecewiseLinear f(xs, ys);
+    double x = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f(x));
+        x += 97.0;
+        if (x > 16000.0)
+            x = 0.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiecewiseLinearEval);
+
+void
+BM_ClusterSimulation(benchmark::State& state)
+{
+    const double rps = static_cast<double>(state.range(0));
+    workload::TraceGenerator gen(workload::conversation(), 42);
+    const auto trace = gen.generate(rps, sim::secondsToUs(10));
+    for (auto _ : state) {
+        core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(2, 2));
+        benchmark::DoNotOptimize(cluster.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+    state.counters["requests"] = static_cast<double>(trace.size());
+}
+BENCHMARK(BM_ClusterSimulation)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates paper Table I: NVIDIA A100 vs. H100 specifications.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    bench::banner("Table I: NVIDIA A100 vs. H100 specifications");
+
+    const hw::GpuSpec& a = hw::a100();
+    const hw::GpuSpec& h = hw::h100();
+    const hw::MachineSpec& da = hw::dgxA100();
+    const hw::MachineSpec& dh = hw::dgxH100();
+
+    Table table({"", "A100", "H100", "Ratio"});
+    auto row = [&](const char* name, double av, double hv, int precision) {
+        table.addRow({name, Table::fmt(av, precision),
+                      Table::fmt(hv, precision),
+                      Table::fmt(hv / av, 2) + "x"});
+    };
+    row("TFLOPs (fp16 dense)", a.peakFp16Tflops, h.peakFp16Tflops, 0);
+    row("HBM capacity (GB)", a.hbmCapacityGb, h.hbmCapacityGb, 0);
+    row("HBM bandwidth (GBps)", a.hbmBandwidthGBps, h.hbmBandwidthGBps, 0);
+    row("Power (W)", a.tdpWatts, h.tdpWatts, 0);
+    row("NVLink (GBps)", a.nvlinkGBps, h.nvlinkGBps, 0);
+    row("InfiniBand (GBps, machine)", da.infinibandGBps, dh.infinibandGBps,
+        0);
+    row("Cost per machine ($/hr)", da.costPerHour, dh.costPerHour, 1);
+    row("Machine power (W)", da.provisionedPowerWatts(),
+        dh.provisionedPowerWatts(), 0);
+    table.print();
+
+    std::printf("\nPaper ratios: compute 3.43x, HBM bw 1.64x, power 1.75x,"
+                " NVLink 2x, IB 2x, cost 2.16x\n");
+    return 0;
+}

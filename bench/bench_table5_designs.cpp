@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Table V: the evaluated Splitwise designs with
+ * per-pool machine type, cost, power, and interconnect bandwidth,
+ * normalized to DGX-A100.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hw/interconnect.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    bench::banner("Table V: evaluated Splitwise designs "
+                  "(normalized to DGX-A100)");
+
+    const double base_cost = hw::dgxA100().costPerHour;
+    const double base_power = hw::dgxA100().provisionedPowerWatts();
+    const double base_bw =
+        hw::linkBetween(hw::dgxA100(), hw::dgxA100()).bandwidthGBps;
+
+    Table table({"design", "prompt type", "prompt cost", "prompt power",
+                 "token type", "token cost", "token power",
+                 "interconnect bw"});
+    const core::ClusterDesign designs[] = {
+        core::splitwiseAA(1, 1),
+        core::splitwiseHH(1, 1),
+        core::splitwiseHHcap(1, 1),
+        core::splitwiseHA(1, 1),
+    };
+    for (const auto& d : designs) {
+        const auto link = hw::linkBetween(d.promptSpec, d.tokenSpec);
+        table.addRow({
+            d.name,
+            d.promptSpec.name,
+            Table::fmt(d.promptSpec.costPerHour / base_cost, 2) + "x",
+            Table::fmt(d.promptSpec.provisionedPowerWatts() / base_power,
+                       2) + "x",
+            d.tokenSpec.name,
+            Table::fmt(d.tokenSpec.costPerHour / base_cost, 2) + "x",
+            Table::fmt(d.tokenSpec.provisionedPowerWatts() / base_power,
+                       2) + "x",
+            Table::fmt(link.bandwidthGBps / base_bw, 1) + "x",
+        });
+    }
+    table.print();
+
+    std::printf("\nPaper: H100 power 1.75x, HHcap token power 1.23x,"
+                " H100-pair interconnect 2x\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Table VI: the SLO definition (slowdown versus a
+ * request running on DGX-A100 under no contention), together with
+ * the reference latencies the slowdowns are measured against.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    bench::banner("Table VI: SLOs as slowdown vs uncontended DGX-A100");
+    const core::SloSet slos;
+    Table table({"metric", "P50", "P90", "P99"});
+    auto row = [&](const char* name, const core::SloLimits& l) {
+        table.addRow({name, Table::fmt(l.p50, 2) + "x",
+                      Table::fmt(l.p90, 2) + "x",
+                      Table::fmt(l.p99, 2) + "x"});
+    };
+    row("TTFT", slos.ttft);
+    row("TBT", slos.tbt);
+    row("E2E", slos.e2e);
+    table.print();
+
+    bench::banner("Reference latencies (DGX-A100, no contention)");
+    const core::SloChecker checker(model::llama2_70b());
+    Table ref({"request shape", "ref TTFT (ms)", "ref TBT (ms)",
+               "ref E2E (ms)"});
+    struct Shape {
+        const char* name;
+        std::int64_t prompt;
+        std::int64_t output;
+    } shapes[] = {
+        {"coding median (1500 in, 13 out)", 1500, 13},
+        {"conversation median (1020 in, 129 out)", 1020, 129},
+        {"small (128 in, 8 out)", 128, 8},
+        {"large (4096 in, 512 out)", 4096, 512},
+    };
+    for (const auto& s : shapes) {
+        workload::Request spec;
+        spec.promptTokens = s.prompt;
+        spec.outputTokens = s.output;
+        ref.addRow({s.name, Table::fmt(checker.refTtftMs(s.prompt), 1),
+                    Table::fmt(checker.refTbtMs(s.prompt + s.output / 2), 1),
+                    Table::fmt(checker.refE2eMs(spec), 1)});
+    }
+    ref.print();
+    std::printf("\nAll nine SLO cells must hold for a cluster design to"
+                " count as meeting SLOs (SV-B)\n");
+    return 0;
+}

@@ -1,0 +1,308 @@
+#include "core/cls.h"
+
+#include <limits>
+
+#include "sim/log.h"
+
+namespace splitwise::core {
+
+const char*
+poolTypeName(PoolType pool)
+{
+    switch (pool) {
+      case PoolType::kPrompt: return "prompt";
+      case PoolType::kToken: return "token";
+      case PoolType::kMixed: return "mixed";
+    }
+    return "?";
+}
+
+ClusterScheduler::ClusterScheduler(sim::Simulator& simulator, ClsConfig config,
+                                   std::vector<engine::Machine*> prompt_machines,
+                                   std::vector<engine::Machine*> token_machines,
+                                   bool splitwise)
+    : simulator_(simulator), config_(config), splitwise_(splitwise),
+      routingRng_(config.routingSeed)
+{
+    if (prompt_machines.empty() && token_machines.empty())
+        sim::fatal("ClusterScheduler: no machines");
+    for (auto* m : prompt_machines) {
+        const PoolType origin = splitwise_ ? PoolType::kPrompt : PoolType::kMixed;
+        entries_[m->id()] = {m, origin, origin, 0};
+        machineIds_.push_back(m->id());
+    }
+    for (auto* m : token_machines) {
+        const PoolType origin = splitwise_ ? PoolType::kToken : PoolType::kMixed;
+        entries_[m->id()] = {m, origin, origin, 0};
+        machineIds_.push_back(m->id());
+    }
+}
+
+void
+ClusterScheduler::markFailed(int machine_id)
+{
+    entries_.erase(machine_id);
+    if (entries_.empty())
+        sim::fatal("ClusterScheduler: every machine has failed");
+}
+
+PoolType
+ClusterScheduler::poolOf(int machine_id) const
+{
+    return entries_.at(machine_id).pool;
+}
+
+PoolType
+ClusterScheduler::originOf(int machine_id) const
+{
+    return entries_.at(machine_id).origin;
+}
+
+engine::Machine*
+ClusterScheduler::pickRandom(std::vector<engine::Machine*>& eligible) const
+{
+    if (eligible.empty())
+        return nullptr;
+    const auto idx = static_cast<std::size_t>(routingRng_.uniformInt(
+        0, static_cast<std::int64_t>(eligible.size()) - 1));
+    return eligible[idx];
+}
+
+engine::Machine*
+ClusterScheduler::jsqPrompt(PoolType pool) const
+{
+    // A mixed-pool machine retains its identity (SIV-A): a prompt
+    // machine temporarily running tokens still takes prompt work.
+    engine::Machine* best = nullptr;
+    std::int64_t best_depth = std::numeric_limits<std::int64_t>::max();
+    std::vector<engine::Machine*> eligible;
+    for (const auto& [id, entry] : entries_) {
+        const bool ok =
+            entry.pool == pool ||
+            (pool == PoolType::kPrompt && entry.pool == PoolType::kMixed &&
+             entry.origin == PoolType::kPrompt);
+        if (!ok)
+            continue;
+        if (config_.routing == RoutingPolicy::kRandom) {
+            eligible.push_back(entry.machine);
+            continue;
+        }
+        const std::int64_t depth = entry.machine->promptQueueDepthTokens();
+        if (depth < best_depth) {
+            best_depth = depth;
+            best = entry.machine;
+        }
+    }
+    if (config_.routing == RoutingPolicy::kRandom)
+        return pickRandom(eligible);
+    return best;
+}
+
+engine::Machine*
+ClusterScheduler::jsqToken(PoolType pool) const
+{
+    engine::Machine* best = nullptr;
+    std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+    std::vector<engine::Machine*> eligible;
+    for (const auto& [id, entry] : entries_) {
+        const bool ok =
+            entry.pool == pool ||
+            (pool == PoolType::kToken && entry.pool == PoolType::kMixed &&
+             entry.origin == PoolType::kToken);
+        if (!ok)
+            continue;
+        if (config_.routing == RoutingPolicy::kRandom) {
+            eligible.push_back(entry.machine);
+            continue;
+        }
+        const std::int64_t load = entry.machine->tokenLoadTokens();
+        if (load < best_load) {
+            best_load = load;
+            best = entry.machine;
+        }
+    }
+    if (config_.routing == RoutingPolicy::kRandom)
+        return pickRandom(eligible);
+    return best;
+}
+
+void
+ClusterScheduler::moveToPool(int machine_id, PoolType pool)
+{
+    Entry& entry = entries_.at(machine_id);
+    if (entry.pool == pool)
+        return;
+    entry.pool = pool;
+    if (pool == PoolType::kMixed)
+        entry.mixedSince = simulator_.now();
+    ++poolTransitions_;
+}
+
+bool
+ClusterScheduler::promptOverloaded(const engine::Machine& m) const
+{
+    return m.promptQueueDepthTokens() > config_.promptOverflowTokens;
+}
+
+bool
+ClusterScheduler::tokenOverloaded(const engine::Machine& m) const
+{
+    const std::int64_t capacity = m.mls().blocks().tokenCapacity();
+    if (capacity <= 0)
+        return true;
+    const double util = static_cast<double>(m.tokenLoadTokens()) /
+                        static_cast<double>(capacity);
+    if (util > config_.tokenOverflowUtilization)
+        return true;
+    // Residents plus reserved inbound transfers: past the
+    // latency-efficient batch range the machine counts as full even
+    // with KV memory to spare.
+    const auto pending = static_cast<int>(m.mls().blocks().residents());
+    const int limit = config_.tokenSloTbtMs > 0.0
+                          ? m.maxBatchWithinTbt(config_.tokenSloTbtMs)
+                          : config_.tokenOverflowResidents;
+    return pending > limit;
+}
+
+engine::Machine*
+ClusterScheduler::pickPromptMachine(bool& local_decode)
+{
+    local_decode = false;
+    engine::Machine* best = jsqPrompt(PoolType::kPrompt);
+    if (best && !promptOverloaded(*best))
+        return best;
+
+    // Overflow: consult the mixed pool; a mixed machine serves the
+    // request like a non-Splitwise machine, both phases local.
+    engine::Machine* mixed = jsqPrompt(PoolType::kMixed);
+    if (mixed && !promptOverloaded(*mixed)) {
+        local_decode = true;
+        ++mixedRoutes_;
+        return mixed;
+    }
+
+    // Mixed pool full too: pull the least-loaded token machine in.
+    engine::Machine* pulled = jsqPrompt(PoolType::kToken);
+    if (pulled) {
+        moveToPool(pulled->id(), PoolType::kMixed);
+        local_decode = true;
+        ++mixedRoutes_;
+        return pulled;
+    }
+    return best ? best : mixed;
+}
+
+engine::Machine*
+ClusterScheduler::pickTokenMachine()
+{
+    engine::Machine* best = jsqToken(PoolType::kToken);
+    if (best && !tokenOverloaded(*best))
+        return best;
+
+    engine::Machine* mixed = jsqToken(PoolType::kMixed);
+    if (mixed && !tokenOverloaded(*mixed)) {
+        ++mixedRoutes_;
+        return mixed;
+    }
+
+    engine::Machine* pulled = jsqToken(PoolType::kPrompt);
+    if (pulled) {
+        moveToPool(pulled->id(), PoolType::kMixed);
+        ++mixedRoutes_;
+        return pulled;
+    }
+    return best ? best : mixed;
+}
+
+void
+ClusterScheduler::routeBaseline(engine::LiveRequest* request)
+{
+    engine::Machine* best = nullptr;
+    std::int64_t best_depth = std::numeric_limits<std::int64_t>::max();
+    std::vector<engine::Machine*> eligible;
+    for (const auto& [id, entry] : entries_) {
+        if (config_.routing == RoutingPolicy::kRandom) {
+            eligible.push_back(entry.machine);
+            continue;
+        }
+        // Pending tokens: queued prompt work plus one per active
+        // decode (a decode contributes one token per iteration).
+        const std::int64_t depth =
+            entry.machine->promptQueueDepthTokens() +
+            static_cast<std::int64_t>(entry.machine->mls().residentCount());
+        if (depth < best_depth) {
+            best_depth = depth;
+            best = entry.machine;
+        }
+    }
+    if (config_.routing == RoutingPolicy::kRandom)
+        best = pickRandom(eligible);
+    request->tokenMachine = best->id();
+    best->submitPrompt(request);
+}
+
+void
+ClusterScheduler::routeSplitwise(engine::LiveRequest* request)
+{
+    bool local_decode = false;
+    engine::Machine* prompt_machine = pickPromptMachine(local_decode);
+    if (!prompt_machine)
+        sim::panic("ClusterScheduler: no prompt machine available");
+
+    if (local_decode) {
+        request->tokenMachine = prompt_machine->id();
+    } else {
+        engine::Machine* token_machine = pickTokenMachine();
+        // When every token-capable machine is saturated, shipping
+        // the KV-cache would only add transfer stalls on top of the
+        // overload: run both phases locally instead - at stress
+        // Splitwise devolves into the iso-count baseline (SVI-E).
+        if (!token_machine ||
+            (token_machine != prompt_machine &&
+             tokenOverloaded(*token_machine))) {
+            request->tokenMachine = prompt_machine->id();
+        } else {
+            request->tokenMachine = token_machine->id();
+        }
+    }
+    prompt_machine->submitPrompt(request);
+}
+
+void
+ClusterScheduler::onArrival(engine::LiveRequest* request)
+{
+    if (splitwise_)
+        routeSplitwise(request);
+    else
+        routeBaseline(request);
+}
+
+void
+ClusterScheduler::onIterationEnd(engine::Machine& machine)
+{
+    const auto it = entries_.find(machine.id());
+    if (it == entries_.end())
+        return;  // failed machine draining a stale event
+    Entry& entry = it->second;
+    if (entry.pool != PoolType::kMixed || entry.origin == PoolType::kMixed)
+        return;
+
+    // Permanent re-purposing after a long mixed-pool stay (SIV-A).
+    if (config_.repurposeAfterUs > 0 &&
+        simulator_.now() - entry.mixedSince > config_.repurposeAfterUs) {
+        entry.origin = entry.origin == PoolType::kPrompt ? PoolType::kToken
+                                                         : PoolType::kPrompt;
+        ++repurposings_;
+    }
+
+    // A mixed-pool machine returns to its origin pool once it has no
+    // tasks of the opposite kind left.
+    const bool opposite_drained =
+        entry.origin == PoolType::kPrompt
+            ? !machine.mls().hasDecodeWork()
+            : !machine.mls().hasPromptWork();
+    if (opposite_drained)
+        moveToPool(machine.id(), entry.origin);
+}
+
+}  // namespace splitwise::core

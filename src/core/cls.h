@@ -1,0 +1,172 @@
+#ifndef SPLITWISE_CORE_CLS_H_
+#define SPLITWISE_CORE_CLS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/machine.h"
+#include "engine/request.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace splitwise::core {
+
+/** Machine pools maintained by the CLS (paper Fig. 10). */
+enum class PoolType {
+    kPrompt,
+    kToken,
+    kMixed,
+};
+
+/** Human-readable pool name. */
+const char* poolTypeName(PoolType pool);
+
+/** Request-routing policy for machine selection within a pool. */
+enum class RoutingPolicy {
+    /** Join-the-Shortest-Queue (the paper's choice, SIV-A). */
+    kJsq,
+    /** Uniform-random pick - the ablation baseline. */
+    kRandom,
+};
+
+/** Cluster-level scheduler tunables (paper SIV-A). */
+struct ClsConfig {
+    /** How to pick a machine within a pool. */
+    RoutingPolicy routing = RoutingPolicy::kJsq;
+    /** Seed for the random-routing stream (kRandom only). */
+    std::uint64_t routingSeed = 1;
+    /**
+     * Pending prompt tokens beyond which the best prompt machine is
+     * considered overloaded and the mixed pool is consulted.
+     */
+    std::int64_t promptOverflowTokens = 12000;
+    /**
+     * KV utilization beyond which the best token machine is
+     * considered overloaded.
+     */
+    double tokenOverflowUtilization = 0.90;
+    /**
+     * Resident/inbound decode count beyond which the best token
+     * machine is considered overloaded (its batch would exceed the
+     * latency-efficient range), triggering mixed-pool spillover.
+     * Used as a fallback when tokenSloTbtMs is unset.
+     */
+    int tokenOverflowResidents = 56;
+    /**
+     * Per-request TBT bound (ms) defining each machine's
+     * latency-efficient decode capacity. When positive, a token
+     * machine overflows once its residents exceed the largest batch
+     * it can decode within this bound (machine-type aware). The
+     * Cluster derives it from the SLO reference by default.
+     */
+    double tokenSloTbtMs = 0.0;
+    /**
+     * Mixed-pool dwell time after which a machine is re-purposed to
+     * the opposite pool; 0 disables re-purposing.
+     */
+    sim::TimeUs repurposeAfterUs = 0;
+};
+
+/**
+ * The cluster-level scheduler: routes each arriving request to a
+ * (prompt, token) machine pair with Join-the-Shortest-Queue, and
+ * manages the prompt/token/mixed machine pools (paper SIV-A).
+ *
+ * In baseline (non-Splitwise) mode every machine is standalone and
+ * requests are routed whole to the least-loaded machine.
+ */
+class ClusterScheduler {
+  public:
+    /**
+     * @param splitwise False = baseline mixed-batching cluster.
+     */
+    ClusterScheduler(sim::Simulator& simulator, ClsConfig config,
+                     std::vector<engine::Machine*> prompt_machines,
+                     std::vector<engine::Machine*> token_machines,
+                     bool splitwise);
+
+    /** Route a new request and submit its prompt phase. */
+    void onArrival(engine::LiveRequest* request);
+
+    /**
+     * Pool-management hook: after each iteration a mixed-pool
+     * machine with no opposite-type work returns to its origin pool.
+     */
+    void onIterationEnd(engine::Machine& machine);
+
+    /**
+     * Remove a failed machine from all pools (SIV-E); no further
+     * requests are routed to it.
+     */
+    void markFailed(int machine_id);
+
+    /**
+     * Pick a machine to host a recovered decode (KV-cache restored
+     * from a checkpoint, SIV-E). Same JSQ + overflow policy as
+     * normal token routing; may return nullptr when nothing can
+     * take the work.
+     */
+    engine::Machine* pickRecoveryTokenMachine() { return pickTokenMachine(); }
+
+    /** Current pool of a machine. */
+    PoolType poolOf(int machine_id) const;
+
+    /** Original identity of a machine. */
+    PoolType originOf(int machine_id) const;
+
+    /** Number of requests that overflowed into the mixed pool. */
+    std::uint64_t mixedPoolRoutes() const { return mixedRoutes_; }
+
+    /** Number of pool transitions (into or out of mixed). */
+    std::uint64_t poolTransitions() const { return poolTransitions_; }
+
+    /** Number of permanent re-purposings. */
+    std::uint64_t repurposings() const { return repurposings_; }
+
+  private:
+    struct Entry {
+        engine::Machine* machine = nullptr;
+        PoolType origin = PoolType::kPrompt;
+        PoolType pool = PoolType::kPrompt;
+        sim::TimeUs mixedSince = 0;
+    };
+
+    /** Least prompt-loaded machine currently in @p pool with the
+     *  given origin filter (nullptr filter = any). */
+    engine::Machine* jsqPrompt(PoolType pool) const;
+    engine::Machine* jsqToken(PoolType pool) const;
+
+    void moveToPool(int machine_id, PoolType pool);
+
+    bool promptOverloaded(const engine::Machine& m) const;
+    bool tokenOverloaded(const engine::Machine& m) const;
+
+    void routeBaseline(engine::LiveRequest* request);
+    void routeSplitwise(engine::LiveRequest* request);
+
+    /** Pick the prompt-phase machine, spilling into the mixed pool
+     *  and opposite pool under load. Sets local_decode when the
+     *  machine should also run the token phase. */
+    engine::Machine* pickPromptMachine(bool& local_decode);
+
+    /** Pick the token-phase machine, spilling symmetrically. */
+    engine::Machine* pickTokenMachine();
+
+    /** Uniform-random pick among eligible machines (kRandom). */
+    engine::Machine* pickRandom(std::vector<engine::Machine*>& eligible) const;
+
+    sim::Simulator& simulator_;
+    ClsConfig config_;
+    bool splitwise_;
+    mutable sim::Rng routingRng_{1};
+    std::unordered_map<int, Entry> entries_;
+    std::vector<int> machineIds_;
+    std::uint64_t mixedRoutes_ = 0;
+    std::uint64_t poolTransitions_ = 0;
+    std::uint64_t repurposings_ = 0;
+};
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_CLS_H_

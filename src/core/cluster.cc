@@ -1,0 +1,258 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/log.h"
+
+namespace splitwise::core {
+
+namespace {
+
+/** Build the iteration-pricing model for one machine spec. */
+std::unique_ptr<model::PerfModel>
+buildPerfModel(const model::LlmConfig& llm, const hw::MachineSpec& spec,
+               bool piecewise)
+{
+    auto analytical = std::make_unique<model::AnalyticalPerfModel>(llm, spec);
+    if (!piecewise)
+        return analytical;
+    return model::PiecewiseLinearPerfModel::fit(*analytical);
+}
+
+}  // namespace
+
+Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
+    : llm_(std::move(llm)), design_(std::move(design)), config_(config),
+      engine_(simulator_, llm_, config.layerwiseThresholdTokens,
+              config.kvCompressionRatio)
+{
+    if (design_.numPrompt <= 0)
+        sim::fatal("Cluster: design needs at least one prompt machine");
+    if (design_.splitwise && design_.numToken <= 0)
+        sim::fatal("Cluster: Splitwise design needs token machines");
+
+    // Token machines are "full" once another resident would push
+    // their TBT past the median SLO bound (Table VI: 1.25x the
+    // uncontended DGX-A100 reference).
+    if (config_.cls.tokenSloTbtMs == 0.0) {
+        const SloChecker reference(llm_);
+        config_.cls.tokenSloTbtMs = 1.25 * reference.refTbtMs(1200);
+    }
+
+    engine::Machine::Callbacks callbacks;
+    callbacks.onPromptDone = [this](engine::Machine& m,
+                                    engine::LiveRequest* req,
+                                    sim::TimeUs prompt_compute) {
+        engine_.startTransfer(req, &m, machineById(req->tokenMachine),
+                              prompt_compute, nullptr);
+    };
+    callbacks.onRequestDone = [this](engine::Machine&,
+                                     engine::LiveRequest* req) {
+        results_.add(req->result());
+    };
+    callbacks.transferInterference =
+        [this](engine::Machine& m, engine::LiveRequest* req,
+               sim::TimeUs prompt_compute) {
+            return engine_.interferenceFor(m, req, prompt_compute);
+        };
+    callbacks.onMemoryFreed = [this](engine::Machine& m) {
+        engine_.onMemoryFreed(&m);
+    };
+    callbacks.onIterationEnd = [this](engine::Machine& m) {
+        if (cls_)
+            cls_->onIterationEnd(m);
+    };
+
+    auto build_pool = [&](const hw::MachineSpec& spec, int count,
+                          std::vector<engine::Machine*>& out) {
+        if (count <= 0)
+            return;
+        perfModels_.push_back(
+            buildPerfModel(llm_, spec, config_.usePiecewisePerfModel));
+        memoryModels_.push_back(std::make_unique<model::MemoryModel>(
+            llm_, spec, config_.memoryUtilFraction));
+        const auto* perf = perfModels_.back().get();
+        const auto* memory = memoryModels_.back().get();
+        for (int i = 0; i < count; ++i) {
+            const int id = static_cast<int>(machines_.size());
+            machines_.push_back(std::make_unique<engine::Machine>(
+                simulator_, id, spec, *perf, *memory, config_.mls,
+                callbacks));
+            engine_.registerMachine(machines_.back().get());
+            out.push_back(machines_.back().get());
+        }
+    };
+
+    std::vector<engine::Machine*> prompt_pool;
+    std::vector<engine::Machine*> token_pool;
+    build_pool(design_.promptSpec, design_.numPrompt, prompt_pool);
+    build_pool(design_.tokenSpec, design_.numToken, token_pool);
+
+    cls_ = std::make_unique<ClusterScheduler>(
+        simulator_, config_.cls, prompt_pool, token_pool, design_.splitwise);
+}
+
+void
+Cluster::scheduleFailure(int machine_id, sim::TimeUs at)
+{
+    if (ran_)
+        sim::fatal("Cluster::scheduleFailure must precede run()");
+    if (machine_id < 0 || machine_id >= design_.machines())
+        sim::fatal("Cluster::scheduleFailure: bad machine id");
+    simulator_.schedule(at, [this, machine_id] { failMachine(machine_id); });
+}
+
+void
+Cluster::failMachine(int machine_id)
+{
+    engine::Machine* machine = machineById(machine_id);
+    if (machine->failed())
+        return;
+    // Order matters: take the machine out of routing first, then
+    // drop its state, then restart the stranded requests on the
+    // survivors.
+    cls_->markFailed(machine_id);
+    machine->fail();
+
+    for (const auto& req_ptr : live_) {
+        engine::LiveRequest* req = req_ptr.get();
+        if (req->finished())
+            continue;
+        const bool stranded =
+            ((req->phase == engine::RequestPhase::kPromptQueued ||
+              req->phase == engine::RequestPhase::kPromptRunning) &&
+             req->promptMachine == machine_id) ||
+            (req->phase == engine::RequestPhase::kTransferring &&
+             (req->promptMachine == machine_id ||
+              req->tokenMachine == machine_id)) ||
+            (req->phase == engine::RequestPhase::kDecoding &&
+             req->tokenMachine == machine_id);
+        if (stranded) {
+            // Release any KV copy a surviving machine still holds
+            // (e.g. the prompt machine of an in-flight transfer).
+            for (int mid : {req->promptMachine, req->tokenMachine}) {
+                if (mid >= 0 && mid != machine_id)
+                    machineById(mid)->releaseKv(req);
+            }
+            // Past the prompt with checkpointing on: restore the
+            // KV-cache from the in-memory store instead of
+            // recomputing the whole context (SIV-E).
+            if (config_.kvCheckpointing && req->generated > 0 &&
+                restoreFromCheckpoint(req)) {
+                ++checkpointRestores_;
+                continue;
+            }
+            req->resetForRestart();
+            ++restarts_;
+            cls_->onArrival(req);
+            continue;
+        }
+        // Requests not yet split off this machine but destined for
+        // it: decode locally instead.
+        if (req->tokenMachine == machine_id &&
+            req->promptMachine != machine_id) {
+            req->tokenMachine = -1;
+        }
+    }
+}
+
+bool
+Cluster::restoreFromCheckpoint(engine::LiveRequest* request)
+{
+    engine::Machine* host = cls_->pickRecoveryTokenMachine();
+    if (!host || host->failed())
+        return false;
+    if (!host->reserveKv(request, request->contextTokens() + 1))
+        return false;
+    // The generated-token history survives; only the cache placement
+    // changes. Bump the epoch so stale in-flight events drop.
+    ++request->restartEpoch;
+    request->phase = engine::RequestPhase::kTransferring;
+    request->tokenMachine = host->id();
+    const double bytes = static_cast<double>(request->contextTokens()) *
+                         static_cast<double>(llm_.kvBytesPerToken()) /
+                         config_.kvCompressionRatio;
+    const auto restore_us =
+        sim::secondsToUs(bytes / (config_.checkpointRestoreGBps * 1e9));
+    const std::uint32_t epoch = request->restartEpoch;
+    simulator_.scheduleAfter(restore_us, [this, request, host, epoch] {
+        if (request->restartEpoch != epoch || host->failed()) {
+            // The host died during the restore; the failure handler
+            // already rerouted the request.
+            return;
+        }
+        host->acceptTransferred(request);
+    });
+    return true;
+}
+
+engine::Machine*
+Cluster::machineById(int id)
+{
+    if (id < 0 || id >= static_cast<int>(machines_.size()))
+        sim::panic("Cluster: bad machine id " + std::to_string(id));
+    return machines_[static_cast<std::size_t>(id)].get();
+}
+
+RunReport
+Cluster::run(const workload::Trace& trace)
+{
+    if (ran_)
+        sim::fatal("Cluster::run is one-shot; build a fresh cluster");
+    ran_ = true;
+
+    live_.reserve(trace.size());
+    for (const auto& spec : trace) {
+        auto req = std::make_unique<engine::LiveRequest>();
+        req->spec = spec;
+        live_.push_back(std::move(req));
+        engine::LiveRequest* ptr = live_.back().get();
+        simulator_.schedule(spec.arrival,
+                            [this, ptr] { cls_->onArrival(ptr); });
+    }
+
+    simulator_.run();
+
+    std::size_t unfinished = 0;
+    for (const auto& req : live_) {
+        if (!req->finished())
+            ++unfinished;
+    }
+    if (unfinished > 0) {
+        sim::fatal("Cluster: " + std::to_string(unfinished) +
+                   " requests never completed (deadlock)");
+    }
+
+    RunReport report;
+    report.requests = results_;
+    report.submitted = trace.size();
+    report.simulatedUs = simulator_.now();
+    report.footprint = design_.footprint();
+    report.transfers = engine_.stats();
+    report.mixedRoutes = cls_->mixedPoolRoutes();
+    report.poolTransitions = cls_->poolTransitions();
+    report.restarts = restarts_;
+    report.checkpointRestores = checkpointRestores_;
+
+    auto fold = [&](engine::Machine& m, PoolReport& pool) {
+        m.finalizeStats();
+        const auto& s = m.stats();
+        pool.machines += 1;
+        pool.busyUs += s.busyUs;
+        pool.iterations += s.iterations;
+        pool.energyWh += s.energyWh;
+        pool.promptTokensProcessed += s.promptTokensProcessed;
+        pool.tokensGenerated += s.tokensGenerated;
+        pool.activeTokens.merge(s.activeTokens.histogram());
+        report.preemptions += m.mls().preemptionCount();
+    };
+    for (int i = 0; i < design_.numPrompt; ++i)
+        fold(*machines_[static_cast<std::size_t>(i)], report.promptPool);
+    for (int i = design_.numPrompt; i < design_.machines(); ++i)
+        fold(*machines_[static_cast<std::size_t>(i)], report.tokenPool);
+
+    return report;
+}
+
+}  // namespace splitwise::core

@@ -1,0 +1,164 @@
+#ifndef SPLITWISE_CORE_CLUSTER_H_
+#define SPLITWISE_CORE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cls.h"
+#include "core/slo.h"
+#include "core/designs.h"
+#include "engine/kv_transfer.h"
+#include "engine/machine.h"
+#include "metrics/request_metrics.h"
+#include "metrics/time_weighted.h"
+#include "model/llm_config.h"
+#include "model/memory_model.h"
+#include "model/perf_model.h"
+#include "model/piecewise_perf_model.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace splitwise::core {
+
+/** Simulation tunables for a cluster run. */
+struct SimConfig {
+    engine::MlsConfig mls;
+    ClsConfig cls;
+    /** Prompt size at which KV transfer switches to layer-wise. */
+    std::int64_t layerwiseThresholdTokens = 512;
+    /** KV compression ratio applied before transfer (SVII); 1 = raw. */
+    double kvCompressionRatio = 1.0;
+    /**
+     * Checkpoint each request's KV-cache to an in-memory store after
+     * its prompt completes (SIV-E). On a machine failure, requests
+     * already past their prompt restore the cache from the store
+     * (paying a wire transfer) instead of recomputing from scratch.
+     */
+    bool kvCheckpointing = false;
+    /** Checkpoint-store restore bandwidth, GB/s. */
+    double checkpointRestoreGBps = 100.0;
+    /** Fraction of HBM the serving framework may use. */
+    double memoryUtilFraction = 0.92;
+    /**
+     * Price iterations with the fitted piecewise-linear model (the
+     * paper's SV-B methodology) instead of the analytical model the
+     * fit is derived from. The two agree within 3% MAPE.
+     */
+    bool usePiecewisePerfModel = false;
+};
+
+/** Aggregated activity of one machine pool over a run. */
+struct PoolReport {
+    int machines = 0;
+    sim::TimeUs busyUs = 0;
+    std::uint64_t iterations = 0;
+    double energyWh = 0.0;
+    std::int64_t promptTokensProcessed = 0;
+    std::int64_t tokensGenerated = 0;
+    /** Time-weighted active-batched-token distribution (Fig. 17). */
+    metrics::TimeWeightedHistogram activeTokens;
+};
+
+/** Everything a cluster run produced. */
+struct RunReport {
+    metrics::RequestMetrics requests;
+    std::size_t submitted = 0;
+    sim::TimeUs simulatedUs = 0;
+    hw::FleetFootprint footprint;
+    engine::KvTransferEngine::Stats transfers;
+    /** Baseline designs report all machines under promptPool. */
+    PoolReport promptPool;
+    PoolReport tokenPool;
+    std::uint64_t mixedRoutes = 0;
+    std::uint64_t poolTransitions = 0;
+    std::uint64_t preemptions = 0;
+    /** Requests restarted after machine failures (SIV-E). */
+    std::uint64_t restarts = 0;
+    /** Failure recoveries served from the KV checkpoint store. */
+    std::uint64_t checkpointRestores = 0;
+
+    /** Completed-request throughput over the run. */
+    double
+    throughputRps() const
+    {
+        return requests.throughputRps();
+    }
+};
+
+/**
+ * A simulated LLM inference cluster: machines, transfer engine, and
+ * the cluster-level scheduler, assembled from a ClusterDesign.
+ *
+ * One-shot: construct, run() a trace once, read the report.
+ */
+class Cluster {
+  public:
+    Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config = {});
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    /**
+     * Inject the trace, run the simulation to completion, and
+     * report. Requests that can never finish trip a fatal error.
+     */
+    RunReport run(const workload::Trace& trace);
+
+    /**
+     * Schedule a machine failure at simulated time @p at (SIV-E).
+     * The machine drops out of every pool; requests queued, running,
+     * transferring, or decoding on it restart from scratch on the
+     * surviving machines. Call before run().
+     */
+    void scheduleFailure(int machine_id, sim::TimeUs at);
+
+    const ClusterDesign& design() const { return design_; }
+    sim::Simulator& simulator() { return simulator_; }
+    ClusterScheduler& scheduler() { return *cls_; }
+    engine::KvTransferEngine& transferEngine() { return engine_; }
+
+    /** All machines (prompt pool first, then token pool). */
+    const std::vector<std::unique_ptr<engine::Machine>>&
+    machines() const
+    {
+        return machines_;
+    }
+
+  private:
+    engine::Machine* machineById(int id);
+
+    /** Take the machine down and restart its in-flight requests. */
+    void failMachine(int machine_id);
+
+    /**
+     * Recover a decode-phase request from the KV checkpoint store
+     * onto a healthy machine.
+     *
+     * @return false when no machine can host it (caller falls back
+     *     to a from-scratch restart).
+     */
+    bool restoreFromCheckpoint(engine::LiveRequest* request);
+
+    model::LlmConfig llm_;
+    ClusterDesign design_;
+    SimConfig config_;
+    sim::Simulator simulator_;
+
+    /** Perf/memory models per distinct machine spec. */
+    std::vector<std::unique_ptr<model::PerfModel>> perfModels_;
+    std::vector<std::unique_ptr<model::MemoryModel>> memoryModels_;
+
+    std::vector<std::unique_ptr<engine::Machine>> machines_;
+    engine::KvTransferEngine engine_;
+    std::unique_ptr<ClusterScheduler> cls_;
+
+    std::vector<std::unique_ptr<engine::LiveRequest>> live_;
+    metrics::RequestMetrics results_;
+    std::uint64_t restarts_ = 0;
+    std::uint64_t checkpointRestores_ = 0;
+    bool ran_ = false;
+};
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_CLUSTER_H_

@@ -1,0 +1,63 @@
+#include "core/designs.h"
+
+namespace splitwise::core {
+
+hw::FleetFootprint
+ClusterDesign::footprint() const
+{
+    hw::FleetFootprint fleet;
+    fleet.add(promptSpec, numPrompt);
+    fleet.add(tokenSpec, numToken);
+    return fleet;
+}
+
+ClusterDesign
+ClusterDesign::withCounts(int num_prompt, int num_token) const
+{
+    ClusterDesign d = *this;
+    d.numPrompt = num_prompt;
+    d.numToken = num_token;
+    return d;
+}
+
+ClusterDesign
+baselineA100(int n)
+{
+    return {"Baseline-A100", hw::dgxA100(), n, hw::dgxA100(), 0, false};
+}
+
+ClusterDesign
+baselineH100(int n)
+{
+    return {"Baseline-H100", hw::dgxH100(), n, hw::dgxH100(), 0, false};
+}
+
+ClusterDesign
+splitwiseAA(int num_prompt, int num_token)
+{
+    return {"Splitwise-AA", hw::dgxA100(), num_prompt, hw::dgxA100(),
+            num_token, true};
+}
+
+ClusterDesign
+splitwiseHH(int num_prompt, int num_token)
+{
+    return {"Splitwise-HH", hw::dgxH100(), num_prompt, hw::dgxH100(),
+            num_token, true};
+}
+
+ClusterDesign
+splitwiseHA(int num_prompt, int num_token)
+{
+    return {"Splitwise-HA", hw::dgxH100(), num_prompt, hw::dgxA100(),
+            num_token, true};
+}
+
+ClusterDesign
+splitwiseHHcap(int num_prompt, int num_token)
+{
+    return {"Splitwise-HHcap", hw::dgxH100(), num_prompt, hw::dgxH100Capped(),
+            num_token, true};
+}
+
+}  // namespace splitwise::core

@@ -1,0 +1,55 @@
+#ifndef SPLITWISE_CORE_DESIGNS_H_
+#define SPLITWISE_CORE_DESIGNS_H_
+
+#include <string>
+
+#include "hw/cost_model.h"
+#include "hw/machine_spec.h"
+
+namespace splitwise::core {
+
+/**
+ * A cluster design point: machine types and counts for the prompt
+ * and token pools (paper Table V), or a homogeneous mixed-batching
+ * baseline.
+ */
+struct ClusterDesign {
+    std::string name;
+    hw::MachineSpec promptSpec;
+    int numPrompt = 0;
+    hw::MachineSpec tokenSpec;
+    int numToken = 0;
+    /** False = baseline: every machine runs both phases locally. */
+    bool splitwise = true;
+
+    /** Total machine count. */
+    int machines() const { return numPrompt + numToken; }
+
+    /** Cost/power/space footprint of the design. */
+    hw::FleetFootprint footprint() const;
+
+    /** Same design with different pool sizes. */
+    ClusterDesign withCounts(int num_prompt, int num_token) const;
+};
+
+/** Baseline-A100: @p n DGX-A100 machines, mixed batching. */
+ClusterDesign baselineA100(int n);
+
+/** Baseline-H100: @p n DGX-H100 machines, mixed batching. */
+ClusterDesign baselineH100(int n);
+
+/** Splitwise-AA: A100 prompt and token pools. */
+ClusterDesign splitwiseAA(int num_prompt, int num_token);
+
+/** Splitwise-HH: H100 prompt and token pools. */
+ClusterDesign splitwiseHH(int num_prompt, int num_token);
+
+/** Splitwise-HA: H100 prompt pool, A100 token pool. */
+ClusterDesign splitwiseHA(int num_prompt, int num_token);
+
+/** Splitwise-HHcap: H100 pools, token GPUs power-capped to 50%. */
+ClusterDesign splitwiseHHcap(int num_prompt, int num_token);
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_DESIGNS_H_

@@ -1,0 +1,115 @@
+#include "core/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace splitwise::core {
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+summaryJson(std::ostringstream& out, const char* name,
+            const metrics::Summary& s)
+{
+    out << '"' << name << "\":{\"count\":" << s.count()
+        << ",\"mean\":" << num(s.mean()) << ",\"p50\":" << num(s.p50())
+        << ",\"p90\":" << num(s.p90()) << ",\"p99\":" << num(s.p99())
+        << ",\"max\":" << num(s.max()) << '}';
+}
+
+void
+poolJson(std::ostringstream& out, const char* name, const PoolReport& pool)
+{
+    out << '"' << name << "\":{\"machines\":" << pool.machines
+        << ",\"busy_s\":" << num(sim::usToSeconds(pool.busyUs))
+        << ",\"iterations\":" << pool.iterations
+        << ",\"energy_wh\":" << num(pool.energyWh)
+        << ",\"prompt_tokens\":" << pool.promptTokensProcessed
+        << ",\"tokens_generated\":" << pool.tokensGenerated << '}';
+}
+
+void
+limitsJson(std::ostringstream& out, const char* name, const SloLimits& l)
+{
+    out << '"' << name << "\":{\"p50\":" << num(l.p50)
+        << ",\"p90\":" << num(l.p90) << ",\"p99\":" << num(l.p99) << '}';
+}
+
+}  // namespace
+
+std::string
+reportToJson(const RunReport& report, const SloReport* slo)
+{
+    std::ostringstream out;
+    out << '{';
+    out << "\"design\":{\"machines\":" << report.footprint.machines
+        << ",\"cost_per_hour\":" << num(report.footprint.costPerHour)
+        << ",\"power_watts\":" << num(report.footprint.powerWatts) << "},";
+
+    out << "\"requests\":{\"submitted\":" << report.submitted
+        << ",\"completed\":" << report.requests.completed()
+        << ",\"throughput_rps\":" << num(report.requests.throughputRps())
+        << ",\"token_throughput\":" << num(report.requests.tokenThroughput())
+        << ',';
+    summaryJson(out, "ttft_ms", report.requests.ttftMs());
+    out << ',';
+    summaryJson(out, "tbt_ms", report.requests.tbtMs());
+    out << ',';
+    summaryJson(out, "max_tbt_ms", report.requests.maxTbtMs());
+    out << ',';
+    summaryJson(out, "e2e_ms", report.requests.e2eMs());
+    out << "},";
+
+    out << "\"pools\":{";
+    poolJson(out, "prompt", report.promptPool);
+    out << ',';
+    poolJson(out, "token", report.tokenPool);
+    out << "},";
+
+    out << "\"transfers\":{\"count\":" << report.transfers.transfers
+        << ",\"layerwise\":" << report.transfers.layerwiseTransfers
+        << ",\"bytes\":" << report.transfers.bytesMoved
+        << ",\"memory_stalls\":" << report.transfers.memoryStalls << "},";
+
+    out << "\"scheduler\":{\"mixed_routes\":" << report.mixedRoutes
+        << ",\"pool_transitions\":" << report.poolTransitions
+        << ",\"preemptions\":" << report.preemptions
+        << ",\"restarts\":" << report.restarts
+        << ",\"checkpoint_restores\":" << report.checkpointRestores << '}';
+
+    if (slo) {
+        out << ",\"slo\":{\"pass\":" << (slo->pass ? "true" : "false")
+            << ",\"violation\":\"" << slo->violation << "\",";
+        limitsJson(out, "ttft_slowdown", slo->ttftSlowdown);
+        out << ',';
+        limitsJson(out, "tbt_slowdown", slo->tbtSlowdown);
+        out << ',';
+        limitsJson(out, "e2e_slowdown", slo->e2eSlowdown);
+        out << '}';
+    }
+    out << '}';
+    return out.str();
+}
+
+void
+writeReportJson(const RunReport& report, const std::string& path,
+                const SloReport* slo)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("writeReportJson: cannot open " + path);
+    out << reportToJson(report, slo) << '\n';
+}
+
+}  // namespace splitwise::core

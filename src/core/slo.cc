@@ -1,0 +1,95 @@
+#include "core/slo.h"
+
+#include "hw/machine_spec.h"
+#include "metrics/summary.h"
+
+namespace splitwise::core {
+
+SloChecker::SloChecker(const model::LlmConfig& llm)
+    : reference_(llm, hw::dgxA100())
+{
+}
+
+double
+SloChecker::refTtftMs(std::int64_t prompt_tokens) const
+{
+    return sim::usToMs(reference_.promptTime(prompt_tokens, 1));
+}
+
+double
+SloChecker::refTbtMs(std::int64_t context_tokens) const
+{
+    return sim::usToMs(reference_.tokenTime(1, context_tokens));
+}
+
+double
+SloChecker::refE2eMs(const workload::Request& request) const
+{
+    // Decode context grows from the prompt size onward; the mean
+    // context over the request's lifetime prices the reference run.
+    const std::int64_t mean_ctx =
+        request.promptTokens + request.outputTokens / 2;
+    return refTtftMs(request.promptTokens) +
+           static_cast<double>(request.outputTokens - 1) * refTbtMs(mean_ctx);
+}
+
+SloReport
+SloChecker::evaluate(const metrics::RequestMetrics& metrics,
+                     const SloSet& slos) const
+{
+    metrics::Summary ttft_slow;
+    metrics::Summary tbt_slow;
+    metrics::Summary e2e_slow;
+
+    for (const auto& r : metrics.results()) {
+        workload::Request spec;
+        spec.promptTokens = r.promptTokens;
+        spec.outputTokens = r.outputTokens;
+        spec.arrival = r.arrival;
+        ttft_slow.add(r.ttftMs / refTtftMs(r.promptTokens));
+        if (r.outputTokens > 1) {
+            // TBT is the request's average token streaming latency
+            // (Table II); requests that overlap many prompt chunks
+            // surface in the distribution's upper percentiles.
+            const std::int64_t mean_ctx = r.promptTokens + r.outputTokens / 2;
+            tbt_slow.add(r.tbtMs / refTbtMs(mean_ctx));
+        }
+        e2e_slow.add(r.e2eMs / refE2eMs(spec));
+    }
+
+    SloReport report;
+    report.ttftSlowdown = {ttft_slow.p50(), ttft_slow.p90(), ttft_slow.p99()};
+    report.tbtSlowdown = {tbt_slow.p50(), tbt_slow.p90(), tbt_slow.p99()};
+    report.e2eSlowdown = {e2e_slow.p50(), e2e_slow.p90(), e2e_slow.p99()};
+    report.pass = true;
+
+    const struct {
+        const char* name;
+        const SloLimits* measured;
+        const SloLimits* limit;
+    } checks[] = {
+        {"TTFT", &report.ttftSlowdown, &slos.ttft},
+        {"TBT", &report.tbtSlowdown, &slos.tbt},
+        {"E2E", &report.e2eSlowdown, &slos.e2e},
+    };
+    for (const auto& c : checks) {
+        const struct {
+            const char* pct;
+            double measured;
+            double limit;
+        } rows[] = {
+            {"p50", c.measured->p50, c.limit->p50},
+            {"p90", c.measured->p90, c.limit->p90},
+            {"p99", c.measured->p99, c.limit->p99},
+        };
+        for (const auto& row : rows) {
+            if (row.measured > row.limit && report.pass) {
+                report.pass = false;
+                report.violation = std::string(c.name) + " " + row.pct;
+            }
+        }
+    }
+    return report;
+}
+
+}  // namespace splitwise::core

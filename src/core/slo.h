@@ -1,0 +1,74 @@
+#ifndef SPLITWISE_CORE_SLO_H_
+#define SPLITWISE_CORE_SLO_H_
+
+#include <string>
+
+#include "metrics/request_metrics.h"
+#include "model/llm_config.h"
+#include "model/perf_model.h"
+#include "workload/trace.h"
+
+namespace splitwise::core {
+
+/** Slowdown limits at three percentiles for one metric. */
+struct SloLimits {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * The paper's SLO definition (Table VI): per-request slowdowns
+ * relative to the same request running alone on a DGX-A100, at
+ * P50/P90/P99, for TTFT, TBT, and E2E. All nine must hold.
+ */
+struct SloSet {
+    SloLimits ttft{2.0, 3.0, 6.0};
+    SloLimits tbt{1.25, 1.5, 5.0};
+    SloLimits e2e{1.25, 1.5, 5.0};
+};
+
+/**
+ * Measured slowdown percentiles and the pass/fail verdict.
+ *
+ * All slowdowns are per-request: TBT is the request's average token
+ * streaming latency (Table II), so requests that overlap many
+ * co-scheduled prompt chunks populate the upper percentiles.
+ */
+struct SloReport {
+    SloLimits ttftSlowdown;
+    SloLimits tbtSlowdown;
+    SloLimits e2eSlowdown;
+    bool pass = false;
+    /** First violated limit, e.g. "TBT p99" (empty when passing). */
+    std::string violation;
+};
+
+/**
+ * Evaluates latency SLOs against the uncontended DGX-A100 reference
+ * (paper Table VI).
+ */
+class SloChecker {
+  public:
+    explicit SloChecker(const model::LlmConfig& llm);
+
+    /** Reference TTFT for a prompt of @p prompt_tokens, ms. */
+    double refTtftMs(std::int64_t prompt_tokens) const;
+
+    /** Reference per-token latency at context @p context_tokens, ms. */
+    double refTbtMs(std::int64_t context_tokens) const;
+
+    /** Reference E2E latency for @p request, ms. */
+    double refE2eMs(const workload::Request& request) const;
+
+    /** Evaluate all nine SLOs over a run's per-request results. */
+    SloReport evaluate(const metrics::RequestMetrics& metrics,
+                       const SloSet& slos) const;
+
+  private:
+    model::AnalyticalPerfModel reference_;
+};
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_SLO_H_

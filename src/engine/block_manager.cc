@@ -1,0 +1,108 @@
+#include "engine/block_manager.h"
+
+#include "sim/log.h"
+
+namespace splitwise::engine {
+
+BlockManager::BlockManager(std::int64_t capacity_tokens, int block_size_tokens)
+    : blockSize_(block_size_tokens)
+{
+    if (block_size_tokens <= 0)
+        sim::fatal("BlockManager: block size must be positive");
+    if (capacity_tokens < 0)
+        sim::fatal("BlockManager: negative capacity");
+    totalBlocks_ = capacity_tokens / blockSize_;
+}
+
+std::int64_t
+BlockManager::blocksFor(std::int64_t tokens) const
+{
+    return (tokens + blockSize_ - 1) / blockSize_;
+}
+
+bool
+BlockManager::canAllocate(std::int64_t tokens) const
+{
+    return blocksFor(tokens) <= freeBlocks();
+}
+
+bool
+BlockManager::allocate(std::uint64_t request_id, std::int64_t tokens)
+{
+    if (tokens < 0)
+        sim::panic("BlockManager::allocate with negative tokens");
+    if (table_.count(request_id) > 0)
+        return false;
+    const std::int64_t need = blocksFor(tokens);
+    if (need > freeBlocks())
+        return false;
+    table_[request_id] = {tokens, need};
+    usedBlocks_ += need;
+    usedTokens_ += tokens;
+    return true;
+}
+
+bool
+BlockManager::canExtend(std::uint64_t request_id,
+                        std::int64_t new_total_tokens) const
+{
+    const auto it = table_.find(request_id);
+    if (it == table_.end())
+        return false;
+    const std::int64_t need = blocksFor(new_total_tokens) - it->second.blocks;
+    return need <= freeBlocks();
+}
+
+bool
+BlockManager::extend(std::uint64_t request_id, std::int64_t new_total_tokens)
+{
+    const auto it = table_.find(request_id);
+    if (it == table_.end())
+        return false;
+    if (new_total_tokens <= it->second.tokens) {
+        // Contexts only grow; a no-op extension is still a success.
+        return true;
+    }
+    const std::int64_t need = blocksFor(new_total_tokens) - it->second.blocks;
+    if (need > freeBlocks())
+        return false;
+    usedTokens_ += new_total_tokens - it->second.tokens;
+    it->second.tokens = new_total_tokens;
+    it->second.blocks += need;
+    usedBlocks_ += need;
+    return true;
+}
+
+void
+BlockManager::release(std::uint64_t request_id)
+{
+    const auto it = table_.find(request_id);
+    if (it == table_.end())
+        return;
+    usedBlocks_ -= it->second.blocks;
+    usedTokens_ -= it->second.tokens;
+    table_.erase(it);
+}
+
+bool
+BlockManager::holds(std::uint64_t request_id) const
+{
+    return table_.count(request_id) > 0;
+}
+
+std::int64_t
+BlockManager::tokensOf(std::uint64_t request_id) const
+{
+    const auto it = table_.find(request_id);
+    return it == table_.end() ? 0 : it->second.tokens;
+}
+
+double
+BlockManager::utilization() const
+{
+    if (totalBlocks_ == 0)
+        return 0.0;
+    return static_cast<double>(usedBlocks_) / static_cast<double>(totalBlocks_);
+}
+
+}  // namespace splitwise::engine

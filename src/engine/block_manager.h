@@ -1,0 +1,107 @@
+#ifndef SPLITWISE_ENGINE_BLOCK_MANAGER_H_
+#define SPLITWISE_ENGINE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace splitwise::engine {
+
+/**
+ * Paged KV-cache allocator, in the style of vLLM's block manager.
+ *
+ * GPU memory for the KV cache is carved into fixed-size blocks of
+ * @c blockSize tokens. Each request owns a block table that grows as
+ * its context grows during decoding. Paging eliminates external
+ * fragmentation; internal fragmentation is at most one block per
+ * request, which utilization() accounts for.
+ */
+class BlockManager {
+  public:
+    /**
+     * @param capacity_tokens Total KV capacity in tokens.
+     * @param block_size_tokens Tokens per block (vLLM default 16).
+     */
+    BlockManager(std::int64_t capacity_tokens, int block_size_tokens = 16);
+
+    /** Total blocks in the pool. */
+    std::int64_t totalBlocks() const { return totalBlocks_; }
+
+    /** Total token capacity of the pool. */
+    std::int64_t
+    tokenCapacity() const
+    {
+        return totalBlocks_ * blockSize_;
+    }
+
+    /** Currently unallocated blocks. */
+    std::int64_t freeBlocks() const { return totalBlocks_ - usedBlocks_; }
+
+    /** Tokens that could still be stored in free blocks. */
+    std::int64_t
+    freeTokens() const
+    {
+        return freeBlocks() * blockSize_;
+    }
+
+    /** Blocks needed to hold @p tokens. */
+    std::int64_t blocksFor(std::int64_t tokens) const;
+
+    /** True when @p tokens more could be allocated right now. */
+    bool canAllocate(std::int64_t tokens) const;
+
+    /**
+     * Allocate the block table for a new request holding @p tokens
+     * of context.
+     *
+     * @return false (and allocate nothing) when the pool is full or
+     *     the request already holds an allocation.
+     */
+    bool allocate(std::uint64_t request_id, std::int64_t tokens);
+
+    /**
+     * Grow a request's context to @p new_total_tokens, allocating
+     * blocks as needed.
+     *
+     * @return false (leaving the allocation untouched) when the pool
+     *     cannot cover the growth.
+     */
+    bool extend(std::uint64_t request_id, std::int64_t new_total_tokens);
+
+    /** Check whether extend() to @p new_total_tokens would succeed. */
+    bool canExtend(std::uint64_t request_id,
+                   std::int64_t new_total_tokens) const;
+
+    /** Release a request's blocks; no-op for unknown ids. */
+    void release(std::uint64_t request_id);
+
+    /** True when the request holds an allocation. */
+    bool holds(std::uint64_t request_id) const;
+
+    /** Tokens recorded for the request (0 if absent). */
+    std::int64_t tokensOf(std::uint64_t request_id) const;
+
+    /** Total context tokens currently stored (pre-rounding). */
+    std::int64_t usedTokens() const { return usedTokens_; }
+
+    /** Fraction of blocks in use. */
+    double utilization() const;
+
+    /** Number of requests holding allocations. */
+    std::size_t residents() const { return table_.size(); }
+
+  private:
+    struct Allocation {
+        std::int64_t tokens = 0;
+        std::int64_t blocks = 0;
+    };
+
+    std::int64_t totalBlocks_ = 0;
+    std::int64_t usedBlocks_ = 0;
+    std::int64_t usedTokens_ = 0;
+    int blockSize_ = 16;
+    std::unordered_map<std::uint64_t, Allocation> table_;
+};
+
+}  // namespace splitwise::engine
+
+#endif  // SPLITWISE_ENGINE_BLOCK_MANAGER_H_

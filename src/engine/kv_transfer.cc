@@ -1,0 +1,152 @@
+#include "engine/kv_transfer.h"
+
+#include <algorithm>
+
+#include "hw/interconnect.h"
+#include "sim/log.h"
+
+namespace splitwise::engine {
+
+KvTransferEngine::KvTransferEngine(sim::Simulator& simulator,
+                                   model::LlmConfig llm,
+                                   std::int64_t layerwise_threshold_tokens,
+                                   double compression_ratio)
+    : simulator_(simulator), llm_(std::move(llm)),
+      layerwiseThreshold_(layerwise_threshold_tokens),
+      compressionRatio_(compression_ratio)
+{
+}
+
+void
+KvTransferEngine::registerMachine(Machine* machine)
+{
+    machines_[machine->id()] = machine;
+    nicFreeAt_.emplace(machine->id(), 0);
+}
+
+const model::TransferModel&
+KvTransferEngine::modelFor(const Machine& src, const Machine& dst)
+{
+    const auto key = std::make_pair(src.spec().name, dst.spec().name);
+    auto it = models_.find(key);
+    if (it == models_.end()) {
+        const hw::LinkSpec link = hw::linkBetween(src.spec(), dst.spec());
+        it = models_
+                 .emplace(key, model::TransferModel(llm_, link,
+                                                    layerwiseThreshold_,
+                                                    compressionRatio_))
+                 .first;
+    }
+    return it->second;
+}
+
+sim::TimeUs
+KvTransferEngine::interferenceFor(Machine& src, LiveRequest* request,
+                                  sim::TimeUs prompt_compute)
+{
+    const auto dst_it = machines_.find(request->tokenMachine);
+    if (dst_it == machines_.end())
+        return 0;
+    const auto& model = modelFor(src, *dst_it->second);
+    if (!model.useLayerwise(request->spec.promptTokens))
+        return 0;
+    return model.layerwiseInterference(request->spec.promptTokens,
+                                       prompt_compute);
+}
+
+void
+KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
+                                Machine* dst, sim::TimeUs prompt_compute,
+                                DoneCallback done)
+{
+    if (src == dst)
+        sim::panic("KvTransferEngine: src == dst");
+    request->phase = RequestPhase::kTransferring;
+    if (dst->failed()) {
+        // Destination died between routing and prompt completion:
+        // continue the decode locally on the prompt machine.
+        request->tokenMachine = src->id();
+        src->acceptTransferred(request);
+        return;
+    }
+    // KV for the accumulated context plus the next generated token
+    // must land on the destination before decoding resumes.
+    if (!dst->reserveKv(request, request->contextTokens() + 1)) {
+        ++stats_.memoryStalls;
+        waiting_[dst->id()].push_back({request, src, prompt_compute,
+                                       request->restartEpoch,
+                                       std::move(done)});
+        return;
+    }
+    launch(request, src, dst, prompt_compute, std::move(done));
+}
+
+void
+KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
+                         sim::TimeUs prompt_compute, DoneCallback done)
+{
+    const auto& model = modelFor(*src, *dst);
+    const auto plan = model.plan(request->spec.promptTokens, prompt_compute);
+
+    const sim::TimeUs now = simulator_.now();
+    const sim::TimeUs start =
+        std::max({now, nicFreeAt_[src->id()], nicFreeAt_[dst->id()]});
+    const sim::TimeUs end = start + plan.visibleUs;
+    nicFreeAt_[src->id()] = end;
+    nicFreeAt_[dst->id()] = end;
+
+    ++stats_.transfers;
+    if (plan.layerwise)
+        ++stats_.layerwiseTransfers;
+    stats_.bytesMoved += model.kvBytes(request->spec.promptTokens);
+    stats_.totalVisibleUs += plan.visibleUs;
+
+    const std::uint32_t epoch = request->restartEpoch;
+    simulator_.schedule(end, [this, request, src, dst, epoch,
+                              done = std::move(done)]() mutable {
+        // A machine failure restarted the request (epoch bumped) or
+        // killed an endpoint mid-flight: drop the stale delivery.
+        if (request->restartEpoch != epoch || dst->failed()) {
+            if (!src->failed())
+                src->releaseKv(request);
+            return;
+        }
+        // The prompt machine can drop its copy; the destination
+        // owns the cache now.
+        if (!src->failed())
+            src->releaseKv(request);
+        dst->acceptTransferred(request);
+        if (done)
+            done(request);
+    });
+}
+
+void
+KvTransferEngine::onMemoryFreed(Machine* dst)
+{
+    auto it = waiting_.find(dst->id());
+    if (it == waiting_.end())
+        return;
+    if (dst->failed()) {
+        waiting_.erase(it);
+        return;
+    }
+    auto& queue = it->second;
+    while (!queue.empty()) {
+        Pending& head = queue.front();
+        if (head.request->restartEpoch != head.epoch) {
+            // Restarted after a failure; the new incarnation is
+            // routed elsewhere.
+            queue.pop_front();
+            continue;
+        }
+        if (!dst->reserveKv(head.request, head.request->contextTokens() + 1))
+            break;
+        Pending pending = std::move(head);
+        queue.pop_front();
+        launch(pending.request, pending.src, dst, pending.promptCompute,
+               std::move(pending.done));
+    }
+}
+
+}  // namespace splitwise::engine

@@ -1,0 +1,114 @@
+#ifndef SPLITWISE_ENGINE_KV_TRANSFER_H_
+#define SPLITWISE_ENGINE_KV_TRANSFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "engine/machine.h"
+#include "engine/request.h"
+#include "model/llm_config.h"
+#include "model/transfer_model.h"
+#include "sim/simulator.h"
+
+namespace splitwise::engine {
+
+/**
+ * Simulated MSCCL++-style KV-cache mover between machines
+ * (paper SIV-C, SV-A).
+ *
+ * When a prompt completes on a prompt machine, the engine reserves
+ * KV blocks on the destination token machine, occupies both NICs
+ * for the transfer's visible duration (serialized for small
+ * prompts, layer-wise overlapped for large ones), then hands the
+ * request to the destination. Transfers that cannot reserve
+ * destination memory wait in a per-destination queue and retry when
+ * blocks free up - the paper's "MLS starts queueing tokens once the
+ * machine is close to running out of memory".
+ */
+class KvTransferEngine {
+  public:
+    /** Aggregate transfer statistics. */
+    struct Stats {
+        std::uint64_t transfers = 0;
+        std::uint64_t layerwiseTransfers = 0;
+        std::int64_t bytesMoved = 0;
+        sim::TimeUs totalVisibleUs = 0;
+        std::uint64_t memoryStalls = 0;
+    };
+
+    using DoneCallback = std::function<void(LiveRequest*)>;
+
+    /**
+     * @param layerwise_threshold_tokens Prompt size at or above
+     *     which layer-wise transfer is used.
+     * @param compression_ratio Wire-size divisor from KV-cache
+     *     compression before transfer (paper SVII); 1.0 = raw.
+     */
+    KvTransferEngine(sim::Simulator& simulator, model::LlmConfig llm,
+                     std::int64_t layerwise_threshold_tokens = 512,
+                     double compression_ratio = 1.0);
+
+    /** Make a machine addressable as a transfer endpoint. */
+    void registerMachine(Machine* machine);
+
+    /**
+     * Begin moving a request's KV-cache from @p src to @p dst.
+     *
+     * @param prompt_compute Duration of the prompt iteration the
+     *     transfer overlapped with.
+     * @param done Invoked after the destination accepted the
+     *     request (may be null).
+     */
+    void startTransfer(LiveRequest* request, Machine* src, Machine* dst,
+                       sim::TimeUs prompt_compute, DoneCallback done);
+
+    /**
+     * TTFT interference a layer-wise transfer inflicts on the prompt
+     * iteration (wired into Machine::Callbacks::transferInterference).
+     */
+    sim::TimeUs interferenceFor(Machine& src, LiveRequest* request,
+                                sim::TimeUs prompt_compute);
+
+    /** Retry transfers stalled on @p dst's memory. */
+    void onMemoryFreed(Machine* dst);
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Pending {
+        LiveRequest* request = nullptr;
+        Machine* src = nullptr;
+        sim::TimeUs promptCompute = 0;
+        std::uint32_t epoch = 0;
+        DoneCallback done;
+    };
+
+    /** Transfer model for a machine pair (cached per spec pair). */
+    const model::TransferModel& modelFor(const Machine& src,
+                                         const Machine& dst);
+
+    /** Launch a transfer whose destination memory is reserved. */
+    void launch(LiveRequest* request, Machine* src, Machine* dst,
+                sim::TimeUs prompt_compute, DoneCallback done);
+
+    sim::Simulator& simulator_;
+    model::LlmConfig llm_;
+    std::int64_t layerwiseThreshold_;
+    double compressionRatio_;
+    std::unordered_map<int, Machine*> machines_;
+    /** NIC availability per machine id. */
+    std::unordered_map<int, sim::TimeUs> nicFreeAt_;
+    /** Cached transfer models keyed by (src spec, dst spec) names. */
+    std::map<std::pair<std::string, std::string>, model::TransferModel>
+        models_;
+    /** Transfers waiting for destination memory, per machine id. */
+    std::unordered_map<int, std::deque<Pending>> waiting_;
+    Stats stats_;
+};
+
+}  // namespace splitwise::engine
+
+#endif  // SPLITWISE_ENGINE_KV_TRANSFER_H_

@@ -1,0 +1,283 @@
+#include "engine/machine.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace splitwise::engine {
+
+namespace {
+
+/**
+ * Decode batch size maximizing generated tokens/s on this machine.
+ * Throughput rises with batch until the quadratic batching penalty
+ * (Fig. 5b) dominates; admitting more residents past that point
+ * *lowers* throughput, so the MLS caps its batch there.
+ */
+MlsConfig
+withThroughputOptimalBatch(MlsConfig config, const model::PerfModel& perf)
+{
+    constexpr std::int64_t kCtxPerSeq = 1200;
+    int best_b = 1;
+    double best_thpt = 0.0;
+    for (int b = 1; b <= config.maxBatchSize; ++b) {
+        const double thpt =
+            b / sim::usToSeconds(perf.tokenTime(b, b * kCtxPerSeq));
+        if (thpt > best_thpt) {
+            best_thpt = thpt;
+            best_b = b;
+        }
+    }
+    config.maxBatchSize = std::min(config.maxBatchSize, best_b);
+    return config;
+}
+
+}  // namespace
+
+Machine::Machine(sim::Simulator& simulator, int id, hw::MachineSpec spec,
+                 const model::PerfModel& perf,
+                 const model::MemoryModel& memory, MlsConfig mls_config,
+                 Callbacks callbacks)
+    : simulator_(simulator), id_(id), spec_(std::move(spec)), perf_(perf),
+      power_(spec_.gpu),
+      mls_(withThroughputOptimalBatch(mls_config, perf),
+           memory.kvCapacityTokens()),
+      callbacks_(std::move(callbacks))
+{
+    if (!memory.weightsFit())
+        sim::fatal("Machine " + spec_.name + ": model weights do not fit");
+    stats_.activeTokens.start(simulator_.now(), 0);
+}
+
+void
+Machine::submitPrompt(LiveRequest* request)
+{
+    if (failed_)
+        sim::panic("Machine::submitPrompt on a failed machine");
+    request->promptMachine = id_;
+    mls_.enqueuePrompt(request);
+    kick();
+}
+
+bool
+Machine::reserveKv(LiveRequest* request, std::int64_t tokens)
+{
+    if (failed_)
+        return false;
+    return mls_.blocks().allocate(request->spec.id, tokens);
+}
+
+void
+Machine::releaseKv(LiveRequest* request)
+{
+    mls_.blocks().release(request->spec.id);
+    if (callbacks_.onMemoryFreed)
+        callbacks_.onMemoryFreed(*this);
+    kick();
+}
+
+void
+Machine::acceptTransferred(LiveRequest* request)
+{
+    if (failed_)
+        sim::panic("Machine::acceptTransferred on a failed machine");
+    mls_.addResident(request);
+    kick();
+}
+
+std::int64_t
+Machine::promptQueueDepthTokens() const
+{
+    return mls_.pendingPromptTokens() + runningPromptTokens_;
+}
+
+std::int64_t
+Machine::tokenLoadTokens() const
+{
+    return mls_.blocks().usedTokens();
+}
+
+int
+Machine::maxBatchWithinTbt(double tbt_ms) const
+{
+    if (cachedTbtBoundMs_ == tbt_ms)
+        return cachedMaxBatch_;
+    constexpr std::int64_t kCtxPerSeq = 1200;
+    int lo = 1;
+    int hi = mls_.config().maxBatchSize;
+    if (sim::usToMs(perf_.tokenTime(hi, hi * kCtxPerSeq)) <= tbt_ms) {
+        lo = hi;
+    } else {
+        while (hi - lo > 1) {
+            const int mid = (lo + hi) / 2;
+            if (sim::usToMs(perf_.tokenTime(mid, mid * kCtxPerSeq)) <= tbt_ms)
+                lo = mid;
+            else
+                hi = mid;
+        }
+    }
+    cachedTbtBoundMs_ = tbt_ms;
+    cachedMaxBatch_ = lo;
+    return lo;
+}
+
+void
+Machine::kick()
+{
+    if (busy_ || failed_)
+        return;
+    startIteration();
+}
+
+void
+Machine::fail()
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    mls_.clearAll();
+    runningPromptTokens_ = 0;
+    stats_.activeTokens.set(simulator_.now(), 0);
+}
+
+void
+Machine::startIteration()
+{
+    BatchPlan plan = mls_.nextBatch();
+    if (plan.empty()) {
+        stats_.activeTokens.set(simulator_.now(), 0);
+        return;
+    }
+
+    sim::TimeUs duration = perf_.iterationTime(plan.shape());
+
+    // Outbound layer-wise KV transfers steal compute cycles from the
+    // prompt they overlap with (SIV-C interference).
+    if (callbacks_.transferInterference) {
+        for (auto* req : plan.prompts) {
+            if (req->tokenMachine >= 0 && req->tokenMachine != id_)
+                duration += callbacks_.transferInterference(*this, req, duration);
+        }
+    }
+
+    busy_ = true;
+    runningPromptTokens_ = plan.promptTokens;
+    stats_.activeTokens.set(simulator_.now(), plan.activeTokens());
+
+    // Energy: GPU draw depends on the phase mix; the platform
+    // overhead is always drawn while iterating.
+    const bool has_prompt = !plan.prompts.empty();
+    const bool has_decode = !plan.decodes.empty();
+    double gpu_fraction = 0.0;
+    if (has_prompt) {
+        gpu_fraction = power_.promptPowerFraction(plan.promptTokens);
+    }
+    if (has_decode) {
+        gpu_fraction = std::max(
+            gpu_fraction,
+            power_.tokenPowerFraction(static_cast<int>(plan.decodes.size())));
+    }
+    const double watts = power_.machinePowerWatts(spec_, gpu_fraction);
+    stats_.energyWh += watts * sim::usToSeconds(duration) / 3600.0;
+
+    simulator_.scheduleAfter(duration, [this, plan, duration] {
+        completeIteration(plan, duration);
+    });
+}
+
+void
+Machine::routePromptCompletion(LiveRequest* request,
+                               sim::TimeUs prompt_compute)
+{
+    if (request->finished()) {
+        // Single-output requests are done at the first token; the
+        // KV-cache is never needed again.
+        request->phase = RequestPhase::kDone;
+        mls_.blocks().release(request->spec.id);
+        if (callbacks_.onMemoryFreed)
+            callbacks_.onMemoryFreed(*this);
+        if (callbacks_.onRequestDone)
+            callbacks_.onRequestDone(*this, request);
+        return;
+    }
+    if (request->tokenMachine < 0 || request->tokenMachine == id_) {
+        // Decode continues locally (baseline, mixed pool, or
+        // standalone machine).
+        request->tokenMachine = id_;
+        mls_.addResident(request);
+        return;
+    }
+    request->phase = RequestPhase::kTransferring;
+    if (!callbacks_.onPromptDone)
+        sim::panic("Machine: remote token machine but no onPromptDone hook");
+    callbacks_.onPromptDone(*this, request, prompt_compute);
+}
+
+void
+Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
+{
+    // A failed machine's in-flight iteration is lost; the cluster
+    // restarted its requests.
+    if (failed_)
+        return;
+
+    const sim::TimeUs now = simulator_.now();
+
+    bool freed = false;
+    for (auto* req : plan.decodes) {
+        req->recordToken(now);
+        ++stats_.tokensGenerated;
+        if (req->finished()) {
+            req->phase = RequestPhase::kDone;
+            mls_.finish(req);
+            freed = true;
+            if (callbacks_.onRequestDone)
+                callbacks_.onRequestDone(*this, req);
+        }
+    }
+
+    for (auto* req : plan.prompts) {
+        stats_.promptTokensProcessed += req->chunkTokens;
+        req->promptProcessed += req->chunkTokens;
+        req->chunkTokens = 0;
+        // The first token appears only once every prompt chunk has
+        // been computed (chunked prefill spreads a prompt over
+        // several iterations).
+        const std::int64_t work = req->generated > 0
+                                      ? req->contextTokens()
+                                      : req->spec.promptTokens;
+        if (req->promptProcessed < work)
+            continue;
+        req->recordToken(now);
+        ++stats_.tokensGenerated;
+        routePromptCompletion(req, duration);
+    }
+
+    ++stats_.iterations;
+    const bool has_prompt = !plan.prompts.empty();
+    const bool has_decode = !plan.decodes.empty();
+    if (has_prompt && has_decode)
+        ++stats_.mixedIterations;
+    else if (has_prompt)
+        ++stats_.promptIterations;
+    else
+        ++stats_.tokenIterations;
+    stats_.busyUs += duration;
+
+    busy_ = false;
+    runningPromptTokens_ = 0;
+
+    if (freed && callbacks_.onMemoryFreed)
+        callbacks_.onMemoryFreed(*this);
+    if (callbacks_.onIterationEnd)
+        callbacks_.onIterationEnd(*this);
+    kick();
+}
+
+void
+Machine::finalizeStats()
+{
+    stats_.activeTokens.finish(simulator_.now());
+}
+
+}  // namespace splitwise::engine

@@ -1,0 +1,168 @@
+#ifndef SPLITWISE_ENGINE_MACHINE_H_
+#define SPLITWISE_ENGINE_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/mls.h"
+#include "engine/request.h"
+#include "hw/machine_spec.h"
+#include "metrics/time_weighted.h"
+#include "model/memory_model.h"
+#include "model/perf_model.h"
+#include "model/power_model.h"
+#include "sim/simulator.h"
+
+namespace splitwise::engine {
+
+/** Aggregate activity counters for one machine. */
+struct MachineStats {
+    sim::TimeUs busyUs = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t promptIterations = 0;
+    std::uint64_t tokenIterations = 0;
+    std::uint64_t mixedIterations = 0;
+    std::int64_t promptTokensProcessed = 0;
+    std::int64_t tokensGenerated = 0;
+    /** GPU + platform energy while iterating, Wh. */
+    double energyWh = 0.0;
+    /** Active-batched-token signal over time (Figs. 4/17). */
+    metrics::SignalTracker activeTokens;
+};
+
+/**
+ * A simulated DGX inference machine.
+ *
+ * Wires the MLS batching logic into the event loop: at every
+ * iteration boundary it asks the MLS for the next batch, prices it
+ * with the performance model, and schedules the completion event.
+ * Completions route requests onward - locally into the resident
+ * decode set, or to the owner via callbacks for KV transfer.
+ */
+class Machine {
+  public:
+    /** Hooks the owning cluster installs. */
+    struct Callbacks {
+        /**
+         * A prompt finished for a request whose decode runs
+         * elsewhere. The machine keeps the request's KV blocks until
+         * releaseKv(); the owner starts the transfer.
+         * @param prompt_compute Duration of the completed iteration
+         *     (the window a layer-wise transfer overlapped with).
+         */
+        std::function<void(Machine&, LiveRequest*, sim::TimeUs prompt_compute)>
+            onPromptDone;
+
+        /** A request produced its final token on this machine. */
+        std::function<void(Machine&, LiveRequest*)> onRequestDone;
+
+        /**
+         * Extra iteration time caused by overlapped KV-transfer
+         * synchronization for an outbound prompt (SIV-C). Optional.
+         */
+        std::function<sim::TimeUs(Machine&, LiveRequest*,
+                                  sim::TimeUs prompt_compute)>
+            transferInterference;
+
+        /** KV blocks were freed (transfer engine retries waiters). */
+        std::function<void(Machine&)> onMemoryFreed;
+
+        /** An iteration ended (CLS pool-management hook). Optional. */
+        std::function<void(Machine&)> onIterationEnd;
+    };
+
+    Machine(sim::Simulator& simulator, int id, hw::MachineSpec spec,
+            const model::PerfModel& perf, const model::MemoryModel& memory,
+            MlsConfig mls_config, Callbacks callbacks);
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    int id() const { return id_; }
+    const hw::MachineSpec& spec() const { return spec_; }
+
+    /** Submit a request for prompt computation (FCFS). */
+    void submitPrompt(LiveRequest* request);
+
+    /**
+     * Reserve KV blocks for an inbound transfer.
+     *
+     * @return false when memory is currently insufficient.
+     */
+    bool reserveKv(LiveRequest* request, std::int64_t tokens);
+
+    /** Release a request's KV blocks (e.g. after transfer-out). */
+    void releaseKv(LiveRequest* request);
+
+    /** A transferred-in request becomes a resident decode. */
+    void acceptTransferred(LiveRequest* request);
+
+    /** Start an iteration if idle and work is pending. */
+    void kick();
+
+    /**
+     * Take the machine down (SIV-E). All queued/resident work and KV
+     * allocations are dropped, and every later event touching the
+     * machine becomes a no-op. The owner restarts affected requests.
+     */
+    void fail();
+
+    /** True once fail() was called. */
+    bool failed() const { return failed_; }
+
+    /** The machine-level scheduler. */
+    Mls& mls() { return mls_; }
+    const Mls& mls() const { return mls_; }
+
+    /** True while an iteration is in flight. */
+    bool busy() const { return busy_; }
+
+    /** JSQ signal: queued prompt tokens plus the running chunk. */
+    std::int64_t promptQueueDepthTokens() const;
+
+    /** JSQ signal: KV tokens held or reserved on this machine. */
+    std::int64_t tokenLoadTokens() const;
+
+    /**
+     * Largest decode batch whose iteration stays within @p tbt_ms
+     * (at ~1200 tokens of context per sequence). The CLS uses this
+     * as the machine's latency-efficient capacity when deciding
+     * token-pool overflow. Cached per bound.
+     */
+    int maxBatchWithinTbt(double tbt_ms) const;
+
+    /** Activity counters; call finalizeStats() before reading. */
+    const MachineStats& stats() const { return stats_; }
+
+    /** Close the active-token signal at the end of a run. */
+    void finalizeStats();
+
+  private:
+    void startIteration();
+    void completeIteration(const BatchPlan& plan, sim::TimeUs duration);
+
+    /** Route a request whose prompt chunk just completed. */
+    void routePromptCompletion(LiveRequest* request,
+                               sim::TimeUs prompt_compute);
+
+    sim::Simulator& simulator_;
+    int id_;
+    hw::MachineSpec spec_;
+    const model::PerfModel& perf_;
+    model::PowerModel power_;
+    Mls mls_;
+    Callbacks callbacks_;
+
+    bool busy_ = false;
+    bool failed_ = false;
+    std::int64_t runningPromptTokens_ = 0;
+    MachineStats stats_;
+    mutable double cachedTbtBoundMs_ = -1.0;
+    mutable int cachedMaxBatch_ = 0;
+};
+
+}  // namespace splitwise::engine
+
+#endif  // SPLITWISE_ENGINE_MACHINE_H_

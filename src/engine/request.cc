@@ -1,0 +1,85 @@
+#include "engine/request.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace splitwise::engine {
+
+const char*
+requestPhaseName(RequestPhase phase)
+{
+    switch (phase) {
+      case RequestPhase::kPromptQueued: return "prompt-queued";
+      case RequestPhase::kPromptRunning: return "prompt-running";
+      case RequestPhase::kTransferring: return "transferring";
+      case RequestPhase::kDecoding: return "decoding";
+      case RequestPhase::kDone: return "done";
+    }
+    return "?";
+}
+
+void
+LiveRequest::recordToken(sim::TimeUs now)
+{
+    ++generated;
+    if (generated == 1) {
+        firstTokenTime = now;
+    } else {
+        const double gap_ms = sim::usToMs(now - prevTokenTime);
+        sumTbtMs += gap_ms;
+        if (generated == 2) {
+            // The second token carries the one-off KV-transfer cost;
+            // it is reported separately (secondTokenMs) and excluded
+            // from the steady-state streaming tail.
+            secondTokenMs = gap_ms;
+        } else {
+            maxTbtMs = std::max(maxTbtMs, gap_ms);
+        }
+    }
+    prevTokenTime = now;
+    if (finished())
+        doneTime = now;
+}
+
+void
+LiveRequest::resetForRestart()
+{
+    phase = RequestPhase::kPromptQueued;
+    generated = 0;
+    promptProcessed = 0;
+    chunkTokens = 0;
+    firstTokenTime = -1;
+    prevTokenTime = -1;
+    doneTime = -1;
+    sumTbtMs = 0.0;
+    maxTbtMs = 0.0;
+    secondTokenMs = 0.0;
+    starvedIterations = 0;
+    promptMachine = -1;
+    tokenMachine = -1;
+    ++restarts;
+    ++restartEpoch;
+}
+
+metrics::RequestResult
+LiveRequest::result() const
+{
+    if (!finished() || doneTime < 0)
+        sim::panic("LiveRequest::result on unfinished request");
+    metrics::RequestResult r;
+    r.requestId = spec.id;
+    r.arrival = spec.arrival;
+    r.promptTokens = spec.promptTokens;
+    r.outputTokens = spec.outputTokens;
+    r.ttftMs = sim::usToMs(firstTokenTime - spec.arrival);
+    const auto gaps = spec.outputTokens - 1;
+    r.tbtMs = gaps > 0 ? sumTbtMs / static_cast<double>(gaps) : 0.0;
+    r.maxTbtMs = maxTbtMs;
+    r.e2eMs = sim::usToMs(doneTime - spec.arrival);
+    r.secondTokenMs = secondTokenMs;
+    r.preemptions = preemptions;
+    return r;
+}
+
+}  // namespace splitwise::engine

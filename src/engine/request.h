@@ -1,0 +1,111 @@
+#ifndef SPLITWISE_ENGINE_REQUEST_H_
+#define SPLITWISE_ENGINE_REQUEST_H_
+
+#include <cstdint>
+
+#include "metrics/request_metrics.h"
+#include "sim/time.h"
+#include "workload/trace.h"
+
+namespace splitwise::engine {
+
+/** Lifecycle of an inference request inside the cluster. */
+enum class RequestPhase {
+    /** Waiting in a prompt queue. */
+    kPromptQueued,
+    /** Prompt tokens being computed this iteration. */
+    kPromptRunning,
+    /** KV-cache in flight to the token machine. */
+    kTransferring,
+    /** Resident on a token machine, generating. */
+    kDecoding,
+    /** All output tokens produced. */
+    kDone,
+};
+
+/** Human-readable phase name. */
+const char* requestPhaseName(RequestPhase phase);
+
+/**
+ * Mutable simulation state of one request.
+ *
+ * Owned by the cluster; machines and the transfer engine hold
+ * non-owning pointers while the request is in flight.
+ */
+struct LiveRequest {
+    workload::Request spec;
+    RequestPhase phase = RequestPhase::kPromptQueued;
+
+    /** Output tokens produced so far (the prompt yields the first). */
+    std::int64_t generated = 0;
+
+    /**
+     * Prompt tokens already computed in earlier chunked-prefill
+     * iterations (Sarathi-style mixed batching splits prompts into
+     * chunks so co-scheduled decodes keep bounded latency).
+     */
+    std::int64_t promptProcessed = 0;
+
+    /** Prompt tokens assigned to the current iteration's chunk. */
+    std::int64_t chunkTokens = 0;
+
+    sim::TimeUs firstTokenTime = -1;
+    sim::TimeUs prevTokenTime = -1;
+    sim::TimeUs doneTime = -1;
+
+    /** Sum and max of inter-token gaps, for TBT metrics. */
+    double sumTbtMs = 0.0;
+    double maxTbtMs = 0.0;
+    /** Gap between first and second token (KV transfer shows here). */
+    double secondTokenMs = 0.0;
+
+    /** Times the token phase was preempted or recomputed. */
+    int preemptions = 0;
+    /** Iterations this request sat resident but unscheduled. */
+    int starvedIterations = 0;
+    /** Times the request restarted after a machine failure (SIV-E). */
+    int restarts = 0;
+    /**
+     * Bumped on every restart; in-flight events captured under an
+     * older epoch must not touch the request.
+     */
+    std::uint32_t restartEpoch = 0;
+
+    /** Machine ids; -1 while unassigned. Equal ids mean no transfer. */
+    int promptMachine = -1;
+    int tokenMachine = -1;
+
+    /** KV context tokens accumulated so far. */
+    std::int64_t
+    contextTokens() const
+    {
+        return spec.promptTokens + generated;
+    }
+
+    /** True once every output token has been produced. */
+    bool
+    finished() const
+    {
+        return generated >= spec.outputTokens;
+    }
+
+    /**
+     * Account one produced token at simulated time @p now, updating
+     * TTFT/TBT bookkeeping.
+     */
+    void recordToken(sim::TimeUs now);
+
+    /**
+     * Reset all execution state for a from-scratch restart after a
+     * machine failure (SIV-E). The arrival time is kept, so the
+     * recorded TTFT/E2E include the lost work.
+     */
+    void resetForRestart();
+
+    /** Convert to the final metrics record (valid once finished). */
+    metrics::RequestResult result() const;
+};
+
+}  // namespace splitwise::engine
+
+#endif  // SPLITWISE_ENGINE_REQUEST_H_

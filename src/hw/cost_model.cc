@@ -1,0 +1,25 @@
+#include "hw/cost_model.h"
+
+namespace splitwise::hw {
+
+void
+FleetFootprint::add(const MachineSpec& spec, int count)
+{
+    costPerHour += spec.costPerHour * count;
+    powerWatts += spec.provisionedPowerWatts() * count;
+    machines += count;
+}
+
+double
+FleetFootprint::costFor(sim::TimeUs duration) const
+{
+    return costPerHour * sim::usToSeconds(duration) / 3600.0;
+}
+
+double
+FleetFootprint::energyWhFor(sim::TimeUs duration) const
+{
+    return powerWatts * sim::usToSeconds(duration) / 3600.0;
+}
+
+}  // namespace splitwise::hw

@@ -1,0 +1,33 @@
+#ifndef SPLITWISE_HW_COST_MODEL_H_
+#define SPLITWISE_HW_COST_MODEL_H_
+
+#include <vector>
+
+#include "hw/machine_spec.h"
+#include "sim/time.h"
+
+namespace splitwise::hw {
+
+/**
+ * Aggregate datacenter-facing figures for a set of machines: rental
+ * cost, provisioned power, and rack space (paper §IV-D optimizes
+ * over throughput, cost, and power; space is reported in Fig. 18).
+ */
+struct FleetFootprint {
+    double costPerHour = 0.0;
+    double powerWatts = 0.0;
+    int machines = 0;
+
+    /** Accumulate @p count machines of the given spec. */
+    void add(const MachineSpec& spec, int count);
+
+    /** Cost of running the fleet for a simulated duration, $. */
+    double costFor(sim::TimeUs duration) const;
+
+    /** Energy for a simulated duration at provisioned power, Wh. */
+    double energyWhFor(sim::TimeUs duration) const;
+};
+
+}  // namespace splitwise::hw
+
+#endif  // SPLITWISE_HW_COST_MODEL_H_

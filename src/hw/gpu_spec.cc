@@ -1,0 +1,73 @@
+#include "hw/gpu_spec.h"
+
+#include "sim/log.h"
+
+namespace splitwise::hw {
+
+const char*
+gpuTypeName(GpuType type)
+{
+    switch (type) {
+      case GpuType::kA100: return "A100";
+      case GpuType::kH100: return "H100";
+    }
+    return "?";
+}
+
+const GpuSpec&
+a100()
+{
+    static const GpuSpec spec = [] {
+        GpuSpec s;
+        s.type = GpuType::kA100;
+        s.name = "A100";
+        s.peakFp16Tflops = 312.0;
+        s.hbmCapacityGb = 80.0;
+        s.hbmBandwidthGBps = 2039.0;
+        s.tdpWatts = 400.0;
+        s.nvlinkGBps = 50.0;
+        s.promptMfu = 0.55;
+        s.promptOverheadMs = 30.0;
+        s.perLayerOverheadMs = 0.40;
+        s.perSeqOverheadMs = 0.07;
+        s.tokenPowerNeed = 0.55;
+        s.promptPowerNeed = 0.95;
+        return s;
+    }();
+    return spec;
+}
+
+const GpuSpec&
+h100()
+{
+    static const GpuSpec spec = [] {
+        GpuSpec s;
+        s.type = GpuType::kH100;
+        s.name = "H100";
+        s.peakFp16Tflops = 989.0;
+        s.hbmCapacityGb = 80.0;
+        s.hbmBandwidthGBps = 3352.0;
+        s.tdpWatts = 700.0;
+        s.nvlinkGBps = 100.0;
+        s.promptMfu = 0.36;
+        s.promptOverheadMs = 20.0;
+        s.perLayerOverheadMs = 0.284;
+        s.perSeqOverheadMs = 0.05;
+        s.tokenPowerNeed = 0.50;
+        s.promptPowerNeed = 0.95;
+        return s;
+    }();
+    return spec;
+}
+
+const GpuSpec&
+gpuSpec(GpuType type)
+{
+    switch (type) {
+      case GpuType::kA100: return a100();
+      case GpuType::kH100: return h100();
+    }
+    sim::panic("unknown GpuType");
+}
+
+}  // namespace splitwise::hw

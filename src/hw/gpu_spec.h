@@ -1,0 +1,69 @@
+#ifndef SPLITWISE_HW_GPU_SPEC_H_
+#define SPLITWISE_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace splitwise::hw {
+
+/** GPU generations evaluated in the paper (Table I). */
+enum class GpuType {
+    kA100,
+    kH100,
+};
+
+/** Human-readable name for a GPU type. */
+const char* gpuTypeName(GpuType type);
+
+/**
+ * Per-GPU hardware parameters (paper Table I) plus the calibration
+ * constants the analytical performance model needs.
+ *
+ * The calibration constants stand in for the profiling step the
+ * paper runs on real DGX machines: they are chosen so the analytical
+ * model reproduces the paper's published latency anchor points (see
+ * DESIGN.md).
+ */
+struct GpuSpec {
+    GpuType type = GpuType::kA100;
+    std::string name;
+
+    /** Peak dense FP16 tensor throughput, TFLOPs. */
+    double peakFp16Tflops = 0.0;
+    /** HBM capacity, GB. */
+    double hbmCapacityGb = 0.0;
+    /** HBM bandwidth, GB/s. */
+    double hbmBandwidthGBps = 0.0;
+    /** Thermal design power, watts. */
+    double tdpWatts = 0.0;
+    /** NVLink bandwidth per GPU, GB/s (intra-machine TP traffic). */
+    double nvlinkGBps = 0.0;
+
+    // --- calibration constants (stand-ins for hardware profiling) ---
+
+    /** Achieved fraction of peak FLOPs in the prompt phase. */
+    double promptMfu = 0.0;
+    /** Fixed per-iteration overhead for prompt phases, ms. */
+    double promptOverheadMs = 0.0;
+    /** Per-transformer-layer communication/launch overhead, ms. */
+    double perLayerOverheadMs = 0.0;
+    /** Per-decode-sequence scheduling/sampling overhead, ms. */
+    double perSeqOverheadMs = 0.0;
+    /** Fraction of TDP the decode (token) phase actually needs. */
+    double tokenPowerNeed = 0.0;
+    /** Fraction of TDP the prompt phase needs at full batch. */
+    double promptPowerNeed = 0.0;
+};
+
+/** Specification for an NVIDIA A100 (calibrated, see DESIGN.md). */
+const GpuSpec& a100();
+
+/** Specification for an NVIDIA H100 (calibrated, see DESIGN.md). */
+const GpuSpec& h100();
+
+/** Look up the spec for a GPU type. */
+const GpuSpec& gpuSpec(GpuType type);
+
+}  // namespace splitwise::hw
+
+#endif  // SPLITWISE_HW_GPU_SPEC_H_

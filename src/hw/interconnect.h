@@ -1,0 +1,36 @@
+#ifndef SPLITWISE_HW_INTERCONNECT_H_
+#define SPLITWISE_HW_INTERCONNECT_H_
+
+#include <cstdint>
+
+#include "hw/machine_spec.h"
+#include "sim/time.h"
+
+namespace splitwise::hw {
+
+/**
+ * Point-to-point back-plane link between two machines.
+ *
+ * The achievable bandwidth between heterogeneous machines is limited
+ * by the slower NIC (paper §VII: an H100-A100 pair runs at the A100's
+ * InfiniBand rate).
+ */
+struct LinkSpec {
+    /** Achievable bandwidth, GB/s. */
+    double bandwidthGBps = 0.0;
+    /** One-shot setup latency per transfer (connection + semaphore). */
+    sim::TimeUs setupUs = 0;
+
+    /** Wire time to move @p bytes, excluding setup. */
+    sim::TimeUs wireTime(std::int64_t bytes) const;
+
+    /** Total serialized transfer time for @p bytes. */
+    sim::TimeUs transferTime(std::int64_t bytes) const;
+};
+
+/** Build the link between two machine types (min of the two NICs). */
+LinkSpec linkBetween(const MachineSpec& a, const MachineSpec& b);
+
+}  // namespace splitwise::hw
+
+#endif  // SPLITWISE_HW_INTERCONNECT_H_

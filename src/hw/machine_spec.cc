@@ -1,0 +1,84 @@
+#include "hw/machine_spec.h"
+
+namespace splitwise::hw {
+
+double
+MachineSpec::provisionedPowerWatts() const
+{
+    return gpuCount * gpu.tdpWatts * gpuPowerCapFraction + platformOverheadWatts;
+}
+
+double
+MachineSpec::ratedPowerWatts() const
+{
+    return gpuCount * gpu.tdpWatts + platformOverheadWatts;
+}
+
+std::int64_t
+MachineSpec::totalHbmBytes() const
+{
+    return static_cast<std::int64_t>(gpuCount * gpu.hbmCapacityGb * 1e9);
+}
+
+double
+MachineSpec::totalHbmBandwidthGBps() const
+{
+    return gpuCount * gpu.hbmBandwidthGBps;
+}
+
+double
+MachineSpec::totalPeakTflops() const
+{
+    return gpuCount * gpu.peakFp16Tflops;
+}
+
+MachineSpec
+MachineSpec::withPowerCap(double fraction) const
+{
+    MachineSpec capped = *this;
+    capped.gpuPowerCapFraction = fraction;
+    capped.name = name + "-cap" + std::to_string(static_cast<int>(fraction * 100));
+    return capped;
+}
+
+const MachineSpec&
+dgxA100()
+{
+    static const MachineSpec spec = [] {
+        MachineSpec m;
+        m.name = "DGX-A100";
+        m.gpu = a100();
+        m.gpuCount = 8;
+        m.infinibandGBps = 200.0;
+        m.costPerHour = 17.6;
+        // Chosen so DGX-H100 draws exactly 1.75x a DGX-A100 and a
+        // 50%-per-GPU cap lands at 70% machine power (Table V).
+        m.platformOverheadWatts = 2133.0;
+        return m;
+    }();
+    return spec;
+}
+
+const MachineSpec&
+dgxH100()
+{
+    static const MachineSpec spec = [] {
+        MachineSpec m;
+        m.name = "DGX-H100";
+        m.gpu = h100();
+        m.gpuCount = 8;
+        m.infinibandGBps = 400.0;
+        m.costPerHour = 38.0;
+        m.platformOverheadWatts = 3733.0;
+        return m;
+    }();
+    return spec;
+}
+
+MachineSpec
+dgxH100Capped()
+{
+    return dgxH100().withPowerCap(0.5);
+}
+
+}  // namespace splitwise::hw

@@ -1,0 +1,64 @@
+#ifndef SPLITWISE_HW_MACHINE_SPEC_H_
+#define SPLITWISE_HW_MACHINE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hw/gpu_spec.h"
+
+namespace splitwise::hw {
+
+/**
+ * A DGX-class inference machine: 8 flagship GPUs behind NVLink with
+ * an aggregate InfiniBand back-plane (paper §II-F), plus the
+ * datacenter-facing cost/power parameters used for provisioning.
+ *
+ * A power cap (Splitwise-HHcap) lowers each GPU's power limit; the
+ * platform overhead (CPUs, NICs, fans) is not capped, matching the
+ * paper's 50%-per-GPU == 70%-per-machine arithmetic (Table V).
+ */
+struct MachineSpec {
+    std::string name;
+    GpuSpec gpu;
+    int gpuCount = 8;
+
+    /** Aggregate InfiniBand bandwidth of the machine, GB/s (Table I). */
+    double infinibandGBps = 0.0;
+    /** Rental cost, $/hr (Table I, CoreWeave pricing). */
+    double costPerHour = 0.0;
+    /** Non-GPU platform power, watts. */
+    double platformOverheadWatts = 0.0;
+    /** Per-GPU power cap as a fraction of TDP; 1.0 = uncapped. */
+    double gpuPowerCapFraction = 1.0;
+
+    /** Provisioned (peak) machine power in watts, cap applied. */
+    double provisionedPowerWatts() const;
+
+    /** Uncapped machine power in watts. */
+    double ratedPowerWatts() const;
+
+    /** Total HBM across the machine, bytes. */
+    std::int64_t totalHbmBytes() const;
+
+    /** Aggregate HBM bandwidth across the machine, GB/s. */
+    double totalHbmBandwidthGBps() const;
+
+    /** Aggregate peak FP16 FLOPs across the machine, TFLOPs. */
+    double totalPeakTflops() const;
+
+    /** Return a copy of this spec with a per-GPU power cap applied. */
+    MachineSpec withPowerCap(double fraction) const;
+};
+
+/** DGX-A100 machine (8x A100, 200 GB/s InfiniBand, $17.6/hr). */
+const MachineSpec& dgxA100();
+
+/** DGX-H100 machine (8x H100, 400 GB/s InfiniBand, $38/hr). */
+const MachineSpec& dgxH100();
+
+/** DGX-H100 with GPUs power-capped to 50% (Splitwise-HHcap token). */
+MachineSpec dgxH100Capped();
+
+}  // namespace splitwise::hw
+
+#endif  // SPLITWISE_HW_MACHINE_SPEC_H_

@@ -1,0 +1,49 @@
+#include "metrics/request_metrics.h"
+
+#include <algorithm>
+
+namespace splitwise::metrics {
+
+void
+RequestMetrics::add(const RequestResult& result)
+{
+    results_.push_back(result);
+    ttft_.add(result.ttftMs);
+    if (result.outputTokens > 1)
+        tbt_.add(result.tbtMs);
+    maxTbt_.add(result.maxTbtMs);
+    e2e_.add(result.e2eMs);
+    totalOutput_ += result.outputTokens;
+    totalPrompt_ += result.promptTokens;
+    firstArrival_ = std::min(firstArrival_, result.arrival);
+    const auto completion = result.arrival + sim::msToUs(result.e2eMs);
+    lastCompletion_ = std::max(lastCompletion_, completion);
+}
+
+double
+RequestMetrics::throughputRps()
+ const
+{
+    if (results_.empty() || lastCompletion_ <= firstArrival_)
+        return 0.0;
+    const double span_s = sim::usToSeconds(lastCompletion_ - firstArrival_);
+    return static_cast<double>(results_.size()) / span_s;
+}
+
+double
+RequestMetrics::tokenThroughput() const
+{
+    if (results_.empty() || lastCompletion_ <= firstArrival_)
+        return 0.0;
+    const double span_s = sim::usToSeconds(lastCompletion_ - firstArrival_);
+    return static_cast<double>(totalOutput_) / span_s;
+}
+
+void
+RequestMetrics::merge(const RequestMetrics& other)
+{
+    for (const auto& r : other.results_)
+        add(r);
+}
+
+}  // namespace splitwise::metrics

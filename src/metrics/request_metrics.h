@@ -1,0 +1,95 @@
+#ifndef SPLITWISE_METRICS_REQUEST_METRICS_H_
+#define SPLITWISE_METRICS_REQUEST_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/summary.h"
+#include "sim/time.h"
+
+namespace splitwise::metrics {
+
+/**
+ * Final per-request measurements, in the units the paper reports.
+ *
+ * TTFT: queueing + prompt computation until the first token.
+ * TBT:  mean time between subsequent tokens (reported per request as
+ *       the paper's "average token streaming latency").
+ * E2E:  arrival to last token.
+ */
+struct RequestResult {
+    std::uint64_t requestId = 0;
+    sim::TimeUs arrival = 0;
+    std::int64_t promptTokens = 0;
+    std::int64_t outputTokens = 0;
+    double ttftMs = 0.0;
+    double tbtMs = 0.0;
+    /** Largest single inter-token gap, ms (tail-TBT; Fig. 2 effect). */
+    double maxTbtMs = 0.0;
+    double e2eMs = 0.0;
+    /** Visible latency of the second token, ms (KV transfer impact). */
+    double secondTokenMs = 0.0;
+    /** Number of times the request's token phase was preempted. */
+    int preemptions = 0;
+};
+
+/**
+ * Aggregates per-request results into the latency summaries the
+ * paper's SLOs and plots are defined over.
+ */
+class RequestMetrics {
+  public:
+    /** Record one finished request. */
+    void add(const RequestResult& result);
+
+    /** All recorded per-request results, in completion order. */
+    const std::vector<RequestResult>& results() const { return results_; }
+
+    /** Number of completed requests. */
+    std::size_t completed() const { return results_.size(); }
+
+    /** TTFT distribution (ms). */
+    const Summary& ttftMs() const { return ttft_; }
+
+    /** Per-request mean TBT distribution (ms). */
+    const Summary& tbtMs() const { return tbt_; }
+
+    /** Per-request max TBT distribution (ms). */
+    const Summary& maxTbtMs() const { return maxTbt_; }
+
+    /** E2E latency distribution (ms). */
+    const Summary& e2eMs() const { return e2e_; }
+
+    /** Total generated tokens across completed requests. */
+    std::int64_t totalOutputTokens() const { return totalOutput_; }
+
+    /** Total prompt tokens across completed requests. */
+    std::int64_t totalPromptTokens() const { return totalPrompt_; }
+
+    /**
+     * Completed-request throughput in requests/s over the span from
+     * the first arrival to the last completion.
+     */
+    double throughputRps() const;
+
+    /** Generated-token throughput over the same span (tokens/s). */
+    double tokenThroughput() const;
+
+    /** Merge another collector's results into this one. */
+    void merge(const RequestMetrics& other);
+
+  private:
+    std::vector<RequestResult> results_;
+    Summary ttft_;
+    Summary tbt_;
+    Summary maxTbt_;
+    Summary e2e_;
+    std::int64_t totalOutput_ = 0;
+    std::int64_t totalPrompt_ = 0;
+    sim::TimeUs firstArrival_ = sim::kTimeNever;
+    sim::TimeUs lastCompletion_ = 0;
+};
+
+}  // namespace splitwise::metrics
+
+#endif  // SPLITWISE_METRICS_REQUEST_METRICS_H_

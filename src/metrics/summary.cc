@@ -1,0 +1,81 @@
+#include "metrics/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splitwise::metrics {
+
+void
+Summary::add(double value)
+{
+    samples_.push_back(value);
+    sum_ += value;
+    sortedValid_ = false;
+}
+
+void
+Summary::merge(const Summary& other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sum_ += other.sum_;
+    sortedValid_ = false;
+}
+
+double
+Summary::mean() const
+{
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Summary::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.front();
+}
+
+double
+Summary::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+Summary::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+void
+Summary::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+    sum_ = 0.0;
+}
+
+void
+Summary::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+}  // namespace splitwise::metrics

@@ -1,0 +1,70 @@
+#ifndef SPLITWISE_METRICS_SUMMARY_H_
+#define SPLITWISE_METRICS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace splitwise::metrics {
+
+/**
+ * Accumulates scalar samples and answers order statistics.
+ *
+ * Samples are stored exactly; percentile queries sort lazily (the
+ * sort result is cached until the next insertion). This favours
+ * fidelity over memory, which is appropriate at the request counts
+ * simulated here (tens of thousands).
+ */
+class Summary {
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Merge all samples from another summary. */
+    void merge(const Summary& other);
+
+    /** Number of samples recorded. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** True when no samples have been recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /**
+     * Percentile by linear interpolation between closest ranks.
+     *
+     * @param p Percentile in [0, 100].
+     * @return 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Shorthand for common percentiles. */
+    double p50() const { return percentile(50.0); }
+    double p90() const { return percentile(90.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+    double sum_ = 0.0;
+};
+
+}  // namespace splitwise::metrics
+
+#endif  // SPLITWISE_METRICS_SUMMARY_H_

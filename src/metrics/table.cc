@@ -1,0 +1,68 @@
+#include "metrics/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace splitwise::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        sim::fatal("Table row width does not match header count");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        out << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << " " << row[c];
+            out << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+    auto emit_rule = [&]() {
+        out << "|";
+        for (std::size_t c = 0; c < width.size(); ++c)
+            out << std::string(width[c] + 2, '-') << "|";
+        out << "\n";
+    };
+
+    emit_row(headers_);
+    emit_rule();
+    for (const auto& row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+}  // namespace splitwise::metrics

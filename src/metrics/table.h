@@ -1,0 +1,37 @@
+#ifndef SPLITWISE_METRICS_TABLE_H_
+#define SPLITWISE_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace splitwise::metrics {
+
+/**
+ * A small ASCII table builder used by the bench binaries to print
+ * paper-style tables and figure series.
+ */
+class Table {
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace splitwise::metrics
+
+#endif  // SPLITWISE_METRICS_TABLE_H_

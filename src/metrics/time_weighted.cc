@@ -1,0 +1,90 @@
+#include "metrics/time_weighted.h"
+
+namespace splitwise::metrics {
+
+void
+TimeWeightedHistogram::record(std::int64_t value, sim::TimeUs duration)
+{
+    if (duration <= 0)
+        return;
+    timeAt_[value] += duration;
+    total_ += duration;
+}
+
+double
+TimeWeightedHistogram::cdfAt(std::int64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    sim::TimeUs acc = 0;
+    for (const auto& [v, t] : timeAt_) {
+        if (v > value)
+            break;
+        acc += t;
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double
+TimeWeightedHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& [v, t] : timeAt_)
+        acc += static_cast<double>(v) * static_cast<double>(t);
+    return acc / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::int64_t, double>>
+TimeWeightedHistogram::cdf() const
+{
+    std::vector<std::pair<std::int64_t, double>> out;
+    out.reserve(timeAt_.size());
+    sim::TimeUs acc = 0;
+    for (const auto& [v, t] : timeAt_) {
+        acc += t;
+        out.emplace_back(v, static_cast<double>(acc) / static_cast<double>(total_));
+    }
+    return out;
+}
+
+void
+TimeWeightedHistogram::merge(const TimeWeightedHistogram& other)
+{
+    for (const auto& [v, t] : other.timeAt_)
+        timeAt_[v] += t;
+    total_ += other.total_;
+}
+
+void
+TimeWeightedHistogram::clear()
+{
+    timeAt_.clear();
+    total_ = 0;
+}
+
+void
+SignalTracker::set(sim::TimeUs now, std::int64_t value)
+{
+    if (!started_) {
+        start(now, value);
+        return;
+    }
+    if (value == value_)
+        return;
+    hist_.record(value_, now - last_);
+    last_ = now;
+    value_ = value;
+}
+
+void
+SignalTracker::finish(sim::TimeUs now)
+{
+    if (!started_)
+        return;
+    hist_.record(value_, now - last_);
+    last_ = now;
+}
+
+}  // namespace splitwise::metrics

@@ -1,0 +1,50 @@
+#include "model/llm_config.h"
+
+namespace splitwise::model {
+
+std::int64_t
+LlmConfig::weightBytes() const
+{
+    return numParams * bytesPerParam;
+}
+
+std::int64_t
+LlmConfig::kvBytesPerToken() const
+{
+    const double kv_ratio =
+        static_cast<double>(numKvHeads) / static_cast<double>(numHeads);
+    return static_cast<std::int64_t>(
+        2.0 * numLayers * hiddenSize * kv_ratio * bytesPerParam);
+}
+
+const LlmConfig&
+llama2_70b()
+{
+    static const LlmConfig cfg = {
+        .name = "Llama2-70B",
+        .numLayers = 80,
+        .hiddenSize = 8192,
+        .numHeads = 32,
+        .numKvHeads = 32,
+        .numParams = 70'000'000'000,
+        .bytesPerParam = 2,
+    };
+    return cfg;
+}
+
+const LlmConfig&
+bloom_176b()
+{
+    static const LlmConfig cfg = {
+        .name = "BLOOM-176B",
+        .numLayers = 70,
+        .hiddenSize = 14336,
+        .numHeads = 112,
+        .numKvHeads = 112,
+        .numParams = 176'000'000'000,
+        .bytesPerParam = 2,
+    };
+    return cfg;
+}
+
+}  // namespace splitwise::model

@@ -1,0 +1,42 @@
+#ifndef SPLITWISE_MODEL_LLM_CONFIG_H_
+#define SPLITWISE_MODEL_LLM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace splitwise::model {
+
+/**
+ * Architecture parameters of a decoder-only transformer LLM
+ * (paper Table III).
+ */
+struct LlmConfig {
+    std::string name;
+    int numLayers = 0;
+    int hiddenSize = 0;
+    int numHeads = 0;
+    /** KV heads; equals numHeads for multi-head attention. */
+    int numKvHeads = 0;
+    std::int64_t numParams = 0;
+    /** Weight precision, bytes (2 = FP16). */
+    int bytesPerParam = 2;
+
+    /** Total model weight footprint, bytes. */
+    std::int64_t weightBytes() const;
+
+    /**
+     * KV-cache footprint per token of context, bytes:
+     * 2 (K and V) x layers x hidden x (kvHeads / heads) x precision.
+     */
+    std::int64_t kvBytesPerToken() const;
+};
+
+/** Llama2-70B: 80 layers, 8192 hidden, 32 heads (Table III). */
+const LlmConfig& llama2_70b();
+
+/** BLOOM-176B: 70 layers, 14336 hidden, 112 heads (Table III). */
+const LlmConfig& bloom_176b();
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_LLM_CONFIG_H_

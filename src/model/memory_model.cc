@@ -1,0 +1,61 @@
+#include "model/memory_model.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace splitwise::model {
+
+MemoryModel::MemoryModel(LlmConfig llm, hw::MachineSpec machine,
+                         double usable_fraction)
+    : llm_(std::move(llm)), machine_(std::move(machine)),
+      usableFraction_(usable_fraction)
+{
+    if (usable_fraction <= 0.0 || usable_fraction > 1.0)
+        sim::fatal("MemoryModel: usable_fraction must be in (0, 1]");
+}
+
+std::int64_t
+MemoryModel::weightBytes() const
+{
+    return llm_.weightBytes();
+}
+
+std::int64_t
+MemoryModel::kvBytesPerToken() const
+{
+    return llm_.kvBytesPerToken();
+}
+
+std::int64_t
+MemoryModel::kvCapacityBytes() const
+{
+    const auto usable = static_cast<std::int64_t>(
+        usableFraction_ * static_cast<double>(machine_.totalHbmBytes()));
+    return std::max<std::int64_t>(0, usable - weightBytes());
+}
+
+std::int64_t
+MemoryModel::kvCapacityTokens() const
+{
+    return kvCapacityBytes() / kvBytesPerToken();
+}
+
+double
+MemoryModel::requiredGb(std::int64_t context_tokens) const
+{
+    const double bytes = static_cast<double>(weightBytes()) +
+                         static_cast<double>(context_tokens) *
+                             static_cast<double>(kvBytesPerToken());
+    return bytes / 1e9;
+}
+
+bool
+MemoryModel::weightsFit() const
+{
+    return weightBytes() <
+           static_cast<std::int64_t>(usableFraction_ *
+                                     static_cast<double>(machine_.totalHbmBytes()));
+}
+
+}  // namespace splitwise::model

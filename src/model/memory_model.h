@@ -1,0 +1,61 @@
+#ifndef SPLITWISE_MODEL_MEMORY_MODEL_H_
+#define SPLITWISE_MODEL_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+
+namespace splitwise::model {
+
+/**
+ * GPU memory accounting for a model on a machine (paper SIII-E,
+ * Fig. 7): weights are resident, activations need a reserve, and the
+ * remainder holds the paged KV cache whose size grows with every
+ * batched context token.
+ */
+class MemoryModel {
+  public:
+    /**
+     * @param llm Model being served.
+     * @param machine Machine hosting it (weights sharded over all
+     *     GPUs via tensor parallelism).
+     * @param usable_fraction Fraction of HBM the serving framework
+     *     may use (vLLM-style gpu_memory_utilization).
+     */
+    MemoryModel(LlmConfig llm, hw::MachineSpec machine,
+                double usable_fraction = 0.92);
+
+    /** Weight bytes resident across the machine. */
+    std::int64_t weightBytes() const;
+
+    /** KV-cache bytes per context token. */
+    std::int64_t kvBytesPerToken() const;
+
+    /** Bytes available to the KV cache across the machine. */
+    std::int64_t kvCapacityBytes() const;
+
+    /** Maximum KV context tokens the machine can hold. */
+    std::int64_t kvCapacityTokens() const;
+
+    /**
+     * Total memory needed with @p context_tokens of KV resident,
+     * in GB (the Fig. 7 curve).
+     */
+    double requiredGb(std::int64_t context_tokens) const;
+
+    /** True when the machine cannot even hold the weights. */
+    bool weightsFit() const;
+
+    const LlmConfig& llm() const { return llm_; }
+    const hw::MachineSpec& machine() const { return machine_; }
+
+  private:
+    LlmConfig llm_;
+    hw::MachineSpec machine_;
+    double usableFraction_;
+};
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_MEMORY_MODEL_H_

@@ -1,0 +1,176 @@
+#include "model/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace splitwise::model {
+
+namespace {
+
+/** Utilization ramp half-point for small prompt batches, tokens. */
+constexpr double kPromptRampTokens = 150.0;
+
+/** Reference batch at which promptMfu is calibrated (DESIGN.md). */
+constexpr double kPromptMfuReferenceTokens = 1500.0;
+
+/** Prompt batch beyond which efficiency declines (Fig. 6a). */
+constexpr double kPromptSaturationTokens = 2048.0;
+
+/** Scale of the post-saturation efficiency decline, tokens. */
+constexpr double kPromptDeclineTokens = 6000.0;
+
+/** Fixed prompt-phase overhead (tokenization, launch), ms. */
+constexpr double kPromptFixedMs = 2.0;
+
+/**
+ * Decode batch size at which the batching penalty reaches 1x the
+ * bandwidth-bound floor, i.e. TBT doubles (Fig. 5b: "with a batch
+ * size of 64, there is only 2x impact on TBT"). Below ~16 sequences
+ * the quadratic form leaves TBT nearly flat, matching the paper's
+ * "very little impact" observation.
+ */
+constexpr double kDecodeBatchDoubling = 64.0;
+
+}  // namespace
+
+sim::TimeUs
+PerfModel::iterationTime(const IterationShape& shape) const
+{
+    // Generic composition for implementations that only provide the
+    // two pure-phase costs: the shared weight pass is counted once by
+    // subtracting the empty-iteration baseline from the decode side.
+    if (shape.tokenRequests == 0)
+        return promptTime(shape.promptTokens, shape.promptRequests);
+    if (shape.promptTokens == 0)
+        return tokenTime(shape.tokenRequests, shape.contextTokens);
+    const sim::TimeUs prompt =
+        promptTime(shape.promptTokens, shape.promptRequests);
+    const sim::TimeUs token =
+        tokenTime(shape.tokenRequests, shape.contextTokens);
+    // tokenTime(1, 0) approximates the shared weight+communication
+    // pass already paid for by the prompt side.
+    const sim::TimeUs base = tokenTime(1, 0);
+    return prompt + std::max<sim::TimeUs>(0, token - base);
+}
+
+AnalyticalPerfModel::AnalyticalPerfModel(LlmConfig llm, hw::MachineSpec machine)
+    : llm_(std::move(llm)), machine_(std::move(machine)), power_(machine_.gpu)
+{
+    if (machine_.gpuCount <= 0)
+        sim::fatal("AnalyticalPerfModel: machine without GPUs");
+    promptCapMult_ = power_.capLatencyMultiplier(
+        Phase::kPrompt, machine_.gpuPowerCapFraction);
+    tokenCapMult_ = power_.capLatencyMultiplier(
+        Phase::kToken, machine_.gpuPowerCapFraction);
+}
+
+double
+AnalyticalPerfModel::promptUtilization(std::int64_t tokens) const
+{
+    const double p = static_cast<double>(std::max<std::int64_t>(tokens, 1));
+    const double ramp = p / (p + kPromptRampTokens);
+    const double ramp_ref = kPromptMfuReferenceTokens /
+                            (kPromptMfuReferenceTokens + kPromptRampTokens);
+    const double over = std::max(0.0, p - kPromptSaturationTokens);
+    const double decline = 1.0 / (1.0 + over / kPromptDeclineTokens);
+    return ramp / ramp_ref * decline;
+}
+
+double
+AnalyticalPerfModel::promptComputeMs(std::int64_t tokens, int num_requests) const
+{
+    if (tokens <= 0)
+        return 0.0;
+    const int n = std::max(num_requests, 1);
+    const double p = static_cast<double>(tokens);
+    // Linear MLP/projection FLOPs plus per-request quadratic
+    // attention (requests attend only within themselves).
+    const double linear_flops = 2.0 * static_cast<double>(llm_.numParams) * p;
+    const double attn_flops =
+        2.0 * llm_.numLayers * llm_.hiddenSize * (p * p / n);
+    const double eff_flops = machine_.totalPeakTflops() * 1e12 *
+                             machine_.gpu.promptMfu * promptUtilization(tokens);
+    return (linear_flops + attn_flops) / eff_flops * 1e3 + kPromptFixedMs;
+}
+
+sim::TimeUs
+AnalyticalPerfModel::promptTime(std::int64_t prompt_tokens,
+                                int num_requests) const
+{
+    IterationShape shape;
+    shape.promptTokens = prompt_tokens;
+    shape.promptRequests = std::max(num_requests, prompt_tokens > 0 ? 1 : 0);
+    return iterationTime(shape);
+}
+
+sim::TimeUs
+AnalyticalPerfModel::tokenTime(int batch_size,
+                               std::int64_t context_tokens) const
+{
+    IterationShape shape;
+    shape.tokenRequests = batch_size;
+    shape.contextTokens = context_tokens;
+    return iterationTime(shape);
+}
+
+sim::TimeUs
+AnalyticalPerfModel::iterationTime(const IterationShape& shape) const
+{
+    const double bw_bytes_per_ms = machine_.totalHbmBandwidthGBps() * 1e6;
+    const double weight_read_ms =
+        static_cast<double>(llm_.weightBytes()) / bw_bytes_per_ms;
+    const double kv_read_ms =
+        static_cast<double>(shape.contextTokens) *
+        static_cast<double>(llm_.kvBytesPerToken()) / bw_bytes_per_ms;
+    const double comm_ms = llm_.numLayers * machine_.gpu.perLayerOverheadMs;
+    const int total_requests = shape.promptRequests + shape.tokenRequests;
+    const double seq_ms = machine_.gpu.perSeqOverheadMs * total_requests;
+
+    // Batching decode sequences is nearly free until the kernels
+    // saturate; the penalty grows quadratically, doubling the
+    // bandwidth-bound floor at 64 sequences (Fig. 5b).
+    const double decode_floor_ms = weight_read_ms + comm_ms;
+    const double batch_ratio =
+        shape.tokenRequests / kDecodeBatchDoubling;
+    const double decode_penalty_ms =
+        decode_floor_ms * batch_ratio * batch_ratio;
+
+    const double prompt_ms =
+        promptComputeMs(shape.promptTokens, shape.promptRequests) *
+        promptCapMult_;
+    // The weight pass is shared: a prompt chunk streams all weights
+    // through compute anyway, so a mixed iteration pays
+    // max(prompt compute, weight read), then the extra KV traffic.
+    const double ms = std::max(prompt_ms, weight_read_ms * tokenCapMult_) +
+                      (kv_read_ms + decode_penalty_ms) * tokenCapMult_ +
+                      comm_ms + seq_ms;
+    return sim::msToUs(ms);
+}
+
+double
+AnalyticalPerfModel::promptThroughput(std::int64_t tokens) const
+{
+    if (tokens <= 0)
+        return 0.0;
+    const double seconds = sim::usToSeconds(promptTime(tokens, 1));
+    return static_cast<double>(tokens) / seconds;
+}
+
+double
+AnalyticalPerfModel::tokenThroughput(int b, std::int64_t ctx_per_seq) const
+{
+    if (b <= 0)
+        return 0.0;
+    const double seconds = sim::usToSeconds(tokenTime(b, b * ctx_per_seq));
+    return static_cast<double>(b) / seconds;
+}
+
+std::unique_ptr<PerfModel>
+makeAnalyticalPerfModel(const LlmConfig& llm, const hw::MachineSpec& machine)
+{
+    return std::make_unique<AnalyticalPerfModel>(llm, machine);
+}
+
+}  // namespace splitwise::model

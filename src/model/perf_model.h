@@ -1,0 +1,127 @@
+#ifndef SPLITWISE_MODEL_PERF_MODEL_H_
+#define SPLITWISE_MODEL_PERF_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+#include "model/power_model.h"
+#include "sim/time.h"
+
+namespace splitwise::model {
+
+/**
+ * Composition of one machine iteration (forward pass) across the two
+ * phases: a chunk of batched prompt tokens plus a set of decode
+ * sequences with their accumulated context (mixed continuous
+ * batching, Fig. 2c). Pure prompt or pure token iterations simply
+ * leave the other side zero.
+ */
+struct IterationShape {
+    /** Total prompt tokens processed this iteration. */
+    std::int64_t promptTokens = 0;
+    /** Number of requests those prompt tokens belong to. */
+    int promptRequests = 0;
+    /** Number of decode sequences generating one token each. */
+    int tokenRequests = 0;
+    /** Total KV context tokens across the decode sequences. */
+    std::int64_t contextTokens = 0;
+
+    bool
+    empty() const
+    {
+        return promptTokens == 0 && tokenRequests == 0;
+    }
+};
+
+/**
+ * Latency model for LLM iterations on a given machine.
+ *
+ * Mirrors the paper's performance model (SV-B): given the batch
+ * composition it predicts the iteration latency. Implementations:
+ * AnalyticalPerfModel (roofline, stands in for hardware profiling)
+ * and PiecewiseLinearPerfModel (the paper's fitted form).
+ */
+class PerfModel {
+  public:
+    virtual ~PerfModel() = default;
+
+    /**
+     * Latency of a pure prompt iteration over @p prompt_tokens total
+     * tokens split across @p num_requests requests.
+     */
+    virtual sim::TimeUs promptTime(std::int64_t prompt_tokens,
+                                   int num_requests) const = 0;
+
+    /**
+     * Latency of a pure decode iteration over @p batch_size
+     * sequences with @p context_tokens total KV context.
+     */
+    virtual sim::TimeUs tokenTime(int batch_size,
+                                  std::int64_t context_tokens) const = 0;
+
+    /**
+     * Latency of a mixed iteration. The default composes the two
+     * phase costs without double-counting the shared weight pass.
+     */
+    virtual sim::TimeUs iterationTime(const IterationShape& shape) const;
+};
+
+/**
+ * Roofline-style analytical performance model, calibrated to the
+ * paper's published latency anchors (see DESIGN.md).
+ *
+ * Prompt phase: compute-bound - time follows FLOPs over achieved
+ * throughput, with a utilization ramp for small batches and a
+ * saturation decline past ~2048 batched tokens (Fig. 6a).
+ * Token phase: bandwidth-bound - time follows weight + KV bytes over
+ * HBM bandwidth plus per-layer communication and per-sequence
+ * overheads (Fig. 5b). GPU power caps slow each phase according to
+ * PowerModel::capLatencyMultiplier.
+ */
+class AnalyticalPerfModel : public PerfModel {
+  public:
+    AnalyticalPerfModel(LlmConfig llm, hw::MachineSpec machine);
+
+    sim::TimeUs promptTime(std::int64_t prompt_tokens,
+                           int num_requests) const override;
+    sim::TimeUs tokenTime(int batch_size,
+                          std::int64_t context_tokens) const override;
+    sim::TimeUs iterationTime(const IterationShape& shape) const override;
+
+    /** The modelled LLM. */
+    const LlmConfig& llm() const { return llm_; }
+
+    /** The modelled machine. */
+    const hw::MachineSpec& machine() const { return machine_; }
+
+    /** Prompt-phase throughput in tokens/s at a batch of @p tokens. */
+    double promptThroughput(std::int64_t tokens) const;
+
+    /**
+     * Decode throughput in generated tokens/s at batch size @p b
+     * with mean per-sequence context @p ctx_per_seq.
+     */
+    double tokenThroughput(int b, std::int64_t ctx_per_seq) const;
+
+  private:
+    /** Prompt compute time before overheads and cap penalty, ms. */
+    double promptComputeMs(std::int64_t tokens, int num_requests) const;
+    /** Compute utilization factor at a prompt batch of @p tokens. */
+    double promptUtilization(std::int64_t tokens) const;
+
+    LlmConfig llm_;
+    hw::MachineSpec machine_;
+    PowerModel power_;
+    double promptCapMult_ = 1.0;
+    double tokenCapMult_ = 1.0;
+};
+
+/** Make an analytical model for a model/machine pair. */
+std::unique_ptr<PerfModel> makeAnalyticalPerfModel(const LlmConfig& llm,
+                                                   const hw::MachineSpec& machine);
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_PERF_MODEL_H_

@@ -1,0 +1,93 @@
+#include "model/piecewise.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/log.h"
+
+namespace splitwise::model {
+
+namespace {
+
+/** Find the segment index i such that xs[i] <= x < xs[i+1]. */
+std::size_t
+segmentIndex(const std::vector<double>& xs, double x)
+{
+    if (x <= xs.front())
+        return 0;
+    if (x >= xs.back())
+        return xs.size() - 2;
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    return static_cast<std::size_t>(it - xs.begin()) - 1;
+}
+
+void
+checkKnots(const std::vector<double>& xs, const char* what)
+{
+    if (xs.size() < 2)
+        sim::fatal(std::string(what) + ": need at least 2 knots");
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        if (xs[i] <= xs[i - 1])
+            sim::fatal(std::string(what) + ": knots must strictly increase");
+    }
+}
+
+double
+lerpClamped(const std::vector<double>& xs, const std::vector<double>& ys,
+            double x)
+{
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    const std::size_t i = segmentIndex(xs, x);
+    const double t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    return ys[i] + t * (ys[i + 1] - ys[i]);
+}
+
+}  // namespace
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    checkKnots(xs_, "PiecewiseLinear");
+    if (ys_.size() != xs_.size())
+        sim::fatal("PiecewiseLinear: xs/ys length mismatch");
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+    return lerpClamped(xs_, ys_, x);
+}
+
+BilinearGrid::BilinearGrid(std::vector<double> xs, std::vector<double> ys,
+                           std::vector<double> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values))
+{
+    checkKnots(xs_, "BilinearGrid axis 0");
+    checkKnots(ys_, "BilinearGrid axis 1");
+    if (values_.size() != xs_.size() * ys_.size())
+        sim::fatal("BilinearGrid: values size mismatch");
+}
+
+double
+BilinearGrid::at(double x, double y) const
+{
+    const double xc = std::clamp(x, xs_.front(), xs_.back());
+    const double yc = std::clamp(y, ys_.front(), ys_.back());
+    const std::size_t i = segmentIndex(xs_, xc);
+    const std::size_t j = segmentIndex(ys_, yc);
+    const double tx = (xc - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    const double ty = (yc - ys_[j]) / (ys_[j + 1] - ys_[j]);
+    const std::size_t stride = ys_.size();
+    const double v00 = values_[i * stride + j];
+    const double v01 = values_[i * stride + j + 1];
+    const double v10 = values_[(i + 1) * stride + j];
+    const double v11 = values_[(i + 1) * stride + j + 1];
+    const double v0 = v00 + ty * (v01 - v00);
+    const double v1 = v10 + ty * (v11 - v10);
+    return v0 + tx * (v1 - v0);
+}
+
+}  // namespace splitwise::model

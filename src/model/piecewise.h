@@ -1,0 +1,63 @@
+#ifndef SPLITWISE_MODEL_PIECEWISE_H_
+#define SPLITWISE_MODEL_PIECEWISE_H_
+
+#include <vector>
+
+namespace splitwise::model {
+
+/**
+ * A one-dimensional piecewise-linear function over sorted knots.
+ *
+ * Evaluation clamps to the first/last segment's endpoint value
+ * outside the knot range. This is the interpolation primitive behind
+ * the paper's piecewise-linear performance model (SV-B).
+ */
+class PiecewiseLinear {
+  public:
+    /**
+     * @param xs Strictly increasing knot positions (>= 2 entries).
+     * @param ys Knot values, same length as @p xs.
+     */
+    PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+    /** Evaluate at @p x with clamped extrapolation. */
+    double operator()(double x) const;
+
+    /** Knot positions. */
+    const std::vector<double>& knots() const { return xs_; }
+
+    /** Knot values. */
+    const std::vector<double>& values() const { return ys_; }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+/**
+ * A two-dimensional bilinear interpolation grid, used to fit decode
+ * iteration latency over (batch size, total context tokens).
+ */
+class BilinearGrid {
+  public:
+    /**
+     * @param xs Strictly increasing grid coordinates along axis 0.
+     * @param ys Strictly increasing grid coordinates along axis 1.
+     * @param values Row-major values, values[i * ys.size() + j]
+     *     holding f(xs[i], ys[j]).
+     */
+    BilinearGrid(std::vector<double> xs, std::vector<double> ys,
+                 std::vector<double> values);
+
+    /** Evaluate at (x, y) with clamped extrapolation. */
+    double at(double x, double y) const;
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+    std::vector<double> values_;
+};
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_PIECEWISE_H_

@@ -1,0 +1,107 @@
+#include "model/piecewise_perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace splitwise::model {
+
+namespace {
+
+std::vector<double>
+defaultPromptKnots()
+{
+    return {1,    32,   64,   128,  192,  256,  384,  512,   768,  1024,
+            1280, 1536, 1792, 2048, 2560, 3072, 4096, 6144,  8192, 12288,
+            16384};
+}
+
+std::vector<double>
+defaultBatchKnots()
+{
+    return {1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256};
+}
+
+std::vector<double>
+defaultContextKnots()
+{
+    return {0,      4096,    16384,   65536,   131072,
+            262144, 524288,  1048576, 2097152};
+}
+
+}  // namespace
+
+std::unique_ptr<PiecewiseLinearPerfModel>
+PiecewiseLinearPerfModel::fit(const PerfModel& reference)
+{
+    return fit(reference, defaultPromptKnots(), defaultBatchKnots(),
+               defaultContextKnots());
+}
+
+std::unique_ptr<PiecewiseLinearPerfModel>
+PiecewiseLinearPerfModel::fit(const PerfModel& reference,
+                              const std::vector<double>& prompt_knots,
+                              const std::vector<double>& batch_knots,
+                              const std::vector<double>& context_knots)
+{
+    std::vector<double> prompt_ms;
+    prompt_ms.reserve(prompt_knots.size());
+    for (double p : prompt_knots) {
+        const auto tokens = static_cast<std::int64_t>(p);
+        prompt_ms.push_back(sim::usToMs(reference.promptTime(tokens, 1)));
+    }
+
+    std::vector<double> token_ms;
+    token_ms.reserve(batch_knots.size() * context_knots.size());
+    for (double b : batch_knots) {
+        for (double k : context_knots) {
+            const auto batch = static_cast<int>(b);
+            const auto ctx = static_cast<std::int64_t>(k);
+            token_ms.push_back(sim::usToMs(reference.tokenTime(batch, ctx)));
+        }
+    }
+
+    // Per-extra-request overhead measured at a mid-sized prompt.
+    const std::int64_t probe = 1024;
+    const double one = sim::usToMs(reference.promptTime(probe, 1));
+    const double four = sim::usToMs(reference.promptTime(probe, 4));
+    const double per_request = std::max(0.0, (four - one) / 3.0);
+
+    return std::unique_ptr<PiecewiseLinearPerfModel>(
+        new PiecewiseLinearPerfModel(
+            PiecewiseLinear(prompt_knots, std::move(prompt_ms)),
+            BilinearGrid(batch_knots, context_knots, std::move(token_ms)),
+            per_request));
+}
+
+PiecewiseLinearPerfModel::PiecewiseLinearPerfModel(PiecewiseLinear prompt,
+                                                   BilinearGrid token,
+                                                   double per_request_ms)
+    : promptMs_(std::move(prompt)), tokenMs_(std::move(token)),
+      perRequestMs_(per_request_ms)
+{
+}
+
+sim::TimeUs
+PiecewiseLinearPerfModel::promptTime(std::int64_t prompt_tokens,
+                                     int num_requests) const
+{
+    if (prompt_tokens <= 0)
+        return 0;
+    const double base = promptMs_(static_cast<double>(prompt_tokens));
+    const double extra = perRequestMs_ * std::max(0, num_requests - 1);
+    return sim::msToUs(base + extra);
+}
+
+sim::TimeUs
+PiecewiseLinearPerfModel::tokenTime(int batch_size,
+                                    std::int64_t context_tokens) const
+{
+    if (batch_size <= 0)
+        return 0;
+    return sim::msToUs(tokenMs_.at(static_cast<double>(batch_size),
+                                   static_cast<double>(context_tokens)));
+}
+
+}  // namespace splitwise::model

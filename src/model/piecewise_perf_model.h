@@ -1,0 +1,53 @@
+#ifndef SPLITWISE_MODEL_PIECEWISE_PERF_MODEL_H_
+#define SPLITWISE_MODEL_PIECEWISE_PERF_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/perf_model.h"
+#include "model/piecewise.h"
+
+namespace splitwise::model {
+
+/**
+ * The paper's fitted performance model (SV-B): piecewise-linear in
+ * prompt batch size, bilinear in (decode batch size, total context).
+ *
+ * Built by sampling a reference model at profile points - exactly
+ * the role hardware profiling plays in the paper's methodology. The
+ * paper validates its fit at < 3% MAPE; tests reproduce that check
+ * against the analytical model.
+ */
+class PiecewiseLinearPerfModel : public PerfModel {
+  public:
+    /**
+     * Fit against @p reference using default profiling grids
+     * (prompt tokens 1..16384, batch 0..256, context 0..2M tokens).
+     */
+    static std::unique_ptr<PiecewiseLinearPerfModel>
+    fit(const PerfModel& reference);
+
+    /** Fit with explicit profiling grids. */
+    static std::unique_ptr<PiecewiseLinearPerfModel>
+    fit(const PerfModel& reference, const std::vector<double>& prompt_knots,
+        const std::vector<double>& batch_knots,
+        const std::vector<double>& context_knots);
+
+    sim::TimeUs promptTime(std::int64_t prompt_tokens,
+                           int num_requests) const override;
+    sim::TimeUs tokenTime(int batch_size,
+                          std::int64_t context_tokens) const override;
+
+  private:
+    PiecewiseLinearPerfModel(PiecewiseLinear prompt, BilinearGrid token,
+                             double per_request_ms);
+
+    PiecewiseLinear promptMs_;
+    BilinearGrid tokenMs_;
+    /** Extra cost per additional prompt request in a batch, ms. */
+    double perRequestMs_;
+};
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_PIECEWISE_PERF_MODEL_H_

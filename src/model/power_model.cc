@@ -1,0 +1,74 @@
+#include "model/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splitwise::model {
+
+namespace {
+
+/** Idle-ish floor of GPU draw while kernels run sparsely. */
+constexpr double kIdleFraction = 0.35;
+
+/** Prompt batch size (tokens) at which draw saturates near TDP. */
+constexpr double kPromptPowerSaturationTokens = 1500.0;
+
+/** Exponent of the prompt-phase cap-to-latency penalty (Fig. 9a). */
+constexpr double kPromptCapExponent = 1.4;
+
+}  // namespace
+
+const char*
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::kPrompt: return "prompt";
+      case Phase::kToken: return "token";
+    }
+    return "?";
+}
+
+PowerModel::PowerModel(const hw::GpuSpec& gpu) : gpu_(gpu) {}
+
+double
+PowerModel::promptPowerFraction(std::int64_t prompt_tokens) const
+{
+    const double load = std::min(
+        1.0, static_cast<double>(prompt_tokens) / kPromptPowerSaturationTokens);
+    return kIdleFraction + (gpu_.promptPowerNeed - kIdleFraction) * load;
+}
+
+double
+PowerModel::tokenPowerFraction(int batch_size) const
+{
+    // Bandwidth-bound: flat draw, a whisker above the phase's need at
+    // large batches (Fig. 8b shows an essentially flat profile).
+    const double bump = 0.02 * std::min(1.0, batch_size / 64.0);
+    return gpu_.tokenPowerNeed + bump;
+}
+
+double
+PowerModel::capLatencyMultiplier(Phase phase, double cap_fraction) const
+{
+    const double cap = std::clamp(cap_fraction, 0.05, 1.0);
+    const double need =
+        phase == Phase::kPrompt ? gpu_.promptPowerNeed : gpu_.tokenPowerNeed;
+    if (cap >= need)
+        return 1.0;
+    const double deficit = need / cap;
+    if (phase == Phase::kPrompt)
+        return std::pow(deficit, kPromptCapExponent);
+    return deficit;
+}
+
+double
+PowerModel::machinePowerWatts(const hw::MachineSpec& machine,
+                              double gpu_fraction) const
+{
+    const double capped =
+        std::min(gpu_fraction, machine.gpuPowerCapFraction);
+    return machine.gpuCount * machine.gpu.tdpWatts * capped +
+           machine.platformOverheadWatts;
+}
+
+}  // namespace splitwise::model

@@ -1,0 +1,66 @@
+#ifndef SPLITWISE_MODEL_POWER_MODEL_H_
+#define SPLITWISE_MODEL_POWER_MODEL_H_
+
+#include <cstdint>
+
+#include "hw/gpu_spec.h"
+#include "hw/machine_spec.h"
+
+namespace splitwise::model {
+
+/** Inference phase, in the paper's two-phase decomposition. */
+enum class Phase {
+    kPrompt,
+    kToken,
+};
+
+/** Human-readable phase name. */
+const char* phaseName(Phase phase);
+
+/**
+ * GPU power behaviour of the two inference phases (paper SIII-F,
+ * Figs. 8 and 9).
+ *
+ * The prompt phase is compute-bound: its draw rises with batched
+ * prompt tokens toward the GPU's TDP, and power caps slow it down
+ * almost proportionally. The token phase is bandwidth-bound: draw is
+ * flat near half of TDP regardless of batch size, and caps above
+ * that need cost nothing.
+ */
+class PowerModel {
+  public:
+    explicit PowerModel(const hw::GpuSpec& gpu);
+
+    /**
+     * GPU power draw during a prompt phase with @p prompt_tokens
+     * batched, as a fraction of TDP (Fig. 8a).
+     */
+    double promptPowerFraction(std::int64_t prompt_tokens) const;
+
+    /**
+     * GPU power draw during a decode iteration with @p batch_size
+     * sequences, as a fraction of TDP (Fig. 8b: flat).
+     */
+    double tokenPowerFraction(int batch_size) const;
+
+    /**
+     * Latency multiplier when GPUs are capped to @p cap_fraction of
+     * TDP (Fig. 9). Returns 1.0 when the cap exceeds the phase's
+     * power need.
+     */
+    double capLatencyMultiplier(Phase phase, double cap_fraction) const;
+
+    /**
+     * Machine-level power draw in watts when GPUs run at
+     * @p gpu_fraction of TDP (platform overhead is always drawn).
+     */
+    double machinePowerWatts(const hw::MachineSpec& machine,
+                             double gpu_fraction) const;
+
+  private:
+    hw::GpuSpec gpu_;
+};
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_POWER_MODEL_H_

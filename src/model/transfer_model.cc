@@ -1,0 +1,98 @@
+#include "model/transfer_model.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace splitwise::model {
+
+namespace {
+
+/** Per-request semaphore wait after the final layer's put, us. */
+constexpr sim::TimeUs kSemaphoreUs = 1500;
+
+/**
+ * Fraction of the wire time stolen from prompt compute by the
+ * per-layer synchronization (SIV-C interference).
+ */
+constexpr double kInterferenceFraction = 0.10;
+
+}  // namespace
+
+TransferModel::TransferModel(LlmConfig llm, hw::LinkSpec link,
+                             std::int64_t layerwise_threshold_tokens,
+                             double compression_ratio)
+    : llm_(std::move(llm)), link_(link),
+      layerwiseThreshold_(layerwise_threshold_tokens),
+      compressionRatio_(compression_ratio)
+{
+    if (compressionRatio_ < 1.0)
+        sim::fatal("TransferModel: compression ratio must be >= 1");
+}
+
+std::int64_t
+TransferModel::kvBytes(std::int64_t prompt_tokens) const
+{
+    const double raw = static_cast<double>(prompt_tokens) *
+                       static_cast<double>(llm_.kvBytesPerToken());
+    return static_cast<std::int64_t>(raw / compressionRatio_);
+}
+
+sim::TimeUs
+TransferModel::serializedTime(std::int64_t prompt_tokens) const
+{
+    return link_.transferTime(kvBytes(prompt_tokens));
+}
+
+sim::TimeUs
+TransferModel::layerwiseVisibleTime(std::int64_t prompt_tokens,
+                                    sim::TimeUs prompt_compute) const
+{
+    const sim::TimeUs wire = link_.wireTime(kvBytes(prompt_tokens));
+    const sim::TimeUs per_layer = wire / std::max(llm_.numLayers, 1);
+    // All layers except the last overlap with the remaining prompt
+    // computation; if the link is slower than compute the residual
+    // backlog also becomes visible.
+    const sim::TimeUs overlap_window =
+        prompt_compute * (llm_.numLayers - 1) / std::max(llm_.numLayers, 1);
+    const sim::TimeUs backlog =
+        std::max<sim::TimeUs>(0, wire - per_layer - overlap_window);
+    return link_.setupUs + per_layer + backlog + kSemaphoreUs;
+}
+
+sim::TimeUs
+TransferModel::layerwiseInterference(std::int64_t prompt_tokens,
+                                     sim::TimeUs prompt_compute) const
+{
+    const sim::TimeUs wire = link_.wireTime(kvBytes(prompt_tokens));
+    const auto interference =
+        static_cast<sim::TimeUs>(kInterferenceFraction * wire);
+    // Interference cannot exceed the compute it perturbs.
+    return std::min(interference, prompt_compute);
+}
+
+bool
+TransferModel::useLayerwise(std::int64_t prompt_tokens) const
+{
+    return prompt_tokens >= layerwiseThreshold_;
+}
+
+TransferModel::Plan
+TransferModel::plan(std::int64_t prompt_tokens,
+                    sim::TimeUs prompt_compute) const
+{
+    Plan p;
+    p.wireUs = link_.wireTime(kvBytes(prompt_tokens));
+    if (useLayerwise(prompt_tokens)) {
+        p.layerwise = true;
+        p.visibleUs = layerwiseVisibleTime(prompt_tokens, prompt_compute);
+        p.interferenceUs = layerwiseInterference(prompt_tokens, prompt_compute);
+    } else {
+        p.layerwise = false;
+        p.visibleUs = serializedTime(prompt_tokens);
+        p.interferenceUs = 0;
+    }
+    return p;
+}
+
+}  // namespace splitwise::model

@@ -1,0 +1,83 @@
+#ifndef SPLITWISE_MODEL_TRANSFER_MODEL_H_
+#define SPLITWISE_MODEL_TRANSFER_MODEL_H_
+
+#include <cstdint>
+
+#include "hw/interconnect.h"
+#include "model/llm_config.h"
+#include "sim/time.h"
+
+namespace splitwise::model {
+
+/**
+ * KV-cache transfer cost model (paper SIV-C, Fig. 11/14).
+ *
+ * Serialized mode ships the whole cache after the prompt finishes:
+ * the full wire time lands on the critical path of the second token.
+ * Layer-wise mode puts each layer's KV as soon as that layer's
+ * prompt computation completes, hiding all but the last layer behind
+ * the remaining prompt compute - at the price of a small
+ * fine-grained-synchronization interference on TTFT. Splitwise picks
+ * serialized below a prompt-size threshold and layer-wise above it.
+ */
+class TransferModel {
+  public:
+    /** Chosen transfer technique and its visible costs. */
+    struct Plan {
+        bool layerwise = false;
+        /** Latency added to the second token, us. */
+        sim::TimeUs visibleUs = 0;
+        /** Latency added to the prompt phase itself (TTFT), us. */
+        sim::TimeUs interferenceUs = 0;
+        /** Raw wire occupancy of the link, us. */
+        sim::TimeUs wireUs = 0;
+    };
+
+    /**
+     * @param llm Model whose KV cache is shipped.
+     * @param link Prompt-to-token machine link.
+     * @param layerwise_threshold_tokens Prompt size at or above
+     *     which layer-wise transfer is used (512 on H100, SVI-A).
+     * @param compression_ratio Wire-size divisor from KV-cache
+     *     compression (paper SVII suggests compressing before
+     *     transfer); 1.0 ships raw FP16 KV.
+     */
+    TransferModel(LlmConfig llm, hw::LinkSpec link,
+                  std::int64_t layerwise_threshold_tokens = 512,
+                  double compression_ratio = 1.0);
+
+    /** KV bytes on the wire for a prompt of @p prompt_tokens. */
+    std::int64_t kvBytes(std::int64_t prompt_tokens) const;
+
+    /** Full serialized transfer latency (setup + wire). */
+    sim::TimeUs serializedTime(std::int64_t prompt_tokens) const;
+
+    /**
+     * Visible (non-overlapped) latency of a layer-wise transfer,
+     * given the prompt computation it overlaps with.
+     */
+    sim::TimeUs layerwiseVisibleTime(std::int64_t prompt_tokens,
+                                     sim::TimeUs prompt_compute) const;
+
+    /** TTFT interference caused by layer-wise synchronization. */
+    sim::TimeUs layerwiseInterference(std::int64_t prompt_tokens,
+                                      sim::TimeUs prompt_compute) const;
+
+    /** True when Splitwise would use layer-wise transfer. */
+    bool useLayerwise(std::int64_t prompt_tokens) const;
+
+    /** Pick the best technique and report its costs (SIV-C). */
+    Plan plan(std::int64_t prompt_tokens, sim::TimeUs prompt_compute) const;
+
+    const hw::LinkSpec& link() const { return link_; }
+
+  private:
+    LlmConfig llm_;
+    hw::LinkSpec link_;
+    std::int64_t layerwiseThreshold_;
+    double compressionRatio_;
+};
+
+}  // namespace splitwise::model
+
+#endif  // SPLITWISE_MODEL_TRANSFER_MODEL_H_

@@ -1,0 +1,289 @@
+#include "provision/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/log.h"
+
+namespace splitwise::provision {
+
+const char*
+designKindName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::kBaselineA100: return "Baseline-A100";
+      case DesignKind::kBaselineH100: return "Baseline-H100";
+      case DesignKind::kSplitwiseAA: return "Splitwise-AA";
+      case DesignKind::kSplitwiseHH: return "Splitwise-HH";
+      case DesignKind::kSplitwiseHA: return "Splitwise-HA";
+      case DesignKind::kSplitwiseHHcap: return "Splitwise-HHcap";
+    }
+    return "?";
+}
+
+const std::vector<DesignKind>&
+allDesignKinds()
+{
+    static const std::vector<DesignKind> kinds = {
+        DesignKind::kBaselineA100,  DesignKind::kBaselineH100,
+        DesignKind::kSplitwiseAA,   DesignKind::kSplitwiseHH,
+        DesignKind::kSplitwiseHA,   DesignKind::kSplitwiseHHcap,
+    };
+    return kinds;
+}
+
+bool
+isBaseline(DesignKind kind)
+{
+    return kind == DesignKind::kBaselineA100 ||
+           kind == DesignKind::kBaselineH100;
+}
+
+core::ClusterDesign
+makeDesign(DesignKind kind, int num_prompt, int num_token)
+{
+    switch (kind) {
+      case DesignKind::kBaselineA100:
+        return core::baselineA100(num_prompt + num_token);
+      case DesignKind::kBaselineH100:
+        return core::baselineH100(num_prompt + num_token);
+      case DesignKind::kSplitwiseAA:
+        return core::splitwiseAA(num_prompt, num_token);
+      case DesignKind::kSplitwiseHH:
+        return core::splitwiseHH(num_prompt, num_token);
+      case DesignKind::kSplitwiseHA:
+        return core::splitwiseHA(num_prompt, num_token);
+      case DesignKind::kSplitwiseHHcap:
+        return core::splitwiseHHcap(num_prompt, num_token);
+    }
+    sim::panic("unknown DesignKind");
+}
+
+Provisioner::Provisioner(model::LlmConfig llm, workload::Workload workload,
+                         Options options)
+    : llm_(std::move(llm)), workload_(std::move(workload)),
+      options_(std::move(options))
+{
+}
+
+workload::Trace
+Provisioner::makeTrace(double rps) const
+{
+    workload::TraceGenerator gen(workload_, options_.seed);
+    return gen.generate(rps, options_.traceDuration);
+}
+
+RunOutcome
+Provisioner::evaluate(const core::ClusterDesign& design, double rps) const
+{
+    RunOutcome outcome;
+    outcome.rps = rps;
+    const workload::Trace trace = makeTrace(rps);
+    core::Cluster cluster(llm_, design, options_.simConfig);
+    outcome.report = cluster.run(trace);
+    const core::SloChecker checker(llm_);
+    outcome.slo = checker.evaluate(outcome.report.requests, options_.slos);
+    return outcome;
+}
+
+double
+Provisioner::maxThroughput(const core::ClusterDesign& design) const
+{
+    auto passes = [&](double rps) {
+        return evaluate(design, rps).slo.pass;
+    };
+
+    // Exponential probe for the first failing load.
+    double lo = 0.0;
+    double hi = 2.0;
+    while (hi < options_.maxRpsCeiling && passes(hi)) {
+        lo = hi;
+        hi *= 2.0;
+    }
+    if (lo == 0.0) {
+        // Even 2 RPS fails: probe down before giving up.
+        if (passes(1.0)) {
+            lo = 1.0;
+        } else if (passes(0.5)) {
+            return 0.5;
+        } else {
+            return 0.0;
+        }
+    }
+    hi = std::min(hi, options_.maxRpsCeiling);
+
+    while (hi - lo > options_.rpsTolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (passes(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::vector<SweepCell>
+Provisioner::sweep(DesignKind kind, const std::vector<int>& prompt_counts,
+                   const std::vector<int>& token_counts, double rps) const
+{
+    std::vector<SweepCell> cells;
+    for (int np : prompt_counts) {
+        for (int nt : token_counts) {
+            const core::ClusterDesign design = makeDesign(kind, np, nt);
+            const RunOutcome outcome = evaluate(design, rps);
+            SweepCell cell;
+            cell.numPrompt = np;
+            cell.numToken = nt;
+            cell.pass = outcome.slo.pass;
+            cell.costPerHour = design.footprint().costPerHour;
+            cell.e2eP50Slowdown = outcome.slo.e2eSlowdown.p50;
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+Optimum
+Provisioner::bestUnderBudget(DesignKind kind, double budget,
+                             double prompt_unit, double token_unit) const
+{
+    Optimum best;
+    if (isBaseline(kind)) {
+        const int n = static_cast<int>(budget / prompt_unit);
+        if (n < 1)
+            return best;
+        best.design = makeDesign(kind, n, 0);
+        best.maxRps = maxThroughput(best.design);
+        best.footprint = best.design.footprint();
+        best.feasible = best.maxRps > 0.0;
+        return best;
+    }
+
+    std::set<std::pair<int, int>> tried;
+    for (double f : options_.promptFractions) {
+        int np = std::max(
+            1, static_cast<int>(std::floor(budget * f / prompt_unit)));
+        int nt = static_cast<int>(
+            std::floor((budget - np * prompt_unit) / token_unit));
+        while (nt < 1 && np > 1) {
+            --np;
+            nt = static_cast<int>(
+                std::floor((budget - np * prompt_unit) / token_unit));
+        }
+        if (nt < 1)
+            continue;
+        if (!tried.insert({np, nt}).second)
+            continue;
+        const core::ClusterDesign design = makeDesign(kind, np, nt);
+        const double rps = maxThroughput(design);
+        if (rps > best.maxRps) {
+            best.design = design;
+            best.maxRps = rps;
+            best.footprint = design.footprint();
+            best.feasible = rps > 0.0;
+        }
+    }
+    return best;
+}
+
+Optimum
+Provisioner::isoPowerThroughputOptimized(DesignKind kind,
+                                         double power_budget_watts) const
+{
+    const core::ClusterDesign unit = makeDesign(kind, 1, 1);
+    return bestUnderBudget(kind, power_budget_watts,
+                           unit.promptSpec.provisionedPowerWatts(),
+                           unit.tokenSpec.provisionedPowerWatts());
+}
+
+Optimum
+Provisioner::isoCostThroughputOptimized(DesignKind kind,
+                                        double cost_budget_per_hour) const
+{
+    const core::ClusterDesign unit = makeDesign(kind, 1, 1);
+    return bestUnderBudget(kind, cost_budget_per_hour,
+                           unit.promptSpec.costPerHour,
+                           unit.tokenSpec.costPerHour);
+}
+
+int
+Provisioner::minTotalMachinesAt(DesignKind kind, double prompt_fraction,
+                                double target_rps, int hi_start) const
+{
+    auto counts = [&](int total) {
+        int np = std::max(
+            1, static_cast<int>(std::lround(prompt_fraction * total)));
+        np = std::min(np, total - (isBaseline(kind) ? 0 : 1));
+        const int nt = isBaseline(kind) ? 0 : total - np;
+        return std::make_pair(np, nt);
+    };
+    auto meets = [&](int total) {
+        const auto [np, nt] = counts(total);
+        return evaluate(makeDesign(kind, np, nt), target_rps).slo.pass;
+    };
+
+    constexpr int kMaxMachines = 512;
+    int hi = std::max(isBaseline(kind) ? 1 : 2, hi_start);
+    while (hi <= kMaxMachines && !meets(hi))
+        hi *= 2;
+    if (hi > kMaxMachines)
+        return -1;
+
+    int lo = isBaseline(kind) ? 0 : 1;  // known-infeasible floor
+    while (hi - lo > 1) {
+        const int mid = (lo + hi) / 2;
+        if (meets(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+Optimum
+Provisioner::isoThroughputOptimized(DesignKind kind, double target_rps,
+                                    bool optimize_power) const
+{
+    Optimum best;
+    double best_objective = std::numeric_limits<double>::max();
+
+    std::vector<double> fractions =
+        isBaseline(kind) ? std::vector<double>{1.0} : options_.promptFractions;
+    for (double f : fractions) {
+        const int total = minTotalMachinesAt(kind, f, target_rps, 4);
+        if (total < 0)
+            continue;
+        int np = std::max(1, static_cast<int>(std::lround(f * total)));
+        np = std::min(np, total - (isBaseline(kind) ? 0 : 1));
+        const int nt = isBaseline(kind) ? 0 : total - np;
+        const core::ClusterDesign design = makeDesign(kind, np, nt);
+        const hw::FleetFootprint footprint = design.footprint();
+        const double objective =
+            optimize_power ? footprint.powerWatts : footprint.costPerHour;
+        if (objective < best_objective) {
+            best_objective = objective;
+            best.design = design;
+            best.maxRps = target_rps;
+            best.footprint = footprint;
+            best.feasible = true;
+        }
+    }
+    return best;
+}
+
+Optimum
+Provisioner::isoThroughputPowerOptimized(DesignKind kind,
+                                         double target_rps) const
+{
+    return isoThroughputOptimized(kind, target_rps, true);
+}
+
+Optimum
+Provisioner::isoThroughputCostOptimized(DesignKind kind,
+                                        double target_rps) const
+{
+    return isoThroughputOptimized(kind, target_rps, false);
+}
+
+}  // namespace splitwise::provision

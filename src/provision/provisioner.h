@@ -1,0 +1,147 @@
+#ifndef SPLITWISE_PROVISION_PROVISIONER_H_
+#define SPLITWISE_PROVISION_PROVISIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/designs.h"
+#include "core/slo.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace splitwise::provision {
+
+/** The six cluster design families evaluated in the paper. */
+enum class DesignKind {
+    kBaselineA100,
+    kBaselineH100,
+    kSplitwiseAA,
+    kSplitwiseHH,
+    kSplitwiseHA,
+    kSplitwiseHHcap,
+};
+
+/** Human-readable design name. */
+const char* designKindName(DesignKind kind);
+
+/** All six kinds, in the paper's presentation order. */
+const std::vector<DesignKind>& allDesignKinds();
+
+/** True for the two homogeneous mixed-batching baselines. */
+bool isBaseline(DesignKind kind);
+
+/**
+ * Instantiate a design with pool counts. Baselines fold both counts
+ * into one homogeneous pool.
+ */
+core::ClusterDesign makeDesign(DesignKind kind, int num_prompt,
+                               int num_token);
+
+/** One simulated design point with its SLO verdict. */
+struct RunOutcome {
+    core::RunReport report;
+    core::SloReport slo;
+    double rps = 0.0;
+};
+
+/** A provisioning search result. */
+struct Optimum {
+    core::ClusterDesign design;
+    double maxRps = 0.0;
+    hw::FleetFootprint footprint;
+    bool feasible = false;
+};
+
+/** One cell of the Fig. 12 two-dimensional design-space sweep. */
+struct SweepCell {
+    int numPrompt = 0;
+    int numToken = 0;
+    bool pass = false;
+    double costPerHour = 0.0;
+    double e2eP50Slowdown = 0.0;
+};
+
+/** Tunables for Provisioner searches. */
+struct ProvisionerOptions {
+    /** Length of the synthetic trace per simulation. */
+    sim::TimeUs traceDuration = sim::secondsToUs(60);
+    std::uint64_t seed = 42;
+    core::SloSet slos;
+    core::SimConfig simConfig;
+    /** Binary-search resolution on throughput, RPS. */
+    double rpsTolerance = 2.0;
+    /** Upper bound on any cluster's throughput, RPS. */
+    double maxRpsCeiling = 512.0;
+    /** Split ratios probed for two-pool designs. */
+    std::vector<double> promptFractions =
+        {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.875};
+};
+
+/**
+ * Searches cluster design spaces with the event-driven simulator
+ * (paper SIV-D): max-throughput under SLOs per design point, plus
+ * the iso-power / iso-cost / iso-throughput optimizers behind
+ * Figs. 12, 18 and 19.
+ */
+class Provisioner {
+  public:
+    using Options = ProvisionerOptions;
+
+    Provisioner(model::LlmConfig llm, workload::Workload workload,
+                Options options = {});
+
+    /** Simulate one design at one load and evaluate the SLOs. */
+    RunOutcome evaluate(const core::ClusterDesign& design, double rps) const;
+
+    /** Largest RPS (within tolerance) meeting all nine SLOs. */
+    double maxThroughput(const core::ClusterDesign& design) const;
+
+    /** Fig. 12: sweep pool sizes at a fixed load. */
+    std::vector<SweepCell> sweep(DesignKind kind,
+                                 const std::vector<int>& prompt_counts,
+                                 const std::vector<int>& token_counts,
+                                 double rps) const;
+
+    /** Max throughput under a provisioned power budget (Fig. 18a). */
+    Optimum isoPowerThroughputOptimized(DesignKind kind,
+                                        double power_budget_watts) const;
+
+    /** Max throughput under a rental cost budget (Fig. 18b). */
+    Optimum isoCostThroughputOptimized(DesignKind kind,
+                                       double cost_budget_per_hour) const;
+
+    /** Least power achieving a target throughput (Fig. 19a). */
+    Optimum isoThroughputPowerOptimized(DesignKind kind,
+                                        double target_rps) const;
+
+    /** Least cost achieving a target throughput (Fig. 19b). */
+    Optimum isoThroughputCostOptimized(DesignKind kind,
+                                       double target_rps) const;
+
+    const Options& options() const { return options_; }
+
+  private:
+    /** Deterministic trace for a load level. */
+    workload::Trace makeTrace(double rps) const;
+
+    /** Best split of a budget across the two pools by unit weights. */
+    Optimum bestUnderBudget(DesignKind kind, double budget,
+                            double prompt_unit, double token_unit) const;
+
+    /** Smallest cluster at a split ratio meeting a target RPS. */
+    int minTotalMachinesAt(DesignKind kind, double prompt_fraction,
+                           double target_rps, int hi_start) const;
+
+    Optimum isoThroughputOptimized(DesignKind kind, double target_rps,
+                                   bool optimize_power) const;
+
+    model::LlmConfig llm_;
+    workload::Workload workload_;
+    Options options_;
+};
+
+}  // namespace splitwise::provision
+
+#endif  // SPLITWISE_PROVISION_PROVISIONER_H_

@@ -1,0 +1,63 @@
+#include "sim/event_queue.h"
+
+#include "sim/log.h"
+
+namespace splitwise::sim {
+
+EventId
+EventQueue::schedule(TimeUs time, std::function<void()> action, int priority)
+{
+    Event ev;
+    ev.time = time;
+    ev.priority = priority;
+    ev.id = nextId_++;
+    ev.action = std::move(action);
+    const EventId id = ev.id;
+    heap_.push(std::move(ev));
+    live_.insert(id);
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Only a still-pending event can be cancelled; executed or
+    // already-cancelled ids are ignored.
+    if (live_.erase(id) > 0)
+        cancelled_.insert(id);
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end())
+            break;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+TimeUs
+EventQueue::nextTime() const
+{
+    skipDead();
+    return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+Event
+EventQueue::pop()
+{
+    skipDead();
+    if (heap_.empty())
+        panic("EventQueue::pop on empty queue");
+    // priority_queue::top returns const&; the event is copied out and
+    // then popped. (A move would break heap invariants mid-flight.)
+    Event ev = heap_.top();
+    heap_.pop();
+    live_.erase(ev.id);
+    return ev;
+}
+
+}  // namespace splitwise::sim

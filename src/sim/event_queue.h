@@ -1,0 +1,97 @@
+#ifndef SPLITWISE_SIM_EVENT_QUEUE_H_
+#define SPLITWISE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace splitwise::sim {
+
+/** Opaque handle identifying a scheduled event, used to cancel it. */
+using EventId = std::uint64_t;
+
+/**
+ * A discrete event pending execution.
+ *
+ * Events carry an arbitrary callback. Ordering is by (time, priority,
+ * insertion sequence): lower priority values run first at equal
+ * timestamps, and ties beyond that preserve scheduling order, which
+ * keeps the simulation fully deterministic.
+ */
+struct Event {
+    TimeUs time = 0;
+    int priority = 0;
+    EventId id = 0;
+    std::function<void()> action;
+};
+
+/**
+ * A deterministic discrete-event priority queue.
+ *
+ * Supports O(log n) schedule/pop and lazy cancellation: cancelled
+ * entries are dropped when they surface at the heap top, so memory
+ * stays proportional to the number of pending events.
+ */
+class EventQueue {
+  public:
+    /**
+     * Schedule an action at an absolute simulated time.
+     *
+     * @param time Absolute timestamp.
+     * @param action Callback to execute.
+     * @param priority Tie-break at equal times; lower runs first.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(TimeUs time, std::function<void()> action, int priority = 0);
+
+    /** Cancel a pending event. Cancelling a completed event is a no-op. */
+    void cancel(EventId id);
+
+    /** True when no live (non-cancelled) events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live pending events. */
+    std::size_t size() const { return live_.size(); }
+
+    /** Timestamp of the earliest live event; kTimeNever when empty. */
+    TimeUs nextTime() const;
+
+    /**
+     * Pop and return the earliest live event.
+     *
+     * @pre !empty()
+     */
+    Event pop();
+
+    /** Total events ever scheduled (statistics/debugging). */
+    std::uint64_t scheduledCount() const { return nextId_; }
+
+  private:
+    struct EventLater {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the heap top. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> live_;
+    EventId nextId_ = 0;
+};
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_EVENT_QUEUE_H_

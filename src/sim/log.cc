@@ -1,0 +1,74 @@
+#include "sim/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace splitwise::sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+Log::setLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+Log::level()
+{
+    return g_level;
+}
+
+void
+Log::write(LogLevel level, const std::string& msg)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+inform(const std::string& msg)
+{
+    Log::write(LogLevel::kInfo, msg);
+}
+
+void
+warn(const std::string& msg)
+{
+    Log::write(LogLevel::kWarn, msg);
+}
+
+void
+fatal(const std::string& msg)
+{
+    Log::write(LogLevel::kError, "fatal: " + msg);
+    throw std::runtime_error(msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    Log::write(LogLevel::kError, "panic: " + msg);
+    std::abort();
+}
+
+}  // namespace splitwise::sim

@@ -1,0 +1,59 @@
+#ifndef SPLITWISE_SIM_LOG_H_
+#define SPLITWISE_SIM_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace splitwise::sim {
+
+/** Severity levels for simulator log output. */
+enum class LogLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/**
+ * Minimal logging facility in the spirit of gem5's inform()/warn()/
+ * fatal()/panic() split.
+ *
+ * fatal() reports a user-caused error (bad configuration, invalid
+ * arguments) and throws std::runtime_error so callers and tests can
+ * recover. panic() reports an internal invariant violation and
+ * aborts.
+ */
+class Log {
+  public:
+    /** Set the global minimum severity that gets printed. */
+    static void setLevel(LogLevel level);
+
+    /** Current global minimum severity. */
+    static LogLevel level();
+
+    /** Emit a message at the given level to stderr. */
+    static void write(LogLevel level, const std::string& msg);
+};
+
+/** Log an informational message. */
+void inform(const std::string& msg);
+
+/** Log a warning: something suspicious but survivable. */
+void warn(const std::string& msg);
+
+/**
+ * Report an unrecoverable user error (bad config, invalid argument).
+ *
+ * @throws std::runtime_error always.
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_LOG_H_

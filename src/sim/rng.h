@@ -1,0 +1,82 @@
+#ifndef SPLITWISE_SIM_RNG_H_
+#define SPLITWISE_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace splitwise::sim {
+
+/**
+ * Deterministic random-number source for simulation components.
+ *
+ * Wraps a seeded mt19937_64 and exposes the handful of draw shapes
+ * the simulator needs. Every stochastic component takes an explicit
+ * Rng (or seed) so whole-cluster runs are reproducible bit-for-bit.
+ */
+class Rng {
+  public:
+    /** Construct with an explicit seed. */
+    explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(gen_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+    }
+
+    /** Exponential draw with the given rate (events per unit time). */
+    double
+    exponential(double rate)
+    {
+        return std::exponential_distribution<double>(rate)(gen_);
+    }
+
+    /** Normal draw. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(gen_);
+    }
+
+    /** Log-normal draw with the given parameters of log-space. */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::lognormal_distribution<double>(mu, sigma)(gen_);
+    }
+
+    /** Bernoulli draw. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /** Access the underlying engine for std distributions. */
+    std::mt19937_64& engine() { return gen_; }
+
+    /** Derive an independent child stream (for per-component seeding). */
+    Rng
+    fork()
+    {
+        return Rng(gen_());
+    }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_RNG_H_

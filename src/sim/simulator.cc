@@ -1,0 +1,60 @@
+#include "sim/simulator.h"
+
+#include <string>
+
+#include "sim/log.h"
+
+namespace splitwise::sim {
+
+EventId
+Simulator::schedule(TimeUs time, std::function<void()> action, int priority)
+{
+    if (time < now_) {
+        panic("Simulator::schedule at t=" + std::to_string(time) +
+              "us, before now=" + std::to_string(now_) + "us");
+    }
+    return queue_.schedule(time, std::move(action), priority);
+}
+
+EventId
+Simulator::scheduleAfter(TimeUs delay, std::function<void()> action, int priority)
+{
+    if (delay < 0)
+        panic("Simulator::scheduleAfter with negative delay");
+    return schedule(now_ + delay, std::move(action), priority);
+}
+
+std::uint64_t
+Simulator::run(TimeUs until)
+{
+    std::uint64_t ran = 0;
+    stopRequested_ = false;
+    while (!queue_.empty() && !stopRequested_) {
+        if (queue_.nextTime() > until)
+            break;
+        Event ev = queue_.pop();
+        now_ = ev.time;
+        ev.action();
+        ++ran;
+        ++executed_;
+    }
+    // Advancing the clock to the horizon keeps back-to-back run()
+    // calls with increasing horizons consistent even when idle.
+    if (until != kTimeNever && now_ < until && queue_.nextTime() > until)
+        now_ = until;
+    return ran;
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed_;
+    return true;
+}
+
+}  // namespace splitwise::sim

@@ -1,0 +1,78 @@
+#ifndef SPLITWISE_SIM_SIMULATOR_H_
+#define SPLITWISE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace splitwise::sim {
+
+/**
+ * The discrete-event simulation driver.
+ *
+ * Owns the simulated clock and the event queue. Components schedule
+ * callbacks at absolute or relative times; run() executes events in
+ * deterministic order until the queue drains or a stop condition
+ * fires.
+ */
+class Simulator {
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulated time. */
+    TimeUs now() const { return now_; }
+
+    /**
+     * Schedule an action at an absolute time.
+     *
+     * Scheduling in the past is an internal error (panic).
+     */
+    EventId schedule(TimeUs time, std::function<void()> action, int priority = 0);
+
+    /** Schedule an action @p delay microseconds from now. */
+    EventId scheduleAfter(TimeUs delay, std::function<void()> action, int priority = 0);
+
+    /** Cancel a pending event; no-op if already executed. */
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /**
+     * Run until the event queue drains or simulated time exceeds
+     * @p until.
+     *
+     * @param until Inclusive time horizon; events stamped later stay
+     *     queued. Defaults to "run to completion".
+     * @return Number of events executed by this call.
+     */
+    std::uint64_t run(TimeUs until = kTimeNever);
+
+    /**
+     * Execute exactly one event if one is pending.
+     *
+     * @return true if an event ran.
+     */
+    bool step();
+
+    /** Request that run() return after the current event completes. */
+    void requestStop() { stopRequested_ = true; }
+
+    /** Number of live pending events. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events executed over the simulator's lifetime. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    EventQueue queue_;
+    TimeUs now_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopRequested_ = false;
+};
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_SIMULATOR_H_

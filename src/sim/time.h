@@ -1,0 +1,35 @@
+#ifndef SPLITWISE_SIM_TIME_H_
+#define SPLITWISE_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace splitwise::sim {
+
+/**
+ * Simulated time, in integer microseconds.
+ *
+ * All simulator components express time as TimeUs. Integer
+ * microseconds give deterministic event ordering (no floating-point
+ * comparison hazards) while remaining fine-grained enough for the
+ * millisecond-scale LLM iteration latencies modelled here.
+ */
+using TimeUs = std::int64_t;
+
+/** A far-future sentinel used for "never" deadlines. */
+inline constexpr TimeUs kTimeNever = INT64_MAX;
+
+/** Convert seconds to simulated microseconds (rounding to nearest). */
+constexpr TimeUs secondsToUs(double s) { return static_cast<TimeUs>(s * 1e6 + 0.5); }
+
+/** Convert milliseconds to simulated microseconds (rounding to nearest). */
+constexpr TimeUs msToUs(double ms) { return static_cast<TimeUs>(ms * 1e3 + 0.5); }
+
+/** Convert simulated microseconds to seconds. */
+constexpr double usToSeconds(TimeUs t) { return static_cast<double>(t) * 1e-6; }
+
+/** Convert simulated microseconds to milliseconds. */
+constexpr double usToMs(TimeUs t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_TIME_H_

@@ -1,0 +1,74 @@
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace splitwise::workload {
+
+std::int64_t
+TokenDistribution::sample(sim::Rng& rng) const
+{
+    return std::max<std::int64_t>(1, quantile(rng.uniform()));
+}
+
+EmpiricalDistribution::EmpiricalDistribution(
+    std::vector<std::pair<double, std::int64_t>> anchors)
+{
+    if (anchors.size() < 2)
+        sim::fatal("EmpiricalDistribution: need at least 2 anchors");
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+        if (i > 0 && anchors[i].first <= anchors[i - 1].first)
+            sim::fatal("EmpiricalDistribution: probabilities must increase");
+        probs_.push_back(anchors[i].first);
+        tokens_.push_back(static_cast<double>(anchors[i].second));
+    }
+    if (probs_.front() > 1e-12 || probs_.back() < 1.0 - 1e-12)
+        sim::fatal("EmpiricalDistribution: anchors must span [0, 1]");
+}
+
+std::int64_t
+EmpiricalDistribution::quantile(double q) const
+{
+    const double qc = std::clamp(q, 0.0, 1.0);
+    const auto it = std::upper_bound(probs_.begin(), probs_.end(), qc);
+    if (it == probs_.begin())
+        return static_cast<std::int64_t>(tokens_.front());
+    if (it == probs_.end())
+        return static_cast<std::int64_t>(tokens_.back());
+    const std::size_t i = static_cast<std::size_t>(it - probs_.begin()) - 1;
+    const double t = (qc - probs_[i]) / (probs_[i + 1] - probs_[i]);
+    const double v = tokens_[i] + t * (tokens_[i + 1] - tokens_[i]);
+    return static_cast<std::int64_t>(std::llround(v));
+}
+
+MixtureDistribution::MixtureDistribution(std::shared_ptr<TokenDistribution> a,
+                                         std::shared_ptr<TokenDistribution> b,
+                                         double weight_a)
+    : a_(std::move(a)), b_(std::move(b)), weightA_(weight_a)
+{
+    if (weightA_ < 0.0 || weightA_ > 1.0)
+        sim::fatal("MixtureDistribution: weight must be in [0, 1]");
+}
+
+std::int64_t
+MixtureDistribution::quantile(double q) const
+{
+    // Exact mixture quantiles require CDF inversion; a component-wise
+    // approximation suffices for plotting: below the weight boundary
+    // report component A's stretched quantile, above it B's.
+    if (q <= weightA_ && weightA_ > 0.0)
+        return a_->quantile(q / weightA_);
+    if (weightA_ >= 1.0)
+        return a_->quantile(q);
+    return b_->quantile((q - weightA_) / (1.0 - weightA_));
+}
+
+std::int64_t
+MixtureDistribution::sample(sim::Rng& rng) const
+{
+    return rng.bernoulli(weightA_) ? a_->sample(rng) : b_->sample(rng);
+}
+
+}  // namespace splitwise::workload

@@ -1,0 +1,91 @@
+#ifndef SPLITWISE_WORKLOAD_DISTRIBUTION_H_
+#define SPLITWISE_WORKLOAD_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace splitwise::workload {
+
+/**
+ * A distribution over token counts (prompt or output sizes).
+ *
+ * Implementations provide inverse-CDF sampling so traces can be
+ * generated deterministically from a seeded Rng, plus quantile
+ * queries for plotting CDFs (Fig. 3).
+ */
+class TokenDistribution {
+  public:
+    virtual ~TokenDistribution() = default;
+
+    /** Token count at cumulative probability @p q in [0, 1]. */
+    virtual std::int64_t quantile(double q) const = 0;
+
+    /** Draw a sample (>= 1 token). */
+    virtual std::int64_t sample(sim::Rng& rng) const;
+
+    /** Median token count. */
+    std::int64_t median() const { return quantile(0.5); }
+};
+
+/**
+ * Piecewise-linear inverse CDF through (probability, tokens) anchor
+ * points. This is how the paper's published trace distributions are
+ * reconstructed from their reported quantiles.
+ */
+class EmpiricalDistribution : public TokenDistribution {
+  public:
+    /**
+     * @param anchors (cumulative probability, token count) pairs;
+     *     probabilities strictly increasing and covering [0, 1].
+     */
+    explicit EmpiricalDistribution(
+        std::vector<std::pair<double, std::int64_t>> anchors);
+
+    std::int64_t quantile(double q) const override;
+
+  private:
+    std::vector<double> probs_;
+    std::vector<double> tokens_;
+};
+
+/** Degenerate distribution: always the same token count. */
+class FixedDistribution : public TokenDistribution {
+  public:
+    explicit FixedDistribution(std::int64_t tokens) : tokens_(tokens) {}
+
+    std::int64_t quantile(double) const override { return tokens_; }
+
+  private:
+    std::int64_t tokens_;
+};
+
+/**
+ * Mixture of two component distributions, used for the
+ * conversation service's bimodal output-length distribution
+ * (Fig. 3b).
+ */
+class MixtureDistribution : public TokenDistribution {
+  public:
+    /**
+     * @param weight_a Probability mass of component @p a.
+     */
+    MixtureDistribution(std::shared_ptr<TokenDistribution> a,
+                        std::shared_ptr<TokenDistribution> b,
+                        double weight_a);
+
+    std::int64_t quantile(double q) const override;
+    std::int64_t sample(sim::Rng& rng) const override;
+
+  private:
+    std::shared_ptr<TokenDistribution> a_;
+    std::shared_ptr<TokenDistribution> b_;
+    double weightA_;
+};
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_DISTRIBUTION_H_

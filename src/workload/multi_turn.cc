@@ -1,0 +1,90 @@
+#include "workload/multi_turn.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace splitwise::workload {
+
+MultiTurnConfig
+defaultMultiTurnConfig()
+{
+    MultiTurnConfig config;
+    config.userTokens = std::make_shared<EmpiricalDistribution>(
+        std::vector<std::pair<double, std::int64_t>>{
+            {0.00, 8},
+            {0.50, 120},
+            {0.90, 600},
+            {1.00, 2000},
+        });
+    config.outputTokens = std::make_shared<EmpiricalDistribution>(
+        std::vector<std::pair<double, std::int64_t>>{
+            {0.00, 1},
+            {0.50, 129},
+            {0.90, 450},
+            {1.00, 900},
+        });
+    return config;
+}
+
+MultiTurnTraceGenerator::MultiTurnTraceGenerator(MultiTurnConfig config,
+                                                 std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed)
+{
+    if (!config_.userTokens || !config_.outputTokens)
+        sim::fatal("MultiTurnTraceGenerator: missing distributions");
+    if (config_.minTurns < 1 || config_.maxTurns < config_.minTurns)
+        sim::fatal("MultiTurnTraceGenerator: bad turn bounds");
+    if (config_.maxContextTokens < 1)
+        sim::fatal("MultiTurnTraceGenerator: bad context cap");
+}
+
+Trace
+MultiTurnTraceGenerator::generate(double sessions_per_s, sim::TimeUs duration)
+{
+    if (sessions_per_s <= 0.0)
+        sim::fatal("MultiTurnTraceGenerator: rate must be positive");
+
+    Trace trace;
+    lastSessions_ = 0;
+    double session_start_s = 0.0;
+    const double horizon_s = sim::usToSeconds(duration);
+    while (true) {
+        session_start_s += rng_.exponential(sessions_per_s);
+        if (session_start_s >= horizon_s)
+            break;
+        ++lastSessions_;
+
+        const int turns = static_cast<int>(
+            rng_.uniformInt(config_.minTurns, config_.maxTurns));
+        double t_s = session_start_s;
+        std::int64_t context = 0;
+        for (int turn = 0; turn < turns; ++turn) {
+            const std::int64_t user = config_.userTokens->sample(rng_);
+            const std::int64_t output = config_.outputTokens->sample(rng_);
+            // Chat APIs resend the whole context: prior prompts and
+            // outputs plus the new user message (capped at the API
+            // context limit).
+            context = std::min(context + user, config_.maxContextTokens);
+            Request r;
+            r.id = nextId_++;
+            r.arrival = sim::secondsToUs(t_s);
+            r.promptTokens = context;
+            r.outputTokens = output;
+            trace.push_back(r);
+            context = std::min(context + output, config_.maxContextTokens);
+            // The user reads the reply, then types the next turn.
+            t_s += sim::usToSeconds(sim::msToUs(50.0)) +
+                   rng_.exponential(1.0 / config_.thinkTimeMeanS);
+        }
+    }
+
+    std::sort(trace.begin(), trace.end(),
+              [](const Request& a, const Request& b) {
+                  return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                : a.id < b.id;
+              });
+    return trace;
+}
+
+}  // namespace splitwise::workload

@@ -1,0 +1,67 @@
+#ifndef SPLITWISE_WORKLOAD_MULTI_TURN_H_
+#define SPLITWISE_WORKLOAD_MULTI_TURN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/distribution.h"
+#include "workload/trace.h"
+
+namespace splitwise::workload {
+
+/**
+ * Multi-turn chat sessions (paper SVII, "conversation back and
+ * forth"): chat APIs resend the complete context on every turn, so a
+ * session's prompt grows by the previous turn's prompt, its output,
+ * and the new user message. Later turns are therefore increasingly
+ * prompt-heavy - the regime the paper expects to further favour
+ * phase splitting.
+ */
+struct MultiTurnConfig {
+    /** Turns per session, uniform in [minTurns, maxTurns]. */
+    int minTurns = 2;
+    int maxTurns = 6;
+    /** New user tokens added each turn. */
+    std::shared_ptr<TokenDistribution> userTokens;
+    /** Assistant output tokens per turn. */
+    std::shared_ptr<TokenDistribution> outputTokens;
+    /** Mean user think time between turns, seconds (exponential). */
+    double thinkTimeMeanS = 20.0;
+    /** Cap on a session's resent context, tokens (API limit). */
+    std::int64_t maxContextTokens = 16384;
+};
+
+/** A default configuration shaped like the conversation service. */
+MultiTurnConfig defaultMultiTurnConfig();
+
+/**
+ * Generates request traces of interleaved multi-turn sessions with
+ * Poisson session arrivals. Each turn is one inference request whose
+ * prompt is the session's full accumulated context.
+ */
+class MultiTurnTraceGenerator {
+  public:
+    MultiTurnTraceGenerator(MultiTurnConfig config, std::uint64_t seed);
+
+    /**
+     * Generate a trace of sessions arriving at @p sessions_per_s
+     * over @p duration. Turns may land after the horizon (think
+     * time); the trace is sorted by arrival.
+     */
+    Trace generate(double sessions_per_s, sim::TimeUs duration);
+
+    /** Sessions produced by the last generate() call. */
+    std::size_t lastSessionCount() const { return lastSessions_; }
+
+  private:
+    MultiTurnConfig config_;
+    sim::Rng rng_;
+    std::uint64_t nextId_ = 0;
+    std::size_t lastSessions_ = 0;
+};
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_MULTI_TURN_H_

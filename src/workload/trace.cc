@@ -1,0 +1,65 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace splitwise::workload {
+
+double
+traceRps(const Trace& trace)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    const double span = sim::usToSeconds(traceSpan(trace));
+    return span > 0.0 ? static_cast<double>(trace.size()) / span : 0.0;
+}
+
+sim::TimeUs
+traceSpan(const Trace& trace)
+{
+    if (trace.empty())
+        return 0;
+    return trace.back().arrival - trace.front().arrival;
+}
+
+void
+writeCsv(const Trace& trace, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("writeCsv: cannot open " + path);
+    out << "id,arrival_us,prompt_tokens,output_tokens\n";
+    for (const auto& r : trace) {
+        out << r.id << ',' << r.arrival << ',' << r.promptTokens << ','
+            << r.outputTokens << '\n';
+    }
+}
+
+Trace
+readCsv(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("readCsv: cannot open " + path);
+    Trace trace;
+    std::string line;
+    if (!std::getline(in, line))
+        sim::fatal("readCsv: empty file " + path);
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        Request r;
+        char comma = 0;
+        if (!(row >> r.id >> comma >> r.arrival >> comma >> r.promptTokens >>
+              comma >> r.outputTokens)) {
+            sim::fatal("readCsv: malformed row in " + path + ": " + line);
+        }
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+}  // namespace splitwise::workload

@@ -1,0 +1,48 @@
+#ifndef SPLITWISE_WORKLOAD_TRACE_H_
+#define SPLITWISE_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace splitwise::workload {
+
+/**
+ * One inference request, in the format of the Azure LLM inference
+ * trace release: arrival time plus input and output token counts
+ * (the trace does not include prompt text; SIII).
+ */
+struct Request {
+    std::uint64_t id = 0;
+    sim::TimeUs arrival = 0;
+    std::int64_t promptTokens = 0;
+    std::int64_t outputTokens = 0;
+};
+
+/** A request trace sorted by arrival time. */
+using Trace = std::vector<Request>;
+
+/** Mean request rate of a trace over its span, requests/s. */
+double traceRps(const Trace& trace);
+
+/** Duration from first to last arrival. */
+sim::TimeUs traceSpan(const Trace& trace);
+
+/**
+ * Write a trace as CSV with header
+ * `id,arrival_us,prompt_tokens,output_tokens`.
+ */
+void writeCsv(const Trace& trace, const std::string& path);
+
+/**
+ * Read a trace written by writeCsv.
+ *
+ * @throws std::runtime_error on malformed rows (via sim::fatal).
+ */
+Trace readCsv(const std::string& path);
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_TRACE_H_

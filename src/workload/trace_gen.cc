@@ -1,0 +1,50 @@
+#include "workload/trace_gen.h"
+
+#include "sim/log.h"
+
+namespace splitwise::workload {
+
+TraceGenerator::TraceGenerator(Workload workload, std::uint64_t seed)
+    : workload_(std::move(workload)), rng_(seed)
+{
+}
+
+Request
+TraceGenerator::makeRequest(sim::TimeUs arrival)
+{
+    Request r;
+    r.id = nextId_++;
+    r.arrival = arrival;
+    r.promptTokens = workload_.promptTokens->sample(rng_);
+    r.outputTokens = workload_.outputTokens->sample(rng_);
+    return r;
+}
+
+Trace
+TraceGenerator::generate(double rps, sim::TimeUs duration)
+{
+    if (rps <= 0.0)
+        sim::fatal("TraceGenerator: rps must be positive");
+    Trace trace;
+    double t_s = 0.0;
+    const double horizon_s = sim::usToSeconds(duration);
+    while (true) {
+        t_s += rng_.exponential(rps);
+        if (t_s >= horizon_s)
+            break;
+        trace.push_back(makeRequest(sim::secondsToUs(t_s)));
+    }
+    return trace;
+}
+
+Trace
+TraceGenerator::generateUniform(std::size_t count, sim::TimeUs interval)
+{
+    Trace trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        trace.push_back(makeRequest(static_cast<sim::TimeUs>(i) * interval));
+    return trace;
+}
+
+}  // namespace splitwise::workload

@@ -1,0 +1,50 @@
+#ifndef SPLITWISE_WORKLOAD_TRACE_GEN_H_
+#define SPLITWISE_WORKLOAD_TRACE_GEN_H_
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/trace.h"
+#include "workload/workloads.h"
+
+namespace splitwise::workload {
+
+/**
+ * Generates request traces from a workload's token distributions
+ * with Poisson arrivals - the paper tunes the Poisson rate to sweep
+ * cluster load (SV-B).
+ */
+class TraceGenerator {
+  public:
+    /**
+     * @param workload Token size distributions to sample.
+     * @param seed Seed for the deterministic sampling stream.
+     */
+    TraceGenerator(Workload workload, std::uint64_t seed);
+
+    /**
+     * Generate a trace with Poisson arrivals.
+     *
+     * @param rps Mean arrival rate, requests/s (> 0).
+     * @param duration Trace length in simulated time.
+     */
+    Trace generate(double rps, sim::TimeUs duration);
+
+    /**
+     * Generate @p count requests arriving at a fixed interval
+     * (useful for deterministic tests and characterization runs).
+     */
+    Trace generateUniform(std::size_t count, sim::TimeUs interval);
+
+  private:
+    Request makeRequest(sim::TimeUs arrival);
+
+    Workload workload_;
+    sim::Rng rng_;
+    std::uint64_t nextId_ = 0;
+};
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_TRACE_GEN_H_

@@ -1,0 +1,39 @@
+#ifndef SPLITWISE_WORKLOAD_WORKLOADS_H_
+#define SPLITWISE_WORKLOAD_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+
+#include "workload/distribution.h"
+
+namespace splitwise::workload {
+
+/**
+ * A named inference service workload: the joint distribution of
+ * prompt and output token counts (paper Fig. 3).
+ */
+struct Workload {
+    std::string name;
+    std::shared_ptr<TokenDistribution> promptTokens;
+    std::shared_ptr<TokenDistribution> outputTokens;
+};
+
+/**
+ * The coding service (paper SIII-A): large prompts (whole files of
+ * context, median 1500 tokens), tiny outputs (next few words,
+ * median 13 tokens).
+ */
+const Workload& coding();
+
+/**
+ * The conversation service: wide prompt range (median 1020 tokens),
+ * bimodal outputs (median 129 tokens).
+ */
+const Workload& conversation();
+
+/** Look up a workload by name ("coding" or "conversation"). */
+const Workload& workloadByName(const std::string& name);
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_WORKLOADS_H_

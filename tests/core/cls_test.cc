@@ -1,0 +1,179 @@
+#include "core/cls.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/designs.h"
+#include "model/llm_config.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace splitwise::core {
+namespace {
+
+/**
+ * CLS behaviour is exercised through small clusters: routing,
+ * JSQ balance, mixed-pool overflow, and pool-return transitions.
+ */
+workload::Trace
+uniformTrace(std::size_t count, double interval_s, std::int64_t prompt,
+             std::int64_t output)
+{
+    workload::Trace trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.push_back({i, sim::secondsToUs(i * interval_s), prompt,
+                         output});
+    }
+    return trace;
+}
+
+TEST(ClsTest, PoolNames)
+{
+    EXPECT_STREQ(poolTypeName(PoolType::kPrompt), "prompt");
+    EXPECT_STREQ(poolTypeName(PoolType::kToken), "token");
+    EXPECT_STREQ(poolTypeName(PoolType::kMixed), "mixed");
+}
+
+TEST(ClsTest, SplitwiseMachinesStartInTheirPools)
+{
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 3));
+    const auto& cls = cluster.scheduler();
+    EXPECT_EQ(cls.poolOf(0), PoolType::kPrompt);
+    EXPECT_EQ(cls.poolOf(1), PoolType::kPrompt);
+    EXPECT_EQ(cls.poolOf(2), PoolType::kToken);
+    EXPECT_EQ(cls.originOf(4), PoolType::kToken);
+}
+
+TEST(ClsTest, BaselineMachinesAreMixed)
+{
+    Cluster cluster(model::llama2_70b(), baselineH100(3));
+    EXPECT_EQ(cluster.scheduler().poolOf(0), PoolType::kMixed);
+    EXPECT_EQ(cluster.scheduler().originOf(0), PoolType::kMixed);
+}
+
+TEST(ClsTest, JsqSpreadsPromptLoad)
+{
+    // Back-to-back arrivals while machines are busy: JSQ must not
+    // pile every prompt on machine 0.
+    const auto trace = uniformTrace(16, 0.01, 1500, 4);
+    Cluster cluster(model::llama2_70b(), splitwiseHH(4, 1));
+    const RunReport report = cluster.run(trace);
+    EXPECT_EQ(report.requests.completed(), 16u);
+    int busy_prompt_machines = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (cluster.machines()[static_cast<std::size_t>(i)]
+                ->stats()
+                .promptTokensProcessed > 0) {
+            ++busy_prompt_machines;
+        }
+    }
+    EXPECT_GE(busy_prompt_machines, 3);
+}
+
+TEST(ClsTest, NoOverflowAtLowLoad)
+{
+    const auto trace = uniformTrace(10, 0.5, 1000, 8);
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 2));
+    const RunReport report = cluster.run(trace);
+    EXPECT_EQ(report.mixedRoutes, 0u);
+    EXPECT_EQ(report.poolTransitions, 0u);
+}
+
+TEST(ClsTest, PromptBurstOverflowsIntoTokenPool)
+{
+    // A simultaneous burst of huge prompts swamps the single prompt
+    // machine far past the overflow threshold; the CLS must pull the
+    // token machines into the mixed pool.
+    workload::Trace trace;
+    for (int i = 0; i < 24; ++i)
+        trace.push_back({static_cast<std::uint64_t>(i), 0, 6000, 2});
+    SimConfig config;
+    config.cls.promptOverflowTokens = 8000;
+    Cluster cluster(model::llama2_70b(), splitwiseHH(1, 3), config);
+    const RunReport report = cluster.run(trace);
+    EXPECT_EQ(report.requests.completed(), 24u);
+    EXPECT_GT(report.mixedRoutes, 0u);
+    EXPECT_GT(report.poolTransitions, 0u);
+    // Overflowed requests ran both phases on the pulled machine, so
+    // token machines did prompt work.
+    std::int64_t token_pool_prompts = 0;
+    for (std::size_t i = 1; i < 4; ++i)
+        token_pool_prompts +=
+            cluster.machines()[i]->stats().promptTokensProcessed;
+    EXPECT_GT(token_pool_prompts, 0);
+}
+
+TEST(ClsTest, MixedMachinesReturnToOriginPool)
+{
+    workload::Trace trace;
+    for (int i = 0; i < 24; ++i)
+        trace.push_back({static_cast<std::uint64_t>(i), 0, 6000, 2});
+    SimConfig config;
+    config.cls.promptOverflowTokens = 8000;
+    Cluster cluster(model::llama2_70b(), splitwiseHH(1, 3), config);
+    cluster.run(trace);
+    // After the run drains, every machine is back in its origin pool.
+    for (int id = 0; id < 4; ++id) {
+        EXPECT_EQ(cluster.scheduler().poolOf(id),
+                  cluster.scheduler().originOf(id))
+            << "machine " << id;
+    }
+}
+
+TEST(ClsTest, RepurposingSwapsOrigin)
+{
+    workload::Trace trace;
+    for (int i = 0; i < 40; ++i)
+        trace.push_back({static_cast<std::uint64_t>(i), 0, 6000, 30});
+    SimConfig config;
+    config.cls.promptOverflowTokens = 4000;
+    config.cls.repurposeAfterUs = sim::msToUs(200);
+    Cluster cluster(model::llama2_70b(), splitwiseHH(1, 3), config);
+    const RunReport report = cluster.run(trace);
+    EXPECT_EQ(report.requests.completed(), 40u);
+    EXPECT_GT(cluster.scheduler().repurposings(), 0u);
+}
+
+TEST(ClsTest, RandomRoutingWorksButSpreadsWorse)
+{
+    // Ablation hook: random routing completes everything, but JSQ
+    // keeps the TTFT tail tighter under bursty load.
+    const auto trace = uniformTrace(40, 0.02, 1500, 10);
+    SimConfig random_cfg;
+    random_cfg.cls.routing = RoutingPolicy::kRandom;
+    Cluster jsq(model::llama2_70b(), splitwiseHH(4, 2));
+    Cluster random(model::llama2_70b(), splitwiseHH(4, 2), random_cfg);
+    const RunReport a = jsq.run(trace);
+    const RunReport b = random.run(trace);
+    EXPECT_EQ(a.requests.completed(), 40u);
+    EXPECT_EQ(b.requests.completed(), 40u);
+    EXPECT_LE(a.requests.ttftMs().p90(), b.requests.ttftMs().p90() * 1.05);
+}
+
+TEST(ClsTest, RandomRoutingDeterministicPerSeed)
+{
+    const auto trace = uniformTrace(30, 0.05, 1000, 10);
+    auto run_once = [&] {
+        SimConfig config;
+        config.cls.routing = RoutingPolicy::kRandom;
+        config.cls.routingSeed = 99;
+        Cluster cluster(model::llama2_70b(), splitwiseHH(3, 2), config);
+        return cluster.run(trace);
+    };
+    const RunReport a = run_once();
+    const RunReport b = run_once();
+    EXPECT_DOUBLE_EQ(a.requests.e2eMs().mean(), b.requests.e2eMs().mean());
+}
+
+TEST(ClsTest, BaselineRoutesWholeRequestsByLoad)
+{
+    const auto trace = uniformTrace(12, 0.05, 1500, 30);
+    Cluster cluster(model::llama2_70b(), baselineH100(3));
+    const RunReport report = cluster.run(trace);
+    EXPECT_EQ(report.requests.completed(), 12u);
+    for (const auto& m : cluster.machines())
+        EXPECT_GT(m->stats().tokensGenerated, 0);
+}
+
+}  // namespace
+}  // namespace splitwise::core

@@ -1,0 +1,62 @@
+#include "core/designs.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::core {
+namespace {
+
+TEST(DesignsTest, BaselinesAreNotSplitwise)
+{
+    EXPECT_FALSE(baselineA100(4).splitwise);
+    EXPECT_FALSE(baselineH100(4).splitwise);
+    EXPECT_EQ(baselineA100(4).numPrompt, 4);
+    EXPECT_EQ(baselineA100(4).numToken, 0);
+}
+
+TEST(DesignsTest, SplitwiseVariantsCarryTableVSpecs)
+{
+    const ClusterDesign aa = splitwiseAA(3, 2);
+    EXPECT_TRUE(aa.splitwise);
+    EXPECT_EQ(aa.promptSpec.name, "DGX-A100");
+    EXPECT_EQ(aa.tokenSpec.name, "DGX-A100");
+
+    const ClusterDesign ha = splitwiseHA(3, 2);
+    EXPECT_EQ(ha.promptSpec.name, "DGX-H100");
+    EXPECT_EQ(ha.tokenSpec.name, "DGX-A100");
+
+    const ClusterDesign hhcap = splitwiseHHcap(3, 2);
+    EXPECT_DOUBLE_EQ(hhcap.promptSpec.gpuPowerCapFraction, 1.0);
+    EXPECT_DOUBLE_EQ(hhcap.tokenSpec.gpuPowerCapFraction, 0.5);
+}
+
+TEST(DesignsTest, MachineCountSums)
+{
+    EXPECT_EQ(splitwiseHH(27, 3).machines(), 30);
+}
+
+TEST(DesignsTest, FootprintAggregates)
+{
+    const ClusterDesign ha = splitwiseHA(2, 3);
+    const hw::FleetFootprint f = ha.footprint();
+    EXPECT_EQ(f.machines, 5);
+    EXPECT_DOUBLE_EQ(f.costPerHour, 2 * 38.0 + 3 * 17.6);
+}
+
+TEST(DesignsTest, HHcapTokenPoolDrawsLessPower)
+{
+    const auto capped = splitwiseHHcap(1, 1).footprint();
+    const auto uncapped = splitwiseHH(1, 1).footprint();
+    EXPECT_LT(capped.powerWatts, uncapped.powerWatts);
+}
+
+TEST(DesignsTest, WithCountsPreservesEverythingElse)
+{
+    const ClusterDesign d = splitwiseHA(2, 3).withCounts(10, 20);
+    EXPECT_EQ(d.numPrompt, 10);
+    EXPECT_EQ(d.numToken, 20);
+    EXPECT_EQ(d.name, "Splitwise-HA");
+    EXPECT_TRUE(d.splitwise);
+}
+
+}  // namespace
+}  // namespace splitwise::core

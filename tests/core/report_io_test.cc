@@ -1,0 +1,98 @@
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/designs.h"
+#include "model/llm_config.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace splitwise::core {
+namespace {
+
+RunReport
+smallRun()
+{
+    workload::TraceGenerator gen(workload::conversation(), 8);
+    const auto trace = gen.generate(3.0, sim::secondsToUs(10));
+    Cluster cluster(model::llama2_70b(), splitwiseHH(1, 1));
+    return cluster.run(trace);
+}
+
+TEST(ReportIoTest, JsonContainsAllSections)
+{
+    const RunReport report = smallRun();
+    const std::string json = reportToJson(report);
+    for (const char* key :
+         {"\"design\"", "\"requests\"", "\"pools\"", "\"transfers\"",
+          "\"scheduler\"", "\"ttft_ms\"", "\"tbt_ms\"", "\"e2e_ms\"",
+          "\"prompt\"", "\"token\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    // No SLO section unless one is supplied.
+    EXPECT_EQ(json.find("\"slo\""), std::string::npos);
+}
+
+TEST(ReportIoTest, JsonValuesMatchReport)
+{
+    const RunReport report = smallRun();
+    const std::string json = reportToJson(report);
+    EXPECT_NE(json.find("\"completed\":" +
+                        std::to_string(report.requests.completed())),
+              std::string::npos);
+    EXPECT_NE(json.find("\"count\":" +
+                        std::to_string(report.transfers.transfers)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"machines\":2"), std::string::npos);
+}
+
+TEST(ReportIoTest, SloSectionIncluded)
+{
+    const RunReport report = smallRun();
+    const SloChecker checker(model::llama2_70b());
+    const SloReport slo = checker.evaluate(report.requests, SloSet{});
+    const std::string json = reportToJson(report, &slo);
+    EXPECT_NE(json.find("\"slo\""), std::string::npos);
+    EXPECT_NE(json.find("\"pass\":"), std::string::npos);
+    EXPECT_NE(json.find("\"tbt_slowdown\""), std::string::npos);
+}
+
+TEST(ReportIoTest, BalancedBracesAndQuotes)
+{
+    const RunReport report = smallRun();
+    const SloChecker checker(model::llama2_70b());
+    const SloReport slo = checker.evaluate(report.requests, SloSet{});
+    const std::string json = reportToJson(report, &slo);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportIoTest, WritesFile)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "splitwise_report_test.json";
+    const RunReport report = smallRun();
+    writeReportJson(report, path.string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents.front(), '{');
+    std::filesystem::remove(path);
+}
+
+TEST(ReportIoTest, WriteToBadPathThrows)
+{
+    const RunReport report = smallRun();
+    EXPECT_THROW(writeReportJson(report, "/nonexistent/dir/report.json"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::core

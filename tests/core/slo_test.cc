@@ -1,0 +1,139 @@
+#include "core/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "model/llm_config.h"
+
+namespace splitwise::core {
+namespace {
+
+metrics::RequestResult
+resultWithSlowdown(const SloChecker& checker, std::int64_t prompt,
+                   std::int64_t output, double slowdown)
+{
+    metrics::RequestResult r;
+    r.promptTokens = prompt;
+    r.outputTokens = output;
+    r.ttftMs = checker.refTtftMs(prompt) * slowdown;
+    const std::int64_t ctx = prompt + output / 2;
+    r.tbtMs = checker.refTbtMs(ctx) * slowdown;
+    workload::Request spec;
+    spec.promptTokens = prompt;
+    spec.outputTokens = output;
+    r.e2eMs = checker.refE2eMs(spec) * slowdown;
+    return r;
+}
+
+class SloTest : public ::testing::Test {
+  protected:
+    SloChecker checker_{model::llama2_70b()};
+    SloSet slos_;
+};
+
+TEST_F(SloTest, TableViDefaults)
+{
+    EXPECT_DOUBLE_EQ(slos_.ttft.p50, 2.0);
+    EXPECT_DOUBLE_EQ(slos_.ttft.p90, 3.0);
+    EXPECT_DOUBLE_EQ(slos_.ttft.p99, 6.0);
+    EXPECT_DOUBLE_EQ(slos_.tbt.p50, 1.25);
+    EXPECT_DOUBLE_EQ(slos_.tbt.p99, 5.0);
+    EXPECT_DOUBLE_EQ(slos_.e2e.p50, 1.25);
+}
+
+TEST_F(SloTest, ReferenceIsUncontendedA100)
+{
+    // The reference model prices requests on a DGX-A100 without
+    // contention (Table VI definition).
+    EXPECT_NEAR(checker_.refTtftMs(1500), 185.0, 18.0);
+    EXPECT_NEAR(checker_.refTbtMs(1024), 43.0, 6.0);
+}
+
+TEST_F(SloTest, RefE2eComposesPhases)
+{
+    workload::Request spec;
+    spec.promptTokens = 1000;
+    spec.outputTokens = 100;
+    const double e2e = checker_.refE2eMs(spec);
+    EXPECT_GT(e2e, checker_.refTtftMs(1000));
+    EXPECT_NEAR(e2e,
+                checker_.refTtftMs(1000) + 99 * checker_.refTbtMs(1050),
+                1.0);
+}
+
+TEST_F(SloTest, UncontendedRunPasses)
+{
+    metrics::RequestMetrics m;
+    for (int i = 0; i < 100; ++i)
+        m.add(resultWithSlowdown(checker_, 1000 + i, 50, 1.0));
+    const SloReport report = checker_.evaluate(m, slos_);
+    EXPECT_TRUE(report.pass);
+    EXPECT_TRUE(report.violation.empty());
+    EXPECT_NEAR(report.e2eSlowdown.p50, 1.0, 0.01);
+}
+
+TEST_F(SloTest, MildSlowdownStillPasses)
+{
+    metrics::RequestMetrics m;
+    for (int i = 0; i < 100; ++i)
+        m.add(resultWithSlowdown(checker_, 1000, 50, 1.2));
+    EXPECT_TRUE(checker_.evaluate(m, slos_).pass);
+}
+
+TEST_F(SloTest, MedianViolationFails)
+{
+    metrics::RequestMetrics m;
+    for (int i = 0; i < 100; ++i)
+        m.add(resultWithSlowdown(checker_, 1000, 50, 1.3));
+    const SloReport report = checker_.evaluate(m, slos_);
+    EXPECT_FALSE(report.pass);
+    // TBT and E2E p50 limits (1.25x) are the binding ones.
+    EXPECT_FALSE(report.violation.empty());
+}
+
+TEST_F(SloTest, TailViolationFails)
+{
+    metrics::RequestMetrics m;
+    // 95 fast requests, 5 disastrous ones: p99 breaches.
+    for (int i = 0; i < 95; ++i)
+        m.add(resultWithSlowdown(checker_, 1000, 50, 1.0));
+    for (int i = 0; i < 5; ++i)
+        m.add(resultWithSlowdown(checker_, 1000, 50, 8.0));
+    const SloReport report = checker_.evaluate(m, slos_);
+    EXPECT_FALSE(report.pass);
+    EXPECT_NE(report.violation.find("p99"), std::string::npos);
+}
+
+TEST_F(SloTest, TtftSlowdownOfTwoIsAcceptable)
+{
+    // TTFT is deliberately looser (Table VI): 2x at the median.
+    metrics::RequestMetrics m;
+    for (int i = 0; i < 100; ++i) {
+        auto r = resultWithSlowdown(checker_, 1000, 50, 1.0);
+        r.ttftMs *= 1.9;
+        m.add(r);
+    }
+    EXPECT_TRUE(checker_.evaluate(m, slos_).pass);
+}
+
+TEST_F(SloTest, SingleTokenRequestsSkipTbt)
+{
+    metrics::RequestMetrics m;
+    for (int i = 0; i < 10; ++i)
+        m.add(resultWithSlowdown(checker_, 500, 1, 1.0));
+    const SloReport report = checker_.evaluate(m, slos_);
+    EXPECT_TRUE(report.pass);
+    EXPECT_DOUBLE_EQ(report.tbtSlowdown.p50, 0.0);
+}
+
+TEST_F(SloTest, CustomSlosRespected)
+{
+    SloSet strict;
+    strict.e2e = {1.01, 1.02, 1.05};
+    metrics::RequestMetrics m;
+    for (int i = 0; i < 100; ++i)
+        m.add(resultWithSlowdown(checker_, 1000, 50, 1.1));
+    EXPECT_FALSE(checker_.evaluate(m, strict).pass);
+}
+
+}  // namespace
+}  // namespace splitwise::core

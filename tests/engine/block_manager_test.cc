@@ -1,0 +1,166 @@
+#include "engine/block_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::engine {
+namespace {
+
+TEST(BlockManagerTest, CapacityRoundsDownToBlocks)
+{
+    BlockManager bm(100, 16);
+    EXPECT_EQ(bm.totalBlocks(), 6);
+    EXPECT_EQ(bm.tokenCapacity(), 96);
+}
+
+TEST(BlockManagerTest, BlocksForRoundsUp)
+{
+    BlockManager bm(1600, 16);
+    EXPECT_EQ(bm.blocksFor(0), 0);
+    EXPECT_EQ(bm.blocksFor(1), 1);
+    EXPECT_EQ(bm.blocksFor(16), 1);
+    EXPECT_EQ(bm.blocksFor(17), 2);
+}
+
+TEST(BlockManagerTest, AllocateAndRelease)
+{
+    BlockManager bm(1600, 16);
+    EXPECT_TRUE(bm.allocate(1, 100));
+    EXPECT_TRUE(bm.holds(1));
+    EXPECT_EQ(bm.tokensOf(1), 100);
+    EXPECT_EQ(bm.freeBlocks(), 100 - 7);
+    EXPECT_EQ(bm.usedTokens(), 100);
+    bm.release(1);
+    EXPECT_FALSE(bm.holds(1));
+    EXPECT_EQ(bm.freeBlocks(), 100);
+    EXPECT_EQ(bm.usedTokens(), 0);
+}
+
+TEST(BlockManagerTest, DoubleAllocateFails)
+{
+    BlockManager bm(1600, 16);
+    EXPECT_TRUE(bm.allocate(1, 10));
+    EXPECT_FALSE(bm.allocate(1, 10));
+}
+
+TEST(BlockManagerTest, AllocateFailsWhenFull)
+{
+    BlockManager bm(160, 16);
+    EXPECT_TRUE(bm.allocate(1, 100));
+    EXPECT_FALSE(bm.allocate(2, 100));
+    // Failed allocation changed nothing; the 3 remaining blocks
+    // (48 tokens) are still allocatable.
+    EXPECT_FALSE(bm.holds(2));
+    EXPECT_TRUE(bm.allocate(3, 48));
+}
+
+TEST(BlockManagerTest, CanAllocateMatchesAllocate)
+{
+    BlockManager bm(160, 16);
+    EXPECT_TRUE(bm.canAllocate(160));
+    EXPECT_FALSE(bm.canAllocate(161));
+    bm.allocate(1, 100);
+    EXPECT_TRUE(bm.canAllocate(48));
+    EXPECT_FALSE(bm.canAllocate(49));
+}
+
+TEST(BlockManagerTest, ExtendGrowsWithinBlock)
+{
+    BlockManager bm(1600, 16);
+    bm.allocate(1, 10);
+    const auto before = bm.freeBlocks();
+    // Growing within the same block allocates nothing new.
+    EXPECT_TRUE(bm.extend(1, 16));
+    EXPECT_EQ(bm.freeBlocks(), before);
+    // Crossing the boundary takes a block.
+    EXPECT_TRUE(bm.extend(1, 17));
+    EXPECT_EQ(bm.freeBlocks(), before - 1);
+}
+
+TEST(BlockManagerTest, ExtendFailsWhenFullAndLeavesStateIntact)
+{
+    BlockManager bm(32, 16);
+    bm.allocate(1, 16);
+    bm.allocate(2, 16);
+    EXPECT_FALSE(bm.extend(1, 17));
+    EXPECT_EQ(bm.tokensOf(1), 16);
+    bm.release(2);
+    EXPECT_TRUE(bm.extend(1, 17));
+}
+
+TEST(BlockManagerTest, ExtendShrinkIsNoOpSuccess)
+{
+    BlockManager bm(1600, 16);
+    bm.allocate(1, 100);
+    EXPECT_TRUE(bm.extend(1, 50));
+    EXPECT_EQ(bm.tokensOf(1), 100);
+}
+
+TEST(BlockManagerTest, ExtendUnknownIdFails)
+{
+    BlockManager bm(1600, 16);
+    EXPECT_FALSE(bm.extend(9, 10));
+    EXPECT_FALSE(bm.canExtend(9, 10));
+}
+
+TEST(BlockManagerTest, CanExtendPredictsExtend)
+{
+    BlockManager bm(64, 16);
+    bm.allocate(1, 16);
+    bm.allocate(2, 32);
+    EXPECT_TRUE(bm.canExtend(1, 32));
+    EXPECT_FALSE(bm.canExtend(1, 48));
+}
+
+TEST(BlockManagerTest, ReleaseUnknownIsNoOp)
+{
+    BlockManager bm(160, 16);
+    bm.release(42);
+    EXPECT_EQ(bm.freeBlocks(), 10);
+}
+
+TEST(BlockManagerTest, UtilizationTracksUse)
+{
+    BlockManager bm(160, 16);
+    EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
+    bm.allocate(1, 80);
+    EXPECT_DOUBLE_EQ(bm.utilization(), 0.5);
+    bm.allocate(2, 80);
+    EXPECT_DOUBLE_EQ(bm.utilization(), 1.0);
+}
+
+TEST(BlockManagerTest, ResidentsCount)
+{
+    BlockManager bm(160, 16);
+    bm.allocate(1, 16);
+    bm.allocate(2, 16);
+    EXPECT_EQ(bm.residents(), 2u);
+    bm.release(1);
+    EXPECT_EQ(bm.residents(), 1u);
+}
+
+TEST(BlockManagerTest, ZeroTokenAllocationHoldsNothing)
+{
+    BlockManager bm(160, 16);
+    EXPECT_TRUE(bm.allocate(1, 0));
+    EXPECT_TRUE(bm.holds(1));
+    EXPECT_EQ(bm.freeBlocks(), 10);
+}
+
+TEST(BlockManagerTest, ManyRequestsInternalFragmentationBounded)
+{
+    BlockManager bm(16000, 16);
+    // 100 requests of 17 tokens: 2 blocks each despite 17 < 32.
+    for (std::uint64_t i = 0; i < 100; ++i)
+        ASSERT_TRUE(bm.allocate(i, 17));
+    EXPECT_EQ(bm.freeBlocks(), 1000 - 200);
+    EXPECT_EQ(bm.usedTokens(), 1700);
+}
+
+TEST(BlockManagerDeathTest, RejectsBadConfig)
+{
+    EXPECT_THROW(BlockManager(100, 0), std::runtime_error);
+    EXPECT_THROW(BlockManager(-1, 16), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::engine

@@ -1,0 +1,186 @@
+#include "engine/kv_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+#include "model/memory_model.h"
+#include "model/perf_model.h"
+#include "sim/simulator.h"
+
+namespace splitwise::engine {
+namespace {
+
+/**
+ * Two-machine fixture: machine 0 plays the prompt role, machine 1
+ * the token role, with the transfer engine between them.
+ */
+class KvTransferTest : public ::testing::Test {
+  protected:
+    KvTransferTest()
+        : perf_(model::llama2_70b(), hw::dgxH100()),
+          memory_(model::llama2_70b(), hw::dgxH100()),
+          engine_(sim_, model::llama2_70b())
+    {
+        Machine::Callbacks cb;
+        cb.onRequestDone = [this](Machine&, LiveRequest* req) {
+            done_.push_back(req);
+        };
+        cb.onPromptDone = [this](Machine& m, LiveRequest* req,
+                                 sim::TimeUs compute) {
+            engine_.startTransfer(req, &m, machines_[1].get(), compute,
+                                  [this](LiveRequest* r) {
+                                      transferred_.push_back(r);
+                                  });
+        };
+        cb.onMemoryFreed = [this](Machine& m) { engine_.onMemoryFreed(&m); };
+        for (int i = 0; i < 2; ++i) {
+            machines_.push_back(std::make_unique<Machine>(
+                sim_, i, hw::dgxH100(), perf_, memory_, MlsConfig{}, cb));
+            engine_.registerMachine(machines_.back().get());
+        }
+    }
+
+    LiveRequest*
+    makeRequest(std::int64_t prompt, std::int64_t output)
+    {
+        auto req = std::make_unique<LiveRequest>();
+        req->spec = {nextId_++, 0, prompt, output};
+        req->tokenMachine = 1;
+        requests_.push_back(std::move(req));
+        return requests_.back().get();
+    }
+
+    sim::Simulator sim_;
+    model::AnalyticalPerfModel perf_;
+    model::MemoryModel memory_;
+    std::vector<std::unique_ptr<Machine>> machines_;
+    KvTransferEngine engine_;
+    std::vector<std::unique_ptr<LiveRequest>> requests_;
+    std::vector<LiveRequest*> done_;
+    std::vector<LiveRequest*> transferred_;
+    std::uint64_t nextId_ = 0;
+};
+
+TEST_F(KvTransferTest, RequestSplitsAcrossMachines)
+{
+    LiveRequest* req = makeRequest(1000, 5);
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+    ASSERT_EQ(done_.size(), 1u);
+    ASSERT_EQ(transferred_.size(), 1u);
+    EXPECT_TRUE(req->finished());
+    // Prompt ran on 0, decode on 1.
+    EXPECT_EQ(machines_[0]->stats().promptTokensProcessed, 1000);
+    EXPECT_EQ(machines_[0]->stats().tokensGenerated, 1);
+    EXPECT_EQ(machines_[1]->stats().tokensGenerated, 4);
+    // Both machines released the KV at the end.
+    EXPECT_EQ(machines_[0]->tokenLoadTokens(), 0);
+    EXPECT_EQ(machines_[1]->tokenLoadTokens(), 0);
+}
+
+TEST_F(KvTransferTest, SecondTokenCarriesTransferLatency)
+{
+    LiveRequest* req = makeRequest(2000, 3);
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+    // The second token's gap exceeds a plain decode iteration by the
+    // visible transfer time.
+    const double tbt = sim::usToMs(perf_.tokenTime(1, 2001));
+    EXPECT_GT(req->secondTokenMs, tbt);
+    EXPECT_LT(req->secondTokenMs, tbt + 25.0);
+}
+
+TEST_F(KvTransferTest, LargePromptsUseLayerwise)
+{
+    machines_[0]->submitPrompt(makeRequest(2048, 3));
+    sim_.run();
+    EXPECT_EQ(engine_.stats().transfers, 1u);
+    EXPECT_EQ(engine_.stats().layerwiseTransfers, 1u);
+}
+
+TEST_F(KvTransferTest, SmallPromptsUseSerialized)
+{
+    machines_[0]->submitPrompt(makeRequest(128, 3));
+    sim_.run();
+    EXPECT_EQ(engine_.stats().transfers, 1u);
+    EXPECT_EQ(engine_.stats().layerwiseTransfers, 0u);
+}
+
+TEST_F(KvTransferTest, BytesMovedMatchKvSize)
+{
+    machines_[0]->submitPrompt(makeRequest(1000, 3));
+    sim_.run();
+    EXPECT_EQ(engine_.stats().bytesMoved,
+              1000 * model::llama2_70b().kvBytesPerToken());
+}
+
+TEST_F(KvTransferTest, ManyTransfersAllComplete)
+{
+    for (int i = 0; i < 20; ++i)
+        machines_[0]->submitPrompt(makeRequest(600, 4));
+    sim_.run();
+    EXPECT_EQ(done_.size(), 20u);
+    EXPECT_EQ(engine_.stats().transfers, 20u);
+}
+
+TEST_F(KvTransferTest, MemoryStallDefersTransferUntilFreed)
+{
+    // Fill the destination almost completely with a dummy
+    // reservation, forcing the transfer to queue.
+    LiveRequest* blocker = makeRequest(10, 2);
+    const auto capacity = machines_[1]->mls().blocks().tokenCapacity();
+    ASSERT_TRUE(machines_[1]->reserveKv(blocker, capacity - 100));
+
+    LiveRequest* req = makeRequest(1000, 3);
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+    // Transfer stalled: request still parked in the transfer phase.
+    EXPECT_EQ(engine_.stats().memoryStalls, 1u);
+    EXPECT_EQ(req->phase, RequestPhase::kTransferring);
+    EXPECT_FALSE(req->finished());
+
+    // Free the blocker; the queued transfer resumes and completes.
+    machines_[1]->releaseKv(blocker);
+    sim_.run();
+    EXPECT_TRUE(req->finished());
+    EXPECT_EQ(engine_.stats().transfers, 1u);
+}
+
+TEST_F(KvTransferTest, InterferenceOnlyForLayerwise)
+{
+    LiveRequest* small = makeRequest(128, 2);
+    LiveRequest* large = makeRequest(4096, 2);
+    const sim::TimeUs compute = perf_.promptTime(4096, 1);
+    EXPECT_EQ(engine_.interferenceFor(*machines_[0], small, compute), 0);
+    EXPECT_GT(engine_.interferenceFor(*machines_[0], large, compute), 0);
+}
+
+TEST_F(KvTransferTest, InterferenceZeroForUnknownDestination)
+{
+    LiveRequest* req = makeRequest(4096, 2);
+    req->tokenMachine = 77;  // not registered
+    EXPECT_EQ(engine_.interferenceFor(*machines_[0], req, 1000), 0);
+}
+
+TEST_F(KvTransferTest, NicSerializesConcurrentTransfers)
+{
+    // Two simultaneous small transfers to the same destination must
+    // not overlap on the NIC: completion times differ by at least
+    // one visible transfer time.
+    LiveRequest* a = makeRequest(256, 2);
+    LiveRequest* b = makeRequest(256, 2);
+    machines_[0]->submitPrompt(a);
+    machines_[0]->submitPrompt(b);
+    sim_.run();
+    EXPECT_EQ(done_.size(), 2u);
+    EXPECT_EQ(engine_.stats().transfers, 2u);
+    EXPECT_GE(engine_.stats().totalVisibleUs,
+              2 * hw::linkBetween(hw::dgxH100(), hw::dgxH100()).setupUs);
+}
+
+}  // namespace
+}  // namespace splitwise::engine

@@ -1,0 +1,105 @@
+#include "engine/request.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::engine {
+namespace {
+
+LiveRequest
+makeRequest(std::int64_t prompt, std::int64_t output,
+            sim::TimeUs arrival = 0)
+{
+    LiveRequest r;
+    r.spec = {1, arrival, prompt, output};
+    return r;
+}
+
+TEST(LiveRequestTest, InitialState)
+{
+    LiveRequest r = makeRequest(100, 5);
+    EXPECT_EQ(r.phase, RequestPhase::kPromptQueued);
+    EXPECT_EQ(r.generated, 0);
+    EXPECT_FALSE(r.finished());
+    EXPECT_EQ(r.contextTokens(), 100);
+}
+
+TEST(LiveRequestTest, FirstTokenSetsTtft)
+{
+    LiveRequest r = makeRequest(100, 3, sim::msToUs(10));
+    r.recordToken(sim::msToUs(110));
+    EXPECT_EQ(r.generated, 1);
+    EXPECT_EQ(r.firstTokenTime, sim::msToUs(110));
+    EXPECT_FALSE(r.finished());
+}
+
+TEST(LiveRequestTest, SubsequentTokensTrackTbt)
+{
+    LiveRequest r = makeRequest(100, 3);
+    r.recordToken(sim::msToUs(100));
+    r.recordToken(sim::msToUs(130));
+    r.recordToken(sim::msToUs(190));
+    EXPECT_TRUE(r.finished());
+    EXPECT_DOUBLE_EQ(r.sumTbtMs, 90.0);
+    EXPECT_DOUBLE_EQ(r.maxTbtMs, 60.0);
+    EXPECT_DOUBLE_EQ(r.secondTokenMs, 30.0);
+}
+
+TEST(LiveRequestTest, ContextGrowsWithGeneration)
+{
+    LiveRequest r = makeRequest(100, 5);
+    r.recordToken(1000);
+    r.recordToken(2000);
+    EXPECT_EQ(r.contextTokens(), 102);
+}
+
+TEST(LiveRequestTest, SingleTokenRequestFinishesAtFirstToken)
+{
+    LiveRequest r = makeRequest(500, 1);
+    r.recordToken(sim::msToUs(50));
+    EXPECT_TRUE(r.finished());
+    EXPECT_EQ(r.doneTime, sim::msToUs(50));
+}
+
+TEST(LiveRequestTest, ResultComputesPaperMetrics)
+{
+    LiveRequest r = makeRequest(200, 3, sim::msToUs(5));
+    r.recordToken(sim::msToUs(100));
+    r.recordToken(sim::msToUs(140));
+    r.recordToken(sim::msToUs(200));
+    const auto result = r.result();
+    EXPECT_DOUBLE_EQ(result.ttftMs, 95.0);
+    EXPECT_DOUBLE_EQ(result.tbtMs, 50.0);
+    EXPECT_DOUBLE_EQ(result.maxTbtMs, 60.0);
+    EXPECT_DOUBLE_EQ(result.e2eMs, 195.0);
+    EXPECT_DOUBLE_EQ(result.secondTokenMs, 40.0);
+    EXPECT_EQ(result.promptTokens, 200);
+    EXPECT_EQ(result.outputTokens, 3);
+}
+
+TEST(LiveRequestTest, SingleTokenResultHasZeroTbt)
+{
+    LiveRequest r = makeRequest(100, 1);
+    r.recordToken(sim::msToUs(30));
+    const auto result = r.result();
+    EXPECT_DOUBLE_EQ(result.tbtMs, 0.0);
+    EXPECT_DOUBLE_EQ(result.e2eMs, result.ttftMs);
+}
+
+TEST(LiveRequestDeathTest, ResultOnUnfinishedPanics)
+{
+    LiveRequest r = makeRequest(100, 5);
+    r.recordToken(1000);
+    EXPECT_DEATH(r.result(), "unfinished");
+}
+
+TEST(LiveRequestTest, PhaseNamesAreStable)
+{
+    EXPECT_STREQ(requestPhaseName(RequestPhase::kPromptQueued),
+                 "prompt-queued");
+    EXPECT_STREQ(requestPhaseName(RequestPhase::kTransferring),
+                 "transferring");
+    EXPECT_STREQ(requestPhaseName(RequestPhase::kDone), "done");
+}
+
+}  // namespace
+}  // namespace splitwise::engine

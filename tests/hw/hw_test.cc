@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+#include "hw/gpu_spec.h"
+#include "hw/interconnect.h"
+#include "hw/machine_spec.h"
+
+namespace splitwise::hw {
+namespace {
+
+// --- Table I facts ---
+
+TEST(GpuSpecTest, TableIRawNumbers)
+{
+    EXPECT_DOUBLE_EQ(a100().hbmCapacityGb, 80.0);
+    EXPECT_DOUBLE_EQ(h100().hbmCapacityGb, 80.0);
+    EXPECT_DOUBLE_EQ(a100().hbmBandwidthGBps, 2039.0);
+    EXPECT_DOUBLE_EQ(h100().hbmBandwidthGBps, 3352.0);
+    EXPECT_DOUBLE_EQ(a100().tdpWatts, 400.0);
+    EXPECT_DOUBLE_EQ(h100().tdpWatts, 700.0);
+}
+
+TEST(GpuSpecTest, TableIRatios)
+{
+    // Compute 3.43x, HBM bandwidth 1.64x, power 1.75x, NVLink 2x.
+    EXPECT_NEAR(h100().peakFp16Tflops / a100().peakFp16Tflops, 3.43, 0.35);
+    EXPECT_NEAR(h100().hbmBandwidthGBps / a100().hbmBandwidthGBps, 1.64, 0.01);
+    EXPECT_NEAR(h100().tdpWatts / a100().tdpWatts, 1.75, 1e-9);
+    EXPECT_NEAR(h100().nvlinkGBps / a100().nvlinkGBps, 2.0, 1e-9);
+}
+
+TEST(GpuSpecTest, LookupByType)
+{
+    EXPECT_EQ(gpuSpec(GpuType::kA100).name, "A100");
+    EXPECT_EQ(gpuSpec(GpuType::kH100).name, "H100");
+    EXPECT_STREQ(gpuTypeName(GpuType::kA100), "A100");
+}
+
+// --- Machine specs ---
+
+TEST(MachineSpecTest, DgxConfigsHaveEightGpus)
+{
+    EXPECT_EQ(dgxA100().gpuCount, 8);
+    EXPECT_EQ(dgxH100().gpuCount, 8);
+}
+
+TEST(MachineSpecTest, CostsMatchTableI)
+{
+    EXPECT_DOUBLE_EQ(dgxA100().costPerHour, 17.6);
+    EXPECT_DOUBLE_EQ(dgxH100().costPerHour, 38.0);
+    EXPECT_NEAR(dgxH100().costPerHour / dgxA100().costPerHour, 2.16, 0.01);
+}
+
+TEST(MachineSpecTest, InfinibandMatchesTableI)
+{
+    EXPECT_DOUBLE_EQ(dgxA100().infinibandGBps, 200.0);
+    EXPECT_DOUBLE_EQ(dgxH100().infinibandGBps, 400.0);
+}
+
+TEST(MachineSpecTest, PowerRatioIs175)
+{
+    // Table V: DGX-H100 draws 1.75x a DGX-A100.
+    EXPECT_NEAR(dgxH100().ratedPowerWatts() / dgxA100().ratedPowerWatts(),
+                1.75, 0.01);
+}
+
+TEST(MachineSpecTest, FiftyPercentGpuCapIsSeventyPercentMachine)
+{
+    // Table V: HHcap token machines run at 70% machine power (1.23x
+    // a DGX-A100) with each GPU capped by 50%.
+    const MachineSpec capped = dgxH100Capped();
+    EXPECT_NEAR(capped.provisionedPowerWatts() /
+                    dgxH100().provisionedPowerWatts(),
+                0.70, 0.01);
+    EXPECT_NEAR(capped.provisionedPowerWatts() /
+                    dgxA100().provisionedPowerWatts(),
+                1.23, 0.02);
+}
+
+TEST(MachineSpecTest, SeventyA100sFitInFortyH100Power)
+{
+    // SVI-B: the paper fits 70 DGX-A100s in the power of 40 DGX-H100s.
+    const double budget = 40 * dgxH100().provisionedPowerWatts();
+    const int a100s = static_cast<int>(budget /
+                                       dgxA100().provisionedPowerWatts());
+    EXPECT_EQ(a100s, 70);
+}
+
+TEST(MachineSpecTest, AggregateAccessors)
+{
+    const MachineSpec m = dgxH100();
+    EXPECT_EQ(m.totalHbmBytes(), static_cast<std::int64_t>(8 * 80.0 * 1e9));
+    EXPECT_DOUBLE_EQ(m.totalHbmBandwidthGBps(), 8 * 3352.0);
+    EXPECT_DOUBLE_EQ(m.totalPeakTflops(), 8 * 989.0);
+}
+
+TEST(MachineSpecTest, WithPowerCapOnlyAffectsGpus)
+{
+    const MachineSpec capped = dgxA100().withPowerCap(0.5);
+    EXPECT_DOUBLE_EQ(capped.gpuPowerCapFraction, 0.5);
+    EXPECT_DOUBLE_EQ(capped.ratedPowerWatts(), dgxA100().ratedPowerWatts());
+    EXPECT_LT(capped.provisionedPowerWatts(),
+              dgxA100().provisionedPowerWatts());
+}
+
+// --- Interconnect ---
+
+TEST(InterconnectTest, LinkTakesSlowerNic)
+{
+    const LinkSpec hh = linkBetween(dgxH100(), dgxH100());
+    const LinkSpec ha = linkBetween(dgxH100(), dgxA100());
+    const LinkSpec aa = linkBetween(dgxA100(), dgxA100());
+    EXPECT_DOUBLE_EQ(hh.bandwidthGBps, 400.0);
+    EXPECT_DOUBLE_EQ(ha.bandwidthGBps, 200.0);
+    EXPECT_DOUBLE_EQ(aa.bandwidthGBps, 200.0);
+}
+
+TEST(InterconnectTest, WireTimeScalesWithBytes)
+{
+    const LinkSpec link = linkBetween(dgxH100(), dgxH100());
+    // 400 GB at 400 GB/s = 1 s.
+    EXPECT_NEAR(sim::usToSeconds(link.wireTime(400'000'000'000LL)), 1.0,
+                1e-6);
+    EXPECT_EQ(link.wireTime(0), 0);
+}
+
+TEST(InterconnectTest, TransferTimeIncludesSetup)
+{
+    const LinkSpec link = linkBetween(dgxA100(), dgxA100());
+    EXPECT_EQ(link.transferTime(0), link.setupUs);
+    EXPECT_GT(link.transferTime(1'000'000'000), link.setupUs);
+}
+
+TEST(InterconnectTest, H100TransfersTwiceAsFast)
+{
+    // SVI-A: H100 transfers happen about twice as fast as A100.
+    const LinkSpec hh = linkBetween(dgxH100(), dgxH100());
+    const LinkSpec aa = linkBetween(dgxA100(), dgxA100());
+    const std::int64_t bytes = 4'000'000'000;
+    EXPECT_NEAR(static_cast<double>(aa.wireTime(bytes)) /
+                    static_cast<double>(hh.wireTime(bytes)),
+                2.0, 0.01);
+}
+
+// --- Fleet footprint ---
+
+TEST(FleetFootprintTest, AccumulatesMachines)
+{
+    FleetFootprint fleet;
+    fleet.add(dgxA100(), 2);
+    fleet.add(dgxH100(), 1);
+    EXPECT_EQ(fleet.machines, 3);
+    EXPECT_DOUBLE_EQ(fleet.costPerHour, 2 * 17.6 + 38.0);
+    EXPECT_NEAR(fleet.powerWatts,
+                2 * dgxA100().provisionedPowerWatts() +
+                    dgxH100().provisionedPowerWatts(),
+                1e-9);
+}
+
+TEST(FleetFootprintTest, CostAndEnergyForDuration)
+{
+    FleetFootprint fleet;
+    fleet.add(dgxA100(), 1);
+    const sim::TimeUs hour = sim::secondsToUs(3600);
+    EXPECT_NEAR(fleet.costFor(hour), 17.6, 1e-9);
+    EXPECT_NEAR(fleet.energyWhFor(hour), dgxA100().provisionedPowerWatts(),
+                1e-6);
+}
+
+}  // namespace
+}  // namespace splitwise::hw

@@ -1,0 +1,98 @@
+#include "metrics/request_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::metrics {
+namespace {
+
+RequestResult
+makeResult(double ttft, double tbt, double e2e, std::int64_t out = 10,
+           sim::TimeUs arrival = 0)
+{
+    RequestResult r;
+    r.arrival = arrival;
+    r.promptTokens = 100;
+    r.outputTokens = out;
+    r.ttftMs = ttft;
+    r.tbtMs = tbt;
+    r.maxTbtMs = tbt * 2;
+    r.e2eMs = e2e;
+    return r;
+}
+
+TEST(RequestMetricsTest, EmptyState)
+{
+    RequestMetrics m;
+    EXPECT_EQ(m.completed(), 0u);
+    EXPECT_DOUBLE_EQ(m.throughputRps(), 0.0);
+    EXPECT_DOUBLE_EQ(m.tokenThroughput(), 0.0);
+}
+
+TEST(RequestMetricsTest, AggregatesLatencies)
+{
+    RequestMetrics m;
+    m.add(makeResult(10, 30, 300));
+    m.add(makeResult(20, 40, 400));
+    EXPECT_EQ(m.completed(), 2u);
+    EXPECT_DOUBLE_EQ(m.ttftMs().mean(), 15.0);
+    EXPECT_DOUBLE_EQ(m.tbtMs().mean(), 35.0);
+    EXPECT_DOUBLE_EQ(m.e2eMs().mean(), 350.0);
+    EXPECT_DOUBLE_EQ(m.maxTbtMs().mean(), 70.0);
+}
+
+TEST(RequestMetricsTest, SingleTokenRequestsExcludedFromTbt)
+{
+    RequestMetrics m;
+    m.add(makeResult(10, 0, 10, /*out=*/1));
+    m.add(makeResult(10, 50, 300, /*out=*/5));
+    EXPECT_EQ(m.tbtMs().count(), 1u);
+    EXPECT_DOUBLE_EQ(m.tbtMs().mean(), 50.0);
+    EXPECT_EQ(m.ttftMs().count(), 2u);
+}
+
+TEST(RequestMetricsTest, TokenTotals)
+{
+    RequestMetrics m;
+    m.add(makeResult(1, 2, 3, 7));
+    m.add(makeResult(1, 2, 3, 13));
+    EXPECT_EQ(m.totalOutputTokens(), 20);
+    EXPECT_EQ(m.totalPromptTokens(), 200);
+}
+
+TEST(RequestMetricsTest, ThroughputOverSpan)
+{
+    RequestMetrics m;
+    // Two requests: first arrives at 0, last completes at 2s.
+    m.add(makeResult(10, 10, 1000, 10, 0));
+    m.add(makeResult(10, 10, 1000, 10, sim::secondsToUs(1)));
+    EXPECT_NEAR(m.throughputRps(), 1.0, 1e-9);
+    EXPECT_NEAR(m.tokenThroughput(), 10.0, 1e-9);
+}
+
+TEST(RequestMetricsTest, MergePreservesCounts)
+{
+    RequestMetrics a;
+    a.add(makeResult(10, 20, 30));
+    RequestMetrics b;
+    b.add(makeResult(40, 50, 60));
+    a.merge(b);
+    EXPECT_EQ(a.completed(), 2u);
+    EXPECT_DOUBLE_EQ(a.e2eMs().max(), 60.0);
+}
+
+TEST(RequestMetricsTest, ResultsKeptInCompletionOrder)
+{
+    RequestMetrics m;
+    auto r1 = makeResult(1, 1, 1);
+    r1.requestId = 7;
+    auto r2 = makeResult(2, 2, 2);
+    r2.requestId = 3;
+    m.add(r1);
+    m.add(r2);
+    ASSERT_EQ(m.results().size(), 2u);
+    EXPECT_EQ(m.results()[0].requestId, 7u);
+    EXPECT_EQ(m.results()[1].requestId, 3u);
+}
+
+}  // namespace
+}  // namespace splitwise::metrics

@@ -1,0 +1,125 @@
+#include "metrics/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::metrics {
+namespace {
+
+TEST(SummaryTest, EmptyReturnsZeros)
+{
+    Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryTest, SingleSample)
+{
+    Summary s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(SummaryTest, MeanAndSum)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SummaryTest, MedianInterpolates)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.p50(), 2.5);
+}
+
+TEST(SummaryTest, PercentilesOnKnownDistribution)
+{
+    Summary s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(s.p90(), 90.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(SummaryTest, PercentileClampsOutOfRange)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(150), 2.0);
+}
+
+TEST(SummaryTest, UnsortedInsertOrder)
+{
+    Summary s;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 5.0);
+}
+
+TEST(SummaryTest, AddAfterPercentileQueryInvalidatesCache)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 2.0);
+}
+
+TEST(SummaryTest, MergeCombinesSamples)
+{
+    Summary a;
+    a.add(1.0);
+    a.add(2.0);
+    Summary b;
+    b.add(3.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(SummaryTest, ClearResets)
+{
+    Summary s;
+    s.add(5.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 7.0);
+}
+
+TEST(SummaryTest, NegativeValues)
+{
+    Summary s;
+    for (double v : {-3.0, -1.0, -2.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.p50(), -2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), -2.0);
+}
+
+}  // namespace
+}  // namespace splitwise::metrics

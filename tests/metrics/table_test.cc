@@ -1,0 +1,49 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace splitwise::metrics {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows)
+{
+    Table t({"a", "bb"});
+    t.addRow({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+    EXPECT_NE(out.find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell)
+{
+    Table t({"x"});
+    t.addRow({"wide-cell"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(TableTest, MismatchedRowThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(TableTest, FmtFormatsPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(3.0, 0), "3");
+    EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, EmptyTableRendersHeaderOnly)
+{
+    Table t({"h1", "h2"});
+    const std::string out = t.render();
+    // Header line plus rule line.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace splitwise::metrics

@@ -1,0 +1,130 @@
+#include "metrics/time_weighted.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::metrics {
+namespace {
+
+TEST(TimeWeightedHistogramTest, EmptyCdfIsZero)
+{
+    TimeWeightedHistogram h;
+    EXPECT_EQ(h.totalTime(), 0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(100), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(TimeWeightedHistogramTest, SingleValue)
+{
+    TimeWeightedHistogram h;
+    h.record(5, 100);
+    EXPECT_EQ(h.totalTime(), 100);
+    EXPECT_DOUBLE_EQ(h.cdfAt(4), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(5), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(TimeWeightedHistogramTest, CdfIsTimeWeighted)
+{
+    TimeWeightedHistogram h;
+    h.record(1, 300);
+    h.record(10, 100);
+    EXPECT_DOUBLE_EQ(h.cdfAt(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.cdfAt(9), 0.75);
+    EXPECT_DOUBLE_EQ(h.cdfAt(10), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), (1 * 300 + 10 * 100) / 400.0);
+}
+
+TEST(TimeWeightedHistogramTest, RepeatedValuesAccumulate)
+{
+    TimeWeightedHistogram h;
+    h.record(2, 50);
+    h.record(2, 50);
+    EXPECT_EQ(h.totalTime(), 100);
+    EXPECT_DOUBLE_EQ(h.cdfAt(2), 1.0);
+}
+
+TEST(TimeWeightedHistogramTest, ZeroOrNegativeDurationIgnored)
+{
+    TimeWeightedHistogram h;
+    h.record(1, 0);
+    h.record(2, -5);
+    EXPECT_EQ(h.totalTime(), 0);
+}
+
+TEST(TimeWeightedHistogramTest, CdfStepsAscend)
+{
+    TimeWeightedHistogram h;
+    h.record(3, 10);
+    h.record(1, 10);
+    h.record(7, 20);
+    const auto steps = h.cdf();
+    ASSERT_EQ(steps.size(), 3u);
+    EXPECT_EQ(steps[0].first, 1);
+    EXPECT_EQ(steps[2].first, 7);
+    EXPECT_DOUBLE_EQ(steps[2].second, 1.0);
+    EXPECT_LT(steps[0].second, steps[1].second);
+}
+
+TEST(TimeWeightedHistogramTest, MergeCombines)
+{
+    TimeWeightedHistogram a;
+    a.record(1, 100);
+    TimeWeightedHistogram b;
+    b.record(2, 100);
+    a.merge(b);
+    EXPECT_EQ(a.totalTime(), 200);
+    EXPECT_DOUBLE_EQ(a.cdfAt(1), 0.5);
+}
+
+TEST(TimeWeightedHistogramTest, ClearResets)
+{
+    TimeWeightedHistogram h;
+    h.record(1, 10);
+    h.clear();
+    EXPECT_EQ(h.totalTime(), 0);
+}
+
+TEST(SignalTrackerTest, TracksPiecewiseConstantSignal)
+{
+    SignalTracker t;
+    t.start(0, 0);
+    t.set(100, 5);
+    t.set(300, 0);
+    t.finish(400);
+    const auto& h = t.histogram();
+    EXPECT_EQ(h.totalTime(), 400);
+    // Value 0 held for [0,100) and [300,400): 200us total.
+    EXPECT_DOUBLE_EQ(h.cdfAt(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.cdfAt(5), 1.0);
+}
+
+TEST(SignalTrackerTest, RedundantSetIsCoalesced)
+{
+    SignalTracker t;
+    t.start(0, 1);
+    t.set(50, 1);
+    t.set(100, 2);
+    t.finish(200);
+    EXPECT_DOUBLE_EQ(t.histogram().cdfAt(1), 0.5);
+}
+
+TEST(SignalTrackerTest, SetBeforeStartActsAsStart)
+{
+    SignalTracker t;
+    t.set(10, 3);
+    t.finish(20);
+    EXPECT_EQ(t.histogram().totalTime(), 10);
+    EXPECT_DOUBLE_EQ(t.histogram().cdfAt(3), 1.0);
+}
+
+TEST(SignalTrackerTest, ValueAccessorTracksCurrent)
+{
+    SignalTracker t;
+    t.start(0, 1);
+    t.set(10, 9);
+    EXPECT_EQ(t.value(), 9);
+}
+
+}  // namespace
+}  // namespace splitwise::metrics

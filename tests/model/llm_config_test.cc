@@ -1,0 +1,52 @@
+#include "model/llm_config.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::model {
+namespace {
+
+TEST(LlmConfigTest, TableIIIParameters)
+{
+    const LlmConfig& llama = llama2_70b();
+    EXPECT_EQ(llama.numLayers, 80);
+    EXPECT_EQ(llama.hiddenSize, 8192);
+    EXPECT_EQ(llama.numHeads, 32);
+    EXPECT_EQ(llama.numParams, 70'000'000'000LL);
+
+    const LlmConfig& bloom = bloom_176b();
+    EXPECT_EQ(bloom.numLayers, 70);
+    EXPECT_EQ(bloom.hiddenSize, 14336);
+    EXPECT_EQ(bloom.numHeads, 112);
+    EXPECT_EQ(bloom.numParams, 176'000'000'000LL);
+}
+
+TEST(LlmConfigTest, WeightBytesAtFp16)
+{
+    EXPECT_EQ(llama2_70b().weightBytes(), 140'000'000'000LL);
+    EXPECT_EQ(bloom_176b().weightBytes(), 352'000'000'000LL);
+}
+
+TEST(LlmConfigTest, KvBytesPerToken)
+{
+    // 2 (K,V) x layers x hidden x 2 bytes for MHA models.
+    EXPECT_EQ(llama2_70b().kvBytesPerToken(), 2LL * 80 * 8192 * 2);
+    EXPECT_EQ(bloom_176b().kvBytesPerToken(), 2LL * 70 * 14336 * 2);
+}
+
+TEST(LlmConfigTest, GroupedQueryAttentionShrinksKv)
+{
+    LlmConfig gqa = llama2_70b();
+    gqa.numKvHeads = 8;
+    gqa.numHeads = 64;
+    EXPECT_EQ(gqa.kvBytesPerToken(), llama2_70b().kvBytesPerToken() / 8);
+}
+
+TEST(LlmConfigTest, BloomKvLargerThanLlama)
+{
+    // BLOOM's wider hidden size makes its per-token KV cache ~1.5x
+    // Llama's despite fewer layers.
+    EXPECT_GT(bloom_176b().kvBytesPerToken(), llama2_70b().kvBytesPerToken());
+}
+
+}  // namespace
+}  // namespace splitwise::model

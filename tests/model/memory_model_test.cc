@@ -1,0 +1,82 @@
+#include "model/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+
+namespace splitwise::model {
+namespace {
+
+TEST(MemoryModelTest, WeightsFitOnDgx)
+{
+    EXPECT_TRUE(MemoryModel(llama2_70b(), hw::dgxH100()).weightsFit());
+    EXPECT_TRUE(MemoryModel(bloom_176b(), hw::dgxH100()).weightsFit());
+}
+
+TEST(MemoryModelTest, KvCapacityPositiveAndBounded)
+{
+    const MemoryModel m(llama2_70b(), hw::dgxH100());
+    EXPECT_GT(m.kvCapacityTokens(), 0);
+    EXPECT_LT(m.kvCapacityBytes(), hw::dgxH100().totalHbmBytes());
+}
+
+TEST(MemoryModelTest, BloomHasLessKvRoomThanLlama)
+{
+    // Fig. 7 intuition: BLOOM's 352 GB of weights and 4 MB/token KV
+    // leave far fewer batched tokens than Llama.
+    const MemoryModel llama(llama2_70b(), hw::dgxH100());
+    const MemoryModel bloom(bloom_176b(), hw::dgxH100());
+    EXPECT_LT(bloom.kvCapacityTokens(), llama.kvCapacityTokens() / 2);
+}
+
+TEST(MemoryModelTest, BloomRunsOutNearBatch64)
+{
+    // Fig. 6b/SIII-D: at the conversation service's ~900-token mean
+    // context the machine runs out of memory around batch 64.
+    const MemoryModel bloom(bloom_176b(), hw::dgxH100());
+    const std::int64_t ctx = 900;
+    const std::int64_t max_batch = bloom.kvCapacityTokens() / ctx;
+    EXPECT_GE(max_batch, 32);
+    EXPECT_LE(max_batch, 96);
+}
+
+TEST(MemoryModelTest, RequiredGbGrowsLinearly)
+{
+    const MemoryModel m(llama2_70b(), hw::dgxH100());
+    const double base = m.requiredGb(0);
+    const double with_kv = m.requiredGb(10000);
+    EXPECT_NEAR(base, 140.0, 1.0);
+    EXPECT_NEAR(with_kv - base,
+                10000.0 * m.kvBytesPerToken() / 1e9, 1e-6);
+}
+
+TEST(MemoryModelTest, UsableFractionShrinksCapacity)
+{
+    const MemoryModel big(llama2_70b(), hw::dgxH100(), 0.95);
+    const MemoryModel small(llama2_70b(), hw::dgxH100(), 0.60);
+    EXPECT_GT(big.kvCapacityTokens(), small.kvCapacityTokens());
+}
+
+TEST(MemoryModelTest, RejectsBadUsableFraction)
+{
+    EXPECT_THROW(MemoryModel(llama2_70b(), hw::dgxH100(), 0.0),
+                 std::runtime_error);
+    EXPECT_THROW(MemoryModel(llama2_70b(), hw::dgxH100(), 1.5),
+                 std::runtime_error);
+}
+
+TEST(MemoryModelTest, CapacityClampsAtZeroWhenWeightsDontFit)
+{
+    // A single-GPU "machine" cannot hold a 70B model in FP16.
+    hw::MachineSpec tiny = hw::dgxH100();
+    tiny.gpuCount = 1;
+    const MemoryModel m(llama2_70b(), tiny);
+    EXPECT_FALSE(m.weightsFit());
+    EXPECT_EQ(m.kvCapacityTokens(), 0);
+}
+
+}  // namespace
+}  // namespace splitwise::model

@@ -1,0 +1,219 @@
+#include "model/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+
+namespace splitwise::model {
+namespace {
+
+double
+ms(sim::TimeUs t)
+{
+    return sim::usToMs(t);
+}
+
+class PerfModelAnchors : public ::testing::Test {
+  protected:
+    AnalyticalPerfModel llamaH100_{llama2_70b(), hw::dgxH100()};
+    AnalyticalPerfModel llamaA100_{llama2_70b(), hw::dgxA100()};
+    AnalyticalPerfModel bloomH100_{bloom_176b(), hw::dgxH100()};
+};
+
+// --- Paper anchor points (Table IV, SIII-C) ---
+
+TEST_F(PerfModelAnchors, LlamaH100TtftAtCodingMedianPrompt)
+{
+    // Table IV: coding P50 TTFT on H100 = 95 ms at median prompt 1500.
+    EXPECT_NEAR(ms(llamaH100_.promptTime(1500, 1)), 95.0, 10.0);
+}
+
+TEST_F(PerfModelAnchors, LlamaA100TtftAtCodingMedianPrompt)
+{
+    // Table IV: coding P50 TTFT on A100 = 185 ms.
+    EXPECT_NEAR(ms(llamaA100_.promptTime(1500, 1)), 185.0, 18.0);
+}
+
+TEST_F(PerfModelAnchors, TtftRatioA100vsH100)
+{
+    // Table IV: H100 TTFT is ~0.51x of A100.
+    const double ratio = ms(llamaH100_.promptTime(1500, 1)) /
+                         ms(llamaA100_.promptTime(1500, 1));
+    EXPECT_NEAR(ratio, 0.51, 0.08);
+}
+
+TEST_F(PerfModelAnchors, LlamaH100TbtUnbatched)
+{
+    // Table IV: TBT on H100 = 28-31 ms.
+    EXPECT_NEAR(ms(llamaH100_.tokenTime(1, 1024)), 29.0, 3.0);
+}
+
+TEST_F(PerfModelAnchors, LlamaA100TbtUnbatched)
+{
+    // Table IV: TBT on A100 = 40-52 ms.
+    EXPECT_NEAR(ms(llamaA100_.tokenTime(1, 1024)), 43.0, 6.0);
+}
+
+TEST_F(PerfModelAnchors, TbtRatioA100vsH100)
+{
+    // Table IV: H100 TBT is ~0.70x of A100.
+    const double ratio = ms(llamaH100_.tokenTime(1, 1024)) /
+                         ms(llamaA100_.tokenTime(1, 1024));
+    EXPECT_NEAR(ratio, 0.70, 0.08);
+}
+
+TEST_F(PerfModelAnchors, BloomPromptEqualsSixTokens)
+{
+    // SIII-C: for BLOOM-176B, a 1500-token prompt phase takes the
+    // same time as generating 6 output tokens.
+    const double prompt = ms(bloomH100_.promptTime(1500, 1));
+    const double token = ms(bloomH100_.tokenTime(1, 1500));
+    EXPECT_NEAR(prompt / token, 6.0, 1.0);
+}
+
+TEST_F(PerfModelAnchors, TbtAtBatch64IsAboutTwiceBatch1)
+{
+    // Fig. 5b: batching 64 token streams only doubles TBT.
+    const double b1 = ms(llamaH100_.tokenTime(1, 1200));
+    const double b64 = ms(llamaH100_.tokenTime(64, 64 * 1200));
+    EXPECT_NEAR(b64 / b1, 2.0, 0.45);
+}
+
+// --- Shape properties (Figs. 5a, 6) ---
+
+TEST_F(PerfModelAnchors, TtftGrowsMonotonicallyWithPromptSize)
+{
+    sim::TimeUs prev = 0;
+    for (std::int64_t p : {64, 128, 256, 512, 1024, 2048, 4096, 8192}) {
+        const sim::TimeUs t = llamaH100_.promptTime(p, 1);
+        EXPECT_GT(t, prev) << "at prompt size " << p;
+        prev = t;
+    }
+}
+
+TEST_F(PerfModelAnchors, TtftIsRoughlyLinearInMidRange)
+{
+    // Fig. 5a: TTFT grows almost linearly with prompt size.
+    const double t1k = ms(llamaH100_.promptTime(1024, 1));
+    const double t2k = ms(llamaH100_.promptTime(2048, 1));
+    const double slope_ratio = (t2k - t1k) / t1k;
+    EXPECT_GT(slope_ratio, 0.5);
+    EXPECT_LT(slope_ratio, 1.5);
+}
+
+TEST_F(PerfModelAnchors, PromptThroughputPeaksNear2048)
+{
+    // Fig. 6a / Insight IV: prompt throughput degrades past ~2048
+    // batched tokens.
+    double best_thpt = 0.0;
+    std::int64_t best_p = 0;
+    for (std::int64_t p = 256; p <= 8192; p += 128) {
+        const double thpt = llamaH100_.promptThroughput(p);
+        if (thpt > best_thpt) {
+            best_thpt = thpt;
+            best_p = p;
+        }
+    }
+    EXPECT_GE(best_p, 1536);
+    EXPECT_LE(best_p, 3072);
+}
+
+TEST_F(PerfModelAnchors, TokenThroughputScalesWithBatch)
+{
+    // Fig. 6b: decode throughput keeps rising through batch 64.
+    double prev = 0.0;
+    for (int b : {1, 2, 4, 8, 16, 32, 64}) {
+        const double thpt = llamaH100_.tokenThroughput(b, 1200);
+        EXPECT_GT(thpt, prev) << "at batch " << b;
+        prev = thpt;
+    }
+}
+
+TEST_F(PerfModelAnchors, TokenTimeGrowsWithContext)
+{
+    const sim::TimeUs small = llamaH100_.tokenTime(8, 8 * 256);
+    const sim::TimeUs large = llamaH100_.tokenTime(8, 8 * 8192);
+    EXPECT_GT(large, small);
+}
+
+// --- Mixed batching composition (Fig. 2c) ---
+
+TEST_F(PerfModelAnchors, MixedIterationSlowerThanEitherPhase)
+{
+    IterationShape mixed;
+    mixed.promptTokens = 1500;
+    mixed.promptRequests = 1;
+    mixed.tokenRequests = 16;
+    mixed.contextTokens = 16 * 1200;
+    const sim::TimeUs t_mixed = llamaH100_.iterationTime(mixed);
+    EXPECT_GT(t_mixed, llamaH100_.promptTime(1500, 1));
+    EXPECT_GT(t_mixed, llamaH100_.tokenTime(16, 16 * 1200));
+}
+
+TEST_F(PerfModelAnchors, MixedIterationDoesNotDoubleCountWeightPass)
+{
+    IterationShape mixed;
+    mixed.promptTokens = 1500;
+    mixed.promptRequests = 1;
+    mixed.tokenRequests = 4;
+    mixed.contextTokens = 4 * 512;
+    const double t_mixed = ms(llamaH100_.iterationTime(mixed));
+    const double sum = ms(llamaH100_.promptTime(1500, 1)) +
+                       ms(llamaH100_.tokenTime(4, 4 * 512));
+    EXPECT_LT(t_mixed, sum);
+}
+
+TEST_F(PerfModelAnchors, EmptyShapesCostNothingOrBaseline)
+{
+    IterationShape empty;
+    EXPECT_EQ(llamaH100_.promptTime(0, 0), llamaH100_.iterationTime(empty));
+}
+
+// --- Power capping (Fig. 9) ---
+
+TEST(PerfModelPowerCap, PromptSlowsUnderCap)
+{
+    const AnalyticalPerfModel uncapped(llama2_70b(), hw::dgxH100());
+    const AnalyticalPerfModel capped(llama2_70b(), hw::dgxH100Capped());
+    const double slowdown = ms(capped.promptTime(1500, 1)) /
+                            ms(uncapped.promptTime(1500, 1));
+    // Fig. 9a: the prompt phase is highly power sensitive.
+    EXPECT_GT(slowdown, 1.5);
+}
+
+TEST(PerfModelPowerCap, TokenPhaseUnaffectedAtFiftyPercent)
+{
+    const AnalyticalPerfModel uncapped(llama2_70b(), hw::dgxH100());
+    const AnalyticalPerfModel capped(llama2_70b(), hw::dgxH100Capped());
+    // Fig. 9b: capping 700W -> 350W costs the token phase almost
+    // nothing.
+    const double slowdown = ms(capped.tokenTime(16, 16 * 1200)) /
+                            ms(uncapped.tokenTime(16, 16 * 1200));
+    EXPECT_NEAR(slowdown, 1.0, 0.02);
+}
+
+TEST(PerfModelEdge, SmallPromptsStillPayWeightRead)
+{
+    const AnalyticalPerfModel m(llama2_70b(), hw::dgxH100());
+    // A 1-token prompt cannot be faster than streaming the weights.
+    const sim::TimeUs floor = m.tokenTime(1, 0);
+    EXPECT_GE(m.promptTime(1, 1) * 2, floor);
+}
+
+TEST(PerfModelEdge, ZeroThroughputForEmptyBatch)
+{
+    const AnalyticalPerfModel m(llama2_70b(), hw::dgxH100());
+    EXPECT_DOUBLE_EQ(m.promptThroughput(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.tokenThroughput(0, 100), 0.0);
+}
+
+TEST(PerfModelEdge, FactoryReturnsWorkingModel)
+{
+    const auto m = makeAnalyticalPerfModel(llama2_70b(), hw::dgxH100());
+    EXPECT_GT(m->promptTime(1024, 1), 0);
+    EXPECT_GT(m->tokenTime(4, 1024), 0);
+}
+
+}  // namespace
+}  // namespace splitwise::model

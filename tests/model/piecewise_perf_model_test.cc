@@ -1,0 +1,124 @@
+#include "model/piecewise_perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+#include "model/perf_model.h"
+#include "sim/rng.h"
+
+namespace splitwise::model {
+namespace {
+
+/**
+ * The paper validates its piecewise-linear performance model at
+ * less than 3% MAPE against held-out hardware profiles (SV-B). We
+ * reproduce the check against the analytical reference on a random
+ * held-out test set.
+ */
+class FitValidation : public ::testing::TestWithParam<const char*> {
+  protected:
+    static AnalyticalPerfModel
+    reference(const std::string& which)
+    {
+        if (which == "llama-h100")
+            return {llama2_70b(), hw::dgxH100()};
+        if (which == "llama-a100")
+            return {llama2_70b(), hw::dgxA100()};
+        if (which == "bloom-h100")
+            return {bloom_176b(), hw::dgxH100()};
+        return {bloom_176b(), hw::dgxA100()};
+    }
+};
+
+TEST_P(FitValidation, PromptMapeBelowThreePercent)
+{
+    const AnalyticalPerfModel ref = reference(GetParam());
+    const auto fit = PiecewiseLinearPerfModel::fit(ref);
+    sim::Rng rng(99);
+    double mape = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const auto tokens = rng.uniformInt(8, 12000);
+        const double truth = sim::usToMs(ref.promptTime(tokens, 1));
+        const double est = sim::usToMs(fit->promptTime(tokens, 1));
+        mape += std::abs(est - truth) / truth;
+    }
+    EXPECT_LT(mape / n, 0.03);
+}
+
+TEST_P(FitValidation, TokenMapeBelowThreePercent)
+{
+    const AnalyticalPerfModel ref = reference(GetParam());
+    const auto fit = PiecewiseLinearPerfModel::fit(ref);
+    sim::Rng rng(7);
+    double mape = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const auto batch = static_cast<int>(rng.uniformInt(1, 128));
+        const auto ctx = rng.uniformInt(0, 4000) * batch;
+        const double truth = sim::usToMs(ref.tokenTime(batch, ctx));
+        const double est = sim::usToMs(fit->tokenTime(batch, ctx));
+        mape += std::abs(est - truth) / truth;
+    }
+    EXPECT_LT(mape / n, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModelMachinePairs, FitValidation,
+                         ::testing::Values("llama-h100", "llama-a100",
+                                           "bloom-h100", "bloom-a100"));
+
+TEST(PiecewisePerfModelTest, ExactAtProfiledKnots)
+{
+    const AnalyticalPerfModel ref(llama2_70b(), hw::dgxH100());
+    const auto fit = PiecewiseLinearPerfModel::fit(ref);
+    for (std::int64_t p : {64, 512, 1024, 2048, 4096}) {
+        EXPECT_NEAR(sim::usToMs(fit->promptTime(p, 1)),
+                    sim::usToMs(ref.promptTime(p, 1)), 0.01)
+            << "prompt knot " << p;
+    }
+}
+
+TEST(PiecewisePerfModelTest, ZeroBatchIsFree)
+{
+    const AnalyticalPerfModel ref(llama2_70b(), hw::dgxH100());
+    const auto fit = PiecewiseLinearPerfModel::fit(ref);
+    EXPECT_EQ(fit->promptTime(0, 0), 0);
+    EXPECT_EQ(fit->tokenTime(0, 0), 0);
+}
+
+TEST(PiecewisePerfModelTest, MultiRequestPromptCostsMore)
+{
+    const AnalyticalPerfModel ref(llama2_70b(), hw::dgxH100());
+    const auto fit = PiecewiseLinearPerfModel::fit(ref);
+    EXPECT_GE(fit->promptTime(2048, 8), fit->promptTime(2048, 1));
+}
+
+TEST(PiecewisePerfModelTest, CustomKnotsRespected)
+{
+    const AnalyticalPerfModel ref(llama2_70b(), hw::dgxH100());
+    const auto fit = PiecewiseLinearPerfModel::fit(
+        ref, {1, 4096, 16384}, {1, 64}, {0, 1000000});
+    // Coarse knots still give a usable (if less accurate) model.
+    EXPECT_GT(fit->promptTime(2000, 1), 0);
+    EXPECT_GT(fit->tokenTime(8, 8000), 0);
+}
+
+TEST(PiecewisePerfModelTest, MixedCompositionViaDefault)
+{
+    const AnalyticalPerfModel ref(llama2_70b(), hw::dgxH100());
+    const auto fit = PiecewiseLinearPerfModel::fit(ref);
+    IterationShape shape;
+    shape.promptTokens = 1024;
+    shape.promptRequests = 1;
+    shape.tokenRequests = 8;
+    shape.contextTokens = 8 * 1000;
+    const double fitted = sim::usToMs(fit->iterationTime(shape));
+    const double truth = sim::usToMs(ref.iterationTime(shape));
+    EXPECT_NEAR(fitted / truth, 1.0, 0.10);
+}
+
+}  // namespace
+}  // namespace splitwise::model

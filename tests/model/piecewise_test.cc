@@ -1,0 +1,97 @@
+#include "model/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace splitwise::model {
+namespace {
+
+TEST(PiecewiseLinearTest, InterpolatesBetweenKnots)
+{
+    PiecewiseLinear f({0, 10}, {0, 100});
+    EXPECT_DOUBLE_EQ(f(0), 0.0);
+    EXPECT_DOUBLE_EQ(f(5), 50.0);
+    EXPECT_DOUBLE_EQ(f(10), 100.0);
+}
+
+TEST(PiecewiseLinearTest, ClampsOutsideRange)
+{
+    PiecewiseLinear f({1, 2}, {10, 20});
+    EXPECT_DOUBLE_EQ(f(0), 10.0);
+    EXPECT_DOUBLE_EQ(f(5), 20.0);
+}
+
+TEST(PiecewiseLinearTest, MultiSegment)
+{
+    PiecewiseLinear f({0, 1, 3}, {0, 10, 0});
+    EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(f(2), 5.0);
+}
+
+TEST(PiecewiseLinearTest, ExactKnotHits)
+{
+    PiecewiseLinear f({1, 2, 3}, {5, 7, 9});
+    EXPECT_DOUBLE_EQ(f(2), 7.0);
+}
+
+TEST(PiecewiseLinearTest, RejectsUnsortedKnots)
+{
+    EXPECT_THROW(PiecewiseLinear({2, 1}, {0, 0}), std::runtime_error);
+    EXPECT_THROW(PiecewiseLinear({1, 1}, {0, 0}), std::runtime_error);
+}
+
+TEST(PiecewiseLinearTest, RejectsLengthMismatch)
+{
+    EXPECT_THROW(PiecewiseLinear({1, 2}, {0}), std::runtime_error);
+}
+
+TEST(PiecewiseLinearTest, RejectsTooFewKnots)
+{
+    EXPECT_THROW(PiecewiseLinear({1}, {0}), std::runtime_error);
+}
+
+TEST(BilinearGridTest, ExactCorners)
+{
+    BilinearGrid g({0, 1}, {0, 1}, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 1), 4.0);
+}
+
+TEST(BilinearGridTest, CenterInterpolates)
+{
+    BilinearGrid g({0, 1}, {0, 1}, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(g.at(0.5, 0.5), 2.5);
+}
+
+TEST(BilinearGridTest, ClampsOutside)
+{
+    BilinearGrid g({0, 1}, {0, 1}, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(g.at(-1, -1), 1.0);
+    EXPECT_DOUBLE_EQ(g.at(9, 9), 4.0);
+}
+
+TEST(BilinearGridTest, ReproducesLinearFunctionExactly)
+{
+    // f(x, y) = 2x + 3y is exactly representable.
+    std::vector<double> xs = {0, 2, 5};
+    std::vector<double> ys = {0, 1, 4};
+    std::vector<double> vals;
+    for (double x : xs)
+        for (double y : ys)
+            vals.push_back(2 * x + 3 * y);
+    BilinearGrid g(xs, ys, vals);
+    EXPECT_NEAR(g.at(1.3, 2.7), 2 * 1.3 + 3 * 2.7, 1e-12);
+    EXPECT_NEAR(g.at(4.0, 0.5), 2 * 4.0 + 3 * 0.5, 1e-12);
+}
+
+TEST(BilinearGridTest, RejectsBadValueCount)
+{
+    EXPECT_THROW(BilinearGrid({0, 1}, {0, 1}, {1, 2, 3}),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::model

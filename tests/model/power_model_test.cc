@@ -1,0 +1,107 @@
+#include "model/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu_spec.h"
+#include "hw/machine_spec.h"
+
+namespace splitwise::model {
+namespace {
+
+TEST(PowerModelTest, PromptPowerRisesWithBatch)
+{
+    // Fig. 8a: prompt-phase draw grows with batched tokens.
+    const PowerModel pm(hw::h100());
+    double prev = 0.0;
+    for (std::int64_t p : {16, 128, 512, 1024, 1500}) {
+        const double frac = pm.promptPowerFraction(p);
+        EXPECT_GT(frac, prev);
+        prev = frac;
+    }
+    EXPECT_NEAR(prev, hw::h100().promptPowerNeed, 1e-9);
+}
+
+TEST(PowerModelTest, PromptPowerSaturates)
+{
+    const PowerModel pm(hw::h100());
+    EXPECT_DOUBLE_EQ(pm.promptPowerFraction(1500),
+                     pm.promptPowerFraction(8000));
+}
+
+TEST(PowerModelTest, TokenPowerIsFlat)
+{
+    // Fig. 8b: decode draw barely moves with batch size.
+    const PowerModel pm(hw::h100());
+    const double b1 = pm.tokenPowerFraction(1);
+    const double b64 = pm.tokenPowerFraction(64);
+    EXPECT_LT(b64 - b1, 0.05);
+}
+
+TEST(PowerModelTest, TokenDrawsFarBelowTdp)
+{
+    // Insight VI: the token phase does not use the power budget.
+    const PowerModel pm(hw::h100());
+    EXPECT_LT(pm.tokenPowerFraction(64), 0.65);
+}
+
+TEST(PowerModelTest, UncappedHasNoPenalty)
+{
+    const PowerModel pm(hw::h100());
+    EXPECT_DOUBLE_EQ(pm.capLatencyMultiplier(Phase::kPrompt, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(pm.capLatencyMultiplier(Phase::kToken, 1.0), 1.0);
+}
+
+TEST(PowerModelTest, TokenFreeUntilItsNeed)
+{
+    // Fig. 9b: capping to 50% TDP costs the token phase nothing.
+    const PowerModel pm(hw::h100());
+    EXPECT_DOUBLE_EQ(pm.capLatencyMultiplier(Phase::kToken, 0.5), 1.0);
+    EXPECT_GT(pm.capLatencyMultiplier(Phase::kToken, 0.3), 1.0);
+}
+
+TEST(PowerModelTest, PromptPenaltyGrowsAsCapTightens)
+{
+    // Fig. 9a: prompt latency rises substantially under caps.
+    const PowerModel pm(hw::h100());
+    const double at70 = pm.capLatencyMultiplier(Phase::kPrompt, 0.7);
+    const double at50 = pm.capLatencyMultiplier(Phase::kPrompt, 0.5);
+    const double at30 = pm.capLatencyMultiplier(Phase::kPrompt, 0.3);
+    EXPECT_GT(at70, 1.2);
+    EXPECT_GT(at50, at70);
+    EXPECT_GT(at30, at50);
+}
+
+TEST(PowerModelTest, CapClampsToSaneRange)
+{
+    const PowerModel pm(hw::h100());
+    // A nonsensical cap of 0 behaves like the minimum cap.
+    EXPECT_DOUBLE_EQ(pm.capLatencyMultiplier(Phase::kPrompt, 0.0),
+                     pm.capLatencyMultiplier(Phase::kPrompt, 0.05));
+}
+
+TEST(PowerModelTest, MachinePowerIncludesPlatform)
+{
+    const PowerModel pm(hw::h100());
+    const hw::MachineSpec m = hw::dgxH100();
+    const double idle = pm.machinePowerWatts(m, 0.0);
+    EXPECT_DOUBLE_EQ(idle, m.platformOverheadWatts);
+    const double full = pm.machinePowerWatts(m, 1.0);
+    EXPECT_DOUBLE_EQ(full, m.ratedPowerWatts());
+}
+
+TEST(PowerModelTest, MachineCapLimitsGpuDraw)
+{
+    const PowerModel pm(hw::h100());
+    const hw::MachineSpec capped = hw::dgxH100Capped();
+    EXPECT_DOUBLE_EQ(pm.machinePowerWatts(capped, 1.0),
+                     capped.provisionedPowerWatts());
+}
+
+TEST(PowerModelTest, PhaseNames)
+{
+    EXPECT_STREQ(phaseName(Phase::kPrompt), "prompt");
+    EXPECT_STREQ(phaseName(Phase::kToken), "token");
+}
+
+}  // namespace
+}  // namespace splitwise::model

@@ -1,0 +1,163 @@
+#include "model/transfer_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+#include "model/perf_model.h"
+
+namespace splitwise::model {
+namespace {
+
+TransferModel
+llamaOver(const hw::MachineSpec& a, const hw::MachineSpec& b)
+{
+    return TransferModel(llama2_70b(), hw::linkBetween(a, b));
+}
+
+TEST(TransferModelTest, KvBytesScaleWithPromptSize)
+{
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    EXPECT_EQ(t.kvBytes(1000), 1000 * llama2_70b().kvBytesPerToken());
+    EXPECT_EQ(t.kvBytes(0), 0);
+}
+
+TEST(TransferModelTest, SerializedTimeGrowsLinearly)
+{
+    // Fig. 14: serialized transfer grows linearly with prompt size.
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const double t1k = sim::usToMs(t.serializedTime(1024));
+    const double t2k = sim::usToMs(t.serializedTime(2048));
+    const double t4k = sim::usToMs(t.serializedTime(4096));
+    EXPECT_NEAR(t4k - t2k, 2 * (t2k - t1k), 0.5);
+}
+
+TEST(TransferModelTest, A100SerializedAboutTwiceH100)
+{
+    const TransferModel hh = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const TransferModel aa = llamaOver(hw::dgxA100(), hw::dgxA100());
+    const double ratio = static_cast<double>(aa.serializedTime(2048)) /
+                         static_cast<double>(hh.serializedTime(2048));
+    EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(TransferModelTest, LayerwiseVisibleIsNearConstant)
+{
+    // Fig. 14: layer-wise transfer leaves a roughly constant visible
+    // latency (~5 ms H100, ~8 ms A100) regardless of prompt size.
+    const TransferModel hh = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const AnalyticalPerfModel perf(llama2_70b(), hw::dgxH100());
+    const double v1500 = sim::usToMs(
+        hh.layerwiseVisibleTime(1500, perf.promptTime(1500, 1)));
+    const double v6000 = sim::usToMs(
+        hh.layerwiseVisibleTime(6000, perf.promptTime(6000, 1)));
+    EXPECT_NEAR(v1500, 5.0, 2.0);
+    EXPECT_LT(v6000 - v1500, 3.0);
+}
+
+TEST(TransferModelTest, A100LayerwiseVisibleAroundEightMs)
+{
+    const TransferModel aa = llamaOver(hw::dgxA100(), hw::dgxA100());
+    const AnalyticalPerfModel perf(llama2_70b(), hw::dgxA100());
+    const double v = sim::usToMs(
+        aa.layerwiseVisibleTime(1500, perf.promptTime(1500, 1)));
+    EXPECT_NEAR(v, 8.0, 2.5);
+}
+
+TEST(TransferModelTest, LayerwiseHidesMostOfLargeTransfers)
+{
+    const TransferModel hh = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const AnalyticalPerfModel perf(llama2_70b(), hw::dgxH100());
+    const auto compute = perf.promptTime(4096, 1);
+    EXPECT_LT(hh.layerwiseVisibleTime(4096, compute),
+              hh.serializedTime(4096) / 3);
+}
+
+TEST(TransferModelTest, ThresholdSelectsTechnique)
+{
+    // SVI-A: serialized below 512 prompt tokens, layer-wise above.
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    EXPECT_FALSE(t.useLayerwise(256));
+    EXPECT_FALSE(t.useLayerwise(511));
+    EXPECT_TRUE(t.useLayerwise(512));
+    EXPECT_TRUE(t.useLayerwise(4096));
+}
+
+TEST(TransferModelTest, PlanPicksCheaperVisibleTimeAtScale)
+{
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const AnalyticalPerfModel perf(llama2_70b(), hw::dgxH100());
+
+    const auto small = t.plan(128, perf.promptTime(128, 1));
+    EXPECT_FALSE(small.layerwise);
+    EXPECT_EQ(small.interferenceUs, 0);
+
+    const auto large = t.plan(3000, perf.promptTime(3000, 1));
+    EXPECT_TRUE(large.layerwise);
+    EXPECT_LT(large.visibleUs, t.serializedTime(3000));
+}
+
+TEST(TransferModelTest, InterferenceIsSmallFractionOfCompute)
+{
+    // SVI-A: total transfer + interference overhead stays < 7% of
+    // the prompt computation.
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const AnalyticalPerfModel perf(llama2_70b(), hw::dgxH100());
+    for (std::int64_t p : {512, 1500, 3000, 6000}) {
+        const auto compute = perf.promptTime(p, 1);
+        const auto interference = t.layerwiseInterference(p, compute);
+        EXPECT_LT(static_cast<double>(interference),
+                  0.07 * static_cast<double>(compute))
+            << "prompt " << p;
+    }
+}
+
+TEST(TransferModelTest, InterferenceBoundedByCompute)
+{
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    EXPECT_LE(t.layerwiseInterference(100000, 100), 100);
+}
+
+TEST(TransferModelTest, SecondTokenOverheadMatchesPaper)
+{
+    // SVI-A: Splitwise adds ~16.5% to the second token's latency at
+    // the coding median, versus ~64% for a serialized transfer.
+    const TransferModel t = llamaOver(hw::dgxH100(), hw::dgxH100());
+    const AnalyticalPerfModel perf(llama2_70b(), hw::dgxH100());
+    const double tbt = sim::usToMs(perf.tokenTime(1, 1500));
+    const auto plan = t.plan(1500, perf.promptTime(1500, 1));
+    const double splitwise_overhead = sim::usToMs(plan.visibleUs) / tbt;
+    const double serialized_overhead =
+        sim::usToMs(t.serializedTime(1500)) / tbt;
+    EXPECT_NEAR(splitwise_overhead, 0.165, 0.10);
+    EXPECT_GT(serialized_overhead, 2.0 * splitwise_overhead);
+}
+
+TEST(TransferModelTest, CompressionShrinksWireBytes)
+{
+    // SVII: the KV-cache could be compressed before transfer.
+    const auto link = hw::linkBetween(hw::dgxH100(), hw::dgxH100());
+    const TransferModel raw(llama2_70b(), link, 512, 1.0);
+    const TransferModel compressed(llama2_70b(), link, 512, 4.0);
+    EXPECT_EQ(compressed.kvBytes(1000), raw.kvBytes(1000) / 4);
+    EXPECT_LT(compressed.serializedTime(2048), raw.serializedTime(2048));
+}
+
+TEST(TransferModelTest, CompressionRatioBelowOneRejected)
+{
+    const auto link = hw::linkBetween(hw::dgxH100(), hw::dgxH100());
+    EXPECT_THROW(TransferModel(llama2_70b(), link, 512, 0.5),
+                 std::runtime_error);
+}
+
+TEST(TransferModelTest, CustomThresholdHonored)
+{
+    const TransferModel t(llama2_70b(),
+                          hw::linkBetween(hw::dgxH100(), hw::dgxH100()),
+                          2048);
+    EXPECT_FALSE(t.useLayerwise(1024));
+    EXPECT_TRUE(t.useLayerwise(2048));
+}
+
+}  // namespace
+}  // namespace splitwise::model

@@ -1,0 +1,160 @@
+#include "provision/provisioner.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/machine_spec.h"
+#include "model/llm_config.h"
+#include "workload/workloads.h"
+
+namespace splitwise::provision {
+namespace {
+
+/** Fast options: short traces, coarse searches. */
+ProvisionerOptions
+fastOptions()
+{
+    ProvisionerOptions o;
+    o.traceDuration = sim::secondsToUs(15);
+    o.rpsTolerance = 4.0;
+    o.maxRpsCeiling = 128.0;
+    o.promptFractions = {0.4, 0.6, 0.8};
+    return o;
+}
+
+class ProvisionerTest : public ::testing::Test {
+  protected:
+    Provisioner prov_{model::llama2_70b(), workload::conversation(),
+                      fastOptions()};
+};
+
+TEST(DesignKindTest, NamesAndPredicates)
+{
+    EXPECT_STREQ(designKindName(DesignKind::kSplitwiseHA), "Splitwise-HA");
+    EXPECT_TRUE(isBaseline(DesignKind::kBaselineA100));
+    EXPECT_FALSE(isBaseline(DesignKind::kSplitwiseAA));
+    EXPECT_EQ(allDesignKinds().size(), 6u);
+}
+
+TEST(DesignKindTest, MakeDesignFoldsBaselineCounts)
+{
+    const auto d = makeDesign(DesignKind::kBaselineH100, 3, 2);
+    EXPECT_EQ(d.numPrompt, 5);
+    EXPECT_EQ(d.numToken, 0);
+    const auto s = makeDesign(DesignKind::kSplitwiseHA, 3, 2);
+    EXPECT_EQ(s.numPrompt, 3);
+    EXPECT_EQ(s.numToken, 2);
+}
+
+TEST_F(ProvisionerTest, EvaluateReportsSloVerdict)
+{
+    // A generously sized cluster at trivial load passes.
+    const auto good = prov_.evaluate(core::splitwiseHH(4, 4), 2.0);
+    EXPECT_TRUE(good.slo.pass) << good.slo.violation;
+    // A tiny cluster at crushing load fails.
+    const auto bad = prov_.evaluate(core::splitwiseHH(1, 1), 40.0);
+    EXPECT_FALSE(bad.slo.pass);
+}
+
+TEST_F(ProvisionerTest, MaxThroughputMonotoneInMachines)
+{
+    const double small = prov_.maxThroughput(core::splitwiseHH(2, 2));
+    const double large = prov_.maxThroughput(core::splitwiseHH(4, 4));
+    EXPECT_GT(small, 0.0);
+    EXPECT_GE(large, small);
+}
+
+TEST_F(ProvisionerTest, H100BaselineFasterThanA100PerMachine)
+{
+    const double a = prov_.maxThroughput(core::baselineA100(3));
+    const double h = prov_.maxThroughput(core::baselineH100(3));
+    EXPECT_GT(h, a);
+}
+
+TEST_F(ProvisionerTest, SweepMarksFeasibleRegion)
+{
+    const auto cells =
+        prov_.sweep(DesignKind::kSplitwiseHH, {1, 4}, {1, 4}, 6.0);
+    ASSERT_EQ(cells.size(), 4u);
+    // The largest cluster must do at least as well as the smallest.
+    bool small_pass = false;
+    bool large_pass = false;
+    for (const auto& c : cells) {
+        if (c.numPrompt == 1 && c.numToken == 1)
+            small_pass = c.pass;
+        if (c.numPrompt == 4 && c.numToken == 4)
+            large_pass = c.pass;
+    }
+    EXPECT_TRUE(large_pass);
+    EXPECT_TRUE(!small_pass || large_pass);
+}
+
+TEST_F(ProvisionerTest, IsoPowerRespectsBudget)
+{
+    const double budget = 8 * hw::dgxH100().provisionedPowerWatts();
+    for (DesignKind kind :
+         {DesignKind::kBaselineH100, DesignKind::kSplitwiseHH,
+          DesignKind::kSplitwiseHA}) {
+        const Optimum opt = prov_.isoPowerThroughputOptimized(kind, budget);
+        ASSERT_TRUE(opt.feasible) << designKindName(kind);
+        EXPECT_LE(opt.footprint.powerWatts, budget + 1.0)
+            << designKindName(kind);
+        EXPECT_GT(opt.maxRps, 0.0);
+    }
+}
+
+TEST_F(ProvisionerTest, IsoPowerFitsMoreA100sThanH100s)
+{
+    const double budget = 8 * hw::dgxH100().provisionedPowerWatts();
+    const Optimum a = prov_.isoPowerThroughputOptimized(
+        DesignKind::kBaselineA100, budget);
+    const Optimum h = prov_.isoPowerThroughputOptimized(
+        DesignKind::kBaselineH100, budget);
+    EXPECT_EQ(h.footprint.machines, 8);
+    EXPECT_EQ(a.footprint.machines, 14);  // 1.75x the machines
+}
+
+TEST_F(ProvisionerTest, IsoCostRespectsBudget)
+{
+    const double budget = 6 * hw::dgxH100().costPerHour;
+    const Optimum opt =
+        prov_.isoCostThroughputOptimized(DesignKind::kSplitwiseAA, budget);
+    ASSERT_TRUE(opt.feasible);
+    EXPECT_LE(opt.footprint.costPerHour, budget + 1e-9);
+}
+
+TEST_F(ProvisionerTest, IsoThroughputFindsMinimalCluster)
+{
+    const double target = 6.0;
+    const Optimum opt =
+        prov_.isoThroughputCostOptimized(DesignKind::kSplitwiseHH, target);
+    ASSERT_TRUE(opt.feasible);
+    // The found cluster meets the target...
+    EXPECT_TRUE(prov_.evaluate(opt.design, target).slo.pass);
+    // ...and is minimal along its split: one less total machine at a
+    // probed split must not be verifiable cheaper than the optimum.
+    EXPECT_GE(opt.design.machines(), 2);
+}
+
+TEST_F(ProvisionerTest, IsoThroughputPowerPrefersCapped)
+{
+    // HHcap should never need more power than plain HH for the same
+    // throughput (token machines run capped at equal speed).
+    const double target = 6.0;
+    const Optimum hh =
+        prov_.isoThroughputPowerOptimized(DesignKind::kSplitwiseHH, target);
+    const Optimum cap = prov_.isoThroughputPowerOptimized(
+        DesignKind::kSplitwiseHHcap, target);
+    ASSERT_TRUE(hh.feasible);
+    ASSERT_TRUE(cap.feasible);
+    EXPECT_LE(cap.footprint.powerWatts, hh.footprint.powerWatts * 1.05);
+}
+
+TEST_F(ProvisionerTest, InfeasibleBudgetReportsInfeasible)
+{
+    const Optimum opt = prov_.isoPowerThroughputOptimized(
+        DesignKind::kBaselineH100, 10.0 /* watts: fits nothing */);
+    EXPECT_FALSE(opt.feasible);
+}
+
+}  // namespace
+}  // namespace splitwise::provision

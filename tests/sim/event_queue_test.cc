@@ -1,0 +1,139 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace splitwise::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kTimeNever);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); }, 1);
+    q.schedule(5, [&] { order.push_back(2); }, 0);
+    q.schedule(5, [&] { order.push_back(3); }, 0);
+    while (!q.empty())
+        q.pop().action();
+    // Priority 0 first; equal priorities preserve insertion order.
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLive)
+{
+    EventQueue q;
+    q.schedule(50, [] {});
+    q.schedule(40, [] {});
+    EXPECT_EQ(q.nextTime(), 40);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule(10, [&] { ran = true; });
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelledEventSkippedOnPop)
+{
+    EventQueue q;
+    int value = 0;
+    const EventId id = q.schedule(10, [&] { value = 1; });
+    q.schedule(20, [&] { value = 2; });
+    q.cancel(id);
+    EXPECT_EQ(q.nextTime(), 20);
+    q.pop().action();
+    EXPECT_EQ(value, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelIsIdempotent)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(id);
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelAfterPopIsNoOp)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.pop();
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextTime(), 20);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoOp)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.cancel(12345);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    const EventId a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.schedule(3, [] {});
+    EXPECT_EQ(q.size(), 3u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, ManyEventsStableOrdering)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().action();
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ScheduledCountIsMonotonic)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.pop();
+    q.schedule(3, [] {});
+    EXPECT_EQ(q.scheduledCount(), 3u);
+}
+
+}  // namespace
+}  // namespace splitwise::sim

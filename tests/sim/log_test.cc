@@ -1,0 +1,56 @@
+#include "sim/log.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace splitwise::sim {
+namespace {
+
+class LogTest : public ::testing::Test {
+  protected:
+    void SetUp() override { previous_ = Log::level(); }
+    void TearDown() override { Log::setLevel(previous_); }
+
+    LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelRoundTrips)
+{
+    Log::setLevel(LogLevel::kDebug);
+    EXPECT_EQ(Log::level(), LogLevel::kDebug);
+    Log::setLevel(LogLevel::kOff);
+    EXPECT_EQ(Log::level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, FatalThrowsRuntimeError)
+{
+    Log::setLevel(LogLevel::kOff);
+    EXPECT_THROW(fatal("user misconfiguration"), std::runtime_error);
+}
+
+TEST_F(LogTest, FatalMessagePreserved)
+{
+    Log::setLevel(LogLevel::kOff);
+    try {
+        fatal("specific failure detail");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "specific failure detail");
+    }
+}
+
+TEST_F(LogTest, InformAndWarnDoNotThrow)
+{
+    Log::setLevel(LogLevel::kOff);
+    EXPECT_NO_THROW(inform("status message"));
+    EXPECT_NO_THROW(warn("suspicious but survivable"));
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant violated"), "invariant violated");
+}
+
+}  // namespace
+}  // namespace splitwise::sim

@@ -1,0 +1,120 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace splitwise::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 5.0);
+        ASSERT_GE(v, 2.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate)
+{
+    Rng rng(11);
+    const double rate = 4.0;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, NormalMeanAndSpread)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng parent(21);
+    Rng child = parent.fork();
+    // The child must not replay the parent's stream.
+    Rng parent_copy(21);
+    parent_copy.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (child.uniform() == parent.uniform())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic)
+{
+    Rng a(33);
+    Rng b(33);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 50; ++i)
+        ASSERT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+}
+
+}  // namespace
+}  // namespace splitwise::sim

@@ -1,0 +1,147 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace splitwise::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero)
+{
+    Simulator s;
+    EXPECT_EQ(s.now(), 0);
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes)
+{
+    Simulator s;
+    std::vector<TimeUs> seen;
+    s.schedule(100, [&] { seen.push_back(s.now()); });
+    s.schedule(250, [&] { seen.push_back(s.now()); });
+    const auto ran = s.run();
+    EXPECT_EQ(ran, 2u);
+    EXPECT_EQ(seen, (std::vector<TimeUs>{100, 250}));
+    EXPECT_EQ(s.now(), 250);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative)
+{
+    Simulator s;
+    TimeUs fired_at = -1;
+    s.schedule(100, [&] {
+        s.scheduleAfter(50, [&] { fired_at = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, RunUntilHorizonLeavesLaterEventsQueued)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(10, [&] { ++count; });
+    s.schedule(20, [&] { ++count; });
+    s.schedule(30, [&] { ++count; });
+    const auto ran = s.run(20);
+    EXPECT_EQ(ran, 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(s.pendingEvents(), 1u);
+    // Idle clock advances to the horizon.
+    EXPECT_EQ(s.now(), 20);
+    s.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents)
+{
+    Simulator s;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            s.scheduleAfter(10, chain);
+    };
+    s.schedule(0, chain);
+    s.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(s.now(), 40);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(1, [&] { ++count; });
+    s.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RequestStopHaltsRun)
+{
+    Simulator s;
+    int count = 0;
+    s.schedule(1, [&] {
+        ++count;
+        s.requestStop();
+    });
+    s.schedule(2, [&] { ++count; });
+    s.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(s.pendingEvents(), 1u);
+    // A later run() resumes.
+    s.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution)
+{
+    Simulator s;
+    bool ran = false;
+    const EventId id = s.schedule(10, [&] { ran = true; });
+    s.cancel(id);
+    s.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastPanics)
+{
+    Simulator s;
+    s.schedule(100, [] {});
+    s.run();
+    EXPECT_DEATH(s.schedule(50, [] {}), "before now");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayPanics)
+{
+    Simulator s;
+    EXPECT_DEATH(s.scheduleAfter(-1, [] {}), "negative delay");
+}
+
+TEST(SimulatorTest, ExecutedEventsAccumulatesAcrossRuns)
+{
+    Simulator s;
+    s.schedule(1, [] {});
+    s.schedule(2, [] {});
+    s.run(1);
+    s.run();
+    EXPECT_EQ(s.executedEvents(), 2u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        s.schedule(42, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace splitwise::sim

@@ -1,0 +1,33 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace splitwise::sim {
+namespace {
+
+TEST(TimeTest, SecondsRoundTrip)
+{
+    EXPECT_EQ(secondsToUs(1.0), 1'000'000);
+    EXPECT_DOUBLE_EQ(usToSeconds(2'500'000), 2.5);
+}
+
+TEST(TimeTest, MsRoundTrip)
+{
+    EXPECT_EQ(msToUs(1.5), 1500);
+    EXPECT_DOUBLE_EQ(usToMs(1500), 1.5);
+}
+
+TEST(TimeTest, ConversionsRound)
+{
+    EXPECT_EQ(msToUs(0.0004), 0);
+    EXPECT_EQ(msToUs(0.0006), 1);
+    EXPECT_EQ(secondsToUs(1e-7), 0);
+}
+
+TEST(TimeTest, NeverIsLargerThanAnyPracticalTime)
+{
+    EXPECT_GT(kTimeNever, secondsToUs(1e9));
+}
+
+}  // namespace
+}  // namespace splitwise::sim

@@ -1,0 +1,137 @@
+#include "workload/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace splitwise::workload {
+namespace {
+
+TEST(EmpiricalDistributionTest, QuantilesInterpolate)
+{
+    EmpiricalDistribution d({{0.0, 0}, {0.5, 100}, {1.0, 200}});
+    EXPECT_EQ(d.quantile(0.0), 0);
+    EXPECT_EQ(d.quantile(0.25), 50);
+    EXPECT_EQ(d.quantile(0.5), 100);
+    EXPECT_EQ(d.quantile(0.75), 150);
+    EXPECT_EQ(d.quantile(1.0), 200);
+}
+
+TEST(EmpiricalDistributionTest, MedianHelper)
+{
+    EmpiricalDistribution d({{0.0, 10}, {0.5, 42}, {1.0, 90}});
+    EXPECT_EQ(d.median(), 42);
+}
+
+TEST(EmpiricalDistributionTest, QuantileClampsInput)
+{
+    EmpiricalDistribution d({{0.0, 5}, {1.0, 10}});
+    EXPECT_EQ(d.quantile(-1.0), 5);
+    EXPECT_EQ(d.quantile(2.0), 10);
+}
+
+TEST(EmpiricalDistributionTest, SamplesStayInSupport)
+{
+    EmpiricalDistribution d({{0.0, 3}, {1.0, 17}});
+    sim::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = d.sample(rng);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 17);
+    }
+}
+
+TEST(EmpiricalDistributionTest, SampleMedianApproximatesQuantile)
+{
+    EmpiricalDistribution d({{0.0, 0}, {0.5, 1000}, {1.0, 5000}});
+    sim::Rng rng(11);
+    std::vector<std::int64_t> samples;
+    for (int i = 0; i < 4001; ++i)
+        samples.push_back(d.sample(rng));
+    std::nth_element(samples.begin(), samples.begin() + 2000, samples.end());
+    EXPECT_NEAR(static_cast<double>(samples[2000]), 1000.0, 120.0);
+}
+
+TEST(EmpiricalDistributionTest, SamplesAreAtLeastOne)
+{
+    EmpiricalDistribution d({{0.0, 0}, {1.0, 2}});
+    sim::Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        ASSERT_GE(d.sample(rng), 1);
+}
+
+TEST(EmpiricalDistributionTest, RejectsBadAnchors)
+{
+    using Anchors = std::vector<std::pair<double, std::int64_t>>;
+    EXPECT_THROW(EmpiricalDistribution(Anchors{{0.0, 1}}),
+                 std::runtime_error);
+    EXPECT_THROW(EmpiricalDistribution(Anchors{{0.0, 1}, {0.0, 2}}),
+                 std::runtime_error);
+    EXPECT_THROW(EmpiricalDistribution(Anchors{{0.1, 1}, {1.0, 2}}),
+                 std::runtime_error);
+    EXPECT_THROW(EmpiricalDistribution(Anchors{{0.0, 1}, {0.9, 2}}),
+                 std::runtime_error);
+}
+
+TEST(FixedDistributionTest, AlwaysSameValue)
+{
+    FixedDistribution d(77);
+    sim::Rng rng(1);
+    EXPECT_EQ(d.quantile(0.0), 77);
+    EXPECT_EQ(d.quantile(1.0), 77);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(d.sample(rng), 77);
+}
+
+TEST(MixtureDistributionTest, SamplesFromBothModes)
+{
+    auto low = std::make_shared<FixedDistribution>(10);
+    auto high = std::make_shared<FixedDistribution>(1000);
+    MixtureDistribution mix(low, high, 0.5);
+    sim::Rng rng(9);
+    int lows = 0;
+    int highs = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = mix.sample(rng);
+        if (v == 10)
+            ++lows;
+        else if (v == 1000)
+            ++highs;
+        else
+            FAIL() << "unexpected sample " << v;
+    }
+    EXPECT_NEAR(static_cast<double>(lows) / 2000, 0.5, 0.05);
+    EXPECT_GT(highs, 0);
+}
+
+TEST(MixtureDistributionTest, WeightControlsMass)
+{
+    auto low = std::make_shared<FixedDistribution>(1);
+    auto high = std::make_shared<FixedDistribution>(2);
+    MixtureDistribution mix(low, high, 0.9);
+    sim::Rng rng(13);
+    int lows = 0;
+    for (int i = 0; i < 2000; ++i)
+        lows += mix.sample(rng) == 1 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(lows) / 2000, 0.9, 0.03);
+}
+
+TEST(MixtureDistributionTest, QuantileSwitchesAtWeight)
+{
+    auto low = std::make_shared<FixedDistribution>(10);
+    auto high = std::make_shared<FixedDistribution>(1000);
+    MixtureDistribution mix(low, high, 0.4);
+    EXPECT_EQ(mix.quantile(0.2), 10);
+    EXPECT_EQ(mix.quantile(0.8), 1000);
+}
+
+TEST(MixtureDistributionTest, RejectsBadWeight)
+{
+    auto d = std::make_shared<FixedDistribution>(1);
+    EXPECT_THROW(MixtureDistribution(d, d, -0.1), std::runtime_error);
+    EXPECT_THROW(MixtureDistribution(d, d, 1.1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::workload

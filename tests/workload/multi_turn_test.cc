@@ -1,0 +1,126 @@
+#include "workload/multi_turn.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace splitwise::workload {
+namespace {
+
+MultiTurnConfig
+fastConfig()
+{
+    MultiTurnConfig config = defaultMultiTurnConfig();
+    config.thinkTimeMeanS = 2.0;
+    return config;
+}
+
+TEST(MultiTurnTest, GeneratesSessionsAndTurns)
+{
+    MultiTurnTraceGenerator gen(fastConfig(), 1);
+    const Trace trace = gen.generate(2.0, sim::secondsToUs(60));
+    EXPECT_GT(gen.lastSessionCount(), 60u);
+    // At 2-6 turns per session, turns outnumber sessions.
+    EXPECT_GT(trace.size(), gen.lastSessionCount());
+}
+
+TEST(MultiTurnTest, ArrivalsSorted)
+{
+    MultiTurnTraceGenerator gen(fastConfig(), 2);
+    const Trace trace = gen.generate(3.0, sim::secondsToUs(60));
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        ASSERT_GE(trace[i].arrival, trace[i - 1].arrival);
+}
+
+TEST(MultiTurnTest, ContextGrowsAcrossTurnsWithinSession)
+{
+    // With one session, consecutive requests are that session's
+    // turns; each resends the grown context (SVII).
+    MultiTurnConfig config = fastConfig();
+    config.minTurns = 4;
+    config.maxTurns = 4;
+    MultiTurnTraceGenerator gen(config, 3);
+    Trace trace;
+    while (trace.size() != 4)
+        trace = gen.generate(0.05, sim::secondsToUs(30));
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        ASSERT_GT(trace[i].promptTokens, trace[i - 1].promptTokens);
+}
+
+TEST(MultiTurnTest, ContextCapRespected)
+{
+    MultiTurnConfig config = fastConfig();
+    config.maxTurns = 12;
+    config.minTurns = 12;
+    config.maxContextTokens = 4096;
+    MultiTurnTraceGenerator gen(config, 4);
+    const Trace trace = gen.generate(2.0, sim::secondsToUs(60));
+    for (const auto& r : trace)
+        ASSERT_LE(r.promptTokens, 4096);
+}
+
+TEST(MultiTurnTest, LaterTurnsArePromptHeavier)
+{
+    // The defining property: the average prompt grows with load of
+    // accumulated context, shifting work toward the prompt phase.
+    MultiTurnConfig config = fastConfig();
+    config.minTurns = 5;
+    config.maxTurns = 5;
+    MultiTurnTraceGenerator gen(config, 5);
+    const Trace trace = gen.generate(2.0, sim::secondsToUs(120));
+    // Group turns per session via monotone prompt growth: compare
+    // the global mean of first-half vs second-half arrivals per
+    // session using ids (turns of a session have consecutive ids).
+    double early = 0.0;
+    double late = 0.0;
+    std::size_t n = 0;
+    for (const auto& r : trace) {
+        const std::uint64_t turn = r.id % 5;
+        if (turn == 0)
+            early += static_cast<double>(r.promptTokens);
+        if (turn == 4)
+            late += static_cast<double>(r.promptTokens);
+        n += turn == 0 ? 1 : 0;
+    }
+    ASSERT_GT(n, 0u);
+    EXPECT_GT(late / static_cast<double>(n),
+              2.0 * early / static_cast<double>(n));
+}
+
+TEST(MultiTurnTest, DeterministicPerSeed)
+{
+    MultiTurnTraceGenerator a(fastConfig(), 9);
+    MultiTurnTraceGenerator b(fastConfig(), 9);
+    const Trace ta = a.generate(2.0, sim::secondsToUs(30));
+    const Trace tb = b.generate(2.0, sim::secondsToUs(30));
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        ASSERT_EQ(ta[i].arrival, tb[i].arrival);
+        ASSERT_EQ(ta[i].promptTokens, tb[i].promptTokens);
+    }
+}
+
+TEST(MultiTurnTest, RejectsBadConfig)
+{
+    MultiTurnConfig config = fastConfig();
+    config.minTurns = 0;
+    EXPECT_THROW(MultiTurnTraceGenerator(config, 1), std::runtime_error);
+    config = fastConfig();
+    config.maxTurns = 1;
+    config.minTurns = 3;
+    EXPECT_THROW(MultiTurnTraceGenerator(config, 1), std::runtime_error);
+    config = fastConfig();
+    config.userTokens = nullptr;
+    EXPECT_THROW(MultiTurnTraceGenerator(config, 1), std::runtime_error);
+}
+
+TEST(MultiTurnTest, RejectsBadRate)
+{
+    MultiTurnTraceGenerator gen(fastConfig(), 1);
+    EXPECT_THROW(gen.generate(0.0, sim::secondsToUs(10)),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::workload

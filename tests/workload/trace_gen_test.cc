@@ -1,0 +1,106 @@
+#include "workload/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/workloads.h"
+
+namespace splitwise::workload {
+namespace {
+
+TEST(TraceGeneratorTest, PoissonRateApproximatelyHonored)
+{
+    TraceGenerator gen(conversation(), 1);
+    const Trace t = gen.generate(20.0, sim::secondsToUs(120));
+    EXPECT_NEAR(static_cast<double>(t.size()) / 120.0, 20.0, 2.0);
+}
+
+TEST(TraceGeneratorTest, ArrivalsSortedAndWithinHorizon)
+{
+    TraceGenerator gen(coding(), 2);
+    const Trace t = gen.generate(10.0, sim::secondsToUs(30));
+    sim::TimeUs prev = 0;
+    for (const auto& r : t) {
+        EXPECT_GE(r.arrival, prev);
+        EXPECT_LT(r.arrival, sim::secondsToUs(30));
+        prev = r.arrival;
+    }
+}
+
+TEST(TraceGeneratorTest, IdsAreSequential)
+{
+    TraceGenerator gen(coding(), 3);
+    const Trace t = gen.generate(5.0, sim::secondsToUs(10));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(t[i].id, i);
+}
+
+TEST(TraceGeneratorTest, TokenCountsPositive)
+{
+    TraceGenerator gen(conversation(), 4);
+    const Trace t = gen.generate(10.0, sim::secondsToUs(20));
+    for (const auto& r : t) {
+        ASSERT_GE(r.promptTokens, 1);
+        ASSERT_GE(r.outputTokens, 1);
+    }
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed)
+{
+    TraceGenerator a(conversation(), 42);
+    TraceGenerator b(conversation(), 42);
+    const Trace ta = a.generate(10.0, sim::secondsToUs(10));
+    const Trace tb = b.generate(10.0, sim::secondsToUs(10));
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        ASSERT_EQ(ta[i].arrival, tb[i].arrival);
+        ASSERT_EQ(ta[i].promptTokens, tb[i].promptTokens);
+        ASSERT_EQ(ta[i].outputTokens, tb[i].outputTokens);
+    }
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiffer)
+{
+    TraceGenerator a(conversation(), 1);
+    TraceGenerator b(conversation(), 2);
+    const Trace ta = a.generate(10.0, sim::secondsToUs(10));
+    const Trace tb = b.generate(10.0, sim::secondsToUs(10));
+    EXPECT_TRUE(ta.size() != tb.size() ||
+                ta.front().promptTokens != tb.front().promptTokens ||
+                ta.front().arrival != tb.front().arrival);
+}
+
+TEST(TraceGeneratorTest, SampledMediansTrackWorkload)
+{
+    TraceGenerator gen(coding(), 5);
+    const Trace t = gen.generate(50.0, sim::secondsToUs(120));
+    std::vector<std::int64_t> prompts;
+    for (const auto& r : t)
+        prompts.push_back(r.promptTokens);
+    std::nth_element(prompts.begin(), prompts.begin() + prompts.size() / 2,
+                     prompts.end());
+    EXPECT_NEAR(static_cast<double>(prompts[prompts.size() / 2]), 1500.0,
+                200.0);
+}
+
+TEST(TraceGeneratorTest, UniformIntervalsExact)
+{
+    TraceGenerator gen(coding(), 6);
+    const Trace t = gen.generateUniform(10, 500);
+    ASSERT_EQ(t.size(), 10u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(t[i].arrival, static_cast<sim::TimeUs>(i) * 500);
+}
+
+TEST(TraceGeneratorTest, RejectsNonPositiveRate)
+{
+    TraceGenerator gen(coding(), 7);
+    EXPECT_THROW(gen.generate(0.0, sim::secondsToUs(10)),
+                 std::runtime_error);
+    EXPECT_THROW(gen.generate(-1.0, sim::secondsToUs(10)),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::workload

@@ -1,0 +1,105 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace splitwise::workload {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("trace_test_" + std::to_string(::getpid()) + ".csv");
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+
+    std::filesystem::path path_;
+};
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.push_back({0, 0, 100, 10});
+    t.push_back({1, sim::secondsToUs(1), 2000, 50});
+    t.push_back({2, sim::secondsToUs(2), 512, 1});
+    return t;
+}
+
+TEST_F(TraceIoTest, RoundTripsThroughCsv)
+{
+    const Trace original = sampleTrace();
+    writeCsv(original, path_.string());
+    const Trace loaded = readCsv(path_.string());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].id, original[i].id);
+        EXPECT_EQ(loaded[i].arrival, original[i].arrival);
+        EXPECT_EQ(loaded[i].promptTokens, original[i].promptTokens);
+        EXPECT_EQ(loaded[i].outputTokens, original[i].outputTokens);
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    writeCsv({}, path_.string());
+    EXPECT_TRUE(readCsv(path_.string()).empty());
+}
+
+TEST_F(TraceIoTest, ReadMissingFileThrows)
+{
+    EXPECT_THROW(readCsv("/nonexistent/dir/trace.csv"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MalformedRowThrows)
+{
+    std::ofstream out(path_);
+    out << "id,arrival_us,prompt_tokens,output_tokens\n";
+    out << "not,a,valid,row\n";
+    out.close();
+    EXPECT_THROW(readCsv(path_.string()), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BlankLinesSkipped)
+{
+    std::ofstream out(path_);
+    out << "id,arrival_us,prompt_tokens,output_tokens\n";
+    out << "0,0,100,10\n\n";
+    out << "1,5,200,20\n";
+    out.close();
+    EXPECT_EQ(readCsv(path_.string()).size(), 2u);
+}
+
+TEST(TraceStatsTest, SpanAndRps)
+{
+    const Trace t = sampleTrace();
+    EXPECT_EQ(traceSpan(t), sim::secondsToUs(2));
+    EXPECT_NEAR(traceRps(t), 1.5, 1e-9);
+}
+
+TEST(TraceStatsTest, DegenerateTraces)
+{
+    EXPECT_EQ(traceSpan({}), 0);
+    EXPECT_DOUBLE_EQ(traceRps({}), 0.0);
+    Trace one;
+    one.push_back({0, 100, 10, 5});
+    EXPECT_EQ(traceSpan(one), 0);
+    EXPECT_DOUBLE_EQ(traceRps(one), 0.0);
+}
+
+}  // namespace
+}  // namespace splitwise::workload

@@ -1,0 +1,75 @@
+#include "workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace splitwise::workload {
+namespace {
+
+TEST(WorkloadsTest, CodingMediansMatchPaper)
+{
+    // SIII-A: coding median prompt 1500 tokens, median output 13.
+    EXPECT_EQ(coding().promptTokens->median(), 1500);
+    EXPECT_EQ(coding().outputTokens->median(), 13);
+}
+
+TEST(WorkloadsTest, ConversationMediansMatchPaper)
+{
+    // SIII-A: conversation median prompt 1020, median output 129.
+    EXPECT_EQ(conversation().promptTokens->median(), 1020);
+    EXPECT_NEAR(static_cast<double>(conversation().outputTokens->median()),
+                129.0, 20.0);
+}
+
+TEST(WorkloadsTest, CodingOutputsAreShort)
+{
+    // Fig. 3b: the coding service generates very few tokens.
+    EXPECT_LE(coding().outputTokens->quantile(0.9), 100);
+}
+
+TEST(WorkloadsTest, ConversationOutputsAreBimodal)
+{
+    // Fig. 3b: conversation outputs have a short mode and a long
+    // mode; the p90 is far above the median.
+    const auto& out = *conversation().outputTokens;
+    EXPECT_GT(out.quantile(0.9), 3 * out.median());
+}
+
+TEST(WorkloadsTest, CodingPromptsLargerThanConversation)
+{
+    EXPECT_GT(coding().promptTokens->median(),
+              conversation().promptTokens->median());
+}
+
+TEST(WorkloadsTest, PromptQuantilesMonotone)
+{
+    for (const Workload* w : {&coding(), &conversation()}) {
+        std::int64_t prev = 0;
+        for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+            const auto v = w->promptTokens->quantile(q);
+            EXPECT_GE(v, prev) << w->name << " q=" << q;
+            prev = v;
+        }
+    }
+}
+
+TEST(WorkloadsTest, LookupByName)
+{
+    EXPECT_EQ(workloadByName("coding").name, "coding");
+    EXPECT_EQ(workloadByName("conversation").name, "conversation");
+    EXPECT_THROW(workloadByName("nonsense"), std::runtime_error);
+}
+
+TEST(WorkloadsTest, SamplingIsDeterministicPerSeed)
+{
+    sim::Rng a(5);
+    sim::Rng b(5);
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(coding().promptTokens->sample(a),
+                  coding().promptTokens->sample(b));
+    }
+}
+
+}  // namespace
+}  // namespace splitwise::workload
