@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chunked_prefill"
+  "../bench/bench_ablation_chunked_prefill.pdb"
+  "CMakeFiles/bench_ablation_chunked_prefill.dir/bench_ablation_chunked_prefill.cpp.o"
+  "CMakeFiles/bench_ablation_chunked_prefill.dir/bench_ablation_chunked_prefill.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunked_prefill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

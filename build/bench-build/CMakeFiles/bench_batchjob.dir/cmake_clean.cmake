@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_batchjob"
+  "../bench/bench_batchjob.pdb"
+  "CMakeFiles/bench_batchjob.dir/bench_batchjob.cpp.o"
+  "CMakeFiles/bench_batchjob.dir/bench_batchjob.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batchjob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_token_distributions"
+  "../bench/bench_fig03_token_distributions.pdb"
+  "CMakeFiles/bench_fig03_token_distributions.dir/bench_fig03_token_distributions.cpp.o"
+  "CMakeFiles/bench_fig03_token_distributions.dir/bench_fig03_token_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_token_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_power_cap"
+  "../bench/bench_fig09_power_cap.pdb"
+  "CMakeFiles/bench_fig09_power_cap.dir/bench_fig09_power_cap.cpp.o"
+  "CMakeFiles/bench_fig09_power_cap.dir/bench_fig09_power_cap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_power_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_batch_cdf"
+  "../bench/bench_fig17_batch_cdf.pdb"
+  "CMakeFiles/bench_fig17_batch_cdf.dir/bench_fig17_batch_cdf.cpp.o"
+  "CMakeFiles/bench_fig17_batch_cdf.dir/bench_fig17_batch_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_batch_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

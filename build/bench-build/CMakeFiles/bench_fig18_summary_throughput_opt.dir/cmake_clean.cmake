@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_summary_throughput_opt"
+  "../bench/bench_fig18_summary_throughput_opt.pdb"
+  "CMakeFiles/bench_fig18_summary_throughput_opt.dir/bench_fig18_summary_throughput_opt.cpp.o"
+  "CMakeFiles/bench_fig18_summary_throughput_opt.dir/bench_fig18_summary_throughput_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_summary_throughput_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_summary_isothroughput"
+  "../bench/bench_fig19_summary_isothroughput.pdb"
+  "CMakeFiles/bench_fig19_summary_isothroughput.dir/bench_fig19_summary_isothroughput.cpp.o"
+  "CMakeFiles/bench_fig19_summary_isothroughput.dir/bench_fig19_summary_isothroughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_summary_isothroughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_workload_changes"
+  "../bench/bench_fig20_workload_changes.pdb"
+  "CMakeFiles/bench_fig20_workload_changes.dir/bench_fig20_workload_changes.cpp.o"
+  "CMakeFiles/bench_fig20_workload_changes.dir/bench_fig20_workload_changes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_workload_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_a100_vs_h100"
+  "../bench/bench_table4_a100_vs_h100.pdb"
+  "CMakeFiles/bench_table4_a100_vs_h100.dir/bench_table4_a100_vs_h100.cpp.o"
+  "CMakeFiles/bench_table4_a100_vs_h100.dir/bench_table4_a100_vs_h100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_a100_vs_h100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

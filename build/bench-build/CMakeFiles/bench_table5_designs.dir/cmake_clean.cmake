@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_designs"
+  "../bench/bench_table5_designs.pdb"
+  "CMakeFiles/bench_table5_designs.dir/bench_table5_designs.cpp.o"
+  "CMakeFiles/bench_table5_designs.dir/bench_table5_designs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

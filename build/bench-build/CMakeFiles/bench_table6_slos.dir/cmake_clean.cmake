@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_slos"
+  "../bench/bench_table6_slos.pdb"
+  "CMakeFiles/bench_table6_slos.dir/bench_table6_slos.cpp.o"
+  "CMakeFiles/bench_table6_slos.dir/bench_table6_slos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_slos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_assistant.dir/coding_assistant.cpp.o"
+  "CMakeFiles/coding_assistant.dir/coding_assistant.cpp.o.d"
+  "coding_assistant"
+  "coding_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_turn_chat.dir/multi_turn_chat.cpp.o"
+  "CMakeFiles/multi_turn_chat.dir/multi_turn_chat.cpp.o.d"
+  "multi_turn_chat"
+  "multi_turn_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_turn_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

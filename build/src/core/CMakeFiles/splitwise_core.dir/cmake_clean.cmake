@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_core.dir/cls.cc.o"
+  "CMakeFiles/splitwise_core.dir/cls.cc.o.d"
+  "CMakeFiles/splitwise_core.dir/cluster.cc.o"
+  "CMakeFiles/splitwise_core.dir/cluster.cc.o.d"
+  "CMakeFiles/splitwise_core.dir/designs.cc.o"
+  "CMakeFiles/splitwise_core.dir/designs.cc.o.d"
+  "CMakeFiles/splitwise_core.dir/report_io.cc.o"
+  "CMakeFiles/splitwise_core.dir/report_io.cc.o.d"
+  "CMakeFiles/splitwise_core.dir/slo.cc.o"
+  "CMakeFiles/splitwise_core.dir/slo.cc.o.d"
+  "libsplitwise_core.a"
+  "libsplitwise_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

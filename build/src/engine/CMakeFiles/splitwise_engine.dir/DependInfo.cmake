@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/block_manager.cc" "src/engine/CMakeFiles/splitwise_engine.dir/block_manager.cc.o" "gcc" "src/engine/CMakeFiles/splitwise_engine.dir/block_manager.cc.o.d"
+  "/root/repo/src/engine/kv_transfer.cc" "src/engine/CMakeFiles/splitwise_engine.dir/kv_transfer.cc.o" "gcc" "src/engine/CMakeFiles/splitwise_engine.dir/kv_transfer.cc.o.d"
+  "/root/repo/src/engine/machine.cc" "src/engine/CMakeFiles/splitwise_engine.dir/machine.cc.o" "gcc" "src/engine/CMakeFiles/splitwise_engine.dir/machine.cc.o.d"
+  "/root/repo/src/engine/mls.cc" "src/engine/CMakeFiles/splitwise_engine.dir/mls.cc.o" "gcc" "src/engine/CMakeFiles/splitwise_engine.dir/mls.cc.o.d"
+  "/root/repo/src/engine/request.cc" "src/engine/CMakeFiles/splitwise_engine.dir/request.cc.o" "gcc" "src/engine/CMakeFiles/splitwise_engine.dir/request.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/splitwise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/splitwise_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/splitwise_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/splitwise_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/splitwise_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_engine.dir/block_manager.cc.o"
+  "CMakeFiles/splitwise_engine.dir/block_manager.cc.o.d"
+  "CMakeFiles/splitwise_engine.dir/kv_transfer.cc.o"
+  "CMakeFiles/splitwise_engine.dir/kv_transfer.cc.o.d"
+  "CMakeFiles/splitwise_engine.dir/machine.cc.o"
+  "CMakeFiles/splitwise_engine.dir/machine.cc.o.d"
+  "CMakeFiles/splitwise_engine.dir/mls.cc.o"
+  "CMakeFiles/splitwise_engine.dir/mls.cc.o.d"
+  "CMakeFiles/splitwise_engine.dir/request.cc.o"
+  "CMakeFiles/splitwise_engine.dir/request.cc.o.d"
+  "libsplitwise_engine.a"
+  "libsplitwise_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

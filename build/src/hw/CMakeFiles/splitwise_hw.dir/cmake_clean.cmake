@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_hw.dir/cost_model.cc.o"
+  "CMakeFiles/splitwise_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/splitwise_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/splitwise_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/splitwise_hw.dir/interconnect.cc.o"
+  "CMakeFiles/splitwise_hw.dir/interconnect.cc.o.d"
+  "CMakeFiles/splitwise_hw.dir/machine_spec.cc.o"
+  "CMakeFiles/splitwise_hw.dir/machine_spec.cc.o.d"
+  "libsplitwise_hw.a"
+  "libsplitwise_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

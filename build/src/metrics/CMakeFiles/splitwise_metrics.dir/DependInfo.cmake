@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/request_metrics.cc" "src/metrics/CMakeFiles/splitwise_metrics.dir/request_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/splitwise_metrics.dir/request_metrics.cc.o.d"
+  "/root/repo/src/metrics/summary.cc" "src/metrics/CMakeFiles/splitwise_metrics.dir/summary.cc.o" "gcc" "src/metrics/CMakeFiles/splitwise_metrics.dir/summary.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/metrics/CMakeFiles/splitwise_metrics.dir/table.cc.o" "gcc" "src/metrics/CMakeFiles/splitwise_metrics.dir/table.cc.o.d"
+  "/root/repo/src/metrics/time_weighted.cc" "src/metrics/CMakeFiles/splitwise_metrics.dir/time_weighted.cc.o" "gcc" "src/metrics/CMakeFiles/splitwise_metrics.dir/time_weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/splitwise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

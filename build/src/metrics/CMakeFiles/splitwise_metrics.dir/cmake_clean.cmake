@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_metrics.dir/request_metrics.cc.o"
+  "CMakeFiles/splitwise_metrics.dir/request_metrics.cc.o.d"
+  "CMakeFiles/splitwise_metrics.dir/summary.cc.o"
+  "CMakeFiles/splitwise_metrics.dir/summary.cc.o.d"
+  "CMakeFiles/splitwise_metrics.dir/table.cc.o"
+  "CMakeFiles/splitwise_metrics.dir/table.cc.o.d"
+  "CMakeFiles/splitwise_metrics.dir/time_weighted.cc.o"
+  "CMakeFiles/splitwise_metrics.dir/time_weighted.cc.o.d"
+  "libsplitwise_metrics.a"
+  "libsplitwise_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/llm_config.cc" "src/model/CMakeFiles/splitwise_model.dir/llm_config.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/llm_config.cc.o.d"
+  "/root/repo/src/model/memory_model.cc" "src/model/CMakeFiles/splitwise_model.dir/memory_model.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/memory_model.cc.o.d"
+  "/root/repo/src/model/perf_model.cc" "src/model/CMakeFiles/splitwise_model.dir/perf_model.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/perf_model.cc.o.d"
+  "/root/repo/src/model/piecewise.cc" "src/model/CMakeFiles/splitwise_model.dir/piecewise.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/piecewise.cc.o.d"
+  "/root/repo/src/model/piecewise_perf_model.cc" "src/model/CMakeFiles/splitwise_model.dir/piecewise_perf_model.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/piecewise_perf_model.cc.o.d"
+  "/root/repo/src/model/power_model.cc" "src/model/CMakeFiles/splitwise_model.dir/power_model.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/power_model.cc.o.d"
+  "/root/repo/src/model/transfer_model.cc" "src/model/CMakeFiles/splitwise_model.dir/transfer_model.cc.o" "gcc" "src/model/CMakeFiles/splitwise_model.dir/transfer_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/splitwise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/splitwise_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

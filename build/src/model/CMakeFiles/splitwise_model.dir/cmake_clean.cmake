@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_model.dir/llm_config.cc.o"
+  "CMakeFiles/splitwise_model.dir/llm_config.cc.o.d"
+  "CMakeFiles/splitwise_model.dir/memory_model.cc.o"
+  "CMakeFiles/splitwise_model.dir/memory_model.cc.o.d"
+  "CMakeFiles/splitwise_model.dir/perf_model.cc.o"
+  "CMakeFiles/splitwise_model.dir/perf_model.cc.o.d"
+  "CMakeFiles/splitwise_model.dir/piecewise.cc.o"
+  "CMakeFiles/splitwise_model.dir/piecewise.cc.o.d"
+  "CMakeFiles/splitwise_model.dir/piecewise_perf_model.cc.o"
+  "CMakeFiles/splitwise_model.dir/piecewise_perf_model.cc.o.d"
+  "CMakeFiles/splitwise_model.dir/power_model.cc.o"
+  "CMakeFiles/splitwise_model.dir/power_model.cc.o.d"
+  "CMakeFiles/splitwise_model.dir/transfer_model.cc.o"
+  "CMakeFiles/splitwise_model.dir/transfer_model.cc.o.d"
+  "libsplitwise_model.a"
+  "libsplitwise_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_provision.dir/provisioner.cc.o"
+  "CMakeFiles/splitwise_provision.dir/provisioner.cc.o.d"
+  "libsplitwise_provision.a"
+  "libsplitwise_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_sim.dir/event_queue.cc.o"
+  "CMakeFiles/splitwise_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/splitwise_sim.dir/log.cc.o"
+  "CMakeFiles/splitwise_sim.dir/log.cc.o.d"
+  "CMakeFiles/splitwise_sim.dir/simulator.cc.o"
+  "CMakeFiles/splitwise_sim.dir/simulator.cc.o.d"
+  "libsplitwise_sim.a"
+  "libsplitwise_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distribution.cc" "src/workload/CMakeFiles/splitwise_workload.dir/distribution.cc.o" "gcc" "src/workload/CMakeFiles/splitwise_workload.dir/distribution.cc.o.d"
+  "/root/repo/src/workload/multi_turn.cc" "src/workload/CMakeFiles/splitwise_workload.dir/multi_turn.cc.o" "gcc" "src/workload/CMakeFiles/splitwise_workload.dir/multi_turn.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/splitwise_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/splitwise_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/splitwise_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/splitwise_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/workload/CMakeFiles/splitwise_workload.dir/workloads.cc.o" "gcc" "src/workload/CMakeFiles/splitwise_workload.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/splitwise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_workload.dir/distribution.cc.o"
+  "CMakeFiles/splitwise_workload.dir/distribution.cc.o.d"
+  "CMakeFiles/splitwise_workload.dir/multi_turn.cc.o"
+  "CMakeFiles/splitwise_workload.dir/multi_turn.cc.o.d"
+  "CMakeFiles/splitwise_workload.dir/trace.cc.o"
+  "CMakeFiles/splitwise_workload.dir/trace.cc.o.d"
+  "CMakeFiles/splitwise_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/splitwise_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/splitwise_workload.dir/workloads.cc.o"
+  "CMakeFiles/splitwise_workload.dir/workloads.cc.o.d"
+  "libsplitwise_workload.a"
+  "libsplitwise_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

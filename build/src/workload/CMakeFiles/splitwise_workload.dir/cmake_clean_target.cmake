@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsplitwise_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_manager_test.dir/engine/block_manager_test.cc.o"
+  "CMakeFiles/block_manager_test.dir/engine/block_manager_test.cc.o.d"
+  "block_manager_test"
+  "block_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

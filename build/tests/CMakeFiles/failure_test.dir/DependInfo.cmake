@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/failure_test.cc" "tests/CMakeFiles/failure_test.dir/integration/failure_test.cc.o" "gcc" "tests/CMakeFiles/failure_test.dir/integration/failure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provision/CMakeFiles/splitwise_provision.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/splitwise_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/splitwise_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/splitwise_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/splitwise_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/splitwise_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/splitwise_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splitwise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_transfer_test.dir/engine/kv_transfer_test.cc.o"
+  "CMakeFiles/kv_transfer_test.dir/engine/kv_transfer_test.cc.o.d"
+  "kv_transfer_test"
+  "kv_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

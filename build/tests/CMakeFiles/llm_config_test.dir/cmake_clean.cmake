@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_config_test.dir/model/llm_config_test.cc.o"
+  "CMakeFiles/llm_config_test.dir/model/llm_config_test.cc.o.d"
+  "llm_config_test"
+  "llm_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

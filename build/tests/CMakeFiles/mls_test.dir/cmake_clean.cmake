@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mls_test.dir/engine/mls_test.cc.o"
+  "CMakeFiles/mls_test.dir/engine/mls_test.cc.o.d"
+  "mls_test"
+  "mls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

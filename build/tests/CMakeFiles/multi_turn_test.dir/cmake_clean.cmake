@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_turn_test.dir/workload/multi_turn_test.cc.o"
+  "CMakeFiles/multi_turn_test.dir/workload/multi_turn_test.cc.o.d"
+  "multi_turn_test"
+  "multi_turn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_turn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_anchors_test.dir/integration/paper_anchors_test.cc.o"
+  "CMakeFiles/paper_anchors_test.dir/integration/paper_anchors_test.cc.o.d"
+  "paper_anchors_test"
+  "paper_anchors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_anchors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

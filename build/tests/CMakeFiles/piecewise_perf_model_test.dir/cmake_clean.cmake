@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piecewise_perf_model_test.dir/model/piecewise_perf_model_test.cc.o"
+  "CMakeFiles/piecewise_perf_model_test.dir/model/piecewise_perf_model_test.cc.o.d"
+  "piecewise_perf_model_test"
+  "piecewise_perf_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piecewise_perf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

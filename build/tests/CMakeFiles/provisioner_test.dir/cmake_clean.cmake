@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioner_test.dir/provision/provisioner_test.cc.o"
+  "CMakeFiles/provisioner_test.dir/provision/provisioner_test.cc.o.d"
+  "provisioner_test"
+  "provisioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

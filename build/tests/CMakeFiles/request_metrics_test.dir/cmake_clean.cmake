@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_metrics_test.dir/metrics/request_metrics_test.cc.o"
+  "CMakeFiles/request_metrics_test.dir/metrics/request_metrics_test.cc.o.d"
+  "request_metrics_test"
+  "request_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

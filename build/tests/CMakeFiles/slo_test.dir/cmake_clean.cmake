@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_test.dir/core/slo_test.cc.o"
+  "CMakeFiles/slo_test.dir/core/slo_test.cc.o.d"
+  "slo_test"
+  "slo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitwise_vs_baseline_test.dir/integration/splitwise_vs_baseline_test.cc.o"
+  "CMakeFiles/splitwise_vs_baseline_test.dir/integration/splitwise_vs_baseline_test.cc.o.d"
+  "splitwise_vs_baseline_test"
+  "splitwise_vs_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitwise_vs_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

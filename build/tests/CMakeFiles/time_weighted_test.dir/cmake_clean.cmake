@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_weighted_test.dir/metrics/time_weighted_test.cc.o"
+  "CMakeFiles/time_weighted_test.dir/metrics/time_weighted_test.cc.o.d"
+  "time_weighted_test"
+  "time_weighted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_weighted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_model_test.dir/model/transfer_model_test.cc.o"
+  "CMakeFiles/transfer_model_test.dir/model/transfer_model_test.cc.o.d"
+  "transfer_model_test"
+  "transfer_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
