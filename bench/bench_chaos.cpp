@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Chaos soak: an iso-power Splitwise-HH cluster serving the
+ * conversation trace under a randomized (but seeded) fault storm -
+ * transient machine crashes with rejoin, straggler windows, NIC
+ * fault/degradation windows - versus the same cluster fault-free.
+ *
+ * Every request must be accounted for: completed or explicitly shed
+ * by admission control. The binary exits non-zero if any request
+ * falls through the cracks, so it doubles as a soak check.
+ *
+ *   bench_chaos [storm_seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "core/fault_plan.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2024;
+
+    const auto trace =
+        bench::makeTrace(workload::conversation(), 70.0, 60);
+    const core::ClusterDesign design = core::splitwiseHH(17, 23);
+    const core::SloChecker checker(model::llama2_70b());
+
+    core::FaultStormConfig storm;
+    storm.numMachines = design.machines();
+    storm.horizonUs = sim::secondsToUs(50.0);
+    storm.crashes = 3;
+    storm.slowdowns = 3;
+    storm.linkFaults = 4;
+    storm.linkDegrades = 3;
+    const core::FaultPlan plan = core::makeFaultStorm(storm, seed);
+
+    bench::banner("Chaos soak: Splitwise-HH 17P+23T, conversation @ "
+                  "70 RPS, storm seed " + std::to_string(seed));
+    std::printf("injected faults:\n");
+    for (const auto& event : plan.events) {
+        std::printf("  t=%5.1fs  %-12s machine %2d  (%.1fs window",
+                    sim::usToSeconds(event.at),
+                    core::faultKindName(event.kind), event.machineId,
+                    sim::usToSeconds(event.durationUs));
+        if (event.kind == core::FaultKind::kSlowdown)
+            std::printf(", %.1fx slower", event.factor);
+        if (event.kind == core::FaultKind::kLinkDegrade)
+            std::printf(", %.0f%% bandwidth", 100.0 * event.factor);
+        std::printf(")\n");
+    }
+
+    core::SimConfig config;
+    config.cls.shedQueuedTokensBound = 500000;
+    config.kvRetry.maxRetries = 4;
+    config.kvRetry.backoffBaseUs = sim::msToUs(20.0);
+
+    bool accounted = true;
+    Table table({"run", "thpt (rps)", "TTFT p50 (ms)", "TTFT p99 (ms)",
+                 "TBT p50 (ms)", "TBT p99 (ms)", "completed", "shed",
+                 "SLO"});
+    core::RunReport reports[2];
+    for (const bool faulted : {false, true}) {
+        core::Cluster cluster(model::llama2_70b(), design, config);
+        if (faulted) {
+            core::FaultInjector injector(cluster);
+            injector.apply(plan);
+        }
+        const auto report = cluster.run(trace);
+        const auto slo = checker.evaluate(report.requests, core::SloSet{});
+        table.addRow({
+            faulted ? "fault storm" : "fault-free",
+            Table::fmt(report.throughputRps(), 1),
+            Table::fmt(report.requests.ttftMs().p50(), 0),
+            Table::fmt(report.requests.ttftMs().p99(), 0),
+            Table::fmt(report.requests.tbtMs().p50(), 1),
+            Table::fmt(report.requests.tbtMs().p99(), 1),
+            std::to_string(report.requests.completed()),
+            std::to_string(report.rejected),
+            slo.pass ? "pass" : "FAIL " + slo.violation,
+        });
+        if (report.requests.completed() + report.rejected != trace.size())
+            accounted = false;
+        reports[faulted ? 1 : 0] = report;
+    }
+    table.print();
+
+    const auto& chaos = reports[1];
+    std::printf("\nrecovery under the storm: %llu rejoins, %llu "
+                "restarts, %llu transfer faults (%llu retried, %llu "
+                "aborted), %llu timeouts, %llu degraded transfers, "
+                "%llu shed\n",
+                static_cast<unsigned long long>(chaos.rejoins),
+                static_cast<unsigned long long>(chaos.restarts),
+                static_cast<unsigned long long>(chaos.transfers.transferFaults),
+                static_cast<unsigned long long>(chaos.transfers.transferRetries),
+                static_cast<unsigned long long>(chaos.transfers.transferAborts),
+                static_cast<unsigned long long>(chaos.transfers.transferTimeouts),
+                static_cast<unsigned long long>(chaos.transfers.degradedTransfers),
+                static_cast<unsigned long long>(chaos.rejected));
+    std::printf("crashed machines rejoin their pool after the downtime; "
+                "faulted KV transfers retry with exponential backoff and "
+                "only restart from scratch once the budget is spent.\n");
+
+    if (!accounted) {
+        std::printf("\nERROR: requests lost - completed + shed != "
+                    "submitted (%zu)\n", trace.size());
+        return 1;
+    }
+    return 0;
+}

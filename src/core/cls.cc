@@ -41,9 +41,29 @@ ClusterScheduler::ClusterScheduler(sim::Simulator& simulator, ClsConfig config,
 void
 ClusterScheduler::markFailed(int machine_id)
 {
-    entries_.erase(machine_id);
+    const auto it = entries_.find(machine_id);
+    if (it == entries_.end())
+        return;
+    lost_.insert(*it);
+    entries_.erase(it);
     if (entries_.empty())
         sim::fatal("ClusterScheduler: every machine has failed");
+}
+
+void
+ClusterScheduler::rejoin(int machine_id)
+{
+    const auto it = lost_.find(machine_id);
+    if (it == lost_.end())
+        sim::fatal("ClusterScheduler::rejoin: machine was never lost");
+    Entry entry = it->second;
+    lost_.erase(it);
+    // The machine comes back empty: restore its original identity
+    // and drop any mixed-pool residue from before the crash.
+    entry.pool = entry.origin;
+    entry.mixedSince = 0;
+    entries_[machine_id] = entry;
+    ++rejoins_;
 }
 
 PoolType
@@ -214,6 +234,49 @@ ClusterScheduler::pickTokenMachine()
     return best ? best : mixed;
 }
 
+engine::Machine*
+ClusterScheduler::pickRecoveryTokenMachine()
+{
+    // Recovery placement is conservative: the cluster is already in
+    // a degraded state, so never pull a prompt machine into mixed
+    // and never land a recovered decode on a failed or saturated
+    // host - a nullptr falls back to a from-scratch restart instead.
+    engine::Machine* best = nullptr;
+    std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [id, entry] : entries_) {
+        engine::Machine* m = entry.machine;
+        if (m->failed())
+            continue;
+        const bool token_capable =
+            entry.pool == PoolType::kToken ||
+            entry.pool == PoolType::kMixed;
+        if (!token_capable || tokenOverloaded(*m))
+            continue;
+        const std::int64_t load = m->tokenLoadTokens();
+        if (load < best_load) {
+            best_load = load;
+            best = m;
+        }
+    }
+    return best;
+}
+
+std::int64_t
+ClusterScheduler::queuedPromptTokens() const
+{
+    std::int64_t total = 0;
+    for (const auto& [id, entry] : entries_)
+        total += entry.machine->promptQueueDepthTokens();
+    return total;
+}
+
+bool
+ClusterScheduler::shouldShed() const
+{
+    return config_.shedQueuedTokensBound > 0 &&
+           queuedPromptTokens() > config_.shedQueuedTokensBound;
+}
+
 void
 ClusterScheduler::routeBaseline(engine::LiveRequest* request)
 {
@@ -268,13 +331,18 @@ ClusterScheduler::routeSplitwise(engine::LiveRequest* request)
     prompt_machine->submitPrompt(request);
 }
 
-void
-ClusterScheduler::onArrival(engine::LiveRequest* request)
+bool
+ClusterScheduler::onArrival(engine::LiveRequest* request, bool force_admit)
 {
+    if (!force_admit && shouldShed()) {
+        ++shedRequests_;
+        return false;
+    }
     if (splitwise_)
         routeSplitwise(request);
     else
         routeBaseline(request);
+    return true;
 }
 
 void

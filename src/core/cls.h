@@ -66,6 +66,14 @@ struct ClsConfig {
      * the opposite pool; 0 disables re-purposing.
      */
     sim::TimeUs repurposeAfterUs = 0;
+    /**
+     * Admission control: cluster-wide queued prompt tokens beyond
+     * which new arrivals are shed (rejected and counted) instead of
+     * queued, so overload degrades gracefully rather than building
+     * unbounded queues. 0 disables shedding. Failure-driven restarts
+     * are always admitted - the work was already accepted.
+     */
+    std::int64_t shedQueuedTokensBound = 0;
 };
 
 /**
@@ -86,8 +94,15 @@ class ClusterScheduler {
                      std::vector<engine::Machine*> token_machines,
                      bool splitwise);
 
-    /** Route a new request and submit its prompt phase. */
-    void onArrival(engine::LiveRequest* request);
+    /**
+     * Route a new request and submit its prompt phase.
+     *
+     * @param force_admit Bypass admission control (failure-driven
+     *     restarts of already-admitted work).
+     * @return false when admission control shed the request; the
+     *     caller marks it rejected.
+     */
+    bool onArrival(engine::LiveRequest* request, bool force_admit = false);
 
     /**
      * Pool-management hook: after each iteration a mixed-pool
@@ -97,17 +112,29 @@ class ClusterScheduler {
 
     /**
      * Remove a failed machine from all pools (SIV-E); no further
-     * requests are routed to it.
+     * requests are routed to it. The machine's origin is remembered
+     * so a later rejoin() restores it to the right pool.
      */
     void markFailed(int machine_id);
 
     /**
-     * Pick a machine to host a recovered decode (KV-cache restored
-     * from a checkpoint, SIV-E). Same JSQ + overflow policy as
-     * normal token routing; may return nullptr when nothing can
-     * take the work.
+     * Re-admit a recovered machine: it rejoins its origin pool with
+     * fresh scheduling state (it comes back empty, so its JSQ
+     * signals read zero and new work flows to it immediately).
      */
-    engine::Machine* pickRecoveryTokenMachine() { return pickTokenMachine(); }
+    void rejoin(int machine_id);
+
+    /**
+     * Pick a machine to host a recovered decode (KV-cache restored
+     * from a checkpoint, SIV-E). Unlike normal token routing this
+     * never pulls a prompt machine into the mixed pool and never
+     * returns a failed or overloaded host; nullptr when nothing can
+     * take the work (caller falls back to a from-scratch restart).
+     */
+    engine::Machine* pickRecoveryTokenMachine();
+
+    /** Queued prompt tokens across all live machines. */
+    std::int64_t queuedPromptTokens() const;
 
     /** Current pool of a machine. */
     PoolType poolOf(int machine_id) const;
@@ -123,6 +150,12 @@ class ClusterScheduler {
 
     /** Number of permanent re-purposings. */
     std::uint64_t repurposings() const { return repurposings_; }
+
+    /** Number of arrivals shed by admission control. */
+    std::uint64_t shedRequests() const { return shedRequests_; }
+
+    /** Number of failed machines re-admitted after recovery. */
+    std::uint64_t rejoins() const { return rejoins_; }
 
   private:
     struct Entry {
@@ -141,6 +174,9 @@ class ClusterScheduler {
 
     bool promptOverloaded(const engine::Machine& m) const;
     bool tokenOverloaded(const engine::Machine& m) const;
+
+    /** True when admission control should shed a new arrival. */
+    bool shouldShed() const;
 
     void routeBaseline(engine::LiveRequest* request);
     void routeSplitwise(engine::LiveRequest* request);
@@ -161,10 +197,14 @@ class ClusterScheduler {
     bool splitwise_;
     mutable sim::Rng routingRng_{1};
     std::unordered_map<int, Entry> entries_;
+    /** Entries of currently-failed machines, parked for rejoin(). */
+    std::unordered_map<int, Entry> lost_;
     std::vector<int> machineIds_;
     std::uint64_t mixedRoutes_ = 0;
     std::uint64_t poolTransitions_ = 0;
     std::uint64_t repurposings_ = 0;
+    std::uint64_t shedRequests_ = 0;
+    std::uint64_t rejoins_ = 0;
 };
 
 }  // namespace splitwise::core

@@ -91,16 +91,70 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
 
     cls_ = std::make_unique<ClusterScheduler>(
         simulator_, config_.cls, prompt_pool, token_pool, design_.splitwise);
+
+    engine_.setRetryPolicy(config_.kvRetry);
+    engine_.setOnAbort(
+        [this](engine::LiveRequest* req) { onTransferAbort(req); });
+}
+
+void
+Cluster::checkFaultSchedulable(int machine_id) const
+{
+    if (ran_)
+        sim::fatal("Cluster: fault scheduling must precede run()");
+    if (machine_id < 0 || machine_id >= design_.machines())
+        sim::fatal("Cluster: bad machine id in fault schedule");
 }
 
 void
 Cluster::scheduleFailure(int machine_id, sim::TimeUs at)
 {
-    if (ran_)
-        sim::fatal("Cluster::scheduleFailure must precede run()");
-    if (machine_id < 0 || machine_id >= design_.machines())
-        sim::fatal("Cluster::scheduleFailure: bad machine id");
+    checkFaultSchedulable(machine_id);
     simulator_.schedule(at, [this, machine_id] { failMachine(machine_id); });
+}
+
+void
+Cluster::scheduleFailure(int machine_id, sim::TimeUs at,
+                         sim::TimeUs downtime_us)
+{
+    checkFaultSchedulable(machine_id);
+    if (downtime_us <= 0)
+        sim::fatal("Cluster::scheduleFailure: downtime must be positive");
+    simulator_.schedule(at, [this, machine_id] { failMachine(machine_id); });
+    simulator_.schedule(at + downtime_us,
+                        [this, machine_id] { recoverMachine(machine_id); });
+}
+
+void
+Cluster::scheduleSlowdown(int machine_id, sim::TimeUs at,
+                          sim::TimeUs duration_us, double factor)
+{
+    checkFaultSchedulable(machine_id);
+    if (factor <= 0.0)
+        sim::fatal("Cluster::scheduleSlowdown: factor must be positive");
+    simulator_.schedule(at, [this, machine_id, factor] {
+        machineById(machine_id)->setPerfScale(factor);
+    });
+    simulator_.schedule(at + duration_us, [this, machine_id] {
+        machineById(machine_id)->setPerfScale(1.0);
+    });
+}
+
+void
+Cluster::scheduleLinkFault(int machine_id, sim::TimeUs at,
+                           sim::TimeUs duration_us)
+{
+    checkFaultSchedulable(machine_id);
+    engine_.injectLinkFault(machine_id, at, at + duration_us);
+}
+
+void
+Cluster::scheduleLinkDegrade(int machine_id, sim::TimeUs at,
+                             sim::TimeUs duration_us, double bandwidth_factor)
+{
+    checkFaultSchedulable(machine_id);
+    engine_.injectLinkDegrade(machine_id, at, at + duration_us,
+                              bandwidth_factor);
 }
 
 void
@@ -117,7 +171,7 @@ Cluster::failMachine(int machine_id)
 
     for (const auto& req_ptr : live_) {
         engine::LiveRequest* req = req_ptr.get();
-        if (req->finished())
+        if (req->terminal())
             continue;
         const bool stranded =
             ((req->phase == engine::RequestPhase::kPromptQueued ||
@@ -145,7 +199,7 @@ Cluster::failMachine(int machine_id)
             }
             req->resetForRestart();
             ++restarts_;
-            cls_->onArrival(req);
+            cls_->onArrival(req, /*force_admit=*/true);
             continue;
         }
         // Requests not yet split off this machine but destined for
@@ -155,6 +209,31 @@ Cluster::failMachine(int machine_id)
             req->tokenMachine = -1;
         }
     }
+}
+
+void
+Cluster::recoverMachine(int machine_id)
+{
+    engine::Machine* machine = machineById(machine_id);
+    if (!machine->failed())
+        return;
+    // The machine rejoins empty: fresh queues, zero KV, original
+    // pool identity. The CLS's JSQ signals immediately favour it.
+    machine->recover();
+    cls_->rejoin(machine_id);
+}
+
+void
+Cluster::onTransferAbort(engine::LiveRequest* request)
+{
+    if (request->terminal())
+        return;
+    // The retry budget is spent; fall back to the paper's blunt
+    // policy and recompute the prompt from scratch. Restarts bypass
+    // admission control - the request was already accepted.
+    request->resetForRestart();
+    ++restarts_;
+    cls_->onArrival(request, /*force_admit=*/true);
 }
 
 bool
@@ -208,15 +287,19 @@ Cluster::run(const workload::Trace& trace)
         req->spec = spec;
         live_.push_back(std::move(req));
         engine::LiveRequest* ptr = live_.back().get();
-        simulator_.schedule(spec.arrival,
-                            [this, ptr] { cls_->onArrival(ptr); });
+        simulator_.schedule(spec.arrival, [this, ptr] {
+            if (!cls_->onArrival(ptr)) {
+                ptr->phase = engine::RequestPhase::kRejected;
+                ++rejected_;
+            }
+        });
     }
 
     simulator_.run();
 
     std::size_t unfinished = 0;
     for (const auto& req : live_) {
-        if (!req->finished())
+        if (!req->terminal())
             ++unfinished;
     }
     if (unfinished > 0) {
@@ -234,6 +317,8 @@ Cluster::run(const workload::Trace& trace)
     report.poolTransitions = cls_->poolTransitions();
     report.restarts = restarts_;
     report.checkpointRestores = checkpointRestores_;
+    report.rejected = rejected_;
+    report.rejoins = cls_->rejoins();
 
     auto fold = [&](engine::Machine& m, PoolReport& pool) {
         m.finalizeStats();

@@ -39,6 +39,8 @@ struct SimConfig {
     double checkpointRestoreGBps = 100.0;
     /** Fraction of HBM the serving framework may use. */
     double memoryUtilFraction = 0.92;
+    /** Timeout/retry/backoff policy for transient KV-transfer faults. */
+    engine::KvRetryPolicy kvRetry;
     /**
      * Price iterations with the fitted piecewise-linear model (the
      * paper's SV-B methodology) instead of the analytical model the
@@ -76,6 +78,10 @@ struct RunReport {
     std::uint64_t restarts = 0;
     /** Failure recoveries served from the KV checkpoint store. */
     std::uint64_t checkpointRestores = 0;
+    /** Arrivals shed by admission control (counted, not dropped). */
+    std::uint64_t rejected = 0;
+    /** Failed machines that recovered and rejoined their pool. */
+    std::uint64_t rejoins = 0;
 
     /** Completed-request throughput over the run. */
     double
@@ -105,12 +111,46 @@ class Cluster {
     RunReport run(const workload::Trace& trace);
 
     /**
-     * Schedule a machine failure at simulated time @p at (SIV-E).
-     * The machine drops out of every pool; requests queued, running,
-     * transferring, or decoding on it restart from scratch on the
-     * surviving machines. Call before run().
+     * Schedule a permanent machine failure at simulated time @p at
+     * (SIV-E). The machine drops out of every pool; requests queued,
+     * running, transferring, or decoding on it restart from scratch
+     * on the surviving machines. Call before run().
      */
     void scheduleFailure(int machine_id, sim::TimeUs at);
+
+    /**
+     * Schedule a transient crash: the machine fails at @p at and
+     * rejoins its pool (empty, with fresh scheduler state) after
+     * @p downtime_us. Call before run().
+     */
+    void scheduleFailure(int machine_id, sim::TimeUs at,
+                         sim::TimeUs downtime_us);
+
+    /**
+     * Schedule a straggler window: the machine's iterations run
+     * @p factor times slower (factor > 1) during
+     * [at, at + duration_us). The CLS routes around it as its queues
+     * grow. Call before run().
+     */
+    void scheduleSlowdown(int machine_id, sim::TimeUs at,
+                          sim::TimeUs duration_us, double factor);
+
+    /**
+     * Schedule a NIC fault window on a machine: KV transfers
+     * touching it during [at, at + duration_us) fail and are retried
+     * per SimConfig::kvRetry. Call before run().
+     */
+    void scheduleLinkFault(int machine_id, sim::TimeUs at,
+                           sim::TimeUs duration_us);
+
+    /**
+     * Schedule a NIC degradation window: transfers touching the
+     * machine during [at, at + duration_us) run at
+     * @p bandwidth_factor of nominal speed. Call before run().
+     */
+    void scheduleLinkDegrade(int machine_id, sim::TimeUs at,
+                             sim::TimeUs duration_us,
+                             double bandwidth_factor);
 
     const ClusterDesign& design() const { return design_; }
     sim::Simulator& simulator() { return simulator_; }
@@ -127,8 +167,17 @@ class Cluster {
   private:
     engine::Machine* machineById(int id);
 
+    /** Common validation for the fault-scheduling entry points. */
+    void checkFaultSchedulable(int machine_id) const;
+
     /** Take the machine down and restart its in-flight requests. */
     void failMachine(int machine_id);
+
+    /** Bring a failed machine back and re-admit it to routing. */
+    void recoverMachine(int machine_id);
+
+    /** KV-transfer retry budget exhausted: restart from scratch. */
+    void onTransferAbort(engine::LiveRequest* request);
 
     /**
      * Recover a decode-phase request from the KV checkpoint store
@@ -156,6 +205,7 @@ class Cluster {
     metrics::RequestMetrics results_;
     std::uint64_t restarts_ = 0;
     std::uint64_t checkpointRestores_ = 0;
+    std::uint64_t rejected_ = 0;
     bool ran_ = false;
 };
 

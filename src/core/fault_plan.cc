@@ -1,0 +1,176 @@
+#include "core/fault_plan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "core/cluster.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace splitwise::core {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kCrash: return "crash";
+      case FaultKind::kSlowdown: return "slowdown";
+      case FaultKind::kLinkFault: return "link-fault";
+      case FaultKind::kLinkDegrade: return "link-degrade";
+    }
+    return "?";
+}
+
+std::size_t
+FaultPlan::count(FaultKind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(events.begin(), events.end(),
+                      [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+void
+FaultPlan::sort()
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return std::tie(a.at, a.machineId, a.kind) <
+                                std::tie(b.at, b.machineId, b.kind);
+                     });
+}
+
+void
+FaultPlan::validate(int num_machines) const
+{
+    for (const FaultEvent& e : events) {
+        const std::string tag = std::string(faultKindName(e.kind)) +
+                                " on machine " +
+                                std::to_string(e.machineId);
+        if (e.machineId < 0 || e.machineId >= num_machines)
+            sim::fatal("FaultPlan: bad machine id (" + tag + ")");
+        if (e.at < 0)
+            sim::fatal("FaultPlan: negative fault time (" + tag + ")");
+        if (e.durationUs < 0)
+            sim::fatal("FaultPlan: negative duration (" + tag + ")");
+        switch (e.kind) {
+          case FaultKind::kCrash:
+            break;  // durationUs == 0 means a permanent failure
+          case FaultKind::kSlowdown:
+            if (e.durationUs == 0 || e.factor <= 0.0)
+                sim::fatal("FaultPlan: bad slowdown (" + tag + ")");
+            break;
+          case FaultKind::kLinkFault:
+            if (e.durationUs == 0)
+                sim::fatal("FaultPlan: empty link-fault window (" + tag +
+                           ")");
+            break;
+          case FaultKind::kLinkDegrade:
+            if (e.durationUs == 0 || e.factor <= 0.0 || e.factor > 1.0)
+                sim::fatal("FaultPlan: bad link degrade (" + tag + ")");
+            break;
+        }
+    }
+}
+
+FaultPlan
+makeFaultStorm(const FaultStormConfig& config, std::uint64_t seed)
+{
+    if (config.numMachines <= 0)
+        sim::fatal("makeFaultStorm: numMachines must be positive");
+    if (config.crashes >= config.numMachines)
+        sim::fatal("makeFaultStorm: storm would crash every machine");
+
+    sim::Rng rng(seed);
+    FaultPlan plan;
+
+    const auto draw_time = [&] {
+        return rng.uniformInt(0, config.horizonUs - 1);
+    };
+
+    // Crash targets without replacement: a machine that is down (or
+    // freshly rejoined) crashing again is a distinct scenario, and a
+    // storm should spread its damage.
+    std::vector<int> ids(static_cast<std::size_t>(config.numMachines));
+    std::iota(ids.begin(), ids.end(), 0);
+    for (int i = 0; i < config.crashes; ++i) {
+        const auto pick = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(ids.size()) - 1));
+        const int target = ids[pick];
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+        FaultEvent e;
+        e.kind = FaultKind::kCrash;
+        e.machineId = target;
+        e.at = draw_time();
+        e.durationUs =
+            rng.uniformInt(config.minDowntimeUs, config.maxDowntimeUs);
+        plan.add(e);
+    }
+
+    for (int i = 0; i < config.slowdowns; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::kSlowdown;
+        e.machineId =
+            static_cast<int>(rng.uniformInt(0, config.numMachines - 1));
+        e.at = draw_time();
+        e.durationUs = config.slowdownWindowUs;
+        e.factor =
+            rng.uniform(config.minSlowdownFactor, config.maxSlowdownFactor);
+        plan.add(e);
+    }
+
+    for (int i = 0; i < config.linkFaults; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::kLinkFault;
+        e.machineId =
+            static_cast<int>(rng.uniformInt(0, config.numMachines - 1));
+        e.at = draw_time();
+        e.durationUs = config.linkFaultWindowUs;
+        plan.add(e);
+    }
+
+    for (int i = 0; i < config.linkDegrades; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::kLinkDegrade;
+        e.machineId =
+            static_cast<int>(rng.uniformInt(0, config.numMachines - 1));
+        e.at = draw_time();
+        e.durationUs = config.linkDegradeWindowUs;
+        e.factor =
+            rng.uniform(config.minBandwidthFactor, config.maxBandwidthFactor);
+        plan.add(e);
+    }
+
+    plan.sort();
+    return plan;
+}
+
+void
+FaultInjector::apply(const FaultPlan& plan)
+{
+    plan.validate(cluster_.design().machines());
+    for (const FaultEvent& e : plan.events) {
+        switch (e.kind) {
+          case FaultKind::kCrash:
+            if (e.durationUs > 0)
+                cluster_.scheduleFailure(e.machineId, e.at, e.durationUs);
+            else
+                cluster_.scheduleFailure(e.machineId, e.at);
+            break;
+          case FaultKind::kSlowdown:
+            cluster_.scheduleSlowdown(e.machineId, e.at, e.durationUs,
+                                      e.factor);
+            break;
+          case FaultKind::kLinkFault:
+            cluster_.scheduleLinkFault(e.machineId, e.at, e.durationUs);
+            break;
+          case FaultKind::kLinkDegrade:
+            cluster_.scheduleLinkDegrade(e.machineId, e.at, e.durationUs,
+                                         e.factor);
+            break;
+        }
+    }
+}
+
+}  // namespace splitwise::core

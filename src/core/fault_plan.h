@@ -1,0 +1,123 @@
+#ifndef SPLITWISE_CORE_FAULT_PLAN_H_
+#define SPLITWISE_CORE_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace splitwise::core {
+
+class Cluster;
+
+/** The fault modes the injector can drive (beyond paper SIV-E). */
+enum class FaultKind {
+    /** Machine dies at `at`; rejoins after durationUs (0 = never). */
+    kCrash,
+    /** Machine iterations run `factor`x slower for durationUs. */
+    kSlowdown,
+    /** Transfers touching the machine's NIC fail for durationUs. */
+    kLinkFault,
+    /** The machine's NIC runs at `factor` of nominal bandwidth. */
+    kLinkDegrade,
+};
+
+/** Human-readable fault-kind name. */
+const char* faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::kCrash;
+    int machineId = -1;
+    sim::TimeUs at = 0;
+    /** Window length; for kCrash, the downtime (0 = permanent). */
+    sim::TimeUs durationUs = 0;
+    /** Slowdown multiplier (kSlowdown, > 1 = slower) or bandwidth
+     *  fraction (kLinkDegrade, in (0, 1]). Unused otherwise. */
+    double factor = 1.0;
+};
+
+/**
+ * A deterministic, seedable fault schedule: the single source of
+ * truth for everything the injector will do to a cluster. Identical
+ * plans applied to identical clusters yield bit-identical runs.
+ */
+struct FaultPlan {
+    std::vector<FaultEvent> events;
+
+    void add(const FaultEvent& event) { events.push_back(event); }
+    std::size_t size() const { return events.size(); }
+    bool empty() const { return events.empty(); }
+
+    /** Number of events of one kind. */
+    std::size_t count(FaultKind kind) const;
+
+    /** Chronological order (ties: machine id, then kind). */
+    void sort();
+
+    /**
+     * Fatal-check the plan against a cluster of @p num_machines:
+     * ids in range, windows/factors well-formed.
+     */
+    void validate(int num_machines) const;
+};
+
+/**
+ * Knobs of the randomized fault storm. Counts are exact; targets,
+ * times, and magnitudes are drawn uniformly from the given ranges
+ * using a caller-supplied seed.
+ */
+struct FaultStormConfig {
+    /** Machines in the target cluster (required, > 0). */
+    int numMachines = 0;
+    /** Faults land uniformly in [0, horizonUs). */
+    sim::TimeUs horizonUs = sim::secondsToUs(30.0);
+
+    /** Transient crashes (each machine crashed at most once). */
+    int crashes = 2;
+    sim::TimeUs minDowntimeUs = sim::secondsToUs(2.0);
+    sim::TimeUs maxDowntimeUs = sim::secondsToUs(8.0);
+
+    /** Straggler windows. */
+    int slowdowns = 2;
+    double minSlowdownFactor = 1.5;
+    double maxSlowdownFactor = 4.0;
+    sim::TimeUs slowdownWindowUs = sim::secondsToUs(5.0);
+
+    /** Hard NIC-fault windows. */
+    int linkFaults = 3;
+    sim::TimeUs linkFaultWindowUs = sim::msToUs(300.0);
+
+    /** NIC bandwidth-degradation windows. */
+    int linkDegrades = 2;
+    double minBandwidthFactor = 0.05;
+    double maxBandwidthFactor = 0.5;
+    sim::TimeUs linkDegradeWindowUs = sim::secondsToUs(3.0);
+};
+
+/**
+ * Generate a randomized fault storm. Deterministic: the same config
+ * and seed always produce the same plan. Crash targets are sampled
+ * without replacement so the storm never kills the same machine
+ * twice (and never more machines than the cluster has).
+ */
+FaultPlan makeFaultStorm(const FaultStormConfig& config, std::uint64_t seed);
+
+/**
+ * Applies a FaultPlan to a Cluster by scheduling every event through
+ * the cluster's fault entry points. Must run before Cluster::run().
+ */
+class FaultInjector {
+  public:
+    explicit FaultInjector(Cluster& cluster) : cluster_(cluster) {}
+
+    /** Validate @p plan against the cluster and schedule it. */
+    void apply(const FaultPlan& plan);
+
+  private:
+    Cluster& cluster_;
+};
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_FAULT_PLAN_H_

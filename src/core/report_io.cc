@@ -80,13 +80,20 @@ reportToJson(const RunReport& report, const SloReport* slo)
     out << "\"transfers\":{\"count\":" << report.transfers.transfers
         << ",\"layerwise\":" << report.transfers.layerwiseTransfers
         << ",\"bytes\":" << report.transfers.bytesMoved
-        << ",\"memory_stalls\":" << report.transfers.memoryStalls << "},";
+        << ",\"memory_stalls\":" << report.transfers.memoryStalls
+        << ",\"faults\":" << report.transfers.transferFaults
+        << ",\"timeouts\":" << report.transfers.transferTimeouts
+        << ",\"retries\":" << report.transfers.transferRetries
+        << ",\"aborts\":" << report.transfers.transferAborts
+        << ",\"degraded\":" << report.transfers.degradedTransfers << "},";
 
     out << "\"scheduler\":{\"mixed_routes\":" << report.mixedRoutes
         << ",\"pool_transitions\":" << report.poolTransitions
         << ",\"preemptions\":" << report.preemptions
         << ",\"restarts\":" << report.restarts
-        << ",\"checkpoint_restores\":" << report.checkpointRestores << '}';
+        << ",\"checkpoint_restores\":" << report.checkpointRestores
+        << ",\"rejected\":" << report.rejected
+        << ",\"rejoins\":" << report.rejoins << '}';
 
     if (slo) {
         out << ",\"slo\":{\"pass\":" << (slo->pass ? "true" : "false")

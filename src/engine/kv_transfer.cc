@@ -1,6 +1,7 @@
 #include "engine/kv_transfer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "hw/interconnect.h"
 #include "sim/log.h"
@@ -22,6 +23,60 @@ KvTransferEngine::registerMachine(Machine* machine)
 {
     machines_[machine->id()] = machine;
     nicFreeAt_.emplace(machine->id(), 0);
+}
+
+void
+KvTransferEngine::injectLinkFault(int machine_id, sim::TimeUs from,
+                                  sim::TimeUs until)
+{
+    if (until <= from)
+        sim::fatal("KvTransferEngine::injectLinkFault: empty window");
+    linkWindows_[machine_id].push_back({from, until, 0.0});
+}
+
+void
+KvTransferEngine::injectLinkDegrade(int machine_id, sim::TimeUs from,
+                                    sim::TimeUs until, double bandwidth_factor)
+{
+    if (until <= from)
+        sim::fatal("KvTransferEngine::injectLinkDegrade: empty window");
+    if (bandwidth_factor <= 0.0 || bandwidth_factor > 1.0)
+        sim::fatal("KvTransferEngine::injectLinkDegrade: factor must be "
+                   "in (0, 1]");
+    linkWindows_[machine_id].push_back({from, until, bandwidth_factor});
+}
+
+double
+KvTransferEngine::degradeFactorAt(int src_id, int dst_id,
+                                  sim::TimeUs at) const
+{
+    double factor = 1.0;
+    for (int id : {src_id, dst_id}) {
+        const auto it = linkWindows_.find(id);
+        if (it == linkWindows_.end())
+            continue;
+        for (const LinkWindow& w : it->second) {
+            if (w.factor > 0.0 && w.from <= at && at < w.until)
+                factor = std::min(factor, w.factor);
+        }
+    }
+    return factor;
+}
+
+bool
+KvTransferEngine::linkFaultIn(int src_id, int dst_id, sim::TimeUs start,
+                              sim::TimeUs end) const
+{
+    for (int id : {src_id, dst_id}) {
+        const auto it = linkWindows_.find(id);
+        if (it == linkWindows_.end())
+            continue;
+        for (const LinkWindow& w : it->second) {
+            if (w.factor == 0.0 && w.from < end && start < w.until)
+                return true;
+        }
+    }
+    return false;
 }
 
 const model::TransferModel&
@@ -83,7 +138,8 @@ KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
 
 void
 KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
-                         sim::TimeUs prompt_compute, DoneCallback done)
+                         sim::TimeUs prompt_compute, DoneCallback done,
+                         int attempt)
 {
     const auto& model = modelFor(*src, *dst);
     const auto plan = model.plan(request->spec.promptTokens, prompt_compute);
@@ -91,24 +147,61 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
     const sim::TimeUs now = simulator_.now();
     const sim::TimeUs start =
         std::max({now, nicFreeAt_[src->id()], nicFreeAt_[dst->id()]});
-    const sim::TimeUs end = start + plan.visibleUs;
+
+    sim::TimeUs visible = plan.visibleUs;
+    const double factor = degradeFactorAt(src->id(), dst->id(), start);
+    if (factor < 1.0) {
+        visible = static_cast<sim::TimeUs>(
+            static_cast<double>(visible) / factor);
+        ++stats_.degradedTransfers;
+    }
+
+    // An attempt dies at its timeout, or - when its wire time crosses
+    // an injected fault window - at the end of the wasted attempt.
+    const bool timed_out =
+        retry_.timeoutUs > 0 && visible > retry_.timeoutUs;
+    const sim::TimeUs end =
+        start + (timed_out ? retry_.timeoutUs : visible);
+    const bool faulted =
+        !timed_out && linkFaultIn(src->id(), dst->id(), start, end);
     nicFreeAt_[src->id()] = end;
     nicFreeAt_[dst->id()] = end;
 
-    ++stats_.transfers;
-    if (plan.layerwise)
-        ++stats_.layerwiseTransfers;
-    stats_.bytesMoved += model.kvBytes(request->spec.promptTokens);
-    stats_.totalVisibleUs += plan.visibleUs;
+    const bool succeeds = !timed_out && !faulted;
+    if (succeeds) {
+        ++stats_.transfers;
+        if (plan.layerwise)
+            ++stats_.layerwiseTransfers;
+        stats_.bytesMoved += model.kvBytes(request->spec.promptTokens);
+        stats_.totalVisibleUs += visible;
+    }
 
     const std::uint32_t epoch = request->restartEpoch;
-    simulator_.schedule(end, [this, request, src, dst, epoch,
+    simulator_.schedule(end, [this, request, src, dst, epoch, prompt_compute,
+                              attempt, timed_out, succeeds,
                               done = std::move(done)]() mutable {
         // A machine failure restarted the request (epoch bumped) or
         // killed an endpoint mid-flight: drop the stale delivery.
-        if (request->restartEpoch != epoch || dst->failed()) {
-            if (!src->failed())
+        if (request->restartEpoch != epoch || dst->failed() ||
+            src->failed()) {
+            if (!src->failed()) {
                 src->releaseKv(request);
+            } else if (request->restartEpoch == epoch && !dst->failed()) {
+                // The source died mid-flight and no owner has
+                // restarted the request: the partially-filled
+                // destination reservation is useless - release it so
+                // the blocks cannot leak.
+                dst->releaseKv(request);
+            }
+            return;
+        }
+        if (!succeeds) {
+            if (timed_out)
+                ++stats_.transferTimeouts;
+            else
+                ++stats_.transferFaults;
+            handleAttemptFailure(request, src, dst, prompt_compute,
+                                 std::move(done), attempt);
             return;
         }
         // The prompt machine can drop its copy; the destination
@@ -119,6 +212,54 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
         if (done)
             done(request);
     });
+}
+
+void
+KvTransferEngine::handleAttemptFailure(LiveRequest* request, Machine* src,
+                                       Machine* dst,
+                                       sim::TimeUs prompt_compute,
+                                       DoneCallback done, int attempt)
+{
+    if (attempt >= retry_.maxRetries) {
+        ++stats_.transferAborts;
+        abortTransfer(request, src, dst);
+        return;
+    }
+    ++stats_.transferRetries;
+    const auto backoff = static_cast<sim::TimeUs>(
+        static_cast<double>(retry_.backoffBaseUs) *
+        std::pow(retry_.backoffMultiplier, attempt));
+    const std::uint32_t epoch = request->restartEpoch;
+    simulator_.scheduleAfter(
+        backoff, [this, request, src, dst, prompt_compute, attempt, epoch,
+                  done = std::move(done)]() mutable {
+            // A failure handler restarted the request during the
+            // backoff; the new incarnation owns its own transfer.
+            if (request->restartEpoch != epoch)
+                return;
+            if (src->failed() || dst->failed()) {
+                // An endpoint died during the backoff and nobody
+                // restarted the request: give up cleanly so the
+                // surviving endpoint's KV copy cannot leak.
+                ++stats_.transferAborts;
+                abortTransfer(request, src, dst);
+                return;
+            }
+            launch(request, src, dst, prompt_compute, std::move(done),
+                   attempt + 1);
+        });
+}
+
+void
+KvTransferEngine::abortTransfer(LiveRequest* request, Machine* src,
+                                Machine* dst)
+{
+    if (!dst->failed())
+        dst->releaseKv(request);
+    if (!src->failed())
+        src->releaseKv(request);
+    if (onAbort_)
+        onAbort_(request);
 }
 
 void

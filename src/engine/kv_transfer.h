@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/machine.h"
 #include "engine/request.h"
@@ -14,6 +15,27 @@
 #include "sim/simulator.h"
 
 namespace splitwise::engine {
+
+/**
+ * Transient-fault handling policy for KV-cache transfers.
+ *
+ * A transfer attempt that a link fault kills (or that outlives its
+ * timeout) is retried with exponential backoff while the destination
+ * reservation is kept warm. Only once the retry budget is exhausted
+ * does the engine abort and hand the request back to its owner for a
+ * from-scratch restart - the paper's blunt recovery policy becomes
+ * the last resort rather than the only answer.
+ */
+struct KvRetryPolicy {
+    /** Re-attempts after the first failed try; 0 = fail fast. */
+    int maxRetries = 3;
+    /** Backoff before the first retry. */
+    sim::TimeUs backoffBaseUs = 2000;
+    /** Growth factor of successive backoffs. */
+    double backoffMultiplier = 2.0;
+    /** Per-attempt wall-clock timeout; 0 disables timeouts. */
+    sim::TimeUs timeoutUs = 0;
+};
 
 /**
  * Simulated MSCCL++-style KV-cache mover between machines
@@ -27,6 +49,12 @@ namespace splitwise::engine {
  * destination memory wait in a per-destination queue and retry when
  * blocks free up - the paper's "MLS starts queueing tokens once the
  * machine is close to running out of memory".
+ *
+ * Fault model: a NIC/link can be marked faulty or degraded for a
+ * time window (injectLinkFault / injectLinkDegrade). Attempts whose
+ * wire time overlaps a fault window fail and are retried per the
+ * KvRetryPolicy; degraded windows stretch the visible transfer time
+ * by the inverse bandwidth factor.
  */
 class KvTransferEngine {
   public:
@@ -37,9 +65,21 @@ class KvTransferEngine {
         std::int64_t bytesMoved = 0;
         sim::TimeUs totalVisibleUs = 0;
         std::uint64_t memoryStalls = 0;
+        /** Attempts killed by an injected link fault. */
+        std::uint64_t transferFaults = 0;
+        /** Attempts that outlived the per-attempt timeout. */
+        std::uint64_t transferTimeouts = 0;
+        /** Backoff-delayed re-attempts scheduled. */
+        std::uint64_t transferRetries = 0;
+        /** Transfers given up after exhausting the retry budget. */
+        std::uint64_t transferAborts = 0;
+        /** Attempts priced under a degraded-bandwidth window. */
+        std::uint64_t degradedTransfers = 0;
     };
 
     using DoneCallback = std::function<void(LiveRequest*)>;
+    /** Invoked when a transfer exhausts its retry budget. */
+    using AbortCallback = std::function<void(LiveRequest*)>;
 
     /**
      * @param layerwise_threshold_tokens Prompt size at or above
@@ -53,6 +93,32 @@ class KvTransferEngine {
 
     /** Make a machine addressable as a transfer endpoint. */
     void registerMachine(Machine* machine);
+
+    /** Install the transient-fault retry policy. */
+    void setRetryPolicy(KvRetryPolicy policy) { retry_ = policy; }
+
+    const KvRetryPolicy& retryPolicy() const { return retry_; }
+
+    /**
+     * Install the owner's give-up hook. The request's source-side and
+     * destination-side KV is already released when it fires; the
+     * owner restarts the request from scratch.
+     */
+    void setOnAbort(AbortCallback on_abort) { onAbort_ = std::move(on_abort); }
+
+    /**
+     * Mark @p machine_id's NIC faulty during [from, until): any
+     * transfer attempt whose wire time overlaps the window fails.
+     */
+    void injectLinkFault(int machine_id, sim::TimeUs from, sim::TimeUs until);
+
+    /**
+     * Degrade @p machine_id's NIC bandwidth to @p bandwidth_factor of
+     * nominal (0 < factor <= 1) during [from, until): attempts
+     * starting inside the window take 1/factor times longer.
+     */
+    void injectLinkDegrade(int machine_id, sim::TimeUs from,
+                           sim::TimeUs until, double bandwidth_factor);
 
     /**
      * Begin moving a request's KV-cache from @p src to @p dst.
@@ -86,21 +152,52 @@ class KvTransferEngine {
         DoneCallback done;
     };
 
+    /** A scheduled NIC fault or degradation window. */
+    struct LinkWindow {
+        sim::TimeUs from = 0;
+        sim::TimeUs until = 0;
+        /** Bandwidth multiplier; 0 marks a hard fault window. */
+        double factor = 0.0;
+    };
+
     /** Transfer model for a machine pair (cached per spec pair). */
     const model::TransferModel& modelFor(const Machine& src,
                                          const Machine& dst);
 
-    /** Launch a transfer whose destination memory is reserved. */
+    /** Launch attempt @p attempt of a transfer whose destination
+     *  memory is reserved. */
     void launch(LiveRequest* request, Machine* src, Machine* dst,
-                sim::TimeUs prompt_compute, DoneCallback done);
+                sim::TimeUs prompt_compute, DoneCallback done,
+                int attempt = 0);
+
+    /** Slowest degraded-bandwidth factor covering @p at on either
+     *  endpoint; 1.0 when undegraded. */
+    double degradeFactorAt(int src_id, int dst_id, sim::TimeUs at) const;
+
+    /** True when a fault window on either endpoint overlaps
+     *  [start, end). */
+    bool linkFaultIn(int src_id, int dst_id, sim::TimeUs start,
+                     sim::TimeUs end) const;
+
+    /** A failed attempt: retry after backoff or abort. */
+    void handleAttemptFailure(LiveRequest* request, Machine* src,
+                              Machine* dst, sim::TimeUs prompt_compute,
+                              DoneCallback done, int attempt);
+
+    /** Give up on the transfer: release both ends, tell the owner. */
+    void abortTransfer(LiveRequest* request, Machine* src, Machine* dst);
 
     sim::Simulator& simulator_;
     model::LlmConfig llm_;
     std::int64_t layerwiseThreshold_;
     double compressionRatio_;
+    KvRetryPolicy retry_;
+    AbortCallback onAbort_;
     std::unordered_map<int, Machine*> machines_;
     /** NIC availability per machine id. */
     std::unordered_map<int, sim::TimeUs> nicFreeAt_;
+    /** Injected fault/degradation windows per machine id. */
+    std::unordered_map<int, std::vector<LinkWindow>> linkWindows_;
     /** Cached transfer models keyed by (src spec, dst spec) names. */
     std::map<std::pair<std::string, std::string>, model::TransferModel>
         models_;

@@ -135,9 +135,29 @@ Machine::fail()
     if (failed_)
         return;
     failed_ = true;
+    ++epoch_;
+    busy_ = false;
     mls_.clearAll();
     runningPromptTokens_ = 0;
     stats_.activeTokens.set(simulator_.now(), 0);
+}
+
+void
+Machine::recover()
+{
+    if (!failed_)
+        return;
+    failed_ = false;
+    stats_.activeTokens.set(simulator_.now(), 0);
+    kick();
+}
+
+void
+Machine::setPerfScale(double scale)
+{
+    if (scale <= 0.0)
+        sim::fatal("Machine::setPerfScale: scale must be positive");
+    perfScale_ = scale;
 }
 
 void
@@ -150,6 +170,10 @@ Machine::startIteration()
     }
 
     sim::TimeUs duration = perf_.iterationTime(plan.shape());
+    if (perfScale_ != 1.0) {
+        duration = static_cast<sim::TimeUs>(
+            static_cast<double>(duration) * perfScale_);
+    }
 
     // Outbound layer-wise KV transfers steal compute cycles from the
     // prompt they overlap with (SIV-C interference).
@@ -180,7 +204,12 @@ Machine::startIteration()
     const double watts = power_.machinePowerWatts(spec_, gpu_fraction);
     stats_.energyWh += watts * sim::usToSeconds(duration) / 3600.0;
 
-    simulator_.scheduleAfter(duration, [this, plan, duration] {
+    const std::uint64_t epoch = epoch_;
+    simulator_.scheduleAfter(duration, [this, plan, duration, epoch] {
+        // A failure between start and completion voids the iteration,
+        // even when the machine recovered in the meantime.
+        if (epoch != epoch_)
+            return;
         completeIteration(plan, duration);
     });
 }

@@ -109,8 +109,25 @@ class Machine {
      */
     void fail();
 
-    /** True once fail() was called. */
+    /**
+     * Bring a failed machine back up after its downtime, empty of
+     * state: no queued prompts, no residents, no KV. The owner must
+     * re-admit it to routing (CLS rejoin).
+     */
+    void recover();
+
+    /** True while the machine is down. */
     bool failed() const { return failed_; }
+
+    /**
+     * Straggler injection: multiply every iteration's duration by
+     * @p scale (> 1 = slower). Routing signals are untouched, so the
+     * CLS only sees the straggler through its growing queues.
+     */
+    void setPerfScale(double scale);
+
+    /** Current iteration-duration multiplier. */
+    double perfScale() const { return perfScale_; }
 
     /** The machine-level scheduler. */
     Mls& mls() { return mls_; }
@@ -157,6 +174,13 @@ class Machine {
 
     bool busy_ = false;
     bool failed_ = false;
+    /**
+     * Bumped on every fail(); an in-flight iteration-completion event
+     * captured under an older epoch must drop silently, even when the
+     * machine has recovered by the time it fires.
+     */
+    std::uint64_t epoch_ = 0;
+    double perfScale_ = 1.0;
     std::int64_t runningPromptTokens_ = 0;
     MachineStats stats_;
     mutable double cachedTbtBoundMs_ = -1.0;

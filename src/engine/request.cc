@@ -15,6 +15,7 @@ requestPhaseName(RequestPhase phase)
       case RequestPhase::kTransferring: return "transferring";
       case RequestPhase::kDecoding: return "decoding";
       case RequestPhase::kDone: return "done";
+      case RequestPhase::kRejected: return "rejected";
     }
     return "?";
 }

@@ -21,6 +21,8 @@ enum class RequestPhase {
     kDecoding,
     /** All output tokens produced. */
     kDone,
+    /** Shed by admission control before any work ran (terminal). */
+    kRejected,
 };
 
 /** Human-readable phase name. */
@@ -87,6 +89,20 @@ struct LiveRequest {
     finished() const
     {
         return generated >= spec.outputTokens;
+    }
+
+    /** True when admission control shed the request. */
+    bool
+    rejected() const
+    {
+        return phase == RequestPhase::kRejected;
+    }
+
+    /** True when the request needs no further simulation work. */
+    bool
+    terminal() const
+    {
+        return finished() || rejected();
     }
 
     /**

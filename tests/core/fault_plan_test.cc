@@ -1,0 +1,131 @@
+#include "core/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace splitwise::core {
+namespace {
+
+FaultStormConfig
+stormConfig(int machines = 8)
+{
+    FaultStormConfig config;
+    config.numMachines = machines;
+    config.horizonUs = sim::secondsToUs(20.0);
+    return config;
+}
+
+TEST(FaultPlanTest, StormIsDeterministicPerSeed)
+{
+    const FaultPlan a = makeFaultStorm(stormConfig(), 42);
+    const FaultPlan b = makeFaultStorm(stormConfig(), 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].machineId, b.events[i].machineId);
+        EXPECT_EQ(a.events[i].at, b.events[i].at);
+        EXPECT_EQ(a.events[i].durationUs, b.events[i].durationUs);
+        EXPECT_EQ(a.events[i].factor, b.events[i].factor);
+    }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer)
+{
+    const FaultPlan a = makeFaultStorm(stormConfig(), 1);
+    const FaultPlan b = makeFaultStorm(stormConfig(), 2);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        if (a.events[i].machineId != b.events[i].machineId ||
+            a.events[i].at != b.events[i].at) {
+            any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlanTest, StormMatchesConfiguredCounts)
+{
+    FaultStormConfig config = stormConfig();
+    config.crashes = 3;
+    config.slowdowns = 4;
+    config.linkFaults = 5;
+    config.linkDegrades = 2;
+    const FaultPlan plan = makeFaultStorm(config, 7);
+    EXPECT_EQ(plan.count(FaultKind::kCrash), 3u);
+    EXPECT_EQ(plan.count(FaultKind::kSlowdown), 4u);
+    EXPECT_EQ(plan.count(FaultKind::kLinkFault), 5u);
+    EXPECT_EQ(plan.count(FaultKind::kLinkDegrade), 2u);
+    EXPECT_EQ(plan.size(), 14u);
+}
+
+TEST(FaultPlanTest, StormNeverCrashesSameMachineTwice)
+{
+    FaultStormConfig config = stormConfig(6);
+    config.crashes = 5;
+    const FaultPlan plan = makeFaultStorm(config, 11);
+    std::vector<int> crashed;
+    for (const auto& e : plan.events) {
+        if (e.kind != FaultKind::kCrash)
+            continue;
+        for (int seen : crashed)
+            EXPECT_NE(seen, e.machineId);
+        crashed.push_back(e.machineId);
+        // Transient: every storm crash has a recovery.
+        EXPECT_GT(e.durationUs, 0);
+    }
+    EXPECT_EQ(crashed.size(), 5u);
+}
+
+TEST(FaultPlanTest, StormEventsSortedAndInHorizon)
+{
+    const FaultPlan plan = makeFaultStorm(stormConfig(), 3);
+    const auto horizon = stormConfig().horizonUs;
+    sim::TimeUs prev = 0;
+    for (const auto& e : plan.events) {
+        EXPECT_GE(e.at, prev);
+        EXPECT_LT(e.at, horizon);
+        prev = e.at;
+    }
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadEvents)
+{
+    FaultPlan plan;
+    plan.add({FaultKind::kCrash, /*machineId=*/9, 0, 0, 1.0});
+    EXPECT_THROW(plan.validate(/*num_machines=*/4), std::runtime_error);
+
+    FaultPlan degrade;
+    degrade.add({FaultKind::kLinkDegrade, 0, 0, sim::secondsToUs(1.0),
+                 /*factor=*/1.5});
+    EXPECT_THROW(degrade.validate(4), std::runtime_error);
+
+    FaultPlan empty_window;
+    empty_window.add({FaultKind::kLinkFault, 0, 0, /*durationUs=*/0, 1.0});
+    EXPECT_THROW(empty_window.validate(4), std::runtime_error);
+
+    FaultPlan ok;
+    ok.add({FaultKind::kCrash, 0, 0, sim::secondsToUs(5.0), 1.0});
+    ok.add({FaultKind::kSlowdown, 1, 10, sim::secondsToUs(1.0), 2.0});
+    EXPECT_NO_THROW(ok.validate(4));
+}
+
+TEST(FaultPlanTest, StormRefusesToKillWholeCluster)
+{
+    FaultStormConfig config = stormConfig(3);
+    config.crashes = 3;
+    EXPECT_THROW(makeFaultStorm(config, 1), std::runtime_error);
+}
+
+TEST(FaultPlanTest, KindNames)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::kCrash), "crash");
+    EXPECT_STREQ(faultKindName(FaultKind::kSlowdown), "slowdown");
+    EXPECT_STREQ(faultKindName(FaultKind::kLinkFault), "link-fault");
+    EXPECT_STREQ(faultKindName(FaultKind::kLinkDegrade), "link-degrade");
+}
+
+}  // namespace
+}  // namespace splitwise::core

@@ -182,5 +182,176 @@ TEST_F(KvTransferTest, NicSerializesConcurrentTransfers)
               2 * hw::linkBetween(hw::dgxH100(), hw::dgxH100()).setupUs);
 }
 
+TEST_F(KvTransferTest, TransientFaultRetriesAfterBackoff)
+{
+    LiveRequest* req = makeRequest(1000, 4);
+    const sim::TimeUs prompt = perf_.promptTime(1000, 1);
+
+    KvRetryPolicy policy;
+    policy.maxRetries = 3;
+    policy.backoffBaseUs = 8 * prompt;  // first retry lands post-window
+    engine_.setRetryPolicy(policy);
+    // The first attempt starts right after the prompt iteration
+    // (prompt compute plus a little interference), well inside this
+    // window; the backed-off retry lands well outside it.
+    engine_.injectLinkFault(1, 0, 3 * prompt);
+
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+
+    EXPECT_TRUE(req->finished());
+    EXPECT_EQ(engine_.stats().transferFaults, 1u);
+    EXPECT_EQ(engine_.stats().transferRetries, 1u);
+    EXPECT_EQ(engine_.stats().transferAborts, 0u);
+    // Only the successful attempt counts as a transfer.
+    EXPECT_EQ(engine_.stats().transfers, 1u);
+    EXPECT_EQ(machines_[1]->stats().tokensGenerated, 3);
+}
+
+TEST_F(KvTransferTest, ExhaustedRetryBudgetAbortsAndReleasesKv)
+{
+    std::vector<LiveRequest*> aborted;
+    engine_.setOnAbort([&](LiveRequest* r) { aborted.push_back(r); });
+
+    KvRetryPolicy policy;
+    policy.maxRetries = 0;
+    engine_.setRetryPolicy(policy);
+    const sim::TimeUs prompt = perf_.promptTime(1000, 1);
+    engine_.injectLinkFault(1, 0, 10 * prompt);
+
+    LiveRequest* req = makeRequest(1000, 4);
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+
+    ASSERT_EQ(aborted.size(), 1u);
+    EXPECT_EQ(aborted[0], req);
+    EXPECT_EQ(engine_.stats().transferAborts, 1u);
+    EXPECT_EQ(engine_.stats().transferRetries, 0u);
+    EXPECT_FALSE(req->finished());
+    // Both the source copy and the destination reservation are gone.
+    EXPECT_EQ(machines_[0]->mls().blocks().usedTokens(), 0);
+    EXPECT_EQ(machines_[1]->mls().blocks().usedTokens(), 0);
+}
+
+TEST_F(KvTransferTest, PerAttemptTimeoutCountsAndAborts)
+{
+    std::vector<LiveRequest*> aborted;
+    engine_.setOnAbort([&](LiveRequest* r) { aborted.push_back(r); });
+
+    KvRetryPolicy policy;
+    policy.maxRetries = 0;
+    policy.timeoutUs = 10;  // far below any real transfer time
+    engine_.setRetryPolicy(policy);
+
+    machines_[0]->submitPrompt(makeRequest(128, 4));
+    sim_.run();
+
+    EXPECT_EQ(engine_.stats().transferTimeouts, 1u);
+    EXPECT_EQ(engine_.stats().transferAborts, 1u);
+    EXPECT_EQ(aborted.size(), 1u);
+}
+
+TEST_F(KvTransferTest, DegradedLinkStretchesVisibleTime)
+{
+    // First transfer runs on a clean link.
+    machines_[0]->submitPrompt(makeRequest(128, 3));
+    sim_.run();
+    const auto clean_visible = engine_.stats().totalVisibleUs;
+    ASSERT_GT(clean_visible, 0);
+    EXPECT_EQ(engine_.stats().degradedTransfers, 0u);
+
+    // Second identical transfer runs inside a 10%-bandwidth window.
+    engine_.injectLinkDegrade(1, sim_.now(),
+                              sim_.now() + sim::secondsToUs(60.0), 0.1);
+    machines_[0]->submitPrompt(makeRequest(128, 3));
+    sim_.run();
+    EXPECT_EQ(engine_.stats().degradedTransfers, 1u);
+    EXPECT_EQ(engine_.stats().transfers, 2u);
+    // 10% bandwidth => ~10x the visible time.
+    EXPECT_GT(engine_.stats().totalVisibleUs - clean_visible,
+              5 * clean_visible);
+}
+
+/**
+ * Probe the simulation on a fixed grid and kill @p victim at the
+ * first instant @p req is observed mid-transfer.
+ */
+void
+failDuringTransfer(sim::Simulator& sim, LiveRequest* req, Machine* victim)
+{
+    auto killed = std::make_shared<bool>(false);
+    constexpr sim::TimeUs kStepUs = 100;
+    for (sim::TimeUs t = 0; t < sim::secondsToUs(2.0); t += kStepUs) {
+        sim.schedule(t, [req, victim, killed] {
+            if (*killed || req->phase != RequestPhase::kTransferring)
+                return;
+            *killed = true;
+            victim->fail();
+        });
+    }
+}
+
+TEST_F(KvTransferTest, SrcDiesMidFlightReleasesDstReservation)
+{
+    // Serialized transfer (small prompt): the wire time is long
+    // enough for the probe grid to catch the request in flight.
+    LiveRequest* req = makeRequest(128, 4);
+    failDuringTransfer(sim_, req, machines_[0].get());
+
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+
+    ASSERT_TRUE(machines_[0]->failed());
+    EXPECT_FALSE(req->finished());
+    EXPECT_TRUE(transferred_.empty());
+    // The destination's reserved-but-unfilled blocks were released:
+    // nothing leaks even with no cluster-level failure handler.
+    EXPECT_EQ(machines_[1]->mls().blocks().usedTokens(), 0);
+    EXPECT_FALSE(machines_[1]->mls().blocks().holds(req->spec.id));
+}
+
+TEST_F(KvTransferTest, DstDiesMidFlightReleasesSrcCopy)
+{
+    LiveRequest* req = makeRequest(128, 4);
+    failDuringTransfer(sim_, req, machines_[1].get());
+
+    machines_[0]->submitPrompt(req);
+    sim_.run();
+
+    ASSERT_TRUE(machines_[1]->failed());
+    EXPECT_FALSE(req->finished());
+    EXPECT_TRUE(transferred_.empty());
+    // The source dropped its copy; the dead destination's pool was
+    // cleared by fail(). No block is held anywhere for the request.
+    EXPECT_EQ(machines_[0]->mls().blocks().usedTokens(), 0);
+    EXPECT_EQ(machines_[1]->mls().blocks().usedTokens(), 0);
+}
+
+TEST_F(KvTransferTest, RetryDropsWhenEndpointDiesDuringBackoff)
+{
+    KvRetryPolicy policy;
+    policy.maxRetries = 5;
+    policy.backoffBaseUs = sim::secondsToUs(1.0);
+    engine_.setRetryPolicy(policy);
+    const sim::TimeUs prompt = perf_.promptTime(1000, 1);
+    engine_.injectLinkFault(1, 0, 3 * prompt);
+
+    LiveRequest* req = makeRequest(1000, 4);
+    machines_[0]->submitPrompt(req);
+    // The first attempt fails inside the window; the destination dies
+    // during the long backoff. The retry must notice and stand down.
+    sim_.schedule(3 * prompt + sim::msToUs(1.0),
+                  [this] { machines_[1]->fail(); });
+    sim_.run();
+
+    EXPECT_EQ(engine_.stats().transferRetries, 1u);
+    // The stand-down is a clean abort: the source copy is released,
+    // not stranded.
+    EXPECT_EQ(engine_.stats().transferAborts, 1u);
+    EXPECT_FALSE(req->finished());
+    EXPECT_EQ(machines_[0]->mls().blocks().usedTokens(), 0);
+    EXPECT_EQ(machines_[1]->mls().blocks().usedTokens(), 0);
+}
+
 }  // namespace
 }  // namespace splitwise::engine
