@@ -41,8 +41,9 @@ sustainedRps(const splitwise::core::RunReport& report)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using metrics::Table;
     using provision::DesignKind;

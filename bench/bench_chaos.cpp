@@ -9,9 +9,11 @@
  * by admission control. The binary exits non-zero if any request
  * falls through the cracks, so it doubles as a soak check.
  *
- *   bench_chaos [storm_seed]
+ *   bench_chaos [storm_seed] [--trace-out=...] [--timeseries-out=...]
  */
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -24,8 +26,17 @@ main(int argc, char** argv)
     using namespace splitwise;
     using metrics::Table;
 
-    const std::uint64_t seed =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2024;
+    bench::initBenchArgs(argc, argv);
+
+    // The storm seed is the first bare-number argument; everything
+    // else belongs to the shared telemetry flags.
+    std::uint64_t seed = 2024;
+    for (int i = 1; i < argc; ++i) {
+        if (std::isdigit(static_cast<unsigned char>(argv[i][0]))) {
+            seed = std::strtoull(argv[i], nullptr, 10);
+            break;
+        }
+    }
 
     const auto trace =
         bench::makeTrace(workload::conversation(), 70.0, 60);
@@ -60,8 +71,10 @@ main(int argc, char** argv)
     config.cls.shedQueuedTokensBound = 500000;
     config.kvRetry.maxRetries = 4;
     config.kvRetry.backoffBaseUs = sim::msToUs(20.0);
+    bench::applyTelemetryCli(config);
 
     bool accounted = true;
+    bool telemetryConsistent = true;
     Table table({"run", "thpt (rps)", "TTFT p50 (ms)", "TTFT p99 (ms)",
                  "TBT p50 (ms)", "TBT p99 (ms)", "completed", "shed",
                  "SLO"});
@@ -87,6 +100,35 @@ main(int argc, char** argv)
         });
         if (report.requests.completed() + report.rejected != trace.size())
             accounted = false;
+
+        // Telemetry self-checks: a parseable trace needs matched
+        // begin/end pairs, and the sampled cumulative token counter
+        // must land on the aggregate the report derives throughput
+        // from (the final sample row is taken at end-of-run, so any
+        // disagreement means the sampler lost updates).
+        if (auto* rec = cluster.traceRecorder()) {
+            if (rec->openSpans() != 0) {
+                std::printf("ERROR: %zu trace spans left open\n",
+                            rec->openSpans());
+                telemetryConsistent = false;
+            }
+        }
+        if (!report.timeseries.empty()) {
+            const auto sampled = report.timeseries.column("tokens_generated");
+            const double aggregate =
+                static_cast<double>(report.promptPool.tokensGenerated +
+                                    report.tokenPool.tokensGenerated);
+            const double err =
+                aggregate > 0.0
+                    ? std::abs(sampled.back() - aggregate) / aggregate
+                    : std::abs(sampled.back());
+            std::printf("timeseries cross-check: sampled %0.f vs "
+                        "aggregate %.0f generated tokens (%.3f%% off)\n",
+                        sampled.back(), aggregate, 100.0 * err);
+            if (err > 0.01)
+                telemetryConsistent = false;
+        }
+        bench::writeTelemetryOutputs(cluster, report);
         reports[faulted ? 1 : 0] = report;
     }
     table.print();
@@ -111,6 +153,10 @@ main(int argc, char** argv)
     if (!accounted) {
         std::printf("\nERROR: requests lost - completed + shed != "
                     "submitted (%zu)\n", trace.size());
+        return 1;
+    }
+    if (!telemetryConsistent) {
+        std::printf("\nERROR: telemetry self-check failed\n");
         return 1;
     }
     return 0;

@@ -9,9 +9,23 @@
  * budget is 40 DGX-H100 machines (70 DGX-A100s). The event-driven
  * simulator covers a 40-machine, 100+ RPS cluster trace in well
  * under a second, so every bench still finishes in seconds.
+ *
+ * Every bench accepts the shared telemetry flags (parsed by
+ * initBenchArgs, applied by runCluster):
+ *
+ *   --trace-out=PATH        Perfetto/Chrome trace JSON per cluster
+ *                           run (open in ui.perfetto.dev).
+ *   --timeseries-out=PATH   Sampled cluster metrics as CSV.
+ *   --sample-interval-ms=N  Sampling grid (default 1000 ms);
+ *                           implies sampling when --timeseries-out
+ *                           is given.
+ *
+ * Benches that run several clusters suffix the path with the run
+ * index before the extension (trace.json, trace.1.json, ...).
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +35,7 @@
 #include "metrics/table.h"
 #include "model/llm_config.h"
 #include "provision/provisioner.h"
+#include "sim/log.h"
 #include "workload/trace_gen.h"
 #include "workload/workloads.h"
 
@@ -90,13 +105,127 @@ makeTrace(const workload::Workload& w, double rps, double seconds,
     return gen.generate(rps, sim::secondsToUs(seconds));
 }
 
+/** Telemetry output options shared by every bench binary. */
+struct BenchArgs {
+    /** Perfetto trace destination; empty disables tracing. */
+    std::string traceOut;
+    /** Time-series CSV destination; empty disables sampling. */
+    std::string timeseriesOut;
+    /** Sampling grid spacing. */
+    sim::TimeUs sampleIntervalUs = sim::msToUs(1000.0);
+    /** Cluster runs completed so far (output-file suffixing). */
+    int runIndex = 0;
+
+    bool any() const { return !traceOut.empty() || !timeseriesOut.empty(); }
+};
+
+/** The process-wide parsed bench arguments. */
+inline BenchArgs&
+benchArgs()
+{
+    static BenchArgs args;
+    return args;
+}
+
+/**
+ * Parse the shared telemetry flags (see the file comment). Both
+ * --flag=value and --flag value spellings work; unrecognized
+ * arguments are left for the bench's own parsing.
+ */
+inline void
+initBenchArgs(int argc, char** argv)
+{
+    BenchArgs& args = benchArgs();
+    auto take = [&](int& i, const char* name, std::string& out) {
+        const std::size_t len = std::strlen(name);
+        if (std::strncmp(argv[i], name, len) != 0)
+            return false;
+        if (argv[i][len] == '=') {
+            out = argv[i] + len + 1;
+            return true;
+        }
+        if (argv[i][len] == '\0' && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        if (take(i, "--trace-out", args.traceOut) ||
+            take(i, "--timeseries-out", args.timeseriesOut)) {
+            continue;
+        }
+        if (take(i, "--sample-interval-ms", value))
+            args.sampleIntervalUs = sim::msToUs(std::stod(value));
+    }
+    if (args.sampleIntervalUs <= 0)
+        sim::fatal("--sample-interval-ms must be positive");
+}
+
+/** Turn the parsed bench flags into per-run telemetry switches. */
+inline void
+applyTelemetryCli(core::SimConfig& config)
+{
+    const BenchArgs& args = benchArgs();
+    if (!args.traceOut.empty())
+        config.telemetry.traceEnabled = true;
+    if (!args.timeseriesOut.empty())
+        config.telemetry.sampleIntervalUs = args.sampleIntervalUs;
+}
+
+/** "out.json" with run index 2 becomes "out.2.json". */
+inline std::string
+indexedPath(const std::string& path, int index)
+{
+    if (index == 0)
+        return path;
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    const bool has_ext =
+        dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash);
+    const std::string suffix = "." + std::to_string(index);
+    if (!has_ext)
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/**
+ * Write the run's telemetry files (when requested) and advance the
+ * run index so multi-run benches produce one file set per run.
+ */
+inline void
+writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report)
+{
+    BenchArgs& args = benchArgs();
+    if (!args.any())
+        return;
+    if (!args.traceOut.empty() && cluster.traceRecorder()) {
+        const auto path = indexedPath(args.traceOut, args.runIndex);
+        cluster.traceRecorder()->writeFile(path);
+        std::printf("wrote trace %s (%zu events)\n", path.c_str(),
+                    cluster.traceRecorder()->eventCount());
+    }
+    if (!args.timeseriesOut.empty() && !report.timeseries.empty()) {
+        const auto path = indexedPath(args.timeseriesOut, args.runIndex);
+        report.timeseries.writeCsv(path);
+        std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
+                    report.timeseries.rows.size());
+    }
+    ++args.runIndex;
+}
+
 /** Run a design on a trace and return the report. */
 inline core::RunReport
 runCluster(const model::LlmConfig& llm, const core::ClusterDesign& design,
            const workload::Trace& trace, core::SimConfig config = {})
 {
+    applyTelemetryCli(config);
     core::Cluster cluster(llm, design, config);
-    return cluster.run(trace);
+    auto report = cluster.run(trace);
+    writeTelemetryOutputs(cluster, report);
+    return report;
 }
 
 /** Print a section banner. */

@@ -33,8 +33,9 @@ printCdf(const char* title, bool prompts)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
 
     printCdf("Fig. 3a: number of prompt tokens (CDF)", true);

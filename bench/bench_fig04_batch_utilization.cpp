@@ -41,15 +41,61 @@ report(const char* model_name, const splitwise::model::LlmConfig& llm)
     table.print();
 }
 
+/**
+ * Re-derive the Fig. 4 distribution from the telemetry sampler
+ * instead of the exact event-driven signal tracker: fixed-interval
+ * samples of the active_batch_tokens gauge, each weighting one grid
+ * interval. The two paths share no code, so their agreement
+ * cross-validates the sampler against the exact histogram.
+ */
+void
+samplerCrossCheck(const splitwise::model::LlmConfig& llm)
+{
+    using namespace splitwise;
+    using metrics::Table;
+
+    bench::banner("Sampler cross-check: Fig. 4 from the time-series "
+                  "(coding, Llama2-70B, 50 ms grid)");
+
+    const auto trace = bench::makeTrace(workload::coding(), 2.0, 120);
+    core::SimConfig config;
+    config.telemetry.sampleIntervalUs = sim::msToUs(50.0);
+    core::Cluster cluster(llm, core::baselineH100(1), config);
+    const auto run = cluster.run(trace);
+
+    const auto& exact = run.promptPool.activeTokens;
+    const auto samples = run.timeseries.column("active_batch_tokens");
+
+    Table table({"active tokens <=", "exact (% of time)",
+                 "sampled (% of time)"});
+    for (std::int64_t threshold : {0, 1, 20, 100, 2000, 8000}) {
+        std::size_t below = 0;
+        for (double v : samples) {
+            if (v <= static_cast<double>(threshold))
+                ++below;
+        }
+        const double sampled_pct =
+            100.0 * static_cast<double>(below) /
+            static_cast<double>(samples.size());
+        table.addRow({std::to_string(threshold),
+                      Table::fmt(100.0 * exact.cdfAt(threshold), 1),
+                      Table::fmt(sampled_pct, 1)});
+    }
+    table.print();
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
 
     report("Llama2-70B", model::llama2_70b());
     report("BLOOM-176B", model::bloom_176b());
+
+    samplerCrossCheck(model::llama2_70b());
 
     std::printf("\nPaper: conversation spends 60-70%% of time at <= 20"
                 " active tokens; coding runs a single token > 20%% of the"

@@ -12,8 +12,9 @@
 #include "model/perf_model.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using metrics::Table;
 

@@ -14,8 +14,9 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using provision::DesignKind;
 

@@ -14,8 +14,9 @@
 #include "model/transfer_model.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using metrics::Table;
 

@@ -26,8 +26,9 @@ secondTokenSummary(const splitwise::core::RunReport& report)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using metrics::Table;
 

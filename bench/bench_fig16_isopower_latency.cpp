@@ -60,8 +60,9 @@ sweepWorkload(const char* workload_name,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     // Paper loads: coding up to ~130 RPS, conversation up to ~130.
     sweepWorkload("coding", {40, 70, 100, 130});
     sweepWorkload("conversation", {40, 70, 100, 130});

@@ -52,8 +52,9 @@ atLoad(double rps, const char* label)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     atLoad(70.0, "low load (70 RPS)");
     atLoad(130.0, "high load (130 RPS)");
     std::printf("\nPaper: at low load baseline machines spend ~70%% of"

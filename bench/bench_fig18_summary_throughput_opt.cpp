@@ -66,8 +66,9 @@ summarize(const char* title, bool iso_power)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     summarize("Fig. 18a: iso-power throughput-optimized (conversation,"
               " budget = 40x DGX-H100 power)",
               true);

@@ -65,8 +65,9 @@ summarize(const char* title, double target_rps, bool optimize_power)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     const double target_rps = 70.0;  // the paper's target throughput
     summarize("Fig. 19a: iso-throughput power-optimized (conversation, "
               "70 RPS)",

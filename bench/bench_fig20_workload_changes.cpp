@@ -49,8 +49,9 @@ sweep(const char* title, const splitwise::model::LlmConfig& llm,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
 
     // (a) Conversation trace on clusters provisioned for coding.

@@ -129,6 +129,26 @@ BM_ClusterSimulation(benchmark::State& state)
 }
 BENCHMARK(BM_ClusterSimulation)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void
+BM_ClusterSimulationTelemetry(benchmark::State& state)
+{
+    // Same run as BM_ClusterSimulation/8 with every telemetry stream
+    // on; the delta against it prices full tracing plus sampling.
+    workload::TraceGenerator gen(workload::conversation(), 42);
+    const auto trace = gen.generate(8.0, sim::secondsToUs(10));
+    core::SimConfig config;
+    config.telemetry.traceEnabled = true;
+    config.telemetry.sampleIntervalUs = sim::msToUs(100.0);
+    for (auto _ : state) {
+        core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(2, 2),
+                              config);
+        benchmark::DoNotOptimize(cluster.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ClusterSimulationTelemetry)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

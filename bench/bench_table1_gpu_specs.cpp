@@ -8,8 +8,9 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using metrics::Table;
 

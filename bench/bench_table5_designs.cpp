@@ -11,8 +11,9 @@
 #include "hw/interconnect.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using metrics::Table;
 

@@ -64,6 +64,21 @@ ClusterScheduler::rejoin(int machine_id)
     entry.mixedSince = 0;
     entries_[machine_id] = entry;
     ++rejoins_;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(), "rejoin",
+                  simulator_.now(),
+                  {{"machine", machine_id},
+                   {"pool", poolTypeName(entry.pool)}});
+}
+
+std::size_t
+ClusterScheduler::poolSize(PoolType pool) const
+{
+    std::size_t n = 0;
+    for (const auto& [id, entry] : entries_) {
+        if (entry.pool == pool)
+            ++n;
+    }
+    return n;
 }
 
 PoolType
@@ -156,6 +171,9 @@ ClusterScheduler::moveToPool(int machine_id, PoolType pool)
     if (pool == PoolType::kMixed)
         entry.mixedSince = simulator_.now();
     ++poolTransitions_;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(),
+                  "pool_transition", simulator_.now(),
+                  {{"machine", machine_id}, {"pool", poolTypeName(pool)}});
 }
 
 bool
@@ -336,6 +354,9 @@ ClusterScheduler::onArrival(engine::LiveRequest* request, bool force_admit)
 {
     if (!force_admit && shouldShed()) {
         ++shedRequests_;
+        TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(),
+                      "shed", simulator_.now(),
+                      {{"request", request->spec.id}});
         return false;
     }
     if (splitwise_)

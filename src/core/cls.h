@@ -157,6 +157,15 @@ class ClusterScheduler {
     /** Number of failed machines re-admitted after recovery. */
     std::uint64_t rejoins() const { return rejoins_; }
 
+    /** Machines currently assigned to @p pool (live only). */
+    std::size_t poolSize(PoolType pool) const;
+
+    /**
+     * Attach a trace recorder: shed/transition/rejoin instants land
+     * on the cluster track. nullptr detaches.
+     */
+    void setTrace(telemetry::TraceRecorder* trace) { trace_ = trace; }
+
   private:
     struct Entry {
         engine::Machine* machine = nullptr;
@@ -205,6 +214,7 @@ class ClusterScheduler {
     std::uint64_t repurposings_ = 0;
     std::uint64_t shedRequests_ = 0;
     std::uint64_t rejoins_ = 0;
+    telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace splitwise::core

@@ -95,6 +95,134 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
     engine_.setRetryPolicy(config_.kvRetry);
     engine_.setOnAbort(
         [this](engine::LiveRequest* req) { onTransferAbort(req); });
+
+    setupTelemetry();
+}
+
+void
+Cluster::setupTelemetry()
+{
+    // Fault/recovery counters (owned cells: hot paths bump them
+    // directly, the report and sampler read the same values).
+    restarts_ = registry_.counter("restarts");
+    checkpointRestores_ = registry_.counter("checkpoint_restores");
+    rejected_ = registry_.counter("rejected");
+
+    // Scheduler and transfer-engine stats stay where they are; the
+    // registry reads them through callbacks so the existing structs
+    // need no restructuring.
+    registry_.addCounterFn("rejoins", [this] { return cls_->rejoins(); });
+    registry_.addCounterFn("shed_requests",
+                           [this] { return cls_->shedRequests(); });
+    registry_.addCounterFn("mixed_routes",
+                           [this] { return cls_->mixedPoolRoutes(); });
+    registry_.addCounterFn("pool_transitions",
+                           [this] { return cls_->poolTransitions(); });
+    registry_.addCounterFn("kv_transfers",
+                           [this] { return engine_.stats().transfers; });
+    registry_.addCounterFn("kv_retries",
+                           [this] { return engine_.stats().transferRetries; });
+    registry_.addCounterFn("kv_faults",
+                           [this] { return engine_.stats().transferFaults; });
+    registry_.addCounterFn("kv_timeouts", [this] {
+        return engine_.stats().transferTimeouts;
+    });
+    registry_.addCounterFn("kv_aborts",
+                           [this] { return engine_.stats().transferAborts; });
+    registry_.addCounterFn("kv_memory_stalls",
+                           [this] { return engine_.stats().memoryStalls; });
+    registry_.addCounterFn("tokens_generated", [this] {
+        std::uint64_t total = 0;
+        for (const auto& m : machines_)
+            total += static_cast<std::uint64_t>(m->stats().tokensGenerated);
+        return total;
+    });
+    registry_.addCounterFn("prompt_tokens_processed", [this] {
+        std::uint64_t total = 0;
+        for (const auto& m : machines_) {
+            total += static_cast<std::uint64_t>(
+                m->stats().promptTokensProcessed);
+        }
+        return total;
+    });
+
+    // Instantaneous cluster gauges.
+    registry_.addGauge("queued_prompt_tokens", [this] {
+        return static_cast<double>(cls_->queuedPromptTokens());
+    });
+    registry_.addGauge("active_batch_tokens", [this] {
+        std::int64_t total = 0;
+        for (const auto& m : machines_)
+            total += m->stats().activeTokens.value();
+        return static_cast<double>(total);
+    });
+    registry_.addGauge("kv_tokens_used", [this] {
+        std::int64_t total = 0;
+        for (const auto& m : machines_)
+            total += m->tokenLoadTokens();
+        return static_cast<double>(total);
+    });
+    registry_.addGauge("inflight_transfers", [this] {
+        return static_cast<double>(engine_.inFlightTransfers());
+    });
+    registry_.addGauge("waiting_transfers", [this] {
+        return static_cast<double>(engine_.waitingTransfers());
+    });
+    registry_.addGauge("prompt_pool_machines", [this] {
+        return static_cast<double>(cls_->poolSize(PoolType::kPrompt));
+    });
+    registry_.addGauge("token_pool_machines", [this] {
+        return static_cast<double>(cls_->poolSize(PoolType::kToken));
+    });
+    registry_.addGauge("mixed_pool_machines", [this] {
+        return static_cast<double>(cls_->poolSize(PoolType::kMixed));
+    });
+    auto pool_power = [this](int lo, int hi) {
+        double watts = 0.0;
+        for (int i = lo; i < hi; ++i)
+            watts += machines_[static_cast<std::size_t>(i)]->currentPowerWatts();
+        return watts;
+    };
+    registry_.addGauge("power_total_w", [this, pool_power] {
+        return pool_power(0, design_.machines());
+    });
+    registry_.addGauge("power_prompt_pool_w", [this, pool_power] {
+        return pool_power(0, design_.numPrompt);
+    });
+    registry_.addGauge("power_token_pool_w", [this, pool_power] {
+        return pool_power(design_.numPrompt, design_.machines());
+    });
+
+    if (config_.telemetry.perMachineSeries) {
+        for (const auto& m_ptr : machines_) {
+            engine::Machine* m = m_ptr.get();
+            const std::string prefix = "m" + std::to_string(m->id()) + "_";
+            registry_.addGauge(prefix + "queue_tokens", [m] {
+                return static_cast<double>(m->promptQueueDepthTokens());
+            });
+            registry_.addGauge(prefix + "kv_tokens", [m] {
+                return static_cast<double>(m->tokenLoadTokens());
+            });
+            registry_.addGauge(prefix + "active_tokens", [m] {
+                return static_cast<double>(m->stats().activeTokens.value());
+            });
+            registry_.addGauge(prefix + "power_w",
+                               [m] { return m->currentPowerWatts(); });
+        }
+    }
+
+    if (config_.telemetry.traceEnabled) {
+        trace_ = std::make_unique<telemetry::TraceRecorder>();
+        for (const auto& m : machines_) {
+            m->setTrace(trace_.get());
+            trace_->setTrackName(
+                telemetry::TraceRecorder::machineTrack(m->id()),
+                "m" + std::to_string(m->id()) + " " + m->spec().name + " (" +
+                    poolTypeName(cls_->originOf(m->id())) + ")");
+        }
+        engine_.setTrace(trace_.get());
+        cls_->setTrace(trace_.get());
+    }
 }
 
 void
@@ -168,6 +296,9 @@ Cluster::failMachine(int machine_id)
     // survivors.
     cls_->markFailed(machine_id);
     machine->fail();
+    sim::inform("machine failed",
+                {{"machine", std::to_string(machine_id)},
+                 {"t_us", std::to_string(simulator_.now())}});
 
     for (const auto& req_ptr : live_) {
         engine::LiveRequest* req = req_ptr.get();
@@ -194,11 +325,11 @@ Cluster::failMachine(int machine_id)
             // recomputing the whole context (SIV-E).
             if (config_.kvCheckpointing && req->generated > 0 &&
                 restoreFromCheckpoint(req)) {
-                ++checkpointRestores_;
+                checkpointRestores_->add();
                 continue;
             }
             req->resetForRestart();
-            ++restarts_;
+            restarts_->add();
             cls_->onArrival(req, /*force_admit=*/true);
             continue;
         }
@@ -209,6 +340,10 @@ Cluster::failMachine(int machine_id)
             req->tokenMachine = -1;
         }
     }
+    // Fault epochs are exactly where fixed-interval sampling
+    // under-resolves; snapshot the post-failure state immediately.
+    if (sampler_)
+        sampler_->sampleNow();
 }
 
 void
@@ -221,6 +356,12 @@ Cluster::recoverMachine(int machine_id)
     // pool identity. The CLS's JSQ signals immediately favour it.
     machine->recover();
     cls_->rejoin(machine_id);
+    sim::inform("machine rejoined",
+                {{"machine", std::to_string(machine_id)},
+                 {"t_us", std::to_string(simulator_.now())},
+                 {"pool", poolTypeName(cls_->poolOf(machine_id))}});
+    if (sampler_)
+        sampler_->sampleNow();
 }
 
 void
@@ -232,7 +373,7 @@ Cluster::onTransferAbort(engine::LiveRequest* request)
     // policy and recompute the prompt from scratch. Restarts bypass
     // admission control - the request was already accepted.
     request->resetForRestart();
-    ++restarts_;
+    restarts_->add();
     cls_->onArrival(request, /*force_admit=*/true);
 }
 
@@ -249,6 +390,10 @@ Cluster::restoreFromCheckpoint(engine::LiveRequest* request)
     ++request->restartEpoch;
     request->phase = engine::RequestPhase::kTransferring;
     request->tokenMachine = host->id();
+    TELEM_TRANSITION(trace_.get(),
+                     telemetry::TraceRecorder::requestTrack(request->spec.id),
+                     "kv_restore", simulator_.now(),
+                     {{"host", host->id()}});
     const double bytes = static_cast<double>(request->contextTokens()) *
                          static_cast<double>(llm_.kvBytesPerToken()) /
                          config_.kvCompressionRatio;
@@ -290,9 +435,15 @@ Cluster::run(const workload::Trace& trace)
         simulator_.schedule(spec.arrival, [this, ptr] {
             if (!cls_->onArrival(ptr)) {
                 ptr->phase = engine::RequestPhase::kRejected;
-                ++rejected_;
+                rejected_->add();
             }
         });
+    }
+
+    if (config_.telemetry.sampleIntervalUs > 0) {
+        sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(
+            simulator_, registry_, config_.telemetry.sampleIntervalUs);
+        sampler_->install();
     }
 
     simulator_.run();
@@ -315,10 +466,17 @@ Cluster::run(const workload::Trace& trace)
     report.transfers = engine_.stats();
     report.mixedRoutes = cls_->mixedPoolRoutes();
     report.poolTransitions = cls_->poolTransitions();
-    report.restarts = restarts_;
-    report.checkpointRestores = checkpointRestores_;
-    report.rejected = rejected_;
+    report.restarts = restarts_->value();
+    report.checkpointRestores = checkpointRestores_->value();
+    report.rejected = rejected_->value();
     report.rejoins = cls_->rejoins();
+
+    if (sampler_) {
+        // The final row lands at end-of-run, so cumulative columns
+        // (e.g. tokens_generated) close exactly on the aggregates.
+        sampler_->finish();
+        report.timeseries = sampler_->series();
+    }
 
     auto fold = [&](engine::Machine& m, PoolReport& pool) {
         m.finalizeStats();

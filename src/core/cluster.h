@@ -16,6 +16,7 @@
 #include "model/perf_model.h"
 #include "model/piecewise_perf_model.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "workload/trace.h"
 
 namespace splitwise::core {
@@ -47,6 +48,8 @@ struct SimConfig {
      * fit is derived from. The two agree within 3% MAPE.
      */
     bool usePiecewisePerfModel = false;
+    /** Lifecycle tracing and time-series sampling switches. */
+    telemetry::TelemetryConfig telemetry;
 };
 
 /** Aggregated activity of one machine pool over a run. */
@@ -82,6 +85,11 @@ struct RunReport {
     std::uint64_t rejected = 0;
     /** Failed machines that recovered and rejoined their pool. */
     std::uint64_t rejoins = 0;
+    /**
+     * Sampled cluster metrics over the run; empty unless
+     * SimConfig::telemetry.sampleIntervalUs was set.
+     */
+    telemetry::TimeSeries timeseries;
 
     /** Completed-request throughput over the run. */
     double
@@ -157,6 +165,16 @@ class Cluster {
     ClusterScheduler& scheduler() { return *cls_; }
     engine::KvTransferEngine& transferEngine() { return engine_; }
 
+    /**
+     * Lifecycle trace of the last run; nullptr unless
+     * SimConfig::telemetry.traceEnabled was set.
+     */
+    telemetry::TraceRecorder* traceRecorder() { return trace_.get(); }
+
+    /** The run's counter/gauge registry (always populated). */
+    telemetry::MetricsRegistry& metrics() { return registry_; }
+    const telemetry::MetricsRegistry& metrics() const { return registry_; }
+
     /** All machines (prompt pool first, then token pool). */
     const std::vector<std::unique_ptr<engine::Machine>>&
     machines() const
@@ -166,6 +184,9 @@ class Cluster {
 
   private:
     engine::Machine* machineById(int id);
+
+    /** Register counters/gauges and attach the trace recorder. */
+    void setupTelemetry();
 
     /** Common validation for the fault-scheduling entry points. */
     void checkFaultSchedulable(int machine_id) const;
@@ -203,9 +224,17 @@ class Cluster {
 
     std::vector<std::unique_ptr<engine::LiveRequest>> live_;
     metrics::RequestMetrics results_;
-    std::uint64_t restarts_ = 0;
-    std::uint64_t checkpointRestores_ = 0;
-    std::uint64_t rejected_ = 0;
+
+    /**
+     * Fault/recovery counters live in the registry so the sampler
+     * and the report read the same cells (single source of truth).
+     */
+    telemetry::MetricsRegistry registry_;
+    telemetry::Counter* restarts_ = nullptr;
+    telemetry::Counter* checkpointRestores_ = nullptr;
+    telemetry::Counter* rejected_ = nullptr;
+    std::unique_ptr<telemetry::TraceRecorder> trace_;
+    std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
     bool ran_ = false;
 };
 

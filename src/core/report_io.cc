@@ -95,6 +95,11 @@ reportToJson(const RunReport& report, const SloReport* slo)
         << ",\"rejected\":" << report.rejected
         << ",\"rejoins\":" << report.rejoins << '}';
 
+    // Sampled time-series: present only when sampling was on, so
+    // telemetry-off reports keep the exact pre-telemetry schema.
+    if (!report.timeseries.empty())
+        out << ",\"timeseries\":" << report.timeseries.toJson();
+
     if (slo) {
         out << ",\"slo\":{\"pass\":" << (slo->pass ? "true" : "false")
             << ",\"violation\":\"" << slo->violation << "\",";

@@ -117,6 +117,10 @@ KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
     if (src == dst)
         sim::panic("KvTransferEngine: src == dst");
     request->phase = RequestPhase::kTransferring;
+    TELEM_TRANSITION(trace_,
+                     telemetry::TraceRecorder::requestTrack(request->spec.id),
+                     "kv_transfer", simulator_.now(),
+                     {{"src", src->id()}, {"dst", dst->id()}});
     if (dst->failed()) {
         // Destination died between routing and prompt completion:
         // continue the decode locally on the prompt machine.
@@ -128,6 +132,10 @@ KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
     // must land on the destination before decoding resumes.
     if (!dst->reserveKv(request, request->contextTokens() + 1)) {
         ++stats_.memoryStalls;
+        TELEM_INSTANT(trace_, telemetry::TraceRecorder::requestTrack(
+                                  request->spec.id),
+                      "kv_memory_stall", simulator_.now(),
+                      {{"dst", dst->id()}});
         waiting_[dst->id()].push_back({request, src, prompt_compute,
                                        request->restartEpoch,
                                        std::move(done)});
@@ -176,10 +184,12 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
         stats_.totalVisibleUs += visible;
     }
 
+    ++inFlight_;
     const std::uint32_t epoch = request->restartEpoch;
     simulator_.schedule(end, [this, request, src, dst, epoch, prompt_compute,
                               attempt, timed_out, succeeds,
                               done = std::move(done)]() mutable {
+        --inFlight_;
         // A machine failure restarted the request (epoch bumped) or
         // killed an endpoint mid-flight: drop the stale delivery.
         if (request->restartEpoch != epoch || dst->failed() ||
@@ -200,6 +210,10 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
                 ++stats_.transferTimeouts;
             else
                 ++stats_.transferFaults;
+            TELEM_INSTANT(trace_, telemetry::TraceRecorder::requestTrack(
+                                      request->spec.id),
+                          timed_out ? "kv_timeout" : "kv_fault",
+                          simulator_.now(), {{"attempt", attempt}});
             handleAttemptFailure(request, src, dst, prompt_compute,
                                  std::move(done), attempt);
             return;
@@ -229,6 +243,10 @@ KvTransferEngine::handleAttemptFailure(LiveRequest* request, Machine* src,
     const auto backoff = static_cast<sim::TimeUs>(
         static_cast<double>(retry_.backoffBaseUs) *
         std::pow(retry_.backoffMultiplier, attempt));
+    TELEM_INSTANT(trace_,
+                  telemetry::TraceRecorder::requestTrack(request->spec.id),
+                  "kv_retry", simulator_.now(),
+                  {{"attempt", attempt + 1}, {"backoff_us", backoff}});
     const std::uint32_t epoch = request->restartEpoch;
     simulator_.scheduleAfter(
         backoff, [this, request, src, dst, prompt_compute, attempt, epoch,
@@ -254,12 +272,25 @@ void
 KvTransferEngine::abortTransfer(LiveRequest* request, Machine* src,
                                 Machine* dst)
 {
+    TELEM_INSTANT(trace_,
+                  telemetry::TraceRecorder::requestTrack(request->spec.id),
+                  "kv_abort", simulator_.now(),
+                  {{"src", src->id()}, {"dst", dst->id()}});
     if (!dst->failed())
         dst->releaseKv(request);
     if (!src->failed())
         src->releaseKv(request);
     if (onAbort_)
         onAbort_(request);
+}
+
+std::size_t
+KvTransferEngine::waitingTransfers() const
+{
+    std::size_t n = 0;
+    for (const auto& [id, queue] : waiting_)
+        n += queue.size();
+    return n;
 }
 
 void

@@ -13,6 +13,7 @@
 #include "model/llm_config.h"
 #include "model/transfer_model.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace splitwise::engine {
 
@@ -143,6 +144,15 @@ class KvTransferEngine {
 
     const Stats& stats() const { return stats_; }
 
+    /** Attach a trace recorder for transfer spans/instants. */
+    void setTrace(telemetry::TraceRecorder* trace) { trace_ = trace; }
+
+    /** Transfer attempts currently occupying wire time. */
+    std::size_t inFlightTransfers() const { return inFlight_; }
+
+    /** Transfers parked waiting for destination KV memory. */
+    std::size_t waitingTransfers() const;
+
   private:
     struct Pending {
         LiveRequest* request = nullptr;
@@ -204,6 +214,8 @@ class KvTransferEngine {
     /** Transfers waiting for destination memory, per machine id. */
     std::unordered_map<int, std::deque<Pending>> waiting_;
     Stats stats_;
+    telemetry::TraceRecorder* trace_ = nullptr;
+    std::size_t inFlight_ = 0;
 };
 
 }  // namespace splitwise::engine

@@ -55,6 +55,10 @@ Machine::submitPrompt(LiveRequest* request)
     if (failed_)
         sim::panic("Machine::submitPrompt on a failed machine");
     request->promptMachine = id_;
+    TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
+                                 request->spec.id),
+                     "queued", simulator_.now(),
+                     {{"machine", id_}, {"restarts", request->restarts}});
     mls_.enqueuePrompt(request);
     kick();
 }
@@ -81,6 +85,9 @@ Machine::acceptTransferred(LiveRequest* request)
 {
     if (failed_)
         sim::panic("Machine::acceptTransferred on a failed machine");
+    TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
+                                 request->spec.id),
+                     "decode", simulator_.now(), {{"machine", id_}});
     mls_.addResident(request);
     kick();
 }
@@ -134,11 +141,20 @@ Machine::fail()
 {
     if (failed_)
         return;
+    // The in-flight iteration dies with the machine: close its span
+    // so the trace keeps matched begin/end pairs.
+    if (busy_) {
+        TELEM_SPAN_END(trace_, telemetry::TraceRecorder::machineTrack(id_),
+                       simulator_.now());
+    }
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::machineTrack(id_),
+                  "fail", simulator_.now());
     failed_ = true;
     ++epoch_;
     busy_ = false;
     mls_.clearAll();
     runningPromptTokens_ = 0;
+    currentWatts_ = 0.0;
     stats_.activeTokens.set(simulator_.now(), 0);
 }
 
@@ -148,6 +164,8 @@ Machine::recover()
     if (!failed_)
         return;
     failed_ = false;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::machineTrack(id_),
+                  "recover", simulator_.now());
     stats_.activeTokens.set(simulator_.now(), 0);
     kick();
 }
@@ -192,6 +210,24 @@ Machine::startIteration()
     // overhead is always drawn while iterating.
     const bool has_prompt = !plan.prompts.empty();
     const bool has_decode = !plan.decodes.empty();
+
+#if SPLITWISE_TELEMETRY_ENABLED
+    if (trace_) {
+        const char* kind = has_prompt && has_decode ? "mixed_iter"
+                           : has_prompt             ? "prompt_iter"
+                                                    : "token_iter";
+        trace_->begin(telemetry::TraceRecorder::machineTrack(id_), kind,
+                      simulator_.now(),
+                      {{"prompt_tokens", plan.promptTokens},
+                       {"prompts", static_cast<int>(plan.prompts.size())},
+                       {"decodes", static_cast<int>(plan.decodes.size())}});
+        for (auto* req : plan.prompts) {
+            trace_->transition(
+                telemetry::TraceRecorder::requestTrack(req->spec.id),
+                "prompt", simulator_.now(), {{"machine", id_}});
+        }
+    }
+#endif
     double gpu_fraction = 0.0;
     if (has_prompt) {
         gpu_fraction = power_.promptPowerFraction(plan.promptTokens);
@@ -202,6 +238,7 @@ Machine::startIteration()
             power_.tokenPowerFraction(static_cast<int>(plan.decodes.size())));
     }
     const double watts = power_.machinePowerWatts(spec_, gpu_fraction);
+    currentWatts_ = watts;
     stats_.energyWh += watts * sim::usToSeconds(duration) / 3600.0;
 
     const std::uint64_t epoch = epoch_;
@@ -222,6 +259,9 @@ Machine::routePromptCompletion(LiveRequest* request,
         // Single-output requests are done at the first token; the
         // KV-cache is never needed again.
         request->phase = RequestPhase::kDone;
+        TELEM_CLOSE(trace_, telemetry::TraceRecorder::requestTrack(
+                                request->spec.id),
+                    simulator_.now());
         mls_.blocks().release(request->spec.id);
         if (callbacks_.onMemoryFreed)
             callbacks_.onMemoryFreed(*this);
@@ -233,6 +273,9 @@ Machine::routePromptCompletion(LiveRequest* request,
         // Decode continues locally (baseline, mixed pool, or
         // standalone machine).
         request->tokenMachine = id_;
+        TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
+                                     request->spec.id),
+                         "decode", simulator_.now(), {{"machine", id_}});
         mls_.addResident(request);
         return;
     }
@@ -258,6 +301,9 @@ Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
         ++stats_.tokensGenerated;
         if (req->finished()) {
             req->phase = RequestPhase::kDone;
+            TELEM_CLOSE(trace_,
+                        telemetry::TraceRecorder::requestTrack(req->spec.id),
+                        now);
             mls_.finish(req);
             freed = true;
             if (callbacks_.onRequestDone)
@@ -293,8 +339,11 @@ Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
         ++stats_.tokenIterations;
     stats_.busyUs += duration;
 
+    TELEM_SPAN_END(trace_, telemetry::TraceRecorder::machineTrack(id_), now);
+
     busy_ = false;
     runningPromptTokens_ = 0;
+    currentWatts_ = 0.0;
 
     if (freed && callbacks_.onMemoryFreed)
         callbacks_.onMemoryFreed(*this);
@@ -307,6 +356,17 @@ void
 Machine::finalizeStats()
 {
     stats_.activeTokens.finish(simulator_.now());
+}
+
+double
+Machine::currentPowerWatts() const
+{
+    if (failed_)
+        return 0.0;
+    if (busy_)
+        return currentWatts_;
+    // Idle floor: platform overhead with GPUs at rest.
+    return power_.machinePowerWatts(spec_, 0.0);
 }
 
 }  // namespace splitwise::engine

@@ -14,6 +14,7 @@
 #include "model/perf_model.h"
 #include "model/power_model.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace splitwise::engine {
 
@@ -156,6 +157,19 @@ class Machine {
     /** Close the active-token signal at the end of a run. */
     void finalizeStats();
 
+    /**
+     * Attach a trace recorder: iteration spans on the machine track
+     * and phase transitions on request tracks. nullptr detaches.
+     */
+    void setTrace(telemetry::TraceRecorder* trace) { trace_ = trace; }
+
+    /**
+     * Modeled machine power draw right now: the in-flight
+     * iteration's draw while busy, the platform/idle floor
+     * otherwise. Telemetry gauge for the paper's power figures.
+     */
+    double currentPowerWatts() const;
+
   private:
     void startIteration();
     void completeIteration(const BatchPlan& plan, sim::TimeUs duration);
@@ -182,6 +196,9 @@ class Machine {
     std::uint64_t epoch_ = 0;
     double perfScale_ = 1.0;
     std::int64_t runningPromptTokens_ = 0;
+    /** Draw of the in-flight iteration; idle floor while not busy. */
+    double currentWatts_ = 0.0;
+    telemetry::TraceRecorder* trace_ = nullptr;
     MachineStats stats_;
     mutable double cachedTbtBoundMs_ = -1.0;
     mutable int cachedMaxBatch_ = 0;

@@ -50,6 +50,10 @@ Summary::percentile(double p) const
 {
     if (samples_.empty())
         return 0.0;
+    // std::clamp on NaN is UB; propagate it instead of returning an
+    // arbitrary sample.
+    if (std::isnan(p))
+        return p;
     ensureSorted();
     const double clamped = std::clamp(p, 0.0, 100.0);
     const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
@@ -57,6 +61,34 @@ Summary::percentile(double p) const
     const auto hi = static_cast<std::size_t>(std::ceil(rank));
     const double frac = rank - static_cast<double>(lo);
     return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+std::vector<Summary::Bucket>
+Summary::histogram(std::size_t bucket_count) const
+{
+    if (bucket_count == 0)
+        bucket_count = 1;
+    if (samples_.empty())
+        return {};
+    ensureSorted();
+    const double lo = sorted_.front();
+    const double hi = sorted_.back();
+    if (hi <= lo) {
+        // Degenerate range: one bucket holds everything.
+        return {{hi, samples_.size()}};
+    }
+    const double width = (hi - lo) / static_cast<double>(bucket_count);
+    std::vector<Bucket> buckets(bucket_count);
+    for (std::size_t i = 0; i < bucket_count; ++i)
+        buckets[i].upperEdge = lo + width * static_cast<double>(i + 1);
+    // Exact upper edge to dodge accumulated rounding at the top.
+    buckets.back().upperEdge = hi;
+    for (double v : sorted_) {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        idx = std::min(idx, bucket_count - 1);
+        ++buckets[idx].count;
+    }
+    return buckets;
 }
 
 void

@@ -43,8 +43,9 @@ class Summary {
     /**
      * Percentile by linear interpolation between closest ranks.
      *
-     * @param p Percentile in [0, 100].
-     * @return 0 when empty.
+     * @param p Percentile in [0, 100]; out-of-range values clamp to
+     *     the bounds.
+     * @return 0 when empty; NaN when @p p is NaN.
      */
     double percentile(double p) const;
 
@@ -52,6 +53,25 @@ class Summary {
     double p50() const { return percentile(50.0); }
     double p90() const { return percentile(90.0); }
     double p99() const { return percentile(99.0); }
+
+    /** One equal-width histogram bucket over [min, max]. */
+    struct Bucket {
+        /** Inclusive upper edge of the bucket's value range. */
+        double upperEdge = 0.0;
+        /** Samples falling in the bucket. */
+        std::size_t count = 0;
+    };
+
+    /**
+     * Equal-width histogram of the samples over [min(), max()].
+     *
+     * All-identical samples (or a single one) collapse into one
+     * bucket holding everything.
+     *
+     * @param bucket_count Number of buckets; must be positive.
+     * @return Empty when no samples have been recorded.
+     */
+    std::vector<Bucket> histogram(std::size_t bucket_count) const;
 
     /** Drop all samples. */
     void clear();

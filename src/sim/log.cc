@@ -8,8 +8,6 @@ namespace splitwise::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-
 const char*
 levelName(LogLevel level)
 {
@@ -23,24 +21,81 @@ levelName(LogLevel level)
     return "?";
 }
 
+/** Initial severity: SPLITWISE_LOG_LEVEL when set and valid. */
+LogLevel
+initialLevel()
+{
+    const char* env = std::getenv("SPLITWISE_LOG_LEVEL");
+    if (env) {
+        LogLevel level;
+        if (Log::parseLevel(env, level))
+            return level;
+        std::fprintf(stderr,
+                     "[warn] SPLITWISE_LOG_LEVEL=%s is not a level "
+                     "(debug|info|warn|error|off); using warn\n",
+                     env);
+    }
+    return LogLevel::kWarn;
+}
+
+LogLevel&
+levelRef()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+/** Append " key=value" per field, quoting values with spaces. */
+std::string
+renderFields(const LogFields& fields)
+{
+    std::string out;
+    for (const auto& [key, value] : fields) {
+        out += ' ';
+        out += key;
+        out += '=';
+        if (value.find(' ') != std::string::npos) {
+            out += '"';
+            out += value;
+            out += '"';
+        } else {
+            out += value;
+        }
+    }
+    return out;
+}
+
 }  // namespace
+
+bool
+Log::parseLevel(const std::string& name, LogLevel& out)
+{
+    for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff}) {
+        if (name == levelName(level)) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
+}
 
 void
 Log::setLevel(LogLevel level)
 {
-    g_level = level;
+    levelRef() = level;
 }
 
 LogLevel
 Log::level()
 {
-    return g_level;
+    return levelRef();
 }
 
 void
 Log::write(LogLevel level, const std::string& msg)
 {
-    if (level < g_level)
+    if (level < levelRef())
         return;
     std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
 }
@@ -55,6 +110,18 @@ void
 warn(const std::string& msg)
 {
     Log::write(LogLevel::kWarn, msg);
+}
+
+void
+inform(const std::string& msg, const LogFields& fields)
+{
+    Log::write(LogLevel::kInfo, msg + renderFields(fields));
+}
+
+void
+warn(const std::string& msg, const LogFields& fields)
+{
+    Log::write(LogLevel::kWarn, msg + renderFields(fields));
 }
 
 void

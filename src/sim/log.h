@@ -3,6 +3,8 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace splitwise::sim {
 
@@ -15,9 +17,16 @@ enum class LogLevel {
     kOff = 4,
 };
 
+/** Ordered key/value pairs appended to a structured log line. */
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
 /**
  * Minimal logging facility in the spirit of gem5's inform()/warn()/
  * fatal()/panic() split.
+ *
+ * The default minimum severity is kWarn. The SPLITWISE_LOG_LEVEL
+ * environment variable (debug|info|warn|error|off) overrides it once
+ * at first use; setLevel() overrides both.
  *
  * fatal() reports a user-caused error (bad configuration, invalid
  * arguments) and throws std::runtime_error so callers and tests can
@@ -34,6 +43,13 @@ class Log {
 
     /** Emit a message at the given level to stderr. */
     static void write(LogLevel level, const std::string& msg);
+
+    /**
+     * Parse a level name (debug|info|warn|error|off).
+     *
+     * @return true and set @p out on success; false on junk.
+     */
+    static bool parseLevel(const std::string& name, LogLevel& out);
 };
 
 /** Log an informational message. */
@@ -41,6 +57,14 @@ void inform(const std::string& msg);
 
 /** Log a warning: something suspicious but survivable. */
 void warn(const std::string& msg);
+
+/**
+ * Structured variants: the fields render as a `key=value` suffix
+ * ("machine failed machine=3 t_us=120000"), values with spaces
+ * quoted, so log lines stay grep- and parse-friendly.
+ */
+void inform(const std::string& msg, const LogFields& fields);
+void warn(const std::string& msg, const LogFields& fields);
 
 /**
  * Report an unrecoverable user error (bad config, invalid argument).

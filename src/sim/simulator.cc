@@ -33,6 +33,8 @@ Simulator::run(TimeUs until)
         if (queue_.nextTime() > until)
             break;
         Event ev = queue_.pop();
+        if (timeAdvanceHook_ && ev.time > now_)
+            timeAdvanceHook_(ev.time);
         now_ = ev.time;
         ev.action();
         ++ran;
@@ -51,6 +53,8 @@ Simulator::step()
     if (queue_.empty())
         return false;
     Event ev = queue_.pop();
+    if (timeAdvanceHook_ && ev.time > now_)
+        timeAdvanceHook_(ev.time);
     now_ = ev.time;
     ev.action();
     ++executed_;

@@ -60,6 +60,22 @@ class Simulator {
     /** Request that run() return after the current event completes. */
     void requestStop() { stopRequested_ = true; }
 
+    /**
+     * Observer invoked whenever the clock is about to advance, with
+     * the time of the event about to execute; now() still reads the
+     * pre-advance time inside the hook. Telemetry samplers use this
+     * to emit fixed-interval samples without scheduling events of
+     * their own (which would keep the queue from draining). One hook
+     * at a time; pass nullptr to detach. Costs the loop one branch
+     * when unset.
+     */
+    using TimeAdvanceHook = std::function<void(TimeUs next)>;
+
+    void setTimeAdvanceHook(TimeAdvanceHook hook)
+    {
+        timeAdvanceHook_ = std::move(hook);
+    }
+
     /** Number of live pending events. */
     std::size_t pendingEvents() const { return queue_.size(); }
 
@@ -71,6 +87,7 @@ class Simulator {
     TimeUs now_ = 0;
     std::uint64_t executed_ = 0;
     bool stopRequested_ = false;
+    TimeAdvanceHook timeAdvanceHook_;
 };
 
 }  // namespace splitwise::sim

@@ -1,0 +1,82 @@
+#include "telemetry/metrics_registry.h"
+
+#include "sim/log.h"
+
+namespace splitwise::telemetry {
+
+void
+MetricsRegistry::addEntry(const std::string& name, Entry entry)
+{
+    if (index_.count(name))
+        sim::fatal("MetricsRegistry: duplicate metric '" + name + "'");
+    index_[name] = entries_.size();
+    names_.push_back(name);
+    entries_.push_back(std::move(entry));
+}
+
+Counter*
+MetricsRegistry::counter(const std::string& name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        Counter* owned = entries_[it->second].owned;
+        if (!owned)
+            sim::fatal("MetricsRegistry: '" + name + "' is not a counter");
+        return owned;
+    }
+    counters_.emplace_back();
+    Entry entry;
+    entry.owned = &counters_.back();
+    addEntry(name, std::move(entry));
+    return &counters_.back();
+}
+
+void
+MetricsRegistry::addCounterFn(const std::string& name,
+                              std::function<std::uint64_t()> read)
+{
+    Entry entry;
+    entry.counterRead = std::move(read);
+    addEntry(name, std::move(entry));
+}
+
+void
+MetricsRegistry::addGauge(const std::string& name,
+                          std::function<double()> read)
+{
+    Entry entry;
+    entry.gaugeRead = std::move(read);
+    addEntry(name, std::move(entry));
+}
+
+std::vector<double>
+MetricsRegistry::sampleValues() const
+{
+    std::vector<double> values;
+    values.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+        if (e.owned)
+            values.push_back(static_cast<double>(e.owned->value()));
+        else if (e.counterRead)
+            values.push_back(static_cast<double>(e.counterRead()));
+        else
+            values.push_back(e.gaugeRead());
+    }
+    return values;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string& name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end())
+        return 0;
+    const Entry& e = entries_[it->second];
+    if (e.owned)
+        return e.owned->value();
+    if (e.counterRead)
+        return e.counterRead();
+    return 0;
+}
+
+}  // namespace splitwise::telemetry

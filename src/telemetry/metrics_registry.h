@@ -1,0 +1,78 @@
+#ifndef SPLITWISE_TELEMETRY_METRICS_REGISTRY_H_
+#define SPLITWISE_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace splitwise::telemetry {
+
+/**
+ * A monotonically increasing event counter owned by a
+ * MetricsRegistry. Incrementing is a single add on a plain integer,
+ * so counters are safe to keep on simulation hot paths.
+ */
+class Counter {
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Registry of named cluster metrics: owned counters, callback-backed
+ * counters (existing stats structs exposed without restructuring
+ * them), and callback gauges for instantaneous signals.
+ *
+ * Registration order is the export order - the time-series sampler
+ * emits one column per entry, in this order, every sampling tick.
+ */
+class MetricsRegistry {
+  public:
+    /**
+     * Create (or fetch) an owned counter. Pointers stay valid for
+     * the registry's lifetime.
+     */
+    Counter* counter(const std::string& name);
+
+    /** Expose an externally maintained counter through a reader. */
+    void addCounterFn(const std::string& name,
+                      std::function<std::uint64_t()> read);
+
+    /** Register an instantaneous gauge. */
+    void addGauge(const std::string& name, std::function<double()> read);
+
+    /** Entry names in registration order. */
+    const std::vector<std::string>& names() const { return names_; }
+
+    /** Sample every entry, in names() order. */
+    std::vector<double> sampleValues() const;
+
+    /** Value of a (owned or callback) counter; 0 when unknown. */
+    std::uint64_t counterValue(const std::string& name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        Counter* owned = nullptr;
+        std::function<std::uint64_t()> counterRead;
+        std::function<double()> gaugeRead;
+    };
+
+    void addEntry(const std::string& name, Entry entry);
+
+    std::deque<Counter> counters_;  // deque: stable addresses
+    std::vector<std::string> names_;
+    std::vector<Entry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace splitwise::telemetry
+
+#endif  // SPLITWISE_TELEMETRY_METRICS_REGISTRY_H_

@@ -1,0 +1,112 @@
+#ifndef SPLITWISE_TELEMETRY_TELEMETRY_H_
+#define SPLITWISE_TELEMETRY_TELEMETRY_H_
+
+/**
+ * @file
+ * Telemetry facade: configuration plus the TELEM_* instrumentation
+ * macros used on simulation hot paths.
+ *
+ * Build-time switch: configuring with -DSPLITWISE_TELEMETRY=OFF
+ * defines SPLITWISE_TELEMETRY_DISABLED, compiling every TELEM_*
+ * macro to nothing - the event loop pays literally zero cost for
+ * tracing hooks. With telemetry compiled in but no recorder attached
+ * (the default at runtime), each macro costs one pointer test.
+ */
+
+#include "sim/time.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/timeseries.h"
+#include "telemetry/trace_recorder.h"
+
+#ifdef SPLITWISE_TELEMETRY_DISABLED
+#define SPLITWISE_TELEMETRY_ENABLED 0
+#else
+#define SPLITWISE_TELEMETRY_ENABLED 1
+#endif
+
+namespace splitwise::telemetry {
+
+/** Per-run telemetry switches, carried inside core::SimConfig. */
+struct TelemetryConfig {
+    /** Record request/machine lifecycle spans for Perfetto export. */
+    bool traceEnabled = false;
+    /**
+     * Fixed time-series sampling interval; 0 disables the sampler.
+     * Fault epochs additionally trigger on-event samples.
+     */
+    sim::TimeUs sampleIntervalUs = 0;
+    /**
+     * Emit per-machine gauge columns (queue depth, KV tokens,
+     * residents, active tokens, power) in addition to the pool and
+     * cluster aggregates.
+     */
+    bool perMachineSeries = true;
+
+    /** True when any telemetry stream is requested. */
+    bool
+    any() const
+    {
+        return traceEnabled || sampleIntervalUs > 0;
+    }
+};
+
+}  // namespace splitwise::telemetry
+
+#if SPLITWISE_TELEMETRY_ENABLED
+
+/** Open a span: TELEM_SPAN_BEGIN(rec, track, "name", now[, {args}]). */
+#define TELEM_SPAN_BEGIN(rec, track, name, now, ...) \
+    do { \
+        if (rec) \
+            (rec)->begin((track), (name), (now), ##__VA_ARGS__); \
+    } while (0)
+
+/** Close the innermost span on a track. */
+#define TELEM_SPAN_END(rec, track, now) \
+    do { \
+        if (rec) \
+            (rec)->end((track), (now)); \
+    } while (0)
+
+/** Exclusive phase change (request lifecycle idiom). */
+#define TELEM_TRANSITION(rec, track, name, now, ...) \
+    do { \
+        if (rec) \
+            (rec)->transition((track), (name), (now), ##__VA_ARGS__); \
+    } while (0)
+
+/** Close whatever span a track has open. */
+#define TELEM_CLOSE(rec, track, now) \
+    do { \
+        if (rec) \
+            (rec)->close((track), (now)); \
+    } while (0)
+
+/** Zero-duration instant event. */
+#define TELEM_INSTANT(rec, track, name, now, ...) \
+    do { \
+        if (rec) \
+            (rec)->instant((track), (name), (now), ##__VA_ARGS__); \
+    } while (0)
+
+#else  // SPLITWISE_TELEMETRY_ENABLED
+
+#define TELEM_SPAN_BEGIN(rec, track, name, now, ...) \
+    do { \
+    } while (0)
+#define TELEM_SPAN_END(rec, track, now) \
+    do { \
+    } while (0)
+#define TELEM_TRANSITION(rec, track, name, now, ...) \
+    do { \
+    } while (0)
+#define TELEM_CLOSE(rec, track, now) \
+    do { \
+    } while (0)
+#define TELEM_INSTANT(rec, track, name, now, ...) \
+    do { \
+    } while (0)
+
+#endif  // SPLITWISE_TELEMETRY_ENABLED
+
+#endif  // SPLITWISE_TELEMETRY_TELEMETRY_H_

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
 namespace splitwise::metrics {
 namespace {
 
@@ -119,6 +123,59 @@ TEST(SummaryTest, NegativeValues)
     EXPECT_DOUBLE_EQ(s.min(), -3.0);
     EXPECT_DOUBLE_EQ(s.p50(), -2.0);
     EXPECT_DOUBLE_EQ(s.mean(), -2.0);
+}
+
+TEST(SummaryTest, NanPercentileStaysNanInsteadOfClamping)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(2.0);
+    // std::clamp on NaN is UB; the guard must return NaN, not 1 or 2.
+    EXPECT_TRUE(std::isnan(s.percentile(
+        std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(SummaryTest, HistogramPartitionsTheRange)
+{
+    Summary s;
+    for (int i = 0; i < 100; ++i)
+        s.add(static_cast<double>(i));  // [0, 99]
+    const auto buckets = s.histogram(4);
+    ASSERT_EQ(buckets.size(), 4u);
+    std::size_t total = 0;
+    for (const auto& b : buckets)
+        total += b.count;
+    EXPECT_EQ(total, 100u);
+    EXPECT_EQ(buckets[0].count, 25u);
+    // The top edge is exactly max(), not max() plus rounding fuzz.
+    EXPECT_DOUBLE_EQ(buckets.back().upperEdge, 99.0);
+}
+
+TEST(SummaryTest, HistogramOfEmptySummaryIsEmpty)
+{
+    Summary s;
+    EXPECT_TRUE(s.histogram(8).empty());
+}
+
+TEST(SummaryTest, HistogramDegenerateRangeGetsOneBucket)
+{
+    Summary s;
+    for (int i = 0; i < 5; ++i)
+        s.add(7.0);  // min == max
+    const auto buckets = s.histogram(8);
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_DOUBLE_EQ(buckets[0].upperEdge, 7.0);
+    EXPECT_EQ(buckets[0].count, 5u);
+}
+
+TEST(SummaryTest, HistogramZeroBucketsRoundsUpToOne)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    const auto buckets = s.histogram(0);
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_EQ(buckets[0].count, 2u);
 }
 
 }  // namespace

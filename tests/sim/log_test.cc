@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace splitwise::sim {
 namespace {
@@ -45,6 +47,57 @@ TEST_F(LogTest, InformAndWarnDoNotThrow)
     Log::setLevel(LogLevel::kOff);
     EXPECT_NO_THROW(inform("status message"));
     EXPECT_NO_THROW(warn("suspicious but survivable"));
+}
+
+TEST_F(LogTest, ParseLevelAcceptsEveryName)
+{
+    const std::pair<const char*, LogLevel> names[] = {
+        {"debug", LogLevel::kDebug}, {"info", LogLevel::kInfo},
+        {"warn", LogLevel::kWarn},   {"error", LogLevel::kError},
+        {"off", LogLevel::kOff},
+    };
+    for (const auto& [name, expected] : names) {
+        LogLevel out = LogLevel::kOff;
+        EXPECT_TRUE(Log::parseLevel(name, out)) << name;
+        EXPECT_EQ(out, expected) << name;
+    }
+}
+
+TEST_F(LogTest, ParseLevelRejectsJunk)
+{
+    LogLevel out = LogLevel::kWarn;
+    EXPECT_FALSE(Log::parseLevel("verbose", out));
+    EXPECT_FALSE(Log::parseLevel("", out));
+    EXPECT_FALSE(Log::parseLevel("WARN", out));
+    // The output is untouched on failure.
+    EXPECT_EQ(out, LogLevel::kWarn);
+}
+
+TEST_F(LogTest, StructuredFieldsRenderAsKeyValueSuffix)
+{
+    Log::setLevel(LogLevel::kInfo);
+    ::testing::internal::CaptureStderr();
+    inform("machine failed", {{"machine", "3"}, {"t_us", "120000"}});
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out, "[info] machine failed machine=3 t_us=120000\n");
+}
+
+TEST_F(LogTest, StructuredValuesWithSpacesAreQuoted)
+{
+    Log::setLevel(LogLevel::kInfo);
+    ::testing::internal::CaptureStderr();
+    warn("shed", {{"why", "queue full"}});
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out, "[warn] shed why=\"queue full\"\n");
+}
+
+TEST_F(LogTest, StructuredMessagesRespectTheLevel)
+{
+    Log::setLevel(LogLevel::kOff);
+    ::testing::internal::CaptureStderr();
+    inform("hidden", {{"k", "v"}});
+    warn("also hidden", {{"k", "v"}});
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
 }
 
 TEST(LogDeathTest, PanicAborts)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace splitwise::sim {
@@ -130,6 +131,45 @@ TEST(SimulatorTest, ExecutedEventsAccumulatesAcrossRuns)
     s.run(1);
     s.run();
     EXPECT_EQ(s.executedEvents(), 2u);
+}
+
+TEST(SimulatorTest, TimeAdvanceHookSeesTheJumpBeforeItHappens)
+{
+    Simulator s;
+    std::vector<std::pair<TimeUs, TimeUs>> jumps;  // (now, next)
+    s.setTimeAdvanceHook(
+        [&](TimeUs next) { jumps.emplace_back(s.now(), next); });
+    s.schedule(100, [] {});
+    s.schedule(100, [] {});  // same-time event: no jump, no hook
+    s.schedule(250, [] {});
+    s.run();
+    ASSERT_EQ(jumps.size(), 2u);
+    EXPECT_EQ(jumps[0], (std::pair<TimeUs, TimeUs>{0, 100}));
+    EXPECT_EQ(jumps[1], (std::pair<TimeUs, TimeUs>{100, 250}));
+}
+
+TEST(SimulatorTest, TimeAdvanceHookFiresOnStepToo)
+{
+    Simulator s;
+    TimeUs next_seen = -1;
+    s.setTimeAdvanceHook([&](TimeUs next) { next_seen = next; });
+    s.schedule(42, [] {});
+    s.step();
+    EXPECT_EQ(next_seen, 42);
+}
+
+TEST(SimulatorTest, NullTimeAdvanceHookDetaches)
+{
+    Simulator s;
+    int fired = 0;
+    s.setTimeAdvanceHook([&](TimeUs) { ++fired; });
+    s.schedule(10, [] {});
+    s.run();
+    EXPECT_EQ(fired, 1);
+    s.setTimeAdvanceHook(nullptr);
+    s.schedule(20, [] {});
+    s.run();
+    EXPECT_EQ(fired, 1);
 }
 
 TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder)

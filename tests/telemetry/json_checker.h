@@ -1,0 +1,195 @@
+#ifndef SPLITWISE_TESTS_TELEMETRY_JSON_CHECKER_H_
+#define SPLITWISE_TESTS_TELEMETRY_JSON_CHECKER_H_
+
+/**
+ * @file
+ * A deliberately tiny recursive-descent JSON parser used by the
+ * telemetry tests to prove exported documents parse back. It builds
+ * no DOM - it only validates syntax and lets callers walk values via
+ * callbacks on object keys. Test-only; the production exporters
+ * hand-serialize and must never depend on this.
+ */
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace splitwise::test_json {
+
+/** Validating cursor over a JSON document. */
+class Checker {
+  public:
+    explicit Checker(const std::string& text) : text_(text) {}
+
+    /** Parse the whole document; false on any syntax error. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    /** Offset of the first error after a failed valid(). */
+    std::size_t errorAt() const { return pos_; }
+
+  private:
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_;  // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_;  // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\\') {
+                pos_ += 2;
+                continue;
+            }
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            // Control characters must be escaped in valid JSON.
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(peekRaw()))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(peekRaw()))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(peekRaw()))
+                ++pos_;
+        }
+        return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_ - 1]));
+    }
+
+    bool
+    literal(const char* word)
+    {
+        for (const char* p = word; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return false;
+            ++pos_;
+        }
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    int peekRaw() const
+    {
+        return pos_ < text_.size()
+                   ? static_cast<unsigned char>(text_[pos_])
+                   : 0;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace splitwise::test_json
+
+#endif  // SPLITWISE_TESTS_TELEMETRY_JSON_CHECKER_H_

@@ -1,0 +1,106 @@
+#include "telemetry/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace splitwise::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, OwnedCounterAccumulates)
+{
+    MetricsRegistry reg;
+    Counter* c = reg.counter("restarts");
+    ASSERT_NE(c, nullptr);
+    c->add();
+    c->add(4);
+    EXPECT_EQ(c->value(), 5u);
+    EXPECT_EQ(reg.counterValue("restarts"), 5u);
+}
+
+TEST(MetricsRegistryTest, CounterIsCreateOrGet)
+{
+    MetricsRegistry reg;
+    Counter* a = reg.counter("x");
+    Counter* b = reg.counter("x");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, CounterPointersSurviveGrowth)
+{
+    MetricsRegistry reg;
+    Counter* first = reg.counter("c0");
+    std::vector<Counter*> all{first};
+    for (int i = 1; i < 100; ++i)
+        all.push_back(reg.counter("c" + std::to_string(i)));
+    first->add(7);
+    EXPECT_EQ(all[0]->value(), 7u);
+    EXPECT_EQ(reg.counterValue("c0"), 7u);
+}
+
+TEST(MetricsRegistryTest, CallbackCounterReadsExternalState)
+{
+    MetricsRegistry reg;
+    std::uint64_t external = 0;
+    reg.addCounterFn("external", [&] { return external; });
+    external = 42;
+    EXPECT_EQ(reg.counterValue("external"), 42u);
+}
+
+TEST(MetricsRegistryTest, GaugeReadsInstantaneousValue)
+{
+    MetricsRegistry reg;
+    double watts = 0.0;
+    reg.addGauge("power_w", [&] { return watts; });
+    watts = 1234.5;
+    const auto values = reg.sampleValues();
+    ASSERT_EQ(values.size(), 1u);
+    EXPECT_DOUBLE_EQ(values[0], 1234.5);
+}
+
+TEST(MetricsRegistryTest, RegistrationOrderIsSampleOrder)
+{
+    MetricsRegistry reg;
+    reg.counter("first")->add(1);
+    reg.addGauge("second", [] { return 2.0; });
+    reg.addCounterFn("third", [] { return std::uint64_t{3}; });
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "first");
+    EXPECT_EQ(names[1], "second");
+    EXPECT_EQ(names[2], "third");
+    const auto values = reg.sampleValues();
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_DOUBLE_EQ(values[0], 1.0);
+    EXPECT_DOUBLE_EQ(values[1], 2.0);
+    EXPECT_DOUBLE_EQ(values[2], 3.0);
+}
+
+TEST(MetricsRegistryTest, UnknownCounterValueIsZero)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeIsNotReadableAsCounter)
+{
+    MetricsRegistry reg;
+    reg.addGauge("g", [] { return 1.0; });
+    EXPECT_EQ(reg.counterValue("g"), 0u);
+}
+
+TEST(MetricsRegistryTest, DuplicateNameAcrossKindsFails)
+{
+    MetricsRegistry reg;
+    reg.addGauge("name", [] { return 0.0; });
+    EXPECT_THROW(reg.counter("name"), std::runtime_error);
+    EXPECT_THROW(reg.addGauge("name", [] { return 0.0; }),
+                 std::runtime_error);
+    EXPECT_THROW(reg.addCounterFn("name", [] { return std::uint64_t{0}; }),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::telemetry

@@ -1,0 +1,156 @@
+#include "telemetry/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "json_checker.h"
+#include "sim/simulator.h"
+
+namespace splitwise::telemetry {
+namespace {
+
+TEST(TimeSeriesTest, ColumnLookup)
+{
+    TimeSeries ts;
+    ts.columns = {"t_s", "a", "b"};
+    ts.rows = {{0.0, 1.0, 2.0}, {1.0, 3.0, 4.0}};
+    EXPECT_EQ(ts.columnIndex("a"), 1);
+    EXPECT_EQ(ts.columnIndex("missing"), -1);
+    const auto b = ts.column("b");
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_DOUBLE_EQ(b[0], 2.0);
+    EXPECT_DOUBLE_EQ(b[1], 4.0);
+    EXPECT_THROW(ts.column("missing"), std::runtime_error);
+}
+
+TEST(TimeSeriesTest, CsvHasHeaderAndOneLinePerRow)
+{
+    TimeSeries ts;
+    ts.columns = {"t_s", "x"};
+    ts.rows = {{0.0, 1.0}, {0.5, 2.0}};
+    const std::string csv = ts.toCsv();
+    EXPECT_EQ(csv, "t_s,x\n0,1\n0.5,2\n");
+}
+
+TEST(TimeSeriesTest, JsonParsesBackAndSummarizes)
+{
+    TimeSeries ts;
+    ts.columns = {"t_s", "x"};
+    for (int i = 0; i < 10; ++i)
+        ts.rows.push_back({0.1 * i, static_cast<double>(i)});
+    const std::string json = ts.toJson(4);
+    test_json::Checker checker(json);
+    EXPECT_TRUE(checker.valid())
+        << "parse error near " << json.substr(checker.errorAt(), 40);
+    EXPECT_NE(json.find("\"samples\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\":4.5"), std::string::npos);
+    EXPECT_NE(json.find("\"histogram\":["), std::string::npos);
+}
+
+class SamplerTest : public ::testing::Test {
+  protected:
+    SamplerTest()
+    {
+        registry_.addGauge("value", [this] { return value_; });
+    }
+
+    sim::Simulator sim_;
+    MetricsRegistry registry_;
+    double value_ = 0.0;
+};
+
+TEST_F(SamplerTest, EmitsRowsOnTheGrid)
+{
+    TimeSeriesSampler sampler(sim_, registry_, 1000);
+    sampler.install();
+    // Events at 2500 and 5000; boundaries 1000..5000 all crossed.
+    sim_.schedule(2500, [this] { value_ = 1.0; });
+    sim_.schedule(5000, [this] { value_ = 2.0; });
+    sim_.run();
+    sampler.finish();
+
+    const auto& series = sampler.series();
+    const auto t = series.column("t_s");
+    ASSERT_EQ(t.size(), 6u);  // t=0 + five boundaries
+    EXPECT_DOUBLE_EQ(t[0], 0.0);
+    EXPECT_DOUBLE_EQ(t[5], 0.005);
+
+    // A boundary row carries the state current *at* that boundary:
+    // the t=3000/4000/5000 rows see the t=2500 update, and the
+    // t=5000 grid row is emitted before the t=5000 event runs.
+    const auto v = series.column("value");
+    EXPECT_DOUBLE_EQ(v[2], 0.0);  // t=2000
+    EXPECT_DOUBLE_EQ(v[3], 1.0);  // t=3000
+    EXPECT_DOUBLE_EQ(v[5], 1.0);  // t=5000 boundary, pre-event
+}
+
+TEST_F(SamplerTest, FinishEmitsFinalRowWithLatestState)
+{
+    TimeSeriesSampler sampler(sim_, registry_, 1000);
+    sampler.install();
+    sim_.schedule(1500, [this] { value_ = 7.0; });
+    sim_.run();
+    sampler.finish();
+    const auto v = sampler.series().column("value");
+    // Rows: t=0, t=1000, finish at t=1500.
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.back(), 7.0);
+    EXPECT_DOUBLE_EQ(sampler.series().column("t_s").back(), 0.0015);
+}
+
+TEST_F(SamplerTest, OnEventSampleLandsBetweenGridPoints)
+{
+    TimeSeriesSampler sampler(sim_, registry_, 1000);
+    sampler.install();
+    sim_.schedule(1499, [this, &sampler] {
+        value_ = 3.0;
+        sampler.sampleNow();
+    });
+    sim_.schedule(3000, [] {});
+    sim_.run();
+    sampler.finish();
+    const auto t = sampler.series().column("t_s");
+    const auto v = sampler.series().column("value");
+    // t=0, 1000, on-event 1499, 2000, 3000.
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_DOUBLE_EQ(t[2], 0.001499);
+    EXPECT_DOUBLE_EQ(v[2], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST_F(SamplerTest, DuplicateTimestampsCollapse)
+{
+    TimeSeriesSampler sampler(sim_, registry_, 1000);
+    sampler.install();
+    sim_.schedule(1000, [&sampler] { sampler.sampleNow(); });
+    sim_.run();
+    sampler.finish();
+    // Grid row at t=1000 plus the on-event sample and finish() at
+    // the same instant collapse to one row.
+    EXPECT_EQ(sampler.series().rows.size(), 2u);
+}
+
+TEST_F(SamplerTest, FinishDetachesTheHook)
+{
+    TimeSeriesSampler sampler(sim_, registry_, 1000);
+    sampler.install();
+    sim_.run();
+    sampler.finish();
+    const auto rows = sampler.series().rows.size();
+    sim_.schedule(sim_.now() + 10000, [] {});
+    sim_.run();
+    EXPECT_EQ(sampler.series().rows.size(), rows);
+}
+
+TEST(SamplerConfigTest, NonPositiveIntervalFails)
+{
+    sim::Simulator sim;
+    MetricsRegistry reg;
+    EXPECT_THROW(TimeSeriesSampler(sim, reg, 0), std::runtime_error);
+    EXPECT_THROW(TimeSeriesSampler(sim, reg, -5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::telemetry

@@ -1,0 +1,160 @@
+#include "telemetry/trace_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+#include "json_checker.h"
+#include "sim/log.h"
+
+namespace splitwise::telemetry {
+namespace {
+
+TEST(TraceRecorderTest, TracksAddressTheThreeProcesses)
+{
+    const Track req = TraceRecorder::requestTrack(42);
+    const Track mach = TraceRecorder::machineTrack(3);
+    const Track cluster = TraceRecorder::clusterTrack();
+    EXPECT_NE(req.pid, mach.pid);
+    EXPECT_NE(mach.pid, cluster.pid);
+    EXPECT_NE(req.pid, cluster.pid);
+    EXPECT_EQ(req.tid, 42);
+    EXPECT_EQ(mach.tid, 3);
+}
+
+TEST(TraceRecorderTest, BeginEndBookkeeping)
+{
+    TraceRecorder rec;
+    const Track t = TraceRecorder::machineTrack(0);
+    rec.begin(t, "iter", 10);
+    EXPECT_EQ(rec.openSpans(), 1u);
+    rec.end(t, 20);
+    EXPECT_EQ(rec.openSpans(), 0u);
+    EXPECT_EQ(rec.eventCount(), 2u);
+}
+
+TEST(TraceRecorderTest, SpansNestPerTrack)
+{
+    TraceRecorder rec;
+    const Track t = TraceRecorder::machineTrack(0);
+    rec.begin(t, "outer", 0);
+    rec.begin(t, "inner", 5);
+    EXPECT_EQ(rec.openSpans(), 2u);
+    rec.end(t, 7);
+    rec.end(t, 9);
+    EXPECT_EQ(rec.openSpans(), 0u);
+}
+
+TEST(TraceRecorderDeathTest, UnmatchedEndPanics)
+{
+    TraceRecorder rec;
+    EXPECT_DEATH(rec.end(TraceRecorder::machineTrack(0), 5), "matching");
+}
+
+TEST(TraceRecorderTest, TransitionKeepsOneOpenSpanPerTrack)
+{
+    TraceRecorder rec;
+    const Track t = TraceRecorder::requestTrack(1);
+    rec.transition(t, "queued", 0);
+    rec.transition(t, "prompt", 10);
+    rec.transition(t, "decode", 20);
+    EXPECT_EQ(rec.openSpans(), 1u);
+    // queued B, queued E, prompt B, prompt E, decode B.
+    EXPECT_EQ(rec.eventCount(), 5u);
+    rec.close(t, 30);
+    EXPECT_EQ(rec.openSpans(), 0u);
+}
+
+TEST(TraceRecorderTest, TransitionToSamePhaseIsANoOp)
+{
+    TraceRecorder rec;
+    const Track t = TraceRecorder::requestTrack(1);
+    rec.transition(t, "prompt", 0);
+    // Chunked prefill: the prompt phase spans several iterations.
+    rec.transition(t, "prompt", 10);
+    rec.transition(t, "prompt", 20);
+    EXPECT_EQ(rec.eventCount(), 1u);
+    EXPECT_EQ(rec.openSpans(), 1u);
+}
+
+TEST(TraceRecorderTest, CloseWithoutOpenSpanIsANoOp)
+{
+    TraceRecorder rec;
+    rec.close(TraceRecorder::requestTrack(9), 5);
+    EXPECT_EQ(rec.eventCount(), 0u);
+}
+
+TEST(TraceRecorderTest, ExportParsesBack)
+{
+    TraceRecorder rec;
+    const Track req = TraceRecorder::requestTrack(7);
+    const Track mach = TraceRecorder::machineTrack(2);
+    rec.setTrackName(mach, "m2 DGX-H100 \"token\"");
+    rec.transition(req, "queued", 0, {{"machine", 2}});
+    rec.begin(mach, "prompt_iter", 5, {{"prompt_tokens", std::int64_t{1500}}});
+    rec.instant(TraceRecorder::clusterTrack(), "shed", 7,
+                {{"request", 3.5}, {"why", "queue\nfull"}});
+    rec.end(mach, 12);
+    rec.close(req, 12);
+
+    const std::string json = rec.toJson();
+    test_json::Checker checker(json);
+    EXPECT_TRUE(checker.valid())
+        << "JSON parse error near offset " << checker.errorAt() << ": "
+        << json.substr(checker.errorAt(), 40);
+
+    // Perfetto essentials present.
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    // The track name's quotes and the arg's newline were escaped.
+    EXPECT_NE(json.find("\\\"token\\\""), std::string::npos);
+    EXPECT_NE(json.find("queue\\nfull"), std::string::npos);
+    // Instants carry the thread scope marker.
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ExportSortsEventsByTimestamp)
+{
+    TraceRecorder rec;
+    // Record out of order across tracks; export must sort.
+    rec.instant(TraceRecorder::clusterTrack(), "late", 500);
+    rec.begin(TraceRecorder::machineTrack(0), "iter", 100);
+    rec.end(TraceRecorder::machineTrack(0), 200);
+    const std::string json = rec.toJson();
+    const auto late = json.find("\"late\"");
+    const auto iter = json.find("\"iter\"");
+    ASSERT_NE(late, std::string::npos);
+    ASSERT_NE(iter, std::string::npos);
+    EXPECT_LT(iter, late);
+}
+
+TEST(TraceRecorderTest, WriteFileRoundTrips)
+{
+    TraceRecorder rec;
+    rec.instant(TraceRecorder::clusterTrack(), "marker", 1);
+    const std::string path = ::testing::TempDir() + "trace_rt.json";
+    rec.writeFile(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    test_json::Checker checker(content);
+    EXPECT_TRUE(checker.valid());
+    EXPECT_NE(content.find("\"marker\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteFileToBadPathFails)
+{
+    TraceRecorder rec;
+    EXPECT_THROW(rec.writeFile("/nonexistent-dir/trace.json"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splitwise::telemetry

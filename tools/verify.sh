@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+#
+# Full verification sweep for the Splitwise simulator.
+#
+#   tools/verify.sh          tier-1 build + tests, telemetry-off build
+#   tools/verify.sh --asan   ... plus an ASan/UBSan build + tests (slow)
+#
+# Build trees:
+#   build/          default (telemetry on) - the tier-1 tree
+#   build-notelem/  -DSPLITWISE_TELEMETRY=OFF
+#   build-asan/     -DSPLITWISE_SANITIZE=address,undefined (--asan only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=0
+for arg in "$@"; do
+    case "$arg" in
+      --asan) run_asan=1 ;;
+      *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: default build"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+step "tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+step "telemetry-off build (-DSPLITWISE_TELEMETRY=OFF)"
+cmake -B build-notelem -S . -DSPLITWISE_TELEMETRY=OFF >/dev/null
+cmake --build build-notelem -j
+
+step "telemetry-off ctest"
+ctest --test-dir build-notelem --output-on-failure -j "$(nproc)"
+
+step "telemetry smoke: bench_chaos with trace + timeseries"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+build/bench/bench_chaos \
+    --trace-out="$tmpdir/trace.json" \
+    --timeseries-out="$tmpdir/ts.csv" >/dev/null
+test -s "$tmpdir/trace.json"
+test -s "$tmpdir/ts.csv"
+echo "bench_chaos telemetry self-checks passed"
+
+if [ "$run_asan" -eq 1 ]; then
+    step "ASan/UBSan build (slow)"
+    cmake -B build-asan -S . \
+        -DSPLITWISE_SANITIZE=address,undefined >/dev/null
+    cmake --build build-asan -j
+
+    step "ASan/UBSan ctest"
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+step "verify: all green"
