@@ -10,8 +10,8 @@
  * simulator covers a 40-machine, 100+ RPS cluster trace in well
  * under a second, so every bench still finishes in seconds.
  *
- * Every bench accepts the shared telemetry flags (parsed by
- * initBenchArgs, applied by runCluster):
+ * Every bench accepts the shared flags (parsed by initBenchArgs,
+ * applied by runCluster):
  *
  *   --trace-out=PATH        Perfetto/Chrome trace JSON per cluster
  *                           run (open in ui.perfetto.dev).
@@ -19,11 +19,18 @@
  *   --sample-interval-ms=N  Sampling grid (default 1000 ms);
  *                           implies sampling when --timeseries-out
  *                           is given.
+ *   --jobs=N                Concurrent simulations for multi-run
+ *                           benches (default hardware_concurrency;
+ *                           --jobs=1 is the exact serial path).
+ *   --runs=N                Repetition count for benches that soak
+ *                           over seeds (bench_chaos).
+ *   --short                 Reduced-duration smoke variant for CI.
  *
  * Benches that run several clusters suffix the path with the run
  * index before the extension (trace.json, trace.1.json, ...).
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -36,6 +43,7 @@
 #include "model/llm_config.h"
 #include "provision/provisioner.h"
 #include "sim/log.h"
+#include "sim/run_pool.h"
 #include "workload/trace_gen.h"
 #include "workload/workloads.h"
 
@@ -105,7 +113,7 @@ makeTrace(const workload::Workload& w, double rps, double seconds,
     return gen.generate(rps, sim::secondsToUs(seconds));
 }
 
-/** Telemetry output options shared by every bench binary. */
+/** Output/parallelism options shared by every bench binary. */
 struct BenchArgs {
     /** Perfetto trace destination; empty disables tracing. */
     std::string traceOut;
@@ -113,8 +121,19 @@ struct BenchArgs {
     std::string timeseriesOut;
     /** Sampling grid spacing. */
     sim::TimeUs sampleIntervalUs = sim::msToUs(1000.0);
-    /** Cluster runs completed so far (output-file suffixing). */
-    int runIndex = 0;
+    /** Worker count for multi-run benches; 0 = hardware default. */
+    int jobs = 0;
+    /** Repetition count for seed-soak benches. */
+    int runs = 1;
+    /** Reduced-duration smoke variant (`--short`). */
+    bool shortRun = false;
+    /**
+     * Cluster runs completed so far (output-file suffixing). Atomic
+     * because parallel benches finish runs concurrently; drivers
+     * that need deterministic file names pass an explicit index to
+     * writeTelemetryOutputs instead.
+     */
+    std::atomic<int> runIndex{0};
 
     bool any() const { return !traceOut.empty() || !timeseriesOut.empty(); }
 };
@@ -156,11 +175,35 @@ initBenchArgs(int argc, char** argv)
             take(i, "--timeseries-out", args.timeseriesOut)) {
             continue;
         }
-        if (take(i, "--sample-interval-ms", value))
+        if (take(i, "--sample-interval-ms", value)) {
             args.sampleIntervalUs = sim::msToUs(std::stod(value));
+            continue;
+        }
+        if (take(i, "--jobs", value)) {
+            args.jobs = std::stoi(value);
+            continue;
+        }
+        if (take(i, "--runs", value)) {
+            args.runs = std::stoi(value);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--short") == 0)
+            args.shortRun = true;
     }
     if (args.sampleIntervalUs <= 0)
         sim::fatal("--sample-interval-ms must be positive");
+    if (args.jobs < 0)
+        sim::fatal("--jobs must be >= 0 (0 = hardware default)");
+    if (args.runs < 1)
+        sim::fatal("--runs must be >= 1");
+}
+
+/** The resolved `--jobs` value: explicit flag or hardware default. */
+inline int
+effectiveJobs()
+{
+    const BenchArgs& args = benchArgs();
+    return args.jobs > 0 ? args.jobs : sim::RunPool::defaultJobs();
 }
 
 /** Turn the parsed bench flags into per-run telemetry switches. */
@@ -192,8 +235,35 @@ indexedPath(const std::string& path, int index)
 }
 
 /**
+ * Write one run's telemetry files (when requested) under an explicit
+ * run index. Safe to call from RunPool workers: distinct indices
+ * write distinct files and nothing shared is mutated.
+ */
+inline void
+writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report,
+                      int index)
+{
+    BenchArgs& args = benchArgs();
+    if (!args.any())
+        return;
+    if (!args.traceOut.empty() && cluster.traceRecorder()) {
+        const auto path = indexedPath(args.traceOut, index);
+        cluster.traceRecorder()->writeFile(path);
+        std::printf("wrote trace %s (%zu events)\n", path.c_str(),
+                    cluster.traceRecorder()->eventCount());
+    }
+    if (!args.timeseriesOut.empty() && !report.timeseries.empty()) {
+        const auto path = indexedPath(args.timeseriesOut, index);
+        report.timeseries.writeCsv(path);
+        std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
+                    report.timeseries.rows.size());
+    }
+}
+
+/**
  * Write the run's telemetry files (when requested) and advance the
- * run index so multi-run benches produce one file set per run.
+ * shared run index so serial multi-run benches produce one file set
+ * per run.
  */
 inline void
 writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report)
@@ -201,19 +271,8 @@ writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report)
     BenchArgs& args = benchArgs();
     if (!args.any())
         return;
-    if (!args.traceOut.empty() && cluster.traceRecorder()) {
-        const auto path = indexedPath(args.traceOut, args.runIndex);
-        cluster.traceRecorder()->writeFile(path);
-        std::printf("wrote trace %s (%zu events)\n", path.c_str(),
-                    cluster.traceRecorder()->eventCount());
-    }
-    if (!args.timeseriesOut.empty() && !report.timeseries.empty()) {
-        const auto path = indexedPath(args.timeseriesOut, args.runIndex);
-        report.timeseries.writeCsv(path);
-        std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
-                    report.timeseries.rows.size());
-    }
-    ++args.runIndex;
+    writeTelemetryOutputs(cluster, report,
+                          args.runIndex.fetch_add(1));
 }
 
 /** Run a design on a trace and return the report. */
@@ -226,6 +285,29 @@ runCluster(const model::LlmConfig& llm, const core::ClusterDesign& design,
     auto report = cluster.run(trace);
     writeTelemetryOutputs(cluster, report);
     return report;
+}
+
+/**
+ * Run one design over several traces concurrently (`--jobs`) and
+ * return the reports in trace order. Each run owns its cluster and
+ * telemetry sinks; output files are suffixed with the trace index,
+ * so results and artifacts are identical at every job count.
+ */
+inline std::vector<core::RunReport>
+runClusterMany(const model::LlmConfig& llm,
+               const core::ClusterDesign& design,
+               const std::vector<workload::Trace>& traces,
+               core::SimConfig config = {})
+{
+    applyTelemetryCli(config);
+    sim::RunPool pool(effectiveJobs());
+    return pool.map(traces, [&](const workload::Trace& trace,
+                                std::size_t index) {
+        core::Cluster cluster(llm, design, config);
+        auto report = cluster.run(trace);
+        writeTelemetryOutputs(cluster, report, static_cast<int>(index));
+        return report;
+    });
 }
 
 /** Print a section banner. */

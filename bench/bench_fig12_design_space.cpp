@@ -5,11 +5,18 @@
  * target peak throughput, marking SLO-feasible cells and the
  * cost-optimal configuration.
  *
- * The paper targets 70 RPS with up to ~30 machines; we run the same
- * search at 1/5 scale (14 RPS) so the bench completes in seconds.
+ * The sweep fans out across `--jobs N` workers (default
+ * hardware_concurrency); `--jobs 1` is the exact serial path and
+ * produces byte-identical results. `--report-out=PATH` dumps every
+ * cell's reportToJson as a JSON array - the artifact the CI
+ * determinism gate byte-compares between job counts.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "bench/bench_common.h"
 
@@ -20,9 +27,19 @@ main(int argc, char** argv)
     using namespace splitwise;
     using provision::DesignKind;
 
+    std::string report_out;
+    for (int i = 1; i < argc; ++i) {
+        const char* flag = "--report-out";
+        const std::size_t len = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=')
+            report_out = argv[i] + len + 1;
+    }
+
     const double target_rps = 70.0;  // the paper's target peak load
     provision::ProvisionerOptions options;
     options.traceDuration = sim::secondsToUs(25);
+    options.jobs = bench::effectiveJobs();
+    options.captureReports = !report_out.empty();
     provision::Provisioner prov(model::llama2_70b(), workload::coding(),
                                 options);
 
@@ -31,12 +48,17 @@ main(int argc, char** argv)
 
     bench::banner("Fig. 12: Splitwise-HH design space, coding @ " +
                   std::to_string(static_cast<int>(target_rps)) + " RPS");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto cells = prov.sweep(DesignKind::kSplitwiseHH, prompt_counts,
                                   token_counts, target_rps);
+    const double sweep_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
 
     // Grid view: rows = prompt machines, columns = token machines.
     std::printf("rows: prompt machines; cols: token machines;"
-                " cell: meets all SLOs ('+') or not ('.')\n\n      ");
+                " cell: meets all SLOs ('+'), not ('.'), error ('E')\n\n"
+                "      ");
     for (int nt : token_counts)
         std::printf("%4dT", nt);
     std::printf("\n");
@@ -49,7 +71,8 @@ main(int argc, char** argv)
                 if (c.numPrompt == np && c.numToken == nt)
                     cell = &c;
             }
-            std::printf("%4s ", cell->pass ? "+" : ".");
+            std::printf("%4s ", cell->error ? "E"
+                                            : (cell->pass ? "+" : "."));
             if (cell->pass && (!best || cell->costPerHour < best->costPerHour))
                 best = cell;
         }
@@ -64,5 +87,23 @@ main(int argc, char** argv)
     }
     std::printf("Paper: the iso-throughput cost-optimal Splitwise-HH for"
                 " coding at 70 RPS is 27 prompt + 3 token machines\n");
+    std::printf("sweep wall-clock: %.3f s (%zu cells, jobs=%d)\n", sweep_s,
+                cells.size(), options.jobs);
+
+    if (!report_out.empty()) {
+        std::ofstream out(report_out);
+        if (!out)
+            sim::fatal("cannot open " + report_out);
+        out << "[\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].error)
+                out << "{\"error\": true}";
+            else
+                out << cells[i].reportJson;
+            out << (i + 1 < cells.size() ? ",\n" : "\n");
+        }
+        out << "]\n";
+        std::printf("wrote per-cell reports to %s\n", report_out.c_str());
+    }
     return 0;
 }

@@ -23,6 +23,7 @@ summarize(const char* title, bool iso_power)
     options.traceDuration = sim::secondsToUs(20);
     options.rpsTolerance = 4.0;
     options.promptFractions = {0.25, 0.4, 0.5, 0.65, 0.8};
+    options.jobs = bench::effectiveJobs();
     provision::Provisioner prov(model::llama2_70b(),
                                 workload::conversation(), options);
 

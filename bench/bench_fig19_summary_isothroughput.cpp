@@ -21,6 +21,7 @@ summarize(const char* title, double target_rps, bool optimize_power)
     provision::ProvisionerOptions options;
     options.traceDuration = sim::secondsToUs(20);
     options.promptFractions = {0.25, 0.4, 0.5, 0.65, 0.8};
+    options.jobs = bench::effectiveJobs();
     provision::Provisioner prov(model::llama2_70b(),
                                 workload::conversation(), options);
 

@@ -13,6 +13,7 @@
 
 #include "metrics/table.h"
 #include "provision/provisioner.h"
+#include "sim/run_pool.h"
 
 int
 main(int argc, char** argv)
@@ -27,6 +28,7 @@ main(int argc, char** argv)
     provision::ProvisionerOptions options;
     options.traceDuration = sim::secondsToUs(20);
     options.promptFractions = {0.25, 0.4, 0.5, 0.65, 0.8};
+    options.jobs = sim::RunPool::defaultJobs();
     provision::Provisioner planner(model::llama2_70b(),
                                    workload::workloadByName(workload_name),
                                    options);

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <set>
+#include <utility>
 
+#include "core/report_io.h"
 #include "sim/log.h"
+#include "sim/run_pool.h"
 
 namespace splitwise::provision {
 
@@ -127,21 +131,37 @@ std::vector<SweepCell>
 Provisioner::sweep(DesignKind kind, const std::vector<int>& prompt_counts,
                    const std::vector<int>& token_counts, double rps) const
 {
-    std::vector<SweepCell> cells;
+    std::vector<std::pair<int, int>> grid;
+    grid.reserve(prompt_counts.size() * token_counts.size());
     for (int np : prompt_counts) {
-        for (int nt : token_counts) {
-            const core::ClusterDesign design = makeDesign(kind, np, nt);
+        for (int nt : token_counts)
+            grid.emplace_back(np, nt);
+    }
+
+    // Every cell is an independent simulation; fan out and keep the
+    // np-major cell order. A throwing cell becomes an error cell
+    // instead of aborting the whole sweep.
+    sim::RunPool pool(options_.jobs);
+    return pool.map(grid, [&](const std::pair<int, int>& counts) {
+        SweepCell cell;
+        cell.numPrompt = counts.first;
+        cell.numToken = counts.second;
+        try {
+            const core::ClusterDesign design =
+                makeDesign(kind, counts.first, counts.second);
             const RunOutcome outcome = evaluate(design, rps);
-            SweepCell cell;
-            cell.numPrompt = np;
-            cell.numToken = nt;
             cell.pass = outcome.slo.pass;
             cell.costPerHour = design.footprint().costPerHour;
             cell.e2eP50Slowdown = outcome.slo.e2eSlowdown.p50;
-            cells.push_back(cell);
+            if (options_.captureReports)
+                cell.reportJson =
+                    core::reportToJson(outcome.report, &outcome.slo);
+        } catch (const std::exception& e) {
+            cell.error = true;
+            cell.errorMessage = e.what();
         }
-    }
-    return cells;
+        return cell;
+    });
 }
 
 Optimum
@@ -160,7 +180,11 @@ Provisioner::bestUnderBudget(DesignKind kind, double budget,
         return best;
     }
 
+    // Deduplicate the candidate splits serially (deterministic), then
+    // probe every candidate's max throughput concurrently: each probe
+    // is its own bisection over independent simulations.
     std::set<std::pair<int, int>> tried;
+    std::vector<std::pair<int, int>> candidates;
     for (double f : options_.promptFractions) {
         int np = std::max(
             1, static_cast<int>(std::floor(budget * f / prompt_unit)));
@@ -173,15 +197,26 @@ Provisioner::bestUnderBudget(DesignKind kind, double budget,
         }
         if (nt < 1)
             continue;
-        if (!tried.insert({np, nt}).second)
-            continue;
-        const core::ClusterDesign design = makeDesign(kind, np, nt);
-        const double rps = maxThroughput(design);
-        if (rps > best.maxRps) {
-            best.design = design;
-            best.maxRps = rps;
-            best.footprint = design.footprint();
-            best.feasible = rps > 0.0;
+        if (tried.insert({np, nt}).second)
+            candidates.push_back({np, nt});
+    }
+
+    sim::RunPool pool(options_.jobs);
+    const std::vector<double> throughputs =
+        pool.map(candidates, [&](const std::pair<int, int>& counts) {
+            return maxThroughput(
+                makeDesign(kind, counts.first, counts.second));
+        });
+
+    // Serial argmax in candidate order keeps tie-breaking identical
+    // to the old serial loop (first strict improvement wins).
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (throughputs[i] > best.maxRps) {
+            best.design = makeDesign(kind, candidates[i].first,
+                                     candidates[i].second);
+            best.maxRps = throughputs[i];
+            best.footprint = best.design.footprint();
+            best.feasible = throughputs[i] > 0.0;
         }
     }
     return best;
@@ -248,10 +283,20 @@ Provisioner::isoThroughputOptimized(DesignKind kind, double target_rps,
     Optimum best;
     double best_objective = std::numeric_limits<double>::max();
 
-    std::vector<double> fractions =
+    const std::vector<double> fractions =
         isBaseline(kind) ? std::vector<double>{1.0} : options_.promptFractions;
-    for (double f : fractions) {
-        const int total = minTotalMachinesAt(kind, f, target_rps, 4);
+
+    // Each split ratio's minimal-cluster bisection is independent of
+    // the others: probe them concurrently, pick the winner serially
+    // in fraction order (same tie-breaking as the old serial loop).
+    sim::RunPool pool(options_.jobs);
+    const std::vector<int> totals = pool.map(fractions, [&](double f) {
+        return minTotalMachinesAt(kind, f, target_rps, 4);
+    });
+
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const double f = fractions[i];
+        const int total = totals[i];
         if (total < 0)
             continue;
         int np = std::max(1, static_cast<int>(std::lround(f * total)));

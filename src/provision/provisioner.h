@@ -61,6 +61,21 @@ struct SweepCell {
     bool pass = false;
     double costPerHour = 0.0;
     double e2eP50Slowdown = 0.0;
+    /**
+     * True when this cell's simulation threw instead of producing a
+     * verdict (e.g. an invalid design or a fault plan that sheds
+     * everything). The sweep records the cell and continues; pass
+     * stays false and errorMessage carries the exception text.
+     */
+    bool error = false;
+    std::string errorMessage;
+    /**
+     * reportToJson() of the cell's run (with its SLO verdict), only
+     * when ProvisionerOptions::captureReports is set - the golden
+     * artifact the `--jobs 1` vs `--jobs N` determinism gate
+     * byte-compares.
+     */
+    std::string reportJson;
 };
 
 /** Tunables for Provisioner searches. */
@@ -77,6 +92,15 @@ struct ProvisionerOptions {
     /** Split ratios probed for two-pool designs. */
     std::vector<double> promptFractions =
         {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.875};
+    /**
+     * Concurrent simulations for sweep() and the split-ratio probes
+     * inside the iso-* searches; 0 picks hardware_concurrency, 1 is
+     * the exact serial path. Results are independent of the value
+     * (each simulation owns its RNG, cluster, and telemetry).
+     */
+    int jobs = 0;
+    /** Fill SweepCell::reportJson for every sweep cell. */
+    bool captureReports = false;
 };
 
 /**

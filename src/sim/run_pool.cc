@@ -1,0 +1,62 @@
+#include "sim/run_pool.h"
+
+#include <algorithm>
+
+namespace splitwise::sim {
+
+int
+RunPool::defaultJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunPool::RunPool(int jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+    // jobs == 1 runs inline in map(); no workers to spin up.
+    if (jobs_ == 1)
+        return;
+    workers_.reserve(static_cast<std::size_t>(jobs_));
+    for (int i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+RunPool::~RunPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    // std::jthread joins on destruction.
+}
+
+void
+RunPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+RunPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+}  // namespace splitwise::sim

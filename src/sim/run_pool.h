@@ -1,0 +1,165 @@
+#ifndef SPLITWISE_SIM_RUN_POOL_H_
+#define SPLITWISE_SIM_RUN_POOL_H_
+
+/**
+ * @file
+ * Fixed-size thread pool for embarrassingly parallel simulation
+ * fan-out (design-space sweeps, split-ratio probes, seed storms).
+ *
+ * The pool is deliberately work-stealing-free: one shared FIFO, a
+ * fixed set of std::jthread workers, and a map() that returns results
+ * ordered by input index regardless of completion order. Each task is
+ * expected to be self-contained (own TraceGenerator, own Cluster, own
+ * telemetry sinks), which is what makes `--jobs N` bit-identical to
+ * the serial path; see DESIGN.md "Parallel run model".
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace splitwise::sim {
+
+/**
+ * A fixed-size pool of worker threads executing independent tasks.
+ *
+ * With jobs == 1, map() runs every task inline on the calling thread
+ * in input order - exactly the pre-pool serial code path, including
+ * immediate exception propagation. With jobs > 1, tasks run on the
+ * workers; map() still returns results in input order and rethrows
+ * the lowest-index task exception after the whole batch drains.
+ *
+ * map() must be called from outside the pool's own workers (the
+ * multi-run drivers each create a pool per top-level search, so
+ * nested searches never share one).
+ */
+class RunPool {
+  public:
+    /** @param jobs Worker count; 0 selects defaultJobs(). */
+    explicit RunPool(int jobs = 0);
+    ~RunPool();
+
+    RunPool(const RunPool&) = delete;
+    RunPool& operator=(const RunPool&) = delete;
+
+    /** The `--jobs` default: hardware_concurrency, at least 1. */
+    static int defaultJobs();
+
+    /** Resolved worker count (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /**
+     * Apply @p fn to every item and return the results ordered by
+     * input index. @p fn is invoked as fn(item) or, when invocable
+     * that way, fn(item, index) with the item's input index (the
+     * hook for per-task RNG seeding and output-file suffixing).
+     *
+     * If tasks throw, the batch still runs to completion and the
+     * exception of the lowest input index is rethrown (results are
+     * discarded). With jobs == 1 the first exception propagates
+     * immediately, before later items run; drivers that must survive
+     * individual failures catch inside @p fn (see
+     * provision::Provisioner::sweep).
+     */
+    template <typename Item, typename Fn>
+    auto
+    map(const std::vector<Item>& items, Fn&& fn)
+    {
+        constexpr bool kWithIndex =
+            std::is_invocable_v<Fn&, const Item&, std::size_t>;
+        auto invoke = [&fn](const Item& item, std::size_t index) {
+            if constexpr (kWithIndex)
+                return fn(item, index);
+            else
+                return fn(item);
+        };
+        using Result = std::remove_cvref_t<decltype(invoke(
+            items.front(), std::size_t{0}))>;
+        static_assert(!std::is_void_v<Result>,
+                      "RunPool::map tasks must return a value");
+
+        std::vector<Result> results;
+        results.reserve(items.size());
+        if (items.empty())
+            return results;
+
+        if (jobs_ == 1 || items.size() == 1) {
+            for (std::size_t i = 0; i < items.size(); ++i)
+                results.push_back(invoke(items[i], i));
+            return results;
+        }
+
+        std::vector<std::optional<Result>> slots(items.size());
+        std::vector<std::exception_ptr> errors(items.size());
+        Batch batch{items.size()};
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            submit([&, i] {
+                try {
+                    slots[i].emplace(invoke(items[i], i));
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+                batch.finishOne();
+            });
+        }
+        batch.wait();
+
+        for (const auto& error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+        for (auto& slot : slots)
+            results.push_back(std::move(*slot));
+        return results;
+    }
+
+  private:
+    /** Completion latch for one map() batch. */
+    struct Batch {
+        explicit Batch(std::size_t n) : remaining(n) {}
+
+        void
+        finishOne()
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (--remaining == 0)
+                done.notify_all();
+        }
+
+        void
+        wait()
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            done.wait(lock, [this] { return remaining == 0; });
+        }
+
+        std::mutex mu;
+        std::condition_variable done;
+        std::size_t remaining;
+    };
+
+    /** Enqueue one task for the workers. */
+    void submit(std::function<void()> task);
+
+    /** Worker body: drain the queue until shutdown. */
+    void workerLoop();
+
+    int jobs_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::jthread> workers_;
+};
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_RUN_POOL_H_

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The golden-replay determinism gate: every multi-run driver must
+ * produce byte-identical results whether it runs serially
+ * (`--jobs 1`) or fanned out across a RunPool. CI runs these tests
+ * under the `determinism` ctest label so sweep parallelism can never
+ * silently break reproducibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/report_io.h"
+#include "hw/machine_spec.h"
+#include "provision/provisioner.h"
+
+namespace splitwise::provision {
+namespace {
+
+/** Small but non-trivial searches so the suite stays fast. */
+ProvisionerOptions
+baseOptions(int jobs)
+{
+    ProvisionerOptions o;
+    o.traceDuration = sim::secondsToUs(10);
+    o.rpsTolerance = 8.0;
+    o.maxRpsCeiling = 64.0;
+    o.promptFractions = {0.4, 0.6, 0.8};
+    o.jobs = jobs;
+    o.captureReports = true;
+    return o;
+}
+
+/** The pinned seed set the golden replay runs over. */
+const std::vector<std::uint64_t> kSeeds = {7, 42, 2024};
+
+TEST(DeterminismTest, SweepReportsByteIdenticalAcrossJobCounts)
+{
+    const std::vector<int> prompt_counts = {1, 2, 4};
+    const std::vector<int> token_counts = {1, 3};
+    for (const std::uint64_t seed : kSeeds) {
+        ProvisionerOptions serial_opts = baseOptions(1);
+        serial_opts.seed = seed;
+        ProvisionerOptions parallel_opts = baseOptions(8);
+        parallel_opts.seed = seed;
+        const Provisioner serial(model::llama2_70b(),
+                                 workload::conversation(), serial_opts);
+        const Provisioner parallel(model::llama2_70b(),
+                                   workload::conversation(),
+                                   parallel_opts);
+
+        const auto a = serial.sweep(DesignKind::kSplitwiseHH,
+                                    prompt_counts, token_counts, 6.0);
+        const auto b = parallel.sweep(DesignKind::kSplitwiseHH,
+                                      prompt_counts, token_counts, 6.0);
+        ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].numPrompt, b[i].numPrompt);
+            EXPECT_EQ(a[i].numToken, b[i].numToken);
+            EXPECT_EQ(a[i].pass, b[i].pass);
+            EXPECT_EQ(a[i].error, b[i].error);
+            EXPECT_DOUBLE_EQ(a[i].costPerHour, b[i].costPerHour);
+            EXPECT_DOUBLE_EQ(a[i].e2eP50Slowdown, b[i].e2eP50Slowdown);
+            // The byte-identity proof: the full serialized report.
+            EXPECT_EQ(a[i].reportJson, b[i].reportJson)
+                << "seed " << seed << " cell " << i;
+            EXPECT_FALSE(a[i].reportJson.empty());
+        }
+    }
+}
+
+TEST(DeterminismTest, EvaluateIsAPureFunctionOfSeedAndLoad)
+{
+    const Provisioner prov(model::llama2_70b(), workload::coding(),
+                           baseOptions(1));
+    const auto design = makeDesign(DesignKind::kSplitwiseHH, 2, 2);
+    const auto once = prov.evaluate(design, 5.0);
+    const auto twice = prov.evaluate(design, 5.0);
+    EXPECT_EQ(core::reportToJson(once.report, &once.slo),
+              core::reportToJson(twice.report, &twice.slo));
+}
+
+TEST(DeterminismTest, IsoPowerSearchMatchesSerialAcrossJobCounts)
+{
+    const double budget = 8 * hw::dgxH100().provisionedPowerWatts();
+    const Provisioner serial(model::llama2_70b(),
+                             workload::conversation(), baseOptions(1));
+    const Provisioner parallel(model::llama2_70b(),
+                               workload::conversation(), baseOptions(8));
+    for (DesignKind kind :
+         {DesignKind::kBaselineH100, DesignKind::kSplitwiseHH}) {
+        const Optimum a = serial.isoPowerThroughputOptimized(kind, budget);
+        const Optimum b =
+            parallel.isoPowerThroughputOptimized(kind, budget);
+        EXPECT_EQ(a.feasible, b.feasible) << designKindName(kind);
+        EXPECT_DOUBLE_EQ(a.maxRps, b.maxRps) << designKindName(kind);
+        EXPECT_EQ(a.design.numPrompt, b.design.numPrompt);
+        EXPECT_EQ(a.design.numToken, b.design.numToken);
+        EXPECT_DOUBLE_EQ(a.footprint.powerWatts, b.footprint.powerWatts);
+    }
+}
+
+TEST(DeterminismTest, IsoThroughputSearchMatchesSerialAcrossJobCounts)
+{
+    const Provisioner serial(model::llama2_70b(),
+                             workload::conversation(), baseOptions(1));
+    const Provisioner parallel(model::llama2_70b(),
+                               workload::conversation(), baseOptions(8));
+    const Optimum a =
+        serial.isoThroughputCostOptimized(DesignKind::kSplitwiseHH, 6.0);
+    const Optimum b =
+        parallel.isoThroughputCostOptimized(DesignKind::kSplitwiseHH, 6.0);
+    ASSERT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.design.numPrompt, b.design.numPrompt);
+    EXPECT_EQ(a.design.numToken, b.design.numToken);
+    EXPECT_DOUBLE_EQ(a.footprint.costPerHour, b.footprint.costPerHour);
+}
+
+}  // namespace
+}  // namespace splitwise::provision

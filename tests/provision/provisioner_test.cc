@@ -88,6 +88,35 @@ TEST_F(ProvisionerTest, SweepMarksFeasibleRegion)
     EXPECT_TRUE(!small_pass || large_pass);
 }
 
+TEST_F(ProvisionerTest, SweepRecordsErrorCellsAndContinues)
+{
+    // A zero-prompt-machine design cannot be built; the sweep must
+    // record the failure on that cell and still simulate the rest.
+    const auto cells =
+        prov_.sweep(DesignKind::kSplitwiseHH, {0, 2}, {2}, 2.0);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_TRUE(cells[0].error);
+    EXPECT_FALSE(cells[0].pass);
+    EXPECT_FALSE(cells[0].errorMessage.empty());
+    EXPECT_FALSE(cells[1].error);
+    EXPECT_TRUE(cells[1].pass);
+}
+
+TEST_F(ProvisionerTest, SweepCapturesReportsOnRequest)
+{
+    auto options = fastOptions();
+    options.captureReports = true;
+    const Provisioner prov(model::llama2_70b(), workload::conversation(),
+                           options);
+    const auto cells = prov.sweep(DesignKind::kSplitwiseHH, {2}, {2}, 2.0);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_NE(cells[0].reportJson.find("\"requests\""), std::string::npos);
+    // Reports are off by default (they are large).
+    const auto plain =
+        prov_.sweep(DesignKind::kSplitwiseHH, {2}, {2}, 2.0);
+    EXPECT_TRUE(plain[0].reportJson.empty());
+}
+
 TEST_F(ProvisionerTest, IsoPowerRespectsBudget)
 {
     const double budget = 8 * hw::dgxH100().provisionedPowerWatts();

@@ -1,0 +1,146 @@
+#include "sim/run_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace splitwise::sim {
+namespace {
+
+TEST(RunPoolTest, DefaultJobsIsPositive)
+{
+    EXPECT_GE(RunPool::defaultJobs(), 1);
+}
+
+TEST(RunPoolTest, ZeroJobsResolvesToDefault)
+{
+    RunPool pool(0);
+    EXPECT_EQ(pool.jobs(), RunPool::defaultJobs());
+}
+
+TEST(RunPoolTest, EmptyInputYieldsEmptyOutput)
+{
+    RunPool pool(4);
+    const std::vector<int> none;
+    const auto out = pool.map(none, [](int v) { return v; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(RunPoolTest, SerialPathPreservesOrder)
+{
+    RunPool pool(1);
+    std::vector<int> items(32);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out = pool.map(items, [](int v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(RunPoolTest, ParallelOrderingUnderAdversarialDurations)
+{
+    // Early items sleep longest, so completion order is roughly the
+    // reverse of submission order; results must still come back in
+    // input order.
+    RunPool pool(8);
+    std::vector<int> items(24);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out = pool.map(items, [&](int v) {
+        const auto nap =
+            std::chrono::milliseconds((items.size() - v) % 5);
+        std::this_thread::sleep_for(nap);
+        return v * 10;
+    });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 10);
+}
+
+TEST(RunPoolTest, IndexAwareTaskReceivesInputIndex)
+{
+    RunPool pool(4);
+    const std::vector<std::string> items = {"a", "b", "c", "d", "e"};
+    const auto out =
+        pool.map(items, [](const std::string& s, std::size_t index) {
+            return s + std::to_string(index);
+        });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], items[i] + std::to_string(i));
+}
+
+TEST(RunPoolTest, LowestIndexExceptionPropagates)
+{
+    RunPool pool(8);
+    std::vector<int> items(16);
+    std::iota(items.begin(), items.end(), 0);
+    std::atomic<int> completed{0};
+    try {
+        pool.map(items, [&](int v) {
+            if (v == 3 || v == 11)
+                throw std::runtime_error("boom " + std::to_string(v));
+            ++completed;
+            return v;
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom 3");
+    }
+    // The batch ran to completion despite the failures.
+    EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(RunPoolTest, SerialExceptionPropagatesImmediately)
+{
+    RunPool pool(1);
+    std::vector<int> items(8);
+    std::iota(items.begin(), items.end(), 0);
+    int ran = 0;
+    EXPECT_THROW(pool.map(items,
+                          [&](int v) {
+                              if (v == 2)
+                                  throw std::runtime_error("stop");
+                              ++ran;
+                              return v;
+                          }),
+                 std::runtime_error);
+    EXPECT_EQ(ran, 2);  // items after the throw never start
+}
+
+TEST(RunPoolTest, SerialAndParallelResultsMatch)
+{
+    std::vector<std::uint64_t> items(40);
+    std::iota(items.begin(), items.end(), 1);
+    auto fn = [](std::uint64_t v) {
+        // splitmix64-ish scramble: deterministic, order-revealing.
+        std::uint64_t x = v + 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    RunPool serial(1);
+    RunPool parallel(8);
+    EXPECT_EQ(serial.map(items, fn), parallel.map(items, fn));
+}
+
+TEST(RunPoolTest, PoolIsReusableAcrossBatches)
+{
+    RunPool pool(4);
+    std::vector<int> items(10);
+    std::iota(items.begin(), items.end(), 0);
+    for (int round = 0; round < 3; ++round) {
+        const auto out =
+            pool.map(items, [round](int v) { return v + round; });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<int>(i) + round);
+    }
+}
+
+}  // namespace
+}  // namespace splitwise::sim

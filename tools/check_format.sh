@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+#
+# Source formatting and hygiene gate - run by the CI `format` job and
+# by tools/verify.sh, so the two can never disagree.
+#
+# Two layers:
+#   1. Repo-wide hygiene over every tracked C++/CMake/shell source:
+#      no tabs, no trailing whitespace, no CRLF, newline at EOF.
+#   2. clang-format --dry-run over the incremental-adoption file list
+#      in tools/format_paths.txt (skipped with a notice when no
+#      clang-format binary is available, e.g. in minimal containers;
+#      CI always installs one).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Layer 1: hygiene ------------------------------------------------
+
+mapfile -t sources < <(git ls-files \
+    '*.h' '*.cc' '*.cpp' 'CMakeLists.txt' '*.cmake' '*.sh')
+
+for f in "${sources[@]}"; do
+    if grep -nP '\t' "$f" > /dev/null; then
+        echo "TAB characters: $f"
+        grep -nP '\t' "$f" | head -3
+        fail=1
+    fi
+    if grep -nP ' +$' "$f" > /dev/null; then
+        echo "trailing whitespace: $f"
+        grep -nP ' +$' "$f" | head -3
+        fail=1
+    fi
+    if grep -q $'\r' "$f"; then
+        echo "CRLF line endings: $f"
+        fail=1
+    fi
+    if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+        echo "missing newline at EOF: $f"
+        fail=1
+    fi
+done
+
+# --- Layer 2: clang-format over the enforced file list ---------------
+
+clang_format=""
+for candidate in clang-format clang-format-18 clang-format-17 \
+                 clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+        clang_format="$candidate"
+        break
+    fi
+done
+
+if [ -z "$clang_format" ]; then
+    echo "NOTE: clang-format not found; skipping layer 2" \
+         "(CI enforces it)"
+else
+    echo "using $($clang_format --version)"
+    while IFS= read -r path; do
+        case "$path" in
+          ''|'#'*) continue ;;
+        esac
+        if [ ! -f "$path" ]; then
+            echo "format_paths.txt lists missing file: $path"
+            fail=1
+            continue
+        fi
+        if ! "$clang_format" --dry-run -Werror "$path"; then
+            echo "clang-format violation: $path"
+            fail=1
+        fi
+    done < tools/format_paths.txt
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "format check FAILED"
+    exit 1
+fi
+echo "format check ok"

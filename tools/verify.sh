@@ -2,26 +2,35 @@
 #
 # Full verification sweep for the Splitwise simulator.
 #
-#   tools/verify.sh          tier-1 build + tests, telemetry-off build
+#   tools/verify.sh          tier-1 build + tests, telemetry-off build,
+#                            format check, determinism gate
 #   tools/verify.sh --asan   ... plus an ASan/UBSan build + tests (slow)
+#   tools/verify.sh --tsan   ... plus a TSan build of the parallel
+#                            sweep tests (slow)
 #
 # Build trees:
 #   build/          default (telemetry on) - the tier-1 tree
 #   build-notelem/  -DSPLITWISE_TELEMETRY=OFF
 #   build-asan/     -DSPLITWISE_SANITIZE=address,undefined (--asan only)
+#   build-tsan/     -DSPLITWISE_SANITIZE=thread (--tsan only)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=0
+run_tsan=0
 for arg in "$@"; do
     case "$arg" in
       --asan) run_asan=1 ;;
+      --tsan) run_tsan=1 ;;
       *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+step "format check (same gate as CI)"
+tools/check_format.sh
 
 step "tier-1: default build"
 cmake -B build -S . >/dev/null
@@ -37,9 +46,17 @@ cmake --build build-notelem -j
 step "telemetry-off ctest"
 ctest --test-dir build-notelem --output-on-failure -j "$(nproc)"
 
-step "telemetry smoke: bench_chaos with trace + timeseries"
+step "determinism gate: fig12 sweep --jobs 1 vs --jobs 8"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+build/bench/bench_fig12_design_space --jobs 1 \
+    --report-out="$tmpdir/fig12-jobs1.json" >/dev/null
+build/bench/bench_fig12_design_space --jobs 8 \
+    --report-out="$tmpdir/fig12-jobs8.json" >/dev/null
+cmp "$tmpdir/fig12-jobs1.json" "$tmpdir/fig12-jobs8.json"
+echo "per-cell reports byte-identical across job counts"
+
+step "telemetry smoke: bench_chaos with trace + timeseries"
 build/bench/bench_chaos \
     --trace-out="$tmpdir/trace.json" \
     --timeseries-out="$tmpdir/ts.csv" >/dev/null
@@ -55,6 +72,17 @@ if [ "$run_asan" -eq 1 ]; then
 
     step "ASan/UBSan ctest"
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+if [ "$run_tsan" -eq 1 ]; then
+    step "TSan build: parallel sweep targets (slow)"
+    cmake -B build-tsan -S . -DSPLITWISE_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j \
+        --target run_pool_test determinism_test provisioner_test
+
+    step "TSan ctest (parallel sweep tests)"
+    ctest --test-dir build-tsan --output-on-failure \
+        -R 'run_pool_test|determinism_test|provisioner_test'
 fi
 
 step "verify: all green"
