@@ -1,0 +1,194 @@
+/**
+ * @file
+ * DST soak driver: fuzz seeded scenarios through the invariant
+ * checker until a seed count or a wall-clock budget is exhausted.
+ *
+ *   bench_dst --seeds=200 --jobs=8        # fixed-count campaign
+ *   bench_dst --time-budget=120 --jobs=8  # nightly soak (seconds)
+ *   bench_dst --short                     # CI smoke (24 seeds)
+ *   bench_dst --dump-seed=7 --dump-out=x.scenario.json
+ *
+ * On a violation the driver shrinks the failing scenario to a
+ * minimal reproducer, writes it to dst_failure_<seed>.scenario.json
+ * (check it into tests/dst/data/ once fixed), and exits non-zero.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "testing/fuzzer.h"
+#include "testing/shrinker.h"
+
+namespace splitwise {
+namespace {
+
+struct DstArgs {
+    int seeds = 200;
+    std::uint64_t baseSeed = 1;
+    /** Wall-clock budget in seconds; 0 = run exactly `seeds`. */
+    double timeBudgetS = 0.0;
+    /** Invariant cadence (1 = every quiescent point). */
+    int checkEvery = 1;
+    std::uint64_t dumpSeed = 0;
+    std::string dumpOut;
+};
+
+DstArgs
+parseArgs(int argc, char** argv)
+{
+    DstArgs args;
+    auto value = [&](int& i, const char* name, std::string& out) {
+        const std::size_t len = std::strlen(name);
+        if (std::strncmp(argv[i], name, len) != 0)
+            return false;
+        if (argv[i][len] == '=') {
+            out = argv[i] + len + 1;
+            return true;
+        }
+        if (argv[i][len] == '\0' && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (value(i, "--seeds", v))
+            args.seeds = std::stoi(v);
+        else if (value(i, "--base-seed", v))
+            args.baseSeed = std::stoull(v);
+        else if (value(i, "--time-budget", v)) {
+            if (!v.empty() && v.back() == 's')
+                v.pop_back();
+            args.timeBudgetS = std::stod(v);
+        } else if (value(i, "--check-every", v))
+            args.checkEvery = std::stoi(v);
+        else if (value(i, "--dump-seed", v))
+            args.dumpSeed = std::stoull(v);
+        else if (value(i, "--dump-out", v))
+            args.dumpOut = v;
+    }
+    if (args.seeds < 1)
+        sim::fatal("--seeds must be >= 1");
+    if (args.checkEvery < 1)
+        sim::fatal("--check-every must be >= 1");
+    return args;
+}
+
+int
+runSoak(const DstArgs& args)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    auto elapsedS = [&] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    const int jobs = bench::effectiveJobs();
+    const int batch = std::max(16, 4 * jobs);
+    const bool timed = args.timeBudgetS > 0.0;
+
+    std::uint64_t ran = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t transfers = 0;
+
+    bench::banner("DST soak");
+    std::printf("jobs=%d base_seed=%llu %s\n", jobs,
+                static_cast<unsigned long long>(args.baseSeed),
+                timed ? ("budget=" + std::to_string(args.timeBudgetS) + "s")
+                           .c_str()
+                      : ("seeds=" + std::to_string(args.seeds)).c_str());
+
+    while (true) {
+        const std::uint64_t remaining =
+            timed ? static_cast<std::uint64_t>(batch)
+                  : static_cast<std::uint64_t>(args.seeds) - ran;
+        if (remaining == 0)
+            break;
+
+        testing::FuzzerConfig config;
+        config.scenarios = static_cast<int>(
+            std::min<std::uint64_t>(remaining,
+                                    static_cast<std::uint64_t>(batch)));
+        config.baseSeed = args.baseSeed + ran;
+        config.jobs = jobs;
+        config.invariants.checkEveryNthAdvance = args.checkEvery;
+        const auto results = testing::fuzz(config);
+
+        for (const auto& r : results) {
+            if (r.outcome.violated) {
+                std::printf(
+                    "\nVIOLATION seed=%llu invariant=%s t=%lld us\n  %s\n",
+                    static_cast<unsigned long long>(r.seed),
+                    r.outcome.invariant.c_str(),
+                    static_cast<long long>(r.outcome.violationTime),
+                    r.outcome.detail.c_str());
+                std::printf("shrinking (%zu requests, %zu faults)...\n",
+                            r.scenario.requests.size(),
+                            r.scenario.faults.size());
+                const testing::ShrinkResult shrunk =
+                    testing::shrink(r.scenario);
+                const std::string path =
+                    "dst_failure_" + std::to_string(r.seed) +
+                    ".scenario.json";
+                testing::writeScenarioFile(shrunk.minimal, path);
+                std::printf(
+                    "minimal reproducer: %zu requests, %zu faults "
+                    "(%d runs) -> %s\n",
+                    shrunk.minimal.requests.size(),
+                    shrunk.minimal.faults.size(), shrunk.runs,
+                    path.c_str());
+                return 1;
+            }
+            completed += r.outcome.completed;
+            rejected += r.outcome.rejected;
+            restarts += r.outcome.restarts;
+            transfers += r.outcome.transfers;
+        }
+        ran += static_cast<std::uint64_t>(results.size());
+        std::printf("  %llu scenarios clean (%.1fs)\n",
+                    static_cast<unsigned long long>(ran), elapsedS());
+        std::fflush(stdout);
+        if (timed && elapsedS() >= args.timeBudgetS)
+            break;
+    }
+
+    std::printf(
+        "\n%llu scenarios, 0 violations in %.1fs\n"
+        "  completed=%llu rejected=%llu restarts=%llu transfers=%llu\n",
+        static_cast<unsigned long long>(ran), elapsedS(),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(rejected),
+        static_cast<unsigned long long>(restarts),
+        static_cast<unsigned long long>(transfers));
+    return 0;
+}
+
+}  // namespace
+}  // namespace splitwise
+
+int
+main(int argc, char** argv)
+{
+    using namespace splitwise;
+    bench::initBenchArgs(argc, argv);
+    DstArgs args = parseArgs(argc, argv);
+    if (bench::benchArgs().shortRun)
+        args.seeds = std::min(args.seeds, 24);
+
+    if (!args.dumpOut.empty()) {
+        testing::writeScenarioFile(testing::makeScenario(args.dumpSeed),
+                                   args.dumpOut);
+        std::printf("wrote scenario seed=%llu to %s\n",
+                    static_cast<unsigned long long>(args.dumpSeed),
+                    args.dumpOut.c_str());
+        return 0;
+    }
+    return runSoak(args);
+}

@@ -81,6 +81,12 @@ ClusterScheduler::poolSize(PoolType pool) const
     return n;
 }
 
+bool
+ClusterScheduler::contains(int machine_id) const
+{
+    return entries_.count(machine_id) > 0;
+}
+
 PoolType
 ClusterScheduler::poolOf(int machine_id) const
 {

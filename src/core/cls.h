@@ -160,6 +160,12 @@ class ClusterScheduler {
     /** Machines currently assigned to @p pool (live only). */
     std::size_t poolSize(PoolType pool) const;
 
+    /** True when the machine is live (member of some pool). */
+    bool contains(int machine_id) const;
+
+    /** Number of live (non-failed) machines across all pools. */
+    std::size_t liveMachines() const { return entries_.size(); }
+
     /**
      * Attach a trace recorder: shed/transition/rejoin instants land
      * on the cluster track. nullptr detaches.

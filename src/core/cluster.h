@@ -182,6 +182,20 @@ class Cluster {
         return machines_;
     }
 
+    /**
+     * Live simulation state of every submitted request, in trace
+     * order. Populated by run(); the DST invariant checker walks
+     * this to assert cross-layer conservation laws mid-run.
+     */
+    const std::vector<std::unique_ptr<engine::LiveRequest>>&
+    liveRequests() const
+    {
+        return live_;
+    }
+
+    /** Completed-request records accumulated so far. */
+    const metrics::RequestMetrics& results() const { return results_; }
+
   private:
     engine::Machine* machineById(int id);
 

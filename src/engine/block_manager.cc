@@ -1,5 +1,7 @@
 #include "engine/block_manager.h"
 
+#include <algorithm>
+
 #include "sim/log.h"
 
 namespace splitwise::engine {
@@ -95,6 +97,51 @@ BlockManager::tokensOf(std::uint64_t request_id) const
 {
     const auto it = table_.find(request_id);
     return it == table_.end() ? 0 : it->second.tokens;
+}
+
+std::vector<std::uint64_t>
+BlockManager::heldRequestIds() const
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(table_.size());
+    for (const auto& [id, alloc] : table_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::string
+BlockManager::audit() const
+{
+    std::int64_t blocks = 0;
+    std::int64_t tokens = 0;
+    for (const auto& [id, alloc] : table_) {
+        if (alloc.tokens < 0 || alloc.blocks < 0) {
+            return "allocation for request " + std::to_string(id) +
+                   " has negative size";
+        }
+        if (alloc.blocks != blocksFor(alloc.tokens)) {
+            return "allocation for request " + std::to_string(id) + " holds " +
+                   std::to_string(alloc.blocks) + " blocks for " +
+                   std::to_string(alloc.tokens) + " tokens (expected " +
+                   std::to_string(blocksFor(alloc.tokens)) + ")";
+        }
+        blocks += alloc.blocks;
+        tokens += alloc.tokens;
+    }
+    if (blocks != usedBlocks_) {
+        return "used-block aggregate " + std::to_string(usedBlocks_) +
+               " != table sum " + std::to_string(blocks);
+    }
+    if (tokens != usedTokens_) {
+        return "used-token aggregate " + std::to_string(usedTokens_) +
+               " != table sum " + std::to_string(tokens);
+    }
+    if (usedBlocks_ < 0 || usedBlocks_ > totalBlocks_) {
+        return "used blocks " + std::to_string(usedBlocks_) +
+               " outside [0, " + std::to_string(totalBlocks_) + "]";
+    }
+    return "";
 }
 
 double

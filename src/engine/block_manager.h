@@ -2,7 +2,9 @@
 #define SPLITWISE_ENGINE_BLOCK_MANAGER_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace splitwise::engine {
 
@@ -88,6 +90,21 @@ class BlockManager {
 
     /** Number of requests holding allocations. */
     std::size_t residents() const { return table_.size(); }
+
+    /** Ids of every request holding an allocation (sorted). */
+    std::vector<std::uint64_t> heldRequestIds() const;
+
+    /**
+     * Audit the allocator's internal accounting: per-allocation block
+     * counts match blocksFor(), the used-block/used-token aggregates
+     * equal the table sums, and usage stays within [0, capacity].
+     * The DST invariant checker calls this at every quiescent point;
+     * a leak or double-release shows up as an aggregate mismatch.
+     *
+     * @return Empty string when consistent, else a description of
+     *     the first inconsistency found.
+     */
+    std::string audit() const;
 
   private:
     struct Allocation {

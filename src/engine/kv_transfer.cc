@@ -190,19 +190,22 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
                               attempt, timed_out, succeeds,
                               done = std::move(done)]() mutable {
         --inFlight_;
-        // A machine failure restarted the request (epoch bumped) or
-        // killed an endpoint mid-flight: drop the stale delivery.
-        if (request->restartEpoch != epoch || dst->failed() ||
-            src->failed()) {
-            if (!src->failed()) {
+        if (request->restartEpoch != epoch) {
+            // A machine failure restarted the request. The failure
+            // handler released this incarnation's copies, and the new
+            // incarnation may already hold fresh blocks under the same
+            // request id - possibly on these very machines - so the
+            // stale delivery must not touch any KV.
+            return;
+        }
+        if (dst->failed() || src->failed()) {
+            // An endpoint died mid-flight and nothing restarted the
+            // request: the surviving endpoint's copy is useless -
+            // release it so the blocks cannot leak.
+            if (!src->failed())
                 src->releaseKv(request);
-            } else if (request->restartEpoch == epoch && !dst->failed()) {
-                // The source died mid-flight and no owner has
-                // restarted the request: the partially-filled
-                // destination reservation is useless - release it so
-                // the blocks cannot leak.
+            if (!dst->failed())
                 dst->releaseKv(request);
-            }
             return;
         }
         if (!succeeds) {

@@ -81,8 +81,17 @@ Mls::enqueuePrompt(LiveRequest* request)
 void
 Mls::addResident(LiveRequest* request)
 {
-    if (!blocks_.holds(request->spec.id))
-        sim::panic("Mls::addResident without a KV allocation");
+    if (!blocks_.holds(request->spec.id)) {
+        sim::panic("Mls::addResident without a KV allocation: request " +
+                   std::to_string(request->spec.id) + " phase " +
+                   std::to_string(static_cast<int>(request->phase)) +
+                   " promptMachine " + std::to_string(request->promptMachine) +
+                   " tokenMachine " + std::to_string(request->tokenMachine) +
+                   " generated " + std::to_string(request->generated) +
+                   " restarts " + std::to_string(request->restarts) +
+                   " preemptions " + std::to_string(request->preemptions) +
+                   " epoch " + std::to_string(request->restartEpoch));
+    }
     request->phase = RequestPhase::kDecoding;
     request->starvedIterations = 0;
     residents_.push_back(request);
@@ -130,6 +139,20 @@ Mls::residentContextTokens() const
     for (const auto* r : residents_)
         total += r->contextTokens();
     return total;
+}
+
+bool
+Mls::queued(const LiveRequest* request) const
+{
+    return std::find(promptQueue_.begin(), promptQueue_.end(), request) !=
+           promptQueue_.end();
+}
+
+bool
+Mls::resident(const LiveRequest* request) const
+{
+    return std::find(residents_.begin(), residents_.end(), request) !=
+           residents_.end();
 }
 
 bool

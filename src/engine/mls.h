@@ -130,6 +130,12 @@ class Mls {
     /** Number of resident decode requests. */
     std::size_t residentCount() const { return residents_.size(); }
 
+    /** True when @p request sits in the pending prompt queue. */
+    bool queued(const LiveRequest* request) const;
+
+    /** True when @p request is in the resident decode set. */
+    bool resident(const LiveRequest* request) const;
+
     /** Total KV context tokens across residents. */
     std::int64_t residentContextTokens() const;
 

@@ -24,6 +24,31 @@ Simulator::scheduleAfter(TimeUs delay, std::function<void()> action, int priorit
     return schedule(now_ + delay, std::move(action), priority);
 }
 
+Simulator::HookId
+Simulator::addTimeAdvanceHook(TimeAdvanceHook hook)
+{
+    extraHooks_.push_back(std::move(hook));
+    return extraHooks_.size() - 1;
+}
+
+void
+Simulator::removeTimeAdvanceHook(HookId id)
+{
+    if (id < extraHooks_.size())
+        extraHooks_[id] = nullptr;
+}
+
+void
+Simulator::fireTimeAdvance(TimeUs next)
+{
+    if (timeAdvanceHook_)
+        timeAdvanceHook_(next);
+    for (const auto& hook : extraHooks_) {
+        if (hook)
+            hook(next);
+    }
+}
+
 std::uint64_t
 Simulator::run(TimeUs until)
 {
@@ -33,8 +58,8 @@ Simulator::run(TimeUs until)
         if (queue_.nextTime() > until)
             break;
         Event ev = queue_.pop();
-        if (timeAdvanceHook_ && ev.time > now_)
-            timeAdvanceHook_(ev.time);
+        if (ev.time > now_)
+            fireTimeAdvance(ev.time);
         now_ = ev.time;
         ev.action();
         ++ran;
@@ -53,8 +78,8 @@ Simulator::step()
     if (queue_.empty())
         return false;
     Event ev = queue_.pop();
-    if (timeAdvanceHook_ && ev.time > now_)
-        timeAdvanceHook_(ev.time);
+    if (ev.time > now_)
+        fireTimeAdvance(ev.time);
     now_ = ev.time;
     ev.action();
     ++executed_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -63,18 +64,38 @@ class Simulator {
     /**
      * Observer invoked whenever the clock is about to advance, with
      * the time of the event about to execute; now() still reads the
-     * pre-advance time inside the hook. Telemetry samplers use this
-     * to emit fixed-interval samples without scheduling events of
-     * their own (which would keep the queue from draining). One hook
-     * at a time; pass nullptr to detach. Costs the loop one branch
-     * when unset.
+     * pre-advance time inside the hook. Telemetry samplers and the
+     * DST invariant checker use this to observe the simulation at
+     * every quiescent point (all events at earlier timestamps have
+     * fully executed) without scheduling events of their own (which
+     * would keep the queue from draining). Costs the loop one branch
+     * when no hook is attached.
      */
     using TimeAdvanceHook = std::function<void(TimeUs next)>;
 
+    /** Handle identifying an attached time-advance hook. */
+    using HookId = std::size_t;
+
+    /**
+     * Single-slot hook, kept for the common one-observer case (the
+     * time-series sampler). Pass nullptr to detach. Runs before any
+     * addTimeAdvanceHook() observers.
+     */
     void setTimeAdvanceHook(TimeAdvanceHook hook)
     {
         timeAdvanceHook_ = std::move(hook);
     }
+
+    /**
+     * Attach an additional time-advance observer. Hooks run in
+     * attachment order, after the setTimeAdvanceHook() slot.
+     *
+     * @return Handle for removeTimeAdvanceHook().
+     */
+    HookId addTimeAdvanceHook(TimeAdvanceHook hook);
+
+    /** Detach a hook added with addTimeAdvanceHook(); idempotent. */
+    void removeTimeAdvanceHook(HookId id);
 
     /** Number of live pending events. */
     std::size_t pendingEvents() const { return queue_.size(); }
@@ -83,11 +104,16 @@ class Simulator {
     std::uint64_t executedEvents() const { return executed_; }
 
   private:
+    /** Fire every attached hook for an advance to @p next. */
+    void fireTimeAdvance(TimeUs next);
+
     EventQueue queue_;
     TimeUs now_ = 0;
     std::uint64_t executed_ = 0;
     bool stopRequested_ = false;
     TimeAdvanceHook timeAdvanceHook_;
+    /** Extra observers; removal nulls the slot to keep ids stable. */
+    std::vector<TimeAdvanceHook> extraHooks_;
 };
 
 }  // namespace splitwise::sim

@@ -1,0 +1,116 @@
+#include "testing/fuzzer.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+#include "sim/run_pool.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace splitwise::testing {
+
+namespace {
+
+/** Upper bound on fuzzed trace length: keeps one scenario cheap so
+ *  soak campaigns get breadth (many scenarios) over depth. */
+constexpr std::size_t kMaxRequests = 60;
+
+}  // namespace
+
+Scenario
+makeScenario(std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    Scenario s;
+    s.seed = seed;
+    s.name = "fuzz-" + std::to_string(seed);
+
+    // Cluster design: any of the six families, small pools.
+    const auto& kinds = provision::allDesignKinds();
+    s.designKind =
+        kinds[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    if (provision::isBaseline(s.designKind)) {
+        s.numPrompt = static_cast<int>(rng.uniformInt(2, 4));
+        s.numToken = 0;
+    } else {
+        s.numPrompt = static_cast<int>(rng.uniformInt(1, 3));
+        s.numToken = static_cast<int>(rng.uniformInt(1, 3));
+    }
+
+    // Scheduler / MLS / transfer knobs.
+    if (rng.bernoulli(0.25)) {
+        s.routing = core::RoutingPolicy::kRandom;
+        s.routingSeed =
+            static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000));
+    }
+    if (rng.bernoulli(0.3))
+        s.shedQueuedTokensBound = rng.uniformInt(6000, 30000);
+    if (rng.bernoulli(0.3))
+        s.promptChunkTokens = rng.bernoulli(0.5) ? 512 : 1024;
+    s.kvCheckpointing = rng.bernoulli(0.3);
+    s.usePiecewisePerfModel = rng.bernoulli(0.25);
+    s.traceEnabled = rng.bernoulli(0.3);
+    s.kvRetry.maxRetries = static_cast<int>(rng.uniformInt(0, 4));
+    s.kvRetry.backoffBaseUs = rng.uniformInt(500, 4000);
+    s.kvRetry.backoffMultiplier = rng.uniform(1.5, 3.0);
+    // Generous timeouts: fault windows are finite, so every transfer
+    // eventually succeeds and the scenario always drains.
+    s.kvRetry.timeoutUs =
+        rng.bernoulli(0.3) ? sim::msToUs(
+                                 static_cast<double>(
+                                     rng.uniformInt(100, 1000)))
+                           : 0;
+
+    // Workload: either service, load scaled to the small pools.
+    const bool coding = rng.bernoulli(0.5);
+    const double rps = coding ? rng.uniform(1.0, 6.0)
+                              : rng.uniform(2.0, 10.0);
+    const sim::TimeUs duration = sim::secondsToUs(rng.uniform(1.0, 2.5));
+    workload::TraceGenerator gen(
+        coding ? workload::coding() : workload::conversation(),
+        static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000)));
+    s.requests = gen.generate(rps, duration);
+    if (s.requests.size() > kMaxRequests)
+        s.requests.resize(kMaxRequests);
+
+    // Fault storm over the trace window plus drain slack. Crashes
+    // are sampled without replacement and capped below the machine
+    // count so at least one machine survives any overlap.
+    core::FaultStormConfig storm;
+    storm.numMachines = s.machines();
+    storm.horizonUs = duration + sim::secondsToUs(1.0);
+    storm.crashes = static_cast<int>(
+        rng.uniformInt(0, std::min<std::int64_t>(2, s.machines() - 1)));
+    storm.minDowntimeUs = sim::msToUs(200.0);
+    storm.maxDowntimeUs = sim::msToUs(1500.0);
+    storm.slowdowns = static_cast<int>(rng.uniformInt(0, 2));
+    storm.slowdownWindowUs = sim::msToUs(800.0);
+    storm.linkFaults = static_cast<int>(rng.uniformInt(0, 3));
+    storm.linkFaultWindowUs = sim::msToUs(200.0);
+    storm.linkDegrades = static_cast<int>(rng.uniformInt(0, 2));
+    storm.linkDegradeWindowUs = sim::msToUs(600.0);
+    s.faults = core::makeFaultStorm(
+        storm, static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000)));
+    return s;
+}
+
+std::vector<FuzzResult>
+fuzz(const FuzzerConfig& config)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(config.scenarios));
+    for (int i = 0; i < config.scenarios; ++i)
+        seeds.push_back(config.baseSeed + static_cast<std::uint64_t>(i));
+
+    sim::RunPool pool(config.jobs);
+    return pool.map(seeds, [&config](std::uint64_t seed) {
+        FuzzResult result;
+        result.seed = seed;
+        result.scenario = makeScenario(seed);
+        result.outcome = runScenario(result.scenario, config.invariants);
+        return result;
+    });
+}
+
+}  // namespace splitwise::testing

@@ -1,0 +1,53 @@
+#ifndef SPLITWISE_TESTING_FUZZER_H_
+#define SPLITWISE_TESTING_FUZZER_H_
+
+/**
+ * @file
+ * Seeded scenario fuzzing: compose randomized-but-deterministic
+ * scenarios (workload mix, cluster design, fault storms, KV-retry
+ * configs, admission control, mid-run crash/rejoin perturbations)
+ * and run them through sim::RunPool with invariants armed.
+ *
+ * makeScenario(seed) is a pure function of the seed: the same seed
+ * always composes the same scenario, and a scenario replays
+ * byte-identically regardless of the fuzzer's job count - the same
+ * contract the parallel sweep engine guarantees.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "testing/scenario.h"
+
+namespace splitwise::testing {
+
+/** Fuzzing campaign knobs. */
+struct FuzzerConfig {
+    /** Scenarios to compose and run. */
+    int scenarios = 100;
+    /** Seed of scenario i is baseSeed + i. */
+    std::uint64_t baseSeed = 1;
+    /** RunPool worker count (0 = hardware default, 1 = serial). */
+    int jobs = 1;
+    InvariantOptions invariants;
+};
+
+/** One fuzzed run: the seed, the scenario, and what happened. */
+struct FuzzResult {
+    std::uint64_t seed = 0;
+    Scenario scenario;
+    ScenarioOutcome outcome;
+};
+
+/** Compose the scenario for one seed (deterministic). */
+Scenario makeScenario(std::uint64_t seed);
+
+/**
+ * Run the campaign; results are ordered by seed regardless of job
+ * count. Violations are reported in the results, never thrown.
+ */
+std::vector<FuzzResult> fuzz(const FuzzerConfig& config);
+
+}  // namespace splitwise::testing
+
+#endif  // SPLITWISE_TESTING_FUZZER_H_

@@ -1,0 +1,494 @@
+#include "testing/invariants.h"
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace splitwise::testing {
+
+namespace {
+
+/**
+ * Forward-progress rank of a phase. Regressions (decode back to
+ * queued, for example) are legal only alongside a restart-epoch or
+ * preemption-counter bump; anything else is a stale event firing.
+ */
+int
+phaseRank(engine::RequestPhase phase)
+{
+    switch (phase) {
+      case engine::RequestPhase::kPromptQueued: return 0;
+      case engine::RequestPhase::kPromptRunning: return 1;
+      case engine::RequestPhase::kTransferring: return 2;
+      case engine::RequestPhase::kDecoding: return 3;
+      case engine::RequestPhase::kDone: return 4;
+      case engine::RequestPhase::kRejected: return 4;
+    }
+    return -1;
+}
+
+std::string
+requestTag(const engine::LiveRequest& req)
+{
+    return "request " + std::to_string(req.spec.id) + " (" +
+           engine::requestPhaseName(req.phase) + ", prompt_m=" +
+           std::to_string(req.promptMachine) + ", token_m=" +
+           std::to_string(req.tokenMachine) + ")";
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(std::string invariant, sim::TimeUs at,
+                                       std::string detail)
+    : std::runtime_error("invariant '" + invariant + "' violated at t=" +
+                         std::to_string(at) + "us: " + detail),
+      invariant_(std::move(invariant)), at_(at), detail_(std::move(detail))
+{
+}
+
+InvariantChecker::InvariantChecker(core::Cluster& cluster,
+                                   InvariantOptions options)
+    : cluster_(cluster), options_(options)
+{
+    hook_ = cluster_.simulator().addTimeAdvanceHook(
+        [this](sim::TimeUs next) { onAdvance(next); });
+}
+
+InvariantChecker::~InvariantChecker()
+{
+    cluster_.simulator().removeTimeAdvanceHook(hook_);
+}
+
+void
+InvariantChecker::violate(const char* invariant,
+                          const std::string& detail) const
+{
+    throw InvariantViolation(invariant, cluster_.simulator().now(), detail);
+}
+
+void
+InvariantChecker::onAdvance(sim::TimeUs next)
+{
+    // Event timestamps must be monotone: the clock only moves
+    // forward, and never behind the previous advance.
+    if (next < cluster_.simulator().now()) {
+        violate("time-monotone",
+                "clock would move backwards: next=" + std::to_string(next) +
+                    " now=" + std::to_string(cluster_.simulator().now()));
+    }
+    if (lastAdvance_ >= 0 && next < lastAdvance_) {
+        violate("time-monotone",
+                "advance to " + std::to_string(next) +
+                    " behind previous advance " +
+                    std::to_string(lastAdvance_));
+    }
+    lastAdvance_ = next;
+
+    ++advances_;
+    if (options_.checkEveryNthAdvance > 1 &&
+        advances_ % static_cast<std::uint64_t>(
+                        options_.checkEveryNthAdvance) != 0) {
+        return;
+    }
+    checkNow();
+}
+
+void
+InvariantChecker::refreshIndex()
+{
+    const auto& live = cluster_.liveRequests();
+    if (byId_.size() == live.size())
+        return;
+    byId_.clear();
+    byId_.reserve(live.size());
+    for (const auto& req : live) {
+        if (!byId_.emplace(req->spec.id, req.get()).second) {
+            violate("request-conservation",
+                    "duplicate request id " + std::to_string(req->spec.id) +
+                        " in the live set");
+        }
+    }
+}
+
+void
+InvariantChecker::checkNow()
+{
+    refreshIndex();
+    checkRequests();
+    checkMachines();
+    checkTransfers();
+    checkTelemetry();
+    ++checksRun_;
+}
+
+void
+InvariantChecker::checkRequests()
+{
+    const sim::TimeUs now = cluster_.simulator().now();
+    std::size_t done = 0;
+    std::size_t rejected = 0;
+    std::size_t decoding = 0;
+
+    for (const auto& req_ptr : cluster_.liveRequests()) {
+        const engine::LiveRequest& req = *req_ptr;
+
+        if (req.spec.arrival > now) {
+            // Not yet arrived: nothing may have touched it.
+            if (req.phase != engine::RequestPhase::kPromptQueued ||
+                req.promptMachine >= 0 || req.generated != 0) {
+                violate("request-conservation",
+                        requestTag(req) + " touched before its arrival at " +
+                            std::to_string(req.spec.arrival));
+            }
+            continue;
+        }
+
+        switch (req.phase) {
+          case engine::RequestPhase::kDone:
+            ++done;
+            if (!req.finished() || req.doneTime < 0 || req.doneTime > now) {
+                violate("request-conservation",
+                        requestTag(req) + " done with generated=" +
+                            std::to_string(req.generated) + "/" +
+                            std::to_string(req.spec.outputTokens) +
+                            " done_t=" + std::to_string(req.doneTime));
+            }
+            break;
+          case engine::RequestPhase::kRejected:
+            ++rejected;
+            if (req.generated != 0 || req.promptMachine >= 0) {
+                violate("request-conservation",
+                        requestTag(req) + " rejected after work ran");
+            }
+            break;
+          case engine::RequestPhase::kTransferring:
+            if (req.promptMachine < 0 || req.tokenMachine < 0) {
+                violate("request-conservation",
+                        requestTag(req) + " transferring while unrouted");
+            }
+            break;
+          case engine::RequestPhase::kDecoding: {
+            ++decoding;
+            if (req.tokenMachine < 0) {
+                violate("request-conservation",
+                        requestTag(req) + " decoding while unrouted");
+            }
+            const auto& mls =
+                cluster_.machines()[static_cast<std::size_t>(
+                                        req.tokenMachine)]
+                    ->mls();
+            if (!mls.resident(&req) || !mls.blocks().holds(req.spec.id)) {
+                violate("kv-accounting",
+                        requestTag(req) +
+                            " decoding but not resident (or without KV) on "
+                            "its token machine");
+            }
+            break;
+          }
+          case engine::RequestPhase::kPromptQueued:
+          case engine::RequestPhase::kPromptRunning:
+            break;
+        }
+
+        if (!req.terminal() && req.generated >= req.spec.outputTokens) {
+            violate("request-conservation",
+                    requestTag(req) + " overran its output budget: " +
+                        std::to_string(req.generated) + "/" +
+                        std::to_string(req.spec.outputTokens));
+        }
+
+        // Stale-event detection: compare against the last snapshot.
+        // Within one restart epoch (and absent preemptions) progress
+        // is monotone and terminal states are frozen.
+        auto& snap = lastSeen_[req.spec.id];
+        if (req.restartEpoch < snap.epoch) {
+            violate("stale-event",
+                    requestTag(req) + " restart epoch moved backwards");
+        }
+        const bool same_epoch = req.restartEpoch == snap.epoch &&
+                                req.restarts == snap.restarts &&
+                                req.preemptions == snap.preemptions;
+        if (same_epoch) {
+            if (phaseRank(req.phase) < phaseRank(snap.phase)) {
+                violate("stale-event",
+                        requestTag(req) + " phase regressed from " +
+                            engine::requestPhaseName(snap.phase) +
+                            " without a restart or preemption");
+            }
+            if (req.generated < snap.generated) {
+                violate("stale-event",
+                        requestTag(req) + " generated-token count fell " +
+                            std::to_string(snap.generated) + " -> " +
+                            std::to_string(req.generated));
+            }
+        }
+        if (snap.phase == engine::RequestPhase::kDone &&
+            (req.phase != engine::RequestPhase::kDone ||
+             req.generated != snap.generated ||
+             req.doneTime != snap.doneTime)) {
+            violate("stale-event",
+                    requestTag(req) + " mutated after completion");
+        }
+        if (snap.phase == engine::RequestPhase::kRejected &&
+            req.phase != engine::RequestPhase::kRejected) {
+            violate("stale-event", requestTag(req) + " revived after shed");
+        }
+        snap = Snapshot{req.phase,     req.generated,   req.restartEpoch,
+                        req.restarts,  req.preemptions, req.doneTime};
+    }
+
+    // Conservation cross-checks: the metrics pipeline, the
+    // scheduler's shed counter, and the registry must all agree with
+    // the live state - a lost or double-counted request breaks one.
+    if (done != cluster_.results().completed()) {
+        violate("request-conservation",
+                std::to_string(done) + " requests in phase done but " +
+                    std::to_string(cluster_.results().completed()) +
+                    " completion records");
+    }
+    if (rejected != cluster_.scheduler().shedRequests()) {
+        violate("request-conservation",
+                std::to_string(rejected) + " requests rejected but CLS shed " +
+                    std::to_string(cluster_.scheduler().shedRequests()));
+    }
+    if (cluster_.metrics().counterValue("rejected") != rejected) {
+        violate("request-conservation",
+                "registry counter 'rejected' = " +
+                    std::to_string(
+                        cluster_.metrics().counterValue("rejected")) +
+                    " but " + std::to_string(rejected) +
+                    " requests are in phase rejected");
+    }
+
+    // Every machine resident must be a live decoding request; a
+    // stale resident (finished but never removed) breaks this sum.
+    std::size_t residents = 0;
+    for (const auto& m : cluster_.machines())
+        residents += m->mls().residentCount();
+    if (residents > decoding) {
+        violate("kv-accounting",
+                std::to_string(residents) + " residents across machines but "
+                    "only " +
+                    std::to_string(decoding) + " requests decoding");
+    }
+}
+
+void
+InvariantChecker::checkMachines()
+{
+    const auto& machines = cluster_.machines();
+    const auto& cls = cluster_.scheduler();
+    std::size_t alive = 0;
+
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const engine::Machine& m = *machines[i];
+        if (m.id() != static_cast<int>(i)) {
+            violate("machine-pool",
+                    "machine index " + std::to_string(i) + " holds id " +
+                        std::to_string(m.id()));
+        }
+
+        // Scheduler membership mirrors liveness exactly.
+        if (cls.contains(m.id()) == m.failed()) {
+            violate("machine-pool",
+                    "machine " + std::to_string(m.id()) +
+                        (m.failed() ? " failed but still routed"
+                                    : " live but not in any pool"));
+        }
+        if (!m.failed())
+            ++alive;
+
+        if (m.failed()) {
+            // A failed machine dropped all of its state.
+            if (m.busy() || m.mls().pendingPrompts() != 0 ||
+                m.mls().residentCount() != 0 ||
+                m.mls().blocks().residents() != 0 ||
+                m.mls().blocks().usedTokens() != 0) {
+                violate("machine-pool",
+                        "failed machine " + std::to_string(m.id()) +
+                            " still holds work or KV");
+            }
+        }
+
+        // The paged allocator's internal accounting must balance:
+        // a leak or double-free shows up as an aggregate mismatch.
+        const std::string audit = m.mls().blocks().audit();
+        if (!audit.empty()) {
+            violate("kv-accounting",
+                    "machine " + std::to_string(m.id()) + ": " + audit);
+        }
+
+        // Every held allocation belongs to a live, non-terminal
+        // request that is actually placed on this machine. An
+        // unknown id (or a done request's id) is a leaked block -
+        // the double-release/missing-release class of bug.
+        for (const std::uint64_t id : m.mls().blocks().heldRequestIds()) {
+            const auto it = byId_.find(id);
+            if (it == byId_.end()) {
+                violate("kv-orphan",
+                        "machine " + std::to_string(m.id()) +
+                            " holds KV for unknown request id " +
+                            std::to_string(id));
+            }
+            const engine::LiveRequest& req = *it->second;
+            if (req.terminal()) {
+                violate("kv-orphan",
+                        "machine " + std::to_string(m.id()) +
+                            " holds KV for terminal " + requestTag(req));
+            }
+            if (req.promptMachine != m.id() && req.tokenMachine != m.id()) {
+                violate("kv-orphan",
+                        "machine " + std::to_string(m.id()) +
+                            " holds KV for " + requestTag(req) +
+                            " which is not placed on it");
+            }
+        }
+    }
+
+    if (cls.liveMachines() != alive) {
+        violate("machine-pool",
+                "scheduler tracks " + std::to_string(cls.liveMachines()) +
+                    " live machines, cluster has " + std::to_string(alive));
+    }
+    const std::size_t pooled = cls.poolSize(core::PoolType::kPrompt) +
+                               cls.poolSize(core::PoolType::kToken) +
+                               cls.poolSize(core::PoolType::kMixed);
+    if (pooled != alive) {
+        violate("machine-pool",
+                "pool sizes sum to " + std::to_string(pooled) + " but " +
+                    std::to_string(alive) + " machines are live");
+    }
+}
+
+void
+InvariantChecker::checkTransfers()
+{
+    const auto& s = cluster_.transferEngine().stats();
+    const auto& prev = lastTransferStats_;
+    const bool monotone = s.transfers >= prev.transfers &&
+                          s.layerwiseTransfers >= prev.layerwiseTransfers &&
+                          s.bytesMoved >= prev.bytesMoved &&
+                          s.memoryStalls >= prev.memoryStalls &&
+                          s.transferFaults >= prev.transferFaults &&
+                          s.transferTimeouts >= prev.transferTimeouts &&
+                          s.transferRetries >= prev.transferRetries &&
+                          s.transferAborts >= prev.transferAborts &&
+                          s.degradedTransfers >= prev.degradedTransfers;
+    if (!monotone) {
+        violate("transfer-accounting",
+                "a cumulative transfer counter decreased");
+    }
+    lastTransferStats_ = s;
+}
+
+void
+InvariantChecker::checkTelemetry()
+{
+#if !SPLITWISE_TELEMETRY_ENABLED
+    // The TELEM_* macros compile to no-ops: no span ever opens, so
+    // balance against live state is meaningless here.
+    return;
+#else
+    const telemetry::TraceRecorder* rec = cluster_.traceRecorder();
+    if (!rec)
+        return;
+    // Span balance: one open span per busy machine (its iteration)
+    // plus one per routed, non-terminal request (its lifecycle
+    // track). Anything else means a begin/end pair went missing.
+    std::size_t expected = 0;
+    for (const auto& m : cluster_.machines()) {
+        if (m->busy() && !m->failed())
+            ++expected;
+    }
+    for (const auto& req : cluster_.liveRequests()) {
+        if (!req->terminal() && req->promptMachine >= 0)
+            ++expected;
+    }
+    if (rec->openSpans() != expected) {
+        violate("span-balance",
+                std::to_string(rec->openSpans()) + " open spans, expected " +
+                    std::to_string(expected));
+    }
+#endif
+}
+
+void
+InvariantChecker::finalCheck(const core::RunReport& report)
+{
+    refreshIndex();
+
+    std::size_t done = 0;
+    std::size_t rejected = 0;
+    for (const auto& req : cluster_.liveRequests()) {
+        if (!req->terminal()) {
+            violate("liveness",
+                    requestTag(*req) + " never reached a terminal phase");
+        }
+        if (req->phase == engine::RequestPhase::kDone)
+            ++done;
+        else
+            ++rejected;
+    }
+    if (done + rejected != report.submitted ||
+        report.submitted != cluster_.liveRequests().size()) {
+        violate("request-conservation",
+                "submitted " + std::to_string(report.submitted) +
+                    " != done " + std::to_string(done) + " + rejected " +
+                    std::to_string(rejected));
+    }
+    if (report.requests.completed() != done) {
+        violate("request-conservation",
+                "report says " + std::to_string(report.requests.completed()) +
+                    " completed, live state says " + std::to_string(done));
+    }
+    if (report.rejected != rejected) {
+        violate("request-conservation",
+                "report says " + std::to_string(report.rejected) +
+                    " rejected, live state says " + std::to_string(rejected));
+    }
+    if (report.rejoins != cluster_.scheduler().rejoins()) {
+        violate("machine-pool", "report/scheduler rejoin counts disagree");
+    }
+
+    for (const auto& m : cluster_.machines()) {
+        if (m->busy() && !m->failed()) {
+            violate("liveness", "machine " + std::to_string(m->id()) +
+                                    " still busy after the run drained");
+        }
+        if (m->mls().blocks().residents() != 0) {
+            const auto held = m->mls().blocks().heldRequestIds();
+            violate("kv-orphan",
+                    "machine " + std::to_string(m->id()) + " ends the run "
+                        "holding " +
+                        std::to_string(held.size()) +
+                        " KV allocations (first id " +
+                        std::to_string(held.empty() ? 0 : held.front()) +
+                        ")");
+        }
+        const std::string audit = m->mls().blocks().audit();
+        if (!audit.empty()) {
+            violate("kv-accounting",
+                    "machine " + std::to_string(m->id()) + ": " + audit);
+        }
+    }
+
+    const auto& engine = cluster_.transferEngine();
+    if (engine.inFlightTransfers() != 0 || engine.waitingTransfers() != 0) {
+        violate("transfer-accounting",
+                std::to_string(engine.inFlightTransfers()) + " in-flight / " +
+                    std::to_string(engine.waitingTransfers()) +
+                    " waiting transfers after the run drained");
+    }
+
+#if SPLITWISE_TELEMETRY_ENABLED
+    if (const auto* rec = cluster_.traceRecorder()) {
+        if (rec->openSpans() != 0) {
+            violate("span-balance",
+                    std::to_string(rec->openSpans()) +
+                        " spans still open after the run");
+        }
+    }
+#endif
+}
+
+}  // namespace splitwise::testing

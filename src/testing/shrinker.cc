@@ -1,0 +1,220 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace splitwise::testing {
+
+namespace {
+
+/** Shared predicate state: the target invariant and the run budget. */
+struct ShrinkState {
+    std::string target;
+    InvariantOptions invariants;
+    int maxRuns = 0;
+    int runs = 0;
+    /** Violation time of the most recent failing run. */
+    sim::TimeUs lastViolationTime = -1;
+
+    /** True when @p s still violates the target invariant. */
+    bool
+    fails(const Scenario& s)
+    {
+        if (runs >= maxRuns)
+            return false;
+        ++runs;
+        const ScenarioOutcome outcome = runScenario(s, invariants);
+        if (outcome.violated && outcome.invariant == target) {
+            lastViolationTime = outcome.violationTime;
+            return true;
+        }
+        return false;
+    }
+};
+
+/** Drop everything after the violation: requests that arrive, and
+ *  faults that fire, past it cannot have contributed. */
+bool
+truncatePass(Scenario& best, ShrinkState& st)
+{
+    const sim::TimeUs t = st.lastViolationTime;
+    if (t < 0)
+        return false;
+    Scenario cand = best;
+    cand.requests.erase(
+        std::remove_if(cand.requests.begin(), cand.requests.end(),
+                       [t](const workload::Request& r) {
+                           return r.arrival > t;
+                       }),
+        cand.requests.end());
+    cand.faults.events.erase(
+        std::remove_if(cand.faults.events.begin(), cand.faults.events.end(),
+                       [t](const core::FaultEvent& f) { return f.at > t; }),
+        cand.faults.events.end());
+    const bool smaller = cand.requests.size() < best.requests.size() ||
+                         cand.faults.size() < best.faults.size();
+    if (smaller && st.fails(cand)) {
+        best = std::move(cand);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * ddmin-style chunked removal over a vector-valued field: try to
+ * delete chunks at halving granularity, keeping every deletion that
+ * still reproduces.
+ */
+template <typename Vec>
+bool
+ddminPass(Scenario& best, ShrinkState& st, Vec Scenario::* member)
+{
+    bool improved = false;
+    std::size_t chunk = std::max<std::size_t>(1, (best.*member).size() / 2);
+    while (true) {
+        std::size_t start = 0;
+        while (start < (best.*member).size()) {
+            if (st.runs >= st.maxRuns)
+                return improved;
+            Scenario cand = best;
+            auto& items = cand.*member;
+            const std::size_t end =
+                std::min(items.size(), start + chunk);
+            items.erase(items.begin() + static_cast<std::ptrdiff_t>(start),
+                        items.begin() + static_cast<std::ptrdiff_t>(end));
+            if (st.fails(cand)) {
+                best = std::move(cand);
+                improved = true;
+                // Retry the same offset: the next chunk slid here.
+            } else {
+                start += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+        chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return improved;
+}
+
+/** Wrapper so ddminPass can treat the fault list like a field. */
+bool
+ddminFaults(Scenario& best, ShrinkState& st)
+{
+    bool improved = false;
+    std::size_t chunk = std::max<std::size_t>(1, best.faults.size() / 2);
+    while (true) {
+        std::size_t start = 0;
+        while (start < best.faults.size()) {
+            if (st.runs >= st.maxRuns)
+                return improved;
+            Scenario cand = best;
+            auto& events = cand.faults.events;
+            const std::size_t end =
+                std::min(events.size(), start + chunk);
+            events.erase(
+                events.begin() + static_cast<std::ptrdiff_t>(start),
+                events.begin() + static_cast<std::ptrdiff_t>(end));
+            if (st.fails(cand)) {
+                best = std::move(cand);
+                improved = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+        chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return improved;
+}
+
+/** Largest machine id the scenario's faults or seeded bug pin. */
+int
+maxPinnedMachineId(const Scenario& s)
+{
+    int max_id = -1;
+    for (const auto& f : s.faults.events)
+        max_id = std::max(max_id, f.machineId);
+    if (s.bug.kind == BugKind::kOrphanKvBlock)
+        max_id = std::max(max_id, s.bug.machineId);
+    return max_id;
+}
+
+/**
+ * Shrink the pools. Machine ids are positional (prompt pool first),
+ * so only reductions that keep every pinned id valid are attempted:
+ * dropping the last token machine is safe while nothing references
+ * it; dropping a prompt machine shifts all token ids and is only
+ * tried when nothing is pinned at all.
+ */
+bool
+poolPass(Scenario& best, ShrinkState& st)
+{
+    bool improved = false;
+    while (best.numToken > 1 &&
+           maxPinnedMachineId(best) < best.machines() - 1) {
+        if (st.runs >= st.maxRuns)
+            return improved;
+        Scenario cand = best;
+        --cand.numToken;
+        if (!st.fails(cand))
+            break;
+        best = std::move(cand);
+        improved = true;
+    }
+    while (best.numPrompt > 1 && maxPinnedMachineId(best) < 0) {
+        if (st.runs >= st.maxRuns)
+            return improved;
+        Scenario cand = best;
+        --cand.numPrompt;
+        if (!st.fails(cand))
+            break;
+        best = std::move(cand);
+        improved = true;
+    }
+    return improved;
+}
+
+}  // namespace
+
+ShrinkResult
+shrink(const Scenario& failing, const ShrinkOptions& options)
+{
+    ShrinkResult result;
+    result.minimal = failing;
+    result.originalRequests = failing.requests.size();
+    result.originalFaults = failing.faults.size();
+
+    ShrinkState st;
+    st.invariants = options.invariants;
+    st.maxRuns = options.maxRuns;
+
+    ++st.runs;
+    const ScenarioOutcome first = runScenario(failing, options.invariants);
+    if (!first.violated) {
+        result.runs = st.runs;
+        return result;
+    }
+    result.reproduced = true;
+    result.invariant = first.invariant;
+    st.target = first.invariant;
+    st.lastViolationTime = first.violationTime;
+
+    Scenario best = failing;
+    bool improved = true;
+    while (improved && st.runs < st.maxRuns) {
+        improved = false;
+        improved |= truncatePass(best, st);
+        improved |= ddminPass(best, st, &Scenario::requests);
+        improved |= ddminFaults(best, st);
+        improved |= poolPass(best, st);
+    }
+
+    best.name = failing.name + "-min";
+    result.minimal = std::move(best);
+    result.runs = st.runs;
+    return result;
+}
+
+}  // namespace splitwise::testing

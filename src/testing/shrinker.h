@@ -1,0 +1,56 @@
+#ifndef SPLITWISE_TESTING_SHRINKER_H_
+#define SPLITWISE_TESTING_SHRINKER_H_
+
+/**
+ * @file
+ * Automatic scenario shrinking: reduce a violating scenario to a
+ * minimal reproducer by re-running candidate reductions and keeping
+ * the ones that still trip the *same* invariant.
+ *
+ * Passes (iterated to a fixpoint, bounded by ShrinkOptions::maxRuns):
+ *   1. truncate - drop requests arriving, and faults firing, after
+ *      the observed violation time (they cannot have contributed);
+ *   2. ddmin over requests - chunked removal, halving granularity;
+ *   3. ddmin over faults - same, over the fault plan;
+ *   4. pool reduction - shrink the token pool (and, when no faults
+ *      pin machine ids, the prompt pool).
+ *
+ * Shrinking the same scenario is fully deterministic: every
+ * candidate run replays through runScenario with no fresh
+ * randomness.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "testing/scenario.h"
+
+namespace splitwise::testing {
+
+/** Shrink budget and cadence. */
+struct ShrinkOptions {
+    /** Cap on candidate scenario runs across all passes. */
+    int maxRuns = 400;
+    InvariantOptions invariants;
+};
+
+/** A shrink campaign's result. */
+struct ShrinkResult {
+    /** False when the input scenario did not violate at all. */
+    bool reproduced = false;
+    /** Invariant the (original and minimal) scenario violates. */
+    std::string invariant;
+    /** The minimized scenario; equals the input when !reproduced. */
+    Scenario minimal;
+    /** Candidate runs spent. */
+    int runs = 0;
+    std::size_t originalRequests = 0;
+    std::size_t originalFaults = 0;
+};
+
+/** Shrink a failing scenario to a minimal reproducer. */
+ShrinkResult shrink(const Scenario& failing, const ShrinkOptions& = {});
+
+}  // namespace splitwise::testing
+
+#endif  // SPLITWISE_TESTING_SHRINKER_H_

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "core/designs.h"
+#include "core/fault_plan.h"
 #include "model/llm_config.h"
 #include "workload/trace_gen.h"
 #include "workload/workloads.h"
@@ -91,6 +92,69 @@ TEST(ReportIoTest, WriteToBadPathThrows)
 {
     const RunReport report = smallRun();
     EXPECT_THROW(writeReportJson(report, "/nonexistent/dir/report.json"),
+                 std::runtime_error);
+}
+
+TEST(ReportDigestTest, RoundTripPreservesScalars)
+{
+    const RunReport report = smallRun();
+    const ReportDigest d = reportDigestFromJson(reportToJson(report));
+    EXPECT_EQ(d.machines, 2);
+    EXPECT_EQ(d.submitted, report.submitted);
+    EXPECT_EQ(d.completed, report.requests.completed());
+    EXPECT_NEAR(d.throughputRps, report.throughputRps(),
+                1e-5 * report.throughputRps());
+    EXPECT_EQ(d.transfers, report.transfers.transfers);
+    EXPECT_EQ(d.preemptions, report.preemptions);
+    EXPECT_EQ(d.promptPoolTokens, report.promptPool.tokensGenerated);
+    EXPECT_EQ(d.tokenPoolTokens, report.tokenPool.tokensGenerated);
+    EXPECT_GT(d.ttftP50Ms, 0.0);
+    EXPECT_FALSE(d.hasSlo);
+}
+
+TEST(ReportDigestTest, SloSectionRoundTrips)
+{
+    const RunReport report = smallRun();
+    const SloChecker checker(model::llama2_70b());
+    const SloReport slo = checker.evaluate(report.requests, SloSet{});
+    const ReportDigest d = reportDigestFromJson(reportToJson(report, &slo));
+    EXPECT_TRUE(d.hasSlo);
+    EXPECT_EQ(d.sloPass, slo.pass);
+}
+
+/** A run with crashes and admission control: the fault counters and
+ *  rejected count must survive the report -> JSON -> digest trip. */
+TEST(ReportDigestTest, FaultCountersAndRejectedRoundTrip)
+{
+    workload::TraceGenerator gen(workload::conversation(), 11);
+    const auto trace = gen.generate(12.0, sim::secondsToUs(8));
+    SimConfig config;
+    config.cls.shedQueuedTokensBound = 4000;
+    config.kvRetry.maxRetries = 2;
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 2), config);
+    FaultPlan plan;
+    plan.add({FaultKind::kCrash, 1, sim::secondsToUs(2),
+              sim::secondsToUs(2), 1.0});
+    plan.add({FaultKind::kLinkFault, 2, sim::secondsToUs(1),
+              sim::msToUs(400.0), 1.0});
+    FaultInjector(cluster).apply(plan);
+    const RunReport report = cluster.run(trace);
+    const ReportDigest d = reportDigestFromJson(reportToJson(report));
+    EXPECT_EQ(d.restarts, report.restarts);
+    EXPECT_EQ(d.checkpointRestores, report.checkpointRestores);
+    EXPECT_EQ(d.rejected, report.rejected);
+    EXPECT_EQ(d.rejoins, report.rejoins);
+    EXPECT_EQ(d.transferFaults, report.transfers.transferFaults);
+    EXPECT_EQ(d.transferRetries, report.transfers.transferRetries);
+    EXPECT_EQ(d.transferTimeouts, report.transfers.transferTimeouts);
+    EXPECT_EQ(d.transferAborts, report.transfers.transferAborts);
+    EXPECT_GT(d.rejoins, 0u);
+}
+
+TEST(ReportDigestTest, MalformedJsonIsFatal)
+{
+    EXPECT_THROW(reportDigestFromJson("not json"), std::runtime_error);
+    EXPECT_THROW(reportDigestFromJson("{\"design\":{}}"),
                  std::runtime_error);
 }
 

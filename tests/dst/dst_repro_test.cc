@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Replays the checked-in `.scenario.json` reproducers under
+ * tests/dst/data/. Every file must run clean and byte-
+ * deterministically: once a fuzzed failure is fixed, its shrunk
+ * scenario is checked in here so the bug can never quietly return.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "testing/fuzzer.h"
+#include "testing/scenario.h"
+
+namespace splitwise::testing {
+namespace {
+
+std::vector<std::filesystem::path>
+dataFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(SPLITWISE_DST_DATA_DIR)) {
+        if (entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(DstReproTest, DataDirectoryHasScenarios)
+{
+    EXPECT_FALSE(dataFiles().empty());
+}
+
+TEST(DstReproTest, CheckedInScenariosReplayCleanAndDeterministic)
+{
+    for (const auto& path : dataFiles()) {
+        const Scenario s = loadScenarioFile(path.string());
+        const ScenarioOutcome a = runScenario(s);
+        EXPECT_FALSE(a.violated)
+            << path << " violated " << a.invariant << ": " << a.detail;
+        const ScenarioOutcome b = runScenario(s);
+        EXPECT_EQ(a.outcomeJson, b.outcomeJson) << path;
+    }
+}
+
+/** A scenario that went through the file is the same scenario: its
+ *  replayed outcome matches the in-memory run byte-for-byte. */
+TEST(DstReproTest, FileTripPreservesOutcome)
+{
+    const Scenario s = makeScenario(57);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "splitwise_dst_repro_test.scenario.json";
+    writeScenarioFile(s, path.string());
+    const Scenario loaded = loadScenarioFile(path.string());
+    std::filesystem::remove(path);
+    EXPECT_EQ(runScenario(loaded).outcomeJson, runScenario(s).outcomeJson);
+}
+
+}  // namespace
+}  // namespace splitwise::testing

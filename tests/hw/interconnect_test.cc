@@ -1,0 +1,74 @@
+#include "hw/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hw/machine_spec.h"
+
+namespace splitwise::hw {
+namespace {
+
+TEST(InterconnectTest, WireTimeScalesLinearly)
+{
+    LinkSpec link;
+    link.bandwidthGBps = 100.0;
+    const sim::TimeUs one = link.wireTime(1'000'000'000);
+    const sim::TimeUs two = link.wireTime(2'000'000'000);
+    EXPECT_GT(one, 0);
+    EXPECT_NEAR(static_cast<double>(two),
+                2.0 * static_cast<double>(one), 1.0);
+}
+
+TEST(InterconnectTest, TransferTimeAddsSetup)
+{
+    LinkSpec link;
+    link.bandwidthGBps = 50.0;
+    link.setupUs = 123;
+    EXPECT_EQ(link.transferTime(1'000'000),
+              123 + link.wireTime(1'000'000));
+}
+
+TEST(InterconnectTest, ZeroBandwidthIsFatal)
+{
+    LinkSpec link;
+    EXPECT_THROW(link.wireTime(1), std::runtime_error);
+    link.bandwidthGBps = -4.0;
+    EXPECT_THROW(link.transferTime(1), std::runtime_error);
+}
+
+TEST(InterconnectTest, ZeroBytesIsFree)
+{
+    LinkSpec link;
+    link.bandwidthGBps = 10.0;
+    EXPECT_EQ(link.wireTime(0), 0);
+    link.setupUs = 7;
+    EXPECT_EQ(link.transferTime(0), 7);
+}
+
+TEST(InterconnectTest, HeterogeneousPairRunsAtSlowerNic)
+{
+    const LinkSpec mixed = linkBetween(dgxH100(), dgxA100());
+    const LinkSpec slow = linkBetween(dgxA100(), dgxA100());
+    EXPECT_DOUBLE_EQ(mixed.bandwidthGBps, slow.bandwidthGBps);
+    EXPECT_DOUBLE_EQ(mixed.bandwidthGBps, dgxA100().infinibandGBps);
+}
+
+TEST(InterconnectTest, SingleLinkPairIsSymmetric)
+{
+    const LinkSpec ab = linkBetween(dgxH100(), dgxA100());
+    const LinkSpec ba = linkBetween(dgxA100(), dgxH100());
+    EXPECT_DOUBLE_EQ(ab.bandwidthGBps, ba.bandwidthGBps);
+    EXPECT_EQ(ab.setupUs, ba.setupUs);
+}
+
+TEST(InterconnectTest, FasterLinkHasCheaperSetup)
+{
+    const LinkSpec fast = linkBetween(dgxH100(), dgxH100());
+    const LinkSpec slow = linkBetween(dgxA100(), dgxA100());
+    EXPECT_LT(fast.setupUs, slow.setupUs);
+    EXPECT_GT(fast.setupUs, 0);
+}
+
+}  // namespace
+}  // namespace splitwise::hw

@@ -14,6 +14,7 @@
 #include "core/report_io.h"
 #include "hw/machine_spec.h"
 #include "provision/provisioner.h"
+#include "testing/fuzzer.h"
 
 namespace splitwise::provision {
 namespace {
@@ -68,6 +69,43 @@ TEST(DeterminismTest, SweepReportsByteIdenticalAcrossJobCounts)
             EXPECT_FALSE(a[i].reportJson.empty());
         }
     }
+}
+
+/**
+ * The seed x jobs matrix over fuzzed DST scenarios: for each base
+ * seed, a small campaign (which composes fault storms, KV-retry
+ * configs, and admission control by construction) must produce
+ * byte-identical outcomes at 1, 4, and 8 jobs. This extends the gate
+ * from clean sweeps to runs exercising crash/rejoin recovery paths.
+ */
+TEST(DeterminismTest, FuzzedScenariosByteIdenticalAcrossSeedJobsMatrix)
+{
+    bool saw_fault_storm = false;
+    for (const std::uint64_t seed : kSeeds) {
+        splitwise::testing::FuzzerConfig base;
+        base.scenarios = 4;
+        base.baseSeed = seed * 1000;
+        base.jobs = 1;
+        const auto baseline = splitwise::testing::fuzz(base);
+        for (const auto& r : baseline) {
+            EXPECT_FALSE(r.outcome.violated)
+                << "seed " << r.seed << ": " << r.outcome.invariant
+                << " " << r.outcome.detail;
+            saw_fault_storm |= !r.scenario.faults.empty();
+        }
+        for (const int jobs : {4, 8}) {
+            splitwise::testing::FuzzerConfig cfg = base;
+            cfg.jobs = jobs;
+            const auto results = splitwise::testing::fuzz(cfg);
+            ASSERT_EQ(results.size(), baseline.size());
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                EXPECT_EQ(results[i].outcome.outcomeJson,
+                          baseline[i].outcome.outcomeJson)
+                    << "seed " << results[i].seed << " jobs " << jobs;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_fault_storm);
 }
 
 TEST(DeterminismTest, EvaluateIsAPureFunctionOfSeedAndLoad)

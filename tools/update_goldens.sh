@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+#
+# Regenerate the golden report files under tests/golden/data/.
+#
+#   tools/update_goldens.sh [build-dir]
+#
+# Rebuilds golden_report_test in the given tree (default: build/) and
+# reruns it with SPLITWISE_UPDATE_GOLDENS=1, which makes the test
+# overwrite each golden file with the current simulator output instead
+# of comparing against it. Review the resulting diff before
+# committing: every changed number is a deliberate behaviour change or
+# a regression.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j --target golden_report_test
+
+SPLITWISE_UPDATE_GOLDENS=1 "$build_dir/tests/golden_report_test"
+
+echo
+echo "goldens rewritten; review with: git diff tests/golden/data/"
+git --no-pager diff --stat -- tests/golden/data/ || true

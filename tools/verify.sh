@@ -56,6 +56,9 @@ build/bench/bench_fig12_design_space --jobs 8 \
 cmp "$tmpdir/fig12-jobs1.json" "$tmpdir/fig12-jobs8.json"
 echo "per-cell reports byte-identical across job counts"
 
+step "DST smoke: bench_dst --short (fuzz + invariant checker)"
+build/bench/bench_dst --short --jobs 4
+
 step "telemetry smoke: bench_chaos with trace + timeseries"
 build/bench/bench_chaos \
     --trace-out="$tmpdir/trace.json" \
