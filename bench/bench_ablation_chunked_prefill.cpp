@@ -19,7 +19,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_ablation_chunked_prefill",
+        "Ablation: chunked-prefill budget vs TTFT/TBT trade-off");
     using namespace splitwise;
     using metrics::Table;
 

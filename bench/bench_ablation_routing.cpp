@@ -14,7 +14,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_ablation_routing",
+        "Ablation: CLS routing policies under load");
     using namespace splitwise;
     using metrics::Table;
 

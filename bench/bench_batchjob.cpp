@@ -43,7 +43,8 @@ sustainedRps(const splitwise::core::RunReport& report)
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_batchjob",
+        "Batch-job throughput on mixed request sizes");
     using namespace splitwise;
     using metrics::Table;
     using provision::DesignKind;

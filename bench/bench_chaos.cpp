@@ -17,11 +17,9 @@
  * smoke variant.
  */
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,21 +51,26 @@ main(int argc, char** argv)
     using namespace splitwise;
     using metrics::Table;
 
-    bench::initBenchArgs(argc, argv);
+    auto parser = bench::benchParser(
+        "bench_chaos",
+        "Chaos soak: iso-power Splitwise-HH under a seeded fault storm "
+        "vs fault-free, with full request accounting");
+    std::string seed_arg;
+    parser.addPositional("storm_seed", &seed_arg,
+                         "base storm seed (default 2024)");
+    parser.parse(argc, argv);
     const bench::BenchArgs& args = bench::benchArgs();
 
-    // The storm seed is the first bare-number argument; everything
-    // else belongs to the shared flags. A number right after a
-    // `--flag value` spelling is that flag's value, not the seed.
     std::uint64_t seed = 2024;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::isdigit(static_cast<unsigned char>(argv[i][0])))
-            continue;
-        if (i > 1 && std::strncmp(argv[i - 1], "--", 2) == 0 &&
-            std::strchr(argv[i - 1], '=') == nullptr)
-            continue;
-        seed = std::strtoull(argv[i], nullptr, 10);
-        break;
+    if (!seed_arg.empty()) {
+        try {
+            std::size_t used = 0;
+            seed = std::stoull(seed_arg, &used);
+            if (used != seed_arg.size())
+                throw std::invalid_argument(seed_arg);
+        } catch (const std::exception&) {
+            parser.fail("storm_seed: invalid value '" + seed_arg + "'");
+        }
     }
 
     const double trace_seconds = args.shortRun ? 12.0 : 60.0;

@@ -10,8 +10,8 @@
  * simulator covers a 40-machine, 100+ RPS cluster trace in well
  * under a second, so every bench still finishes in seconds.
  *
- * Every bench accepts the shared flags (parsed by initBenchArgs,
- * applied by runCluster):
+ * Every bench accepts the shared flags (registered on the typed
+ * bench::ArgParser by benchParser, applied by runCluster):
  *
  *   --trace-out=PATH        Perfetto/Chrome trace JSON per cluster
  *                           run (open in ui.perfetto.dev).
@@ -32,12 +32,13 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/arg_parser.h"
 #include "core/cluster.h"
 #include "core/designs.h"
+#include "core/run.h"
 #include "core/slo.h"
 #include "metrics/table.h"
 #include "model/llm_config.h"
@@ -119,7 +120,9 @@ struct BenchArgs {
     std::string traceOut;
     /** Time-series CSV destination; empty disables sampling. */
     std::string timeseriesOut;
-    /** Sampling grid spacing. */
+    /** Sampling grid spacing as parsed (`--sample-interval-ms`). */
+    double sampleIntervalMs = 1000.0;
+    /** Sampling grid spacing (derived from sampleIntervalMs). */
     sim::TimeUs sampleIntervalUs = sim::msToUs(1000.0);
     /** Worker count for multi-run benches; 0 = hardware default. */
     int jobs = 0;
@@ -147,55 +150,50 @@ benchArgs()
 }
 
 /**
- * Parse the shared telemetry flags (see the file comment). Both
- * --flag=value and --flag value spellings work; unrecognized
- * arguments are left for the bench's own parsing.
+ * Build the bench's ArgParser with the shared flags pre-registered
+ * (see the file comment). The bench adds its own flags, then calls
+ * parse(argc, argv); `--help` and unknown-flag handling come for
+ * free.
+ */
+inline ArgParser
+benchParser(const std::string& program, const std::string& summary)
+{
+    ArgParser parser(program, summary);
+    BenchArgs& args = benchArgs();
+    parser.addString("--trace-out", &args.traceOut,
+                     "write a Perfetto/Chrome trace JSON per cluster run");
+    parser.addString("--timeseries-out", &args.timeseriesOut,
+                     "write sampled cluster metrics as CSV");
+    parser.addDouble("--sample-interval-ms", &args.sampleIntervalMs,
+                     "time-series sampling grid in milliseconds");
+    parser.addInt("--jobs", &args.jobs,
+                  "concurrent simulations (0 = hardware default; "
+                  "1 = exact serial path)");
+    parser.addInt("--runs", &args.runs,
+                  "repetition count for seed-soak benches");
+    parser.addFlag("--short", &args.shortRun,
+                   "reduced-duration smoke variant for CI");
+    parser.addValidator([&args] {
+        if (args.sampleIntervalMs <= 0)
+            sim::fatal("--sample-interval-ms must be positive");
+        args.sampleIntervalUs = sim::msToUs(args.sampleIntervalMs);
+        if (args.jobs < 0)
+            sim::fatal("--jobs must be >= 0 (0 = hardware default)");
+        if (args.runs < 1)
+            sim::fatal("--runs must be >= 1");
+    });
+    return parser;
+}
+
+/**
+ * Parse a bench command line that has no bench-specific flags: the
+ * one-liner for the majority of figure/table binaries.
  */
 inline void
-initBenchArgs(int argc, char** argv)
+parseBenchArgs(int argc, char** argv, const std::string& program,
+               const std::string& summary)
 {
-    BenchArgs& args = benchArgs();
-    auto take = [&](int& i, const char* name, std::string& out) {
-        const std::size_t len = std::strlen(name);
-        if (std::strncmp(argv[i], name, len) != 0)
-            return false;
-        if (argv[i][len] == '=') {
-            out = argv[i] + len + 1;
-            return true;
-        }
-        if (argv[i][len] == '\0' && i + 1 < argc) {
-            out = argv[++i];
-            return true;
-        }
-        return false;
-    };
-    for (int i = 1; i < argc; ++i) {
-        std::string value;
-        if (take(i, "--trace-out", args.traceOut) ||
-            take(i, "--timeseries-out", args.timeseriesOut)) {
-            continue;
-        }
-        if (take(i, "--sample-interval-ms", value)) {
-            args.sampleIntervalUs = sim::msToUs(std::stod(value));
-            continue;
-        }
-        if (take(i, "--jobs", value)) {
-            args.jobs = std::stoi(value);
-            continue;
-        }
-        if (take(i, "--runs", value)) {
-            args.runs = std::stoi(value);
-            continue;
-        }
-        if (std::strcmp(argv[i], "--short") == 0)
-            args.shortRun = true;
-    }
-    if (args.sampleIntervalUs <= 0)
-        sim::fatal("--sample-interval-ms must be positive");
-    if (args.jobs < 0)
-        sim::fatal("--jobs must be >= 0 (0 = hardware default)");
-    if (args.runs < 1)
-        sim::fatal("--runs must be >= 1");
+    benchParser(program, summary).parse(argc, argv);
 }
 
 /** The resolved `--jobs` value: explicit flag or hardware default. */
@@ -217,21 +215,31 @@ applyTelemetryCli(core::SimConfig& config)
         config.telemetry.sampleIntervalUs = args.sampleIntervalUs;
 }
 
-/** "out.json" with run index 2 becomes "out.2.json". */
+/** Deprecated shim: use core::indexedSinkPath. */
 inline std::string
 indexedPath(const std::string& path, int index)
 {
-    if (index == 0)
-        return path;
-    const auto slash = path.find_last_of('/');
-    const auto dot = path.find_last_of('.');
-    const bool has_ext =
-        dot != std::string::npos &&
-        (slash == std::string::npos || dot > slash);
-    const std::string suffix = "." + std::to_string(index);
-    if (!has_ext)
-        return path + suffix;
-    return path.substr(0, dot) + suffix + path.substr(dot);
+    return core::indexedSinkPath(path, index);
+}
+
+/**
+ * The parsed bench CLI as core run inputs: telemetry sinks (suffixed
+ * with @p index for multi-run benches) plus the sampling grid applied
+ * to @p sim.
+ */
+inline core::RunSinks
+cliRunSinks(core::SimConfig& sim, int index = 0)
+{
+    const BenchArgs& args = benchArgs();
+    core::RunSinks sinks;
+    if (!args.traceOut.empty())
+        sinks.tracePath = core::indexedSinkPath(args.traceOut, index);
+    if (!args.timeseriesOut.empty()) {
+        sinks.timeseriesPath =
+            core::indexedSinkPath(args.timeseriesOut, index);
+        sim.telemetry.sampleIntervalUs = args.sampleIntervalUs;
+    }
+    return sinks;
 }
 
 /**
@@ -275,23 +283,31 @@ writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report)
                           args.runIndex.fetch_add(1));
 }
 
-/** Run a design on a trace and return the report. */
+/**
+ * Deprecated shim over core::run: run a design on a trace with the
+ * CLI telemetry sinks and return the report. Serial multi-run
+ * benches get one file set per call via the shared run index.
+ */
 inline core::RunReport
 runCluster(const model::LlmConfig& llm, const core::ClusterDesign& design,
            const workload::Trace& trace, core::SimConfig config = {})
 {
-    applyTelemetryCli(config);
-    core::Cluster cluster(llm, design, config);
-    auto report = cluster.run(trace);
-    writeTelemetryOutputs(cluster, report);
-    return report;
+    BenchArgs& args = benchArgs();
+    core::RunOptions options;
+    options.llm = llm;
+    options.design = design;
+    options.traces = {trace};
+    options.sim = config;
+    const int index = args.any() ? args.runIndex.fetch_add(1) : 0;
+    options.sinks = cliRunSinks(options.sim, index);
+    return core::run(options);
 }
 
 /**
- * Run one design over several traces concurrently (`--jobs`) and
- * return the reports in trace order. Each run owns its cluster and
- * telemetry sinks; output files are suffixed with the trace index,
- * so results and artifacts are identical at every job count.
+ * Deprecated shim over core::runMany: run one design over several
+ * traces concurrently (`--jobs`) and return the reports in trace
+ * order. Output files are suffixed with the trace index, so results
+ * and artifacts are identical at every job count.
  */
 inline std::vector<core::RunReport>
 runClusterMany(const model::LlmConfig& llm,
@@ -299,15 +315,14 @@ runClusterMany(const model::LlmConfig& llm,
                const std::vector<workload::Trace>& traces,
                core::SimConfig config = {})
 {
-    applyTelemetryCli(config);
-    sim::RunPool pool(effectiveJobs());
-    return pool.map(traces, [&](const workload::Trace& trace,
-                                std::size_t index) {
-        core::Cluster cluster(llm, design, config);
-        auto report = cluster.run(trace);
-        writeTelemetryOutputs(cluster, report, static_cast<int>(index));
-        return report;
-    });
+    core::RunOptions options;
+    options.llm = llm;
+    options.design = design;
+    options.traces = traces;
+    options.sim = config;
+    options.sinks = cliRunSinks(options.sim);
+    options.jobs = effectiveJobs();
+    return core::runMany(options);
 }
 
 /** Print a section banner. */

@@ -16,7 +16,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <cstring>
 #include <string>
 
 #include "bench/bench_common.h"
@@ -31,6 +30,8 @@ struct DstArgs {
     std::uint64_t baseSeed = 1;
     /** Wall-clock budget in seconds; 0 = run exactly `seeds`. */
     double timeBudgetS = 0.0;
+    /** Raw `--time-budget` value; accepts an optional 's' suffix. */
+    std::string timeBudget;
     /** Invariant cadence (1 = every quiescent point). */
     int checkEvery = 1;
     std::uint64_t dumpSeed = 0;
@@ -41,36 +42,32 @@ DstArgs
 parseArgs(int argc, char** argv)
 {
     DstArgs args;
-    auto value = [&](int& i, const char* name, std::string& out) {
-        const std::size_t len = std::strlen(name);
-        if (std::strncmp(argv[i], name, len) != 0)
-            return false;
-        if (argv[i][len] == '=') {
-            out = argv[i] + len + 1;
-            return true;
-        }
-        if (argv[i][len] == '\0' && i + 1 < argc) {
-            out = argv[++i];
-            return true;
-        }
-        return false;
-    };
-    for (int i = 1; i < argc; ++i) {
-        std::string v;
-        if (value(i, "--seeds", v))
-            args.seeds = std::stoi(v);
-        else if (value(i, "--base-seed", v))
-            args.baseSeed = std::stoull(v);
-        else if (value(i, "--time-budget", v)) {
-            if (!v.empty() && v.back() == 's')
-                v.pop_back();
+    auto parser = bench::benchParser(
+        "bench_dst",
+        "DST soak: fuzz seeded scenarios through the invariant checker "
+        "until a seed count or wall-clock budget is exhausted");
+    parser.addInt("--seeds", &args.seeds, "scenario count for the campaign");
+    parser.addUint64("--base-seed", &args.baseSeed, "first scenario seed");
+    parser.addString("--time-budget", &args.timeBudget,
+                     "wall-clock budget in seconds (optional 's' suffix); "
+                     "overrides --seeds");
+    parser.addInt("--check-every", &args.checkEvery,
+                  "invariant cadence (1 = every quiescent point)");
+    parser.addUint64("--dump-seed", &args.dumpSeed,
+                     "scenario seed to dump with --dump-out");
+    parser.addString("--dump-out", &args.dumpOut,
+                     "write the --dump-seed scenario JSON here and exit");
+    parser.parse(argc, argv);
+    if (!args.timeBudget.empty()) {
+        std::string v = args.timeBudget;
+        if (v.back() == 's')
+            v.pop_back();
+        try {
             args.timeBudgetS = std::stod(v);
-        } else if (value(i, "--check-every", v))
-            args.checkEvery = std::stoi(v);
-        else if (value(i, "--dump-seed", v))
-            args.dumpSeed = std::stoull(v);
-        else if (value(i, "--dump-out", v))
-            args.dumpOut = v;
+        } catch (const std::exception&) {
+            parser.fail("--time-budget: invalid value '" + args.timeBudget +
+                        "'");
+        }
     }
     if (args.seeds < 1)
         sim::fatal("--seeds must be >= 1");
@@ -177,7 +174,6 @@ int
 main(int argc, char** argv)
 {
     using namespace splitwise;
-    bench::initBenchArgs(argc, argv);
     DstArgs args = parseArgs(argc, argv);
     if (bench::benchArgs().shortRun)
         args.seeds = std::min(args.seeds, 24);

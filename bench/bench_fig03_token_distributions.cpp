@@ -35,7 +35,8 @@ printCdf(const char* title, bool prompts)
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig03_token_distributions",
+        "Paper Fig. 3: prompt/output token distributions");
     using namespace splitwise;
 
     printCdf("Fig. 3a: number of prompt tokens (CDF)", true);

@@ -89,7 +89,8 @@ samplerCrossCheck(const splitwise::model::LlmConfig& llm)
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig04_batch_utilization",
+        "Paper Fig. 4: active tokens per batch over time");
     using namespace splitwise;
 
     report("Llama2-70B", model::llama2_70b());

@@ -13,7 +13,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig05_latency",
+        "Paper Fig. 5: TTFT/TBT/E2E latency models");
     using namespace splitwise;
     using metrics::Table;
 

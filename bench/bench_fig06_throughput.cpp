@@ -14,7 +14,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig06_throughput",
+        "Paper Fig. 6: throughput vs batching policy");
     using namespace splitwise;
     using metrics::Table;
 

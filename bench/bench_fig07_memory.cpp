@@ -13,7 +13,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig07_memory",
+        "Paper Fig. 7: KV memory occupancy");
     using namespace splitwise;
     using metrics::Table;
 

@@ -13,7 +13,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig08_power",
+        "Paper Fig. 8: power draw by phase");
     using namespace splitwise;
     using metrics::Table;
 

@@ -12,7 +12,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig09_power_cap",
+        "Paper Fig. 9: power capping effects");
     using namespace splitwise;
     using metrics::Table;
 

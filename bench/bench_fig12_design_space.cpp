@@ -14,7 +14,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -23,17 +22,18 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
     using namespace splitwise;
     using provision::DesignKind;
 
     std::string report_out;
-    for (int i = 1; i < argc; ++i) {
-        const char* flag = "--report-out";
-        const std::size_t len = std::strlen(flag);
-        if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=')
-            report_out = argv[i] + len + 1;
-    }
+    auto parser = bench::benchParser(
+        "bench_fig12_design_space",
+        "Paper Fig. 12: Splitwise-HH provisioning design-space sweep "
+        "with SLO-feasible and cost-optimal marking");
+    parser.addString("--report-out", &report_out,
+                     "dump every cell's report as a JSON array (the CI "
+                     "determinism-gate artifact)");
+    parser.parse(argc, argv);
 
     const double target_rps = 70.0;  // the paper's target peak load
     provision::ProvisionerOptions options;

@@ -16,7 +16,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig14_kv_transfer",
+        "Paper Fig. 14: KV-transfer latency overhead");
     using namespace splitwise;
     using metrics::Table;
 

@@ -28,7 +28,8 @@ secondTokenSummary(const splitwise::core::RunReport& report)
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig15_e2e_overhead",
+        "Paper Fig. 15: end-to-end transfer overhead");
     using namespace splitwise;
     using metrics::Table;
 

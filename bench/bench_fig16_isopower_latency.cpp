@@ -62,7 +62,8 @@ sweepWorkload(const char* workload_name,
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig16_isopower_latency",
+        "Paper Fig. 16: iso-power latency comparison");
     // Paper loads: coding up to ~130 RPS, conversation up to ~130.
     sweepWorkload("coding", {40, 70, 100, 130});
     sweepWorkload("conversation", {40, 70, 100, 130});

@@ -54,7 +54,8 @@ atLoad(double rps, const char* label)
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig17_batch_cdf",
+        "Paper Fig. 17: batched-token CDFs per pool");
     atLoad(70.0, "low load (70 RPS)");
     atLoad(130.0, "high load (130 RPS)");
     std::printf("\nPaper: at low load baseline machines spend ~70%% of"

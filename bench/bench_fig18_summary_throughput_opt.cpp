@@ -69,7 +69,8 @@ summarize(const char* title, bool iso_power)
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig18_summary_throughput_opt",
+        "Paper Fig. 18: throughput-optimized design summary");
     summarize("Fig. 18a: iso-power throughput-optimized (conversation,"
               " budget = 40x DGX-H100 power)",
               true);

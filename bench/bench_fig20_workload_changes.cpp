@@ -51,7 +51,8 @@ sweep(const char* title, const splitwise::model::LlmConfig& llm,
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_fig20_workload_changes",
+        "Paper Fig. 20: robustness to workload drift");
     using namespace splitwise;
 
     // (a) Conversation trace on clusters provisioned for coding.

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "core/cluster.h"
 #include "core/designs.h"
 #include "engine/block_manager.h"
@@ -32,7 +36,7 @@ BM_EventQueueScheduleAndPop(benchmark::State& state)
     std::int64_t t = 0;
     for (auto _ : state) {
         for (int i = 0; i < 64; ++i)
-            queue.schedule(t + (i * 37) % 1000, [] {});
+            queue.post(t + (i * 37) % 1000, [] {});
         while (!queue.empty())
             benchmark::DoNotOptimize(queue.pop());
         t += 1000;
@@ -151,4 +155,31 @@ BENCHMARK(BM_ClusterSimulationTelemetry)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // The shared bench flags are accepted for CLI uniformity;
+    // google-benchmark's own --benchmark_* flags pass through.
+    auto parser = splitwise::bench::benchParser(
+        "bench_micro",
+        "google-benchmark microbenchmarks for the simulator's hot "
+        "kernels");
+    parser.passthroughPrefix("--benchmark_");
+    parser.parse(argc, argv);
+
+    std::vector<std::string> forwarded;
+    forwarded.emplace_back(argv[0]);
+    for (const auto& arg : parser.passthrough())
+        forwarded.push_back(arg);
+    std::vector<char*> fwd_argv;
+    fwd_argv.reserve(forwarded.size());
+    for (auto& arg : forwarded)
+        fwd_argv.push_back(arg.data());
+    int fwd_argc = static_cast<int>(fwd_argv.size());
+    benchmark::Initialize(&fwd_argc, fwd_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

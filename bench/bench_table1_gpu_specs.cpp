@@ -10,7 +10,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_table1_gpu_specs",
+        "Paper Table 1: GPU/machine spec sheet");
     using namespace splitwise;
     using metrics::Table;
 

@@ -64,7 +64,8 @@ measure(const splitwise::workload::Workload& w,
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_table4_a100_vs_h100",
+        "Paper Table 4: A100 vs H100 phase performance");
     using namespace splitwise;
     using metrics::Table;
 

@@ -13,7 +13,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_table5_designs",
+        "Paper Table 5: cluster design comparison");
     using namespace splitwise;
     using metrics::Table;
 

@@ -12,7 +12,8 @@
 int
 main(int argc, char** argv)
 {
-    splitwise::bench::initBenchArgs(argc, argv);
+    splitwise::bench::parseBenchArgs(argc, argv, "bench_table6_slos",
+        "Paper Table 6: SLO attainment by design");
     using namespace splitwise;
     using metrics::Table;
 

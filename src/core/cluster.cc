@@ -238,7 +238,7 @@ void
 Cluster::scheduleFailure(int machine_id, sim::TimeUs at)
 {
     checkFaultSchedulable(machine_id);
-    simulator_.schedule(at, [this, machine_id] { failMachine(machine_id); });
+    simulator_.post(at, [this, machine_id] { failMachine(machine_id); });
 }
 
 void
@@ -248,9 +248,9 @@ Cluster::scheduleFailure(int machine_id, sim::TimeUs at,
     checkFaultSchedulable(machine_id);
     if (downtime_us <= 0)
         sim::fatal("Cluster::scheduleFailure: downtime must be positive");
-    simulator_.schedule(at, [this, machine_id] { failMachine(machine_id); });
-    simulator_.schedule(at + downtime_us,
-                        [this, machine_id] { recoverMachine(machine_id); });
+    simulator_.post(at, [this, machine_id] { failMachine(machine_id); });
+    simulator_.post(at + downtime_us,
+                    [this, machine_id] { recoverMachine(machine_id); });
 }
 
 void
@@ -260,10 +260,10 @@ Cluster::scheduleSlowdown(int machine_id, sim::TimeUs at,
     checkFaultSchedulable(machine_id);
     if (factor <= 0.0)
         sim::fatal("Cluster::scheduleSlowdown: factor must be positive");
-    simulator_.schedule(at, [this, machine_id, factor] {
+    simulator_.post(at, [this, machine_id, factor] {
         machineById(machine_id)->setPerfScale(factor);
     });
-    simulator_.schedule(at + duration_us, [this, machine_id] {
+    simulator_.post(at + duration_us, [this, machine_id] {
         machineById(machine_id)->setPerfScale(1.0);
     });
 }
@@ -400,7 +400,7 @@ Cluster::restoreFromCheckpoint(engine::LiveRequest* request)
     const auto restore_us =
         sim::secondsToUs(bytes / (config_.checkpointRestoreGBps * 1e9));
     const std::uint32_t epoch = request->restartEpoch;
-    simulator_.scheduleAfter(restore_us, [this, request, host, epoch] {
+    simulator_.postAfter(restore_us, [this, request, host, epoch] {
         if (request->restartEpoch != epoch || host->failed()) {
             // The host died during the restore; the failure handler
             // already rerouted the request.
@@ -432,7 +432,7 @@ Cluster::run(const workload::Trace& trace)
         req->spec = spec;
         live_.push_back(std::move(req));
         engine::LiveRequest* ptr = live_.back().get();
-        simulator_.schedule(spec.arrival, [this, ptr] {
+        simulator_.post(spec.arrival, [this, ptr] {
             if (!cls_->onArrival(ptr)) {
                 ptr->phase = engine::RequestPhase::kRejected;
                 rejected_->add();

@@ -1,0 +1,96 @@
+#include "core/run.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "sim/log.h"
+#include "sim/run_pool.h"
+
+namespace splitwise::core {
+
+namespace {
+
+/** Switch on the telemetry collection each requested sink needs. */
+SimConfig
+effectiveConfig(const RunOptions& options)
+{
+    SimConfig config = options.sim;
+    if (!options.sinks.tracePath.empty())
+        config.telemetry.traceEnabled = true;
+    if (!options.sinks.timeseriesPath.empty() &&
+        config.telemetry.sampleIntervalUs <= 0) {
+        config.telemetry.sampleIntervalUs = sim::msToUs(1000.0);
+    }
+    return config;
+}
+
+/** Execute one trace of the options under an explicit run index. */
+RunReport
+runOne(const RunOptions& options, const SimConfig& config,
+       const workload::Trace& trace, int index)
+{
+    Cluster cluster(options.llm, options.design, config);
+    if (!options.faults.empty())
+        FaultInjector(cluster).apply(options.faults);
+    RunReport report = cluster.run(trace);
+    if (!options.sinks.tracePath.empty() && cluster.traceRecorder()) {
+        const auto path = indexedSinkPath(options.sinks.tracePath, index);
+        cluster.traceRecorder()->writeFile(path);
+        std::printf("wrote trace %s (%zu events)\n", path.c_str(),
+                    cluster.traceRecorder()->eventCount());
+    }
+    if (!options.sinks.timeseriesPath.empty() &&
+        !report.timeseries.empty()) {
+        const auto path =
+            indexedSinkPath(options.sinks.timeseriesPath, index);
+        report.timeseries.writeCsv(path);
+        std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
+                    report.timeseries.rows.size());
+    }
+    return report;
+}
+
+}  // namespace
+
+std::string
+indexedSinkPath(const std::string& path, int index)
+{
+    if (index == 0)
+        return path;
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    const bool has_ext = dot != std::string::npos &&
+                         (slash == std::string::npos || dot > slash);
+    const std::string suffix = "." + std::to_string(index);
+    if (!has_ext)
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+RunReport
+run(const RunOptions& options)
+{
+    if (options.traces.size() != 1) {
+        sim::fatal("core::run expects exactly one trace (got " +
+                   std::to_string(options.traces.size()) +
+                   "); use runMany for batches");
+    }
+    return runOne(options, effectiveConfig(options), options.traces.front(),
+                  /*index=*/0);
+}
+
+std::vector<RunReport>
+runMany(const RunOptions& options)
+{
+    const SimConfig config = effectiveConfig(options);
+    const int jobs =
+        options.jobs > 0 ? options.jobs : sim::RunPool::defaultJobs();
+    sim::RunPool pool(jobs);
+    return pool.map(options.traces,
+                    [&](const workload::Trace& trace, std::size_t index) {
+                        return runOne(options, config, trace,
+                                      static_cast<int>(index));
+                    });
+}
+
+}  // namespace splitwise::core

@@ -1,0 +1,88 @@
+#ifndef SPLITWISE_CORE_RUN_H_
+#define SPLITWISE_CORE_RUN_H_
+
+/**
+ * @file
+ * The consolidated cluster-run entry point.
+ *
+ * Cluster::run, the bench runCluster/runClusterMany helpers, and the
+ * telemetry-output overloads accreted into parallel surfaces that
+ * each threaded a different subset of (design, workload, faults,
+ * telemetry, jobs) by hand. RunOptions names the whole input of a
+ * run; run()/runMany() are the one way to execute it. The old
+ * helpers survive one PR as thin deprecated shims.
+ *
+ * Layering note: ISSUE 5 sketches this as `sim::RunOptions`, but the
+ * run input spans core-layer types (ClusterDesign, FaultPlan,
+ * SimConfig) that the sim layer must not depend on, so it lives in
+ * core.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/fault_plan.h"
+#include "model/llm_config.h"
+#include "workload/trace.h"
+
+namespace splitwise::core {
+
+/** Telemetry file destinations for a run; empty path = disabled. */
+struct RunSinks {
+    /** Perfetto/Chrome trace JSON (implies trace recording). */
+    std::string tracePath;
+    /** Sampled cluster metrics CSV (implies time-series sampling). */
+    std::string timeseriesPath;
+
+    bool any() const { return !tracePath.empty() || !timeseriesPath.empty(); }
+};
+
+/**
+ * The complete input of a cluster run: model, cluster design,
+ * workload trace(s), simulation tunables, fault plan, telemetry
+ * sinks, and parallelism. One cluster is built and run per trace.
+ */
+struct RunOptions {
+    model::LlmConfig llm;
+    ClusterDesign design;
+    /** One cluster run per trace, reported in trace order. */
+    std::vector<workload::Trace> traces;
+    SimConfig sim;
+    /** Faults scheduled into every run (validated against design). */
+    FaultPlan faults;
+    /**
+     * File sinks, applied per run; with several traces the paths are
+     * suffixed with the trace index before the extension
+     * (trace.json, trace.1.json, ...). Setting a sink switches the
+     * matching telemetry collection on.
+     */
+    RunSinks sinks;
+    /**
+     * Worker count for multi-trace runs: 0 = hardware default,
+     * 1 = the exact serial path. Reports and artifacts are identical
+     * at every job count.
+     */
+    int jobs = 1;
+};
+
+/**
+ * Run a single-trace RunOptions to completion.
+ *
+ * @pre options.traces.size() == 1 (fatal otherwise).
+ */
+RunReport run(const RunOptions& options);
+
+/**
+ * Run every trace in @p options concurrently (`jobs` workers) and
+ * return the reports in trace order. Each run owns its cluster and
+ * telemetry sinks.
+ */
+std::vector<RunReport> runMany(const RunOptions& options);
+
+/** "out.json" with run index 2 becomes "out.2.json"; index 0 is unchanged. */
+std::string indexedSinkPath(const std::string& path, int index);
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_RUN_H_

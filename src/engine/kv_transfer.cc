@@ -186,9 +186,11 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
 
     ++inFlight_;
     const std::uint32_t epoch = request->restartEpoch;
-    simulator_.schedule(end, [this, request, src, dst, epoch, prompt_compute,
-                              attempt, timed_out, succeeds,
-                              done = std::move(done)]() mutable {
+    // Fits EventAction's inline buffer (asserted in
+    // event_action_test.cc): no allocation per delivery event.
+    simulator_.post(end, [this, request, src, dst, epoch, prompt_compute,
+                          attempt, timed_out, succeeds,
+                          done = std::move(done)]() mutable {
         --inFlight_;
         if (request->restartEpoch != epoch) {
             // A machine failure restarted the request. The failure
@@ -251,7 +253,7 @@ KvTransferEngine::handleAttemptFailure(LiveRequest* request, Machine* src,
                   "kv_retry", simulator_.now(),
                   {{"attempt", attempt + 1}, {"backoff_us", backoff}});
     const std::uint32_t epoch = request->restartEpoch;
-    simulator_.scheduleAfter(
+    simulator_.postAfter(
         backoff, [this, request, src, dst, prompt_compute, attempt, epoch,
                   done = std::move(done)]() mutable {
             // A failure handler restarted the request during the

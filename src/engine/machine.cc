@@ -181,7 +181,8 @@ Machine::setPerfScale(double scale)
 void
 Machine::startIteration()
 {
-    BatchPlan plan = mls_.nextBatch();
+    mls_.nextBatch(plan_);
+    BatchPlan& plan = plan_;
     if (plan.empty()) {
         stats_.activeTokens.set(simulator_.now(), 0);
         return;
@@ -241,14 +242,22 @@ Machine::startIteration()
     currentWatts_ = watts;
     stats_.energyWh += watts * sim::usToSeconds(duration) / 3600.0;
 
-    const std::uint64_t epoch = epoch_;
-    simulator_.scheduleAfter(duration, [this, plan, duration, epoch] {
-        // A failure between start and completion voids the iteration,
-        // even when the machine recovered in the meantime.
-        if (epoch != epoch_)
-            return;
-        completeIteration(plan, duration);
-    });
+    planDuration_ = duration;
+    // The closure captures only (this, epoch): the plan itself stays
+    // in plan_, reused every iteration, so scheduling allocates
+    // nothing.
+    simulator_.postAfter(duration,
+                         [this, epoch = epoch_] { onIterationEvent(epoch); });
+}
+
+void
+Machine::onIterationEvent(std::uint64_t epoch)
+{
+    // A failure between start and completion voids the iteration,
+    // even when the machine recovered in the meantime.
+    if (epoch != epoch_)
+        return;
+    completeIteration(plan_, planDuration_);
 }
 
 void

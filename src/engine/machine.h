@@ -174,6 +174,13 @@ class Machine {
     void startIteration();
     void completeIteration(const BatchPlan& plan, sim::TimeUs duration);
 
+    /**
+     * The scheduled iteration-completion event: drops silently when
+     * @p epoch is stale (the machine failed since the iteration
+     * started), otherwise completes the in-flight plan_.
+     */
+    void onIterationEvent(std::uint64_t epoch);
+
     /** Route a request whose prompt chunk just completed. */
     void routePromptCompletion(LiveRequest* request,
                                sim::TimeUs prompt_compute);
@@ -196,6 +203,15 @@ class Machine {
     std::uint64_t epoch_ = 0;
     double perfScale_ = 1.0;
     std::int64_t runningPromptTokens_ = 0;
+    /**
+     * The in-flight iteration's batch and duration. Only one
+     * iteration runs at a time (busy_), so the completion event reads
+     * these instead of capturing a copy of the plan - the vectors'
+     * capacity is reused every iteration, keeping the hot path
+     * allocation-free.
+     */
+    BatchPlan plan_;
+    sim::TimeUs planDuration_ = 0;
     /** Draw of the in-flight iteration; idle floor while not busy. */
     double currentWatts_ = 0.0;
     telemetry::TraceRecorder* trace_ = nullptr;

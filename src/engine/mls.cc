@@ -242,10 +242,9 @@ Mls::preemptForMemory()
     return true;
 }
 
-BatchPlan
-Mls::planMixed()
+void
+Mls::planMixed(BatchPlan& plan)
 {
-    BatchPlan plan;
     // With decodes resident, prompts are chunked so the decodes'
     // iteration latency stays bounded; an idle-of-decodes machine
     // runs full prompt batches at peak efficiency.
@@ -257,11 +256,10 @@ Mls::planMixed()
     const int slots =
         config_.maxBatchSize - static_cast<int>(plan.prompts.size());
     admitDecodes(plan, slots);
-    return plan;
 }
 
-BatchPlan
-Mls::planContinuous()
+void
+Mls::planContinuous(BatchPlan& plan)
 {
     // Ageing: once any resident has been preempted past the limit,
     // the token phase runs regardless of waiting prompts (SIV-B).
@@ -274,7 +272,6 @@ Mls::planContinuous()
     }
 
     if (!promptQueue_.empty() && !starving) {
-        BatchPlan plan;
         admitPrompts(plan, config_.promptTokenBudget, config_.maxBatchSize,
                      /*chunked=*/false);
         if (!plan.prompts.empty()) {
@@ -283,21 +280,18 @@ Mls::planContinuous()
                 ++r->starvedIterations;
                 ++r->preemptions;
             }
-            return plan;
+            return;
         }
     }
 
-    BatchPlan plan;
     admitDecodes(plan, config_.maxBatchSize);
     for (auto* r : plan.decodes)
         r->starvedIterations = 0;
-    return plan;
 }
 
-BatchPlan
-Mls::planRequestLevel()
+void
+Mls::planRequestLevel(BatchPlan& plan)
 {
-    BatchPlan plan;
     if (requestLevelBatch_.empty()) {
         // Form a fresh batch from every ready request (no token
         // budget: that is exactly the policy's weakness).
@@ -305,7 +299,7 @@ Mls::planRequestLevel()
                      config_.maxBatchSize, /*chunked=*/false);
         for (auto* r : plan.prompts)
             requestLevelBatch_.insert(r);
-        return plan;
+        return;
     }
 
     // A preempted member recomputes within the current batch; new
@@ -317,33 +311,32 @@ Mls::planRequestLevel()
     }
     admitDecodes(plan,
                  config_.maxBatchSize - static_cast<int>(plan.prompts.size()));
-    return plan;
 }
 
-BatchPlan
-Mls::nextBatch()
+void
+Mls::nextBatch(BatchPlan& plan)
 {
     // Each failed attempt preempts one resident, so the loop is
     // bounded by the resident count.
     while (true) {
-        BatchPlan plan;
+        plan.clear();
         switch (config_.policy) {
           case BatchPolicy::kMixed:
-            plan = planMixed();
+            planMixed(plan);
             break;
           case BatchPolicy::kContinuous:
-            plan = planContinuous();
+            planContinuous(plan);
             break;
           case BatchPolicy::kRequestLevel:
-            plan = planRequestLevel();
+            planRequestLevel(plan);
             break;
         }
         if (!plan.empty())
-            return plan;
+            return;
         // Nothing runnable with work pending means memory is wedged:
         // free some by preempting a resident and retry.
         if (!hasWork() || !preemptForMemory())
-            return plan;
+            return;
     }
 }
 

@@ -62,6 +62,15 @@ struct BatchPlan {
         return prompts.empty() && decodes.empty();
     }
 
+    /** Empty the plan, keeping vector capacity for reuse. */
+    void
+    clear()
+    {
+        prompts.clear();
+        decodes.clear();
+        promptTokens = 0;
+    }
+
     /** Total KV context under the decode side. */
     std::int64_t contextTokens() const;
 
@@ -111,11 +120,23 @@ class Mls {
     void clearAll();
 
     /**
-     * Plan the next iteration. May preempt a resident (releasing its
-     * KV and re-queueing it for recomputation) when memory is
-     * wedged; returns an empty plan when there is nothing runnable.
+     * Plan the next iteration into @p plan (cleared first, capacity
+     * reused - the Machine hot path passes the same plan every
+     * iteration so steady state never allocates). May preempt a
+     * resident (releasing its KV and re-queueing it for
+     * recomputation) when memory is wedged; leaves @p plan empty when
+     * there is nothing runnable.
      */
-    BatchPlan nextBatch();
+    void nextBatch(BatchPlan& plan);
+
+    /** Convenience by-value wrapper (tests). */
+    BatchPlan
+    nextBatch()
+    {
+        BatchPlan plan;
+        nextBatch(plan);
+        return plan;
+    }
 
     /** The paged KV allocator (shared with the owning machine). */
     BlockManager& blocks() { return blocks_; }
@@ -168,9 +189,10 @@ class Mls {
     /** Admit runnable residents into @p plan. */
     void admitDecodes(BatchPlan& plan, int slot_budget);
 
-    BatchPlan planMixed();
-    BatchPlan planContinuous();
-    BatchPlan planRequestLevel();
+    /** Policy planners fill an already-cleared @p plan. */
+    void planMixed(BatchPlan& plan);
+    void planContinuous(BatchPlan& plan);
+    void planRequestLevel(BatchPlan& plan);
 
     /**
      * Preempt the newest resident to unwedge memory: release its KV

@@ -1,0 +1,176 @@
+#ifndef SPLITWISE_SIM_EVENT_ACTION_H_
+#define SPLITWISE_SIM_EVENT_ACTION_H_
+
+/**
+ * @file
+ * EventAction: the event engine's move-only callable.
+ *
+ * std::function<void()> heap-allocates for any capture larger than
+ * its (implementation-defined, typically 16-byte) small buffer, which
+ * made every Machine iteration and KV-transfer completion allocate on
+ * the simulator's hottest path. EventAction replaces it with a
+ * type-erased callable whose inline buffer is sized for the repo's
+ * actual capture shapes (machine.cc iteration completions,
+ * kv_transfer.cc delivery closures, cluster.cc fault/arrival
+ * thunks), so the steady-state event loop performs no heap
+ * allocations at all.
+ *
+ * Oversized captures still work - they fall back to the heap - but
+ * every fallback bumps a process-wide counter that the steady-state
+ * allocation tests assert stays flat, so an accidentally fattened
+ * closure on the hot path fails CI instead of silently regressing
+ * throughput.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace splitwise::sim {
+
+/**
+ * A move-only, small-buffer-optimized void() callable.
+ *
+ * Callables up to kInlineBytes live inside the EventAction itself
+ * (no allocation); larger ones are moved to the heap and counted by
+ * heapFallbacks(). Invoking an empty action is an error checked by
+ * the caller (the event queue never stores empty actions).
+ */
+class EventAction {
+  public:
+    /**
+     * Inline capture budget. Sized to hold the largest hot-path
+     * closure in the tree - the KV-transfer delivery lambda (this +
+     * three pointers + epoch + time + flags + a moved-in
+     * std::function done-callback) - with a little headroom. Keep in
+     * sync with the static_asserts at the call sites' test
+     * (event_action_test.cc).
+     */
+    static constexpr std::size_t kInlineBytes = 104;
+
+    EventAction() = default;
+
+    /** Wrap any void() callable; allocates only above kInlineBytes. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, EventAction> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+    EventAction(F&& fn)  // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(fn));
+            ops_ = &heapOps<Fn>;
+            heapFallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    EventAction(EventAction&& other) noexcept { moveFrom(other); }
+
+    EventAction&
+    operator=(EventAction&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventAction(const EventAction&) = delete;
+    EventAction& operator=(const EventAction&) = delete;
+
+    ~EventAction() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the callable. @pre bool(*this) */
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /** True when the held callable lives on the heap (oversized). */
+    bool onHeap() const { return ops_ != nullptr && ops_->heap; }
+
+    /** Destroy the held callable, leaving the action empty. */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /**
+     * Process-wide count of captures that exceeded the inline budget
+     * and hit the heap. Steady-state tests assert this stays flat
+     * across the hot loop; it is cumulative and never reset.
+     */
+    static std::uint64_t
+    heapFallbacks()
+    {
+        return heapFallbacks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Manual vtable: one static instance per wrapped callable type. */
+    struct Ops {
+        void (*invoke)(void* buf);
+        /** Move the callable buf-to-buf and destroy the source. */
+        void (*relocate)(void* src, void* dst);
+        void (*destroy)(void* buf);
+        bool heap;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void* buf) { (*static_cast<Fn*>(buf))(); },
+        [](void* src, void* dst) {
+            Fn* from = static_cast<Fn*>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void* buf) { static_cast<Fn*>(buf)->~Fn(); },
+        /*heap=*/false,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void* buf) { (**static_cast<Fn**>(buf))(); },
+        [](void* src, void* dst) {
+            *static_cast<void**>(dst) = *static_cast<void**>(src);
+        },
+        [](void* buf) { delete *static_cast<Fn**>(buf); },
+        /*heap=*/true,
+    };
+
+    void
+    moveFrom(EventAction& other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(other.buf_, buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops* ops_ = nullptr;
+
+    static inline std::atomic<std::uint64_t> heapFallbacks_{0};
+};
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_EVENT_ACTION_H_

@@ -1,63 +1,211 @@
 #include "sim/event_queue.h"
 
+#include <utility>
+
 #include "sim/log.h"
 
 namespace splitwise::sim {
 
-EventId
-EventQueue::schedule(TimeUs time, std::function<void()> action, int priority)
+namespace {
+
+/** 4-ary heap geometry: children of i are 4i+1 .. 4i+4. */
+constexpr std::uint32_t kArity = 4;
+
+constexpr std::uint32_t
+parentOf(std::uint32_t pos)
 {
-    Event ev;
-    ev.time = time;
-    ev.priority = priority;
-    ev.id = nextId_++;
-    ev.action = std::move(action);
-    const EventId id = ev.id;
-    heap_.push(std::move(ev));
-    live_.insert(id);
-    return id;
+    return (pos - 1) / kArity;
 }
 
-void
+constexpr std::uint32_t
+firstChildOf(std::uint32_t pos)
+{
+    return kArity * pos + 1;
+}
+
+}  // namespace
+
+EventId
+EventQueue::push(TimeUs time, EventAction action, int priority)
+{
+    if (!action)
+        panic("EventQueue: scheduling an empty action");
+
+    std::uint32_t slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(records_.size());
+        records_.emplace_back();
+        ++poolGrowths_;
+    }
+
+    Record& r = records_[slot];
+    r.time = time;
+    r.priority = priority;
+    r.seq = nextSeq_++;
+    r.action = std::move(action);
+
+    const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(slot);
+    r.heapPos = pos;
+    siftUp(pos);
+
+    ++scheduled_;
+    return makeId(slot, r.gen);
+}
+
+bool
 EventQueue::cancel(EventId id)
 {
-    // Only a still-pending event can be cancelled; executed or
-    // already-cancelled ids are ignored.
-    if (live_.erase(id) > 0)
-        cancelled_.insert(id);
+    const std::uint32_t slot = idSlot(id);
+    if (slot >= records_.size() || records_[slot].gen != idGen(id))
+        return false;
+    removeAt(records_[slot].heapPos);
+    retire(slot);
+    return true;
 }
 
-void
-EventQueue::skipDead() const
+bool
+EventQueue::pending(EventId id) const
 {
-    while (!heap_.empty()) {
-        auto it = cancelled_.find(heap_.top().id);
-        if (it == cancelled_.end())
-            break;
-        cancelled_.erase(it);
-        heap_.pop();
-    }
+    const std::uint32_t slot = idSlot(id);
+    return slot < records_.size() && records_[slot].gen == idGen(id);
 }
 
 TimeUs
 EventQueue::nextTime() const
 {
-    skipDead();
-    return heap_.empty() ? kTimeNever : heap_.top().time;
+    return heap_.empty() ? kTimeNever : records_[heap_.front()].time;
 }
 
 Event
 EventQueue::pop()
 {
-    skipDead();
     if (heap_.empty())
         panic("EventQueue::pop on empty queue");
-    // priority_queue::top returns const&; the event is copied out and
-    // then popped. (A move would break heap invariants mid-flight.)
-    Event ev = heap_.top();
-    heap_.pop();
-    live_.erase(ev.id);
+    const std::uint32_t slot = heap_.front();
+    Record& r = records_[slot];
+
+    Event ev;
+    ev.time = r.time;
+    ev.priority = r.priority;
+    ev.id = makeId(slot, r.gen);
+    // Move the action out before touching the heap: the record is
+    // retired below so a callback can immediately recycle the slot.
+    ev.action = std::move(r.action);
+
+    removeAt(0);
+    retire(slot);
     return ev;
+}
+
+void
+EventQueue::removeAt(std::uint32_t pos)
+{
+    const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+    if (pos != last) {
+        const std::uint32_t moved = heap_[last];
+        heap_[pos] = moved;
+        records_[moved].heapPos = pos;
+        heap_.pop_back();
+        // The moved entry may order either way relative to the hole's
+        // neighbourhood; one of the two sifts is a no-op.
+        siftDown(pos);
+        siftUp(records_[moved].heapPos);
+    } else {
+        heap_.pop_back();
+    }
+}
+
+void
+EventQueue::siftUp(std::uint32_t pos)
+{
+    const std::uint32_t slot = heap_[pos];
+    while (pos > 0) {
+        const std::uint32_t parent = parentOf(pos);
+        if (!before(slot, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        records_[heap_[pos]].heapPos = pos;
+        pos = parent;
+    }
+    heap_[pos] = slot;
+    records_[slot].heapPos = pos;
+}
+
+void
+EventQueue::siftDown(std::uint32_t pos)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    if (n == 0)
+        return;
+    const std::uint32_t slot = heap_[pos];
+    while (true) {
+        const std::uint32_t first = firstChildOf(pos);
+        if (first >= n)
+            break;
+        std::uint32_t best = first;
+        const std::uint32_t end = std::min(first + kArity, n);
+        for (std::uint32_t c = first + 1; c < end; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], slot))
+            break;
+        heap_[pos] = heap_[best];
+        records_[heap_[pos]].heapPos = pos;
+        pos = best;
+    }
+    heap_[pos] = slot;
+    records_[slot].heapPos = pos;
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap_.reserve(events);
+    free_.reserve(events);
+    while (records_.size() < events) {
+        records_.emplace_back();
+        free_.push_back(static_cast<std::uint32_t>(records_.size() - 1));
+    }
+}
+
+std::string
+EventQueue::integrityError() const
+{
+    if (heap_.size() + free_.size() != records_.size()) {
+        return "slot accounting broken: " + std::to_string(heap_.size()) +
+               " in heap + " + std::to_string(free_.size()) + " free != " +
+               std::to_string(records_.size()) + " pooled";
+    }
+    for (std::uint32_t pos = 0; pos < heap_.size(); ++pos) {
+        const std::uint32_t slot = heap_[pos];
+        if (slot >= records_.size())
+            return "heap entry " + std::to_string(pos) + " out of pool";
+        if (records_[slot].heapPos != pos) {
+            return "slot " + std::to_string(slot) + " thinks it is at " +
+                   std::to_string(records_[slot].heapPos) + ", found at " +
+                   std::to_string(pos);
+        }
+        if (!records_[slot].action)
+            return "pending slot " + std::to_string(slot) +
+                   " holds no action";
+        if (pos > 0 && before(slot, heap_[parentOf(pos)])) {
+            return "heap property violated at position " +
+                   std::to_string(pos);
+        }
+    }
+    for (const std::uint32_t slot : free_) {
+        if (slot >= records_.size())
+            return "free-list entry out of pool";
+        if (records_[slot].heapPos != kNotInHeap)
+            return "free slot " + std::to_string(slot) +
+                   " still claims a heap position";
+    }
+    return {};
 }
 
 }  // namespace splitwise::sim

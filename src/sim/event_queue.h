@@ -1,96 +1,327 @@
 #ifndef SPLITWISE_SIM_EVENT_QUEUE_H_
 #define SPLITWISE_SIM_EVENT_QUEUE_H_
 
+/**
+ * @file
+ * The discrete-event priority queue behind the simulator.
+ *
+ * Design (see DESIGN.md "Event engine"):
+ *
+ *  - An indexed 4-ary min-heap of slot indices into a pooled record
+ *    array. Each record knows its heap position, so cancel() is a
+ *    true O(log n) heap removal - no tombstone sets, no lazy
+ *    skipping, and memory is exactly proportional to pending events.
+ *  - Records come from a free list and are recycled after fire or
+ *    cancel, so the steady-state schedule/pop loop allocates nothing
+ *    once the pool reaches its high-water mark.
+ *  - Actions are EventAction (small-buffer-optimized); the common
+ *    capture shapes in machine.cc / kv_transfer.cc / cluster.cc stay
+ *    inline.
+ *  - Ordering is (time, priority, insertion sequence): lower
+ *    priority values run first at equal timestamps, and remaining
+ *    ties preserve scheduling order - the determinism contract every
+ *    golden/DST suite pins down.
+ *
+ * Ownership: fire-and-forget events are post()ed; events the caller
+ * may need to cancel are schedule()d, which returns an RAII
+ * EventHandle. A handle can only ever cancel the exact scheduling it
+ * came from - generation counters make a handle to a fired (or
+ * recycled) event an inert no-op, eliminating the cancel-after-fire
+ * footgun of raw ids.
+ */
+
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
+#include "sim/event_action.h"
 #include "sim/time.h"
 
 namespace splitwise::sim {
 
-/** Opaque handle identifying a scheduled event, used to cancel it. */
+/**
+ * Raw identity of a scheduled event: a pool slot plus a generation
+ * stamp. Only meaningful to the queue that issued it. Prefer
+ * EventHandle; raw ids exist for EventHandle::release() escape
+ * hatches and the reference-model property tests.
+ */
 using EventId = std::uint64_t;
 
+/** Sentinel id that no schedule() ever returns. */
+inline constexpr EventId kInvalidEventId = ~std::uint64_t{0};
+
+class EventQueue;
+
 /**
- * A discrete event pending execution.
+ * RAII ownership of one pending event.
  *
- * Events carry an arbitrary callback. Ordering is by (time, priority,
- * insertion sequence): lower priority values run first at equal
- * timestamps, and ties beyond that preserve scheduling order, which
- * keeps the simulation fully deterministic.
+ * Destroying (or overwriting) the handle cancels the event if it is
+ * still pending; a handle whose event already fired is inert.
+ * release() opts out of auto-cancel and yields the raw EventId for
+ * callers that manage cancellation manually.
+ *
+ * Handles must not outlive their queue.
+ */
+class EventHandle {
+  public:
+    EventHandle() = default;
+
+    EventHandle(EventHandle&& other) noexcept
+        : queue_(other.queue_), id_(other.id_)
+    {
+        other.queue_ = nullptr;
+        other.id_ = kInvalidEventId;
+    }
+
+    EventHandle&
+    operator=(EventHandle&& other) noexcept
+    {
+        if (this != &other) {
+            cancel();
+            queue_ = other.queue_;
+            id_ = other.id_;
+            other.queue_ = nullptr;
+            other.id_ = kInvalidEventId;
+        }
+        return *this;
+    }
+
+    EventHandle(const EventHandle&) = delete;
+    EventHandle& operator=(const EventHandle&) = delete;
+
+    ~EventHandle() { cancel(); }
+
+    /**
+     * Cancel the event if still pending; harmless (and idempotent)
+     * after the event fired or was already cancelled.
+     */
+    void cancel();
+
+    /** True while the underlying event is still pending. */
+    bool pending() const;
+
+    /**
+     * Detach: the event stays scheduled, auto-cancel is disarmed,
+     * and the raw id is returned (kInvalidEventId if the handle was
+     * empty). The caller owns any further cancellation.
+     */
+    EventId
+    release()
+    {
+        const EventId id = queue_ != nullptr ? id_ : kInvalidEventId;
+        queue_ = nullptr;
+        id_ = kInvalidEventId;
+        return id;
+    }
+
+  private:
+    friend class EventQueue;
+
+    EventHandle(EventQueue* queue, EventId id) : queue_(queue), id_(id) {}
+
+    EventQueue* queue_ = nullptr;
+    EventId id_ = kInvalidEventId;
+};
+
+/**
+ * An event popped from the queue, ready to run. The action has been
+ * moved out of the pool, so it stays valid even when the callback
+ * schedules new events that recycle the slot.
  */
 struct Event {
     TimeUs time = 0;
     int priority = 0;
-    EventId id = 0;
-    std::function<void()> action;
+    EventId id = kInvalidEventId;
+    EventAction action;
 };
 
 /**
- * A deterministic discrete-event priority queue.
- *
- * Supports O(log n) schedule/pop and lazy cancellation: cancelled
- * entries are dropped when they surface at the heap top, so memory
- * stays proportional to the number of pending events.
+ * A deterministic discrete-event priority queue with O(log n)
+ * schedule, pop, and cancel (see the file comment for the layout).
  */
 class EventQueue {
   public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
     /**
-     * Schedule an action at an absolute simulated time.
+     * Schedule a fire-and-forget action at an absolute simulated
+     * time. Use schedule() instead when the event may need
+     * cancelling.
      *
      * @param time Absolute timestamp.
      * @param action Callback to execute.
      * @param priority Tie-break at equal times; lower runs first.
-     * @return Handle usable with cancel().
      */
-    EventId schedule(TimeUs time, std::function<void()> action, int priority = 0);
+    void
+    post(TimeUs time, EventAction action, int priority = 0)
+    {
+        push(time, std::move(action), priority);
+    }
 
-    /** Cancel a pending event. Cancelling a completed event is a no-op. */
-    void cancel(EventId id);
+    /**
+     * Schedule an action and return an owning handle. The event is
+     * cancelled when the handle dies, unless the handle is
+     * release()d first.
+     */
+    [[nodiscard]] EventHandle
+    schedule(TimeUs time, EventAction action, int priority = 0)
+    {
+        return EventHandle(this, push(time, std::move(action), priority));
+    }
 
-    /** True when no live (non-cancelled) events remain. */
-    bool empty() const { return live_.empty(); }
+    /**
+     * Cancel a pending event by raw id: O(log n) removal, no
+     * tombstones. Ids from a previous generation of the slot (fired,
+     * cancelled, recycled) are ignored.
+     *
+     * @return true when a pending event was actually removed.
+     */
+    bool cancel(EventId id);
 
-    /** Number of live pending events. */
-    std::size_t size() const { return live_.size(); }
+    /** True while @p id names a still-pending event. */
+    bool pending(EventId id) const;
 
-    /** Timestamp of the earliest live event; kTimeNever when empty. */
+    /** True when no pending events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Timestamp of the earliest pending event; kTimeNever when empty. */
     TimeUs nextTime() const;
 
     /**
-     * Pop and return the earliest live event.
+     * Pop and return the earliest pending event.
      *
      * @pre !empty()
      */
     Event pop();
 
     /** Total events ever scheduled (statistics/debugging). */
-    std::uint64_t scheduledCount() const { return nextId_; }
+    std::uint64_t scheduledCount() const { return scheduled_; }
 
-  private:
-    struct EventLater {
-        bool
-        operator()(const Event& a, const Event& b) const
-        {
-            if (a.time != b.time)
-                return a.time > b.time;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.id > b.id;
-        }
+    /** Allocation-behaviour counters for the steady-state tests. */
+    struct MemoryStats {
+        /** Pool slots ever created (high-water mark of pending). */
+        std::size_t poolSlots = 0;
+        /** Slots currently on the free list. */
+        std::size_t freeSlots = 0;
+        /** Times the pool had to grow (each growth may allocate). */
+        std::uint64_t poolGrowths = 0;
     };
 
-    /** Drop cancelled entries sitting at the heap top. */
-    void skipDead() const;
+    MemoryStats
+    memoryStats() const
+    {
+        return {records_.size(), free_.size(), poolGrowths_};
+    }
 
-    mutable std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
-    mutable std::unordered_set<EventId> cancelled_;
-    std::unordered_set<EventId> live_;
-    EventId nextId_ = 0;
+    /**
+     * Pre-size the pool (and heap array) for @p events pending
+     * events, so a run reaching that depth never allocates.
+     */
+    void reserve(std::size_t events);
+
+    /**
+     * Structural self-check for the DST invariant hook: verifies the
+     * heap property, the record<->heap index mapping, and free-list
+     * accounting.
+     *
+     * @return Empty string when consistent, else a description of
+     *     the first inconsistency found.
+     */
+    std::string integrityError() const;
+
+  private:
+    struct Record {
+        TimeUs time = 0;
+        /** Insertion sequence: the final deterministic tie-break. */
+        std::uint64_t seq = 0;
+        int priority = 0;
+        /** Bumped on fire/cancel so stale ids and handles go inert. */
+        std::uint32_t gen = 0;
+        /** Index into heap_; kNotInHeap while free. */
+        std::uint32_t heapPos = kNotInHeap;
+        EventAction action;
+    };
+
+    static constexpr std::uint32_t kNotInHeap = ~std::uint32_t{0};
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<std::uint64_t>(gen) << 32) | slot;
+    }
+    static std::uint32_t idSlot(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu);
+    }
+    static std::uint32_t idGen(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    /** True when the record at slot @p a orders before slot @p b. */
+    bool
+    before(std::uint32_t a, std::uint32_t b) const
+    {
+        const Record& ra = records_[a];
+        const Record& rb = records_[b];
+        if (ra.time != rb.time)
+            return ra.time < rb.time;
+        if (ra.priority != rb.priority)
+            return ra.priority < rb.priority;
+        return ra.seq < rb.seq;
+    }
+
+    EventId push(TimeUs time, EventAction action, int priority);
+
+    /** Remove the heap entry at @p pos, restoring the heap property. */
+    void removeAt(std::uint32_t pos);
+
+    void siftUp(std::uint32_t pos);
+    void siftDown(std::uint32_t pos);
+
+    /** Retire a slot after fire/cancel: bump gen, recycle. */
+    void
+    retire(std::uint32_t slot)
+    {
+        Record& r = records_[slot];
+        r.action.reset();
+        r.heapPos = kNotInHeap;
+        ++r.gen;
+        free_.push_back(slot);
+    }
+
+    /** Event records, indexed by slot; grows only at high-water. */
+    std::vector<Record> records_;
+    /** 4-ary min-heap of slot indices. */
+    std::vector<std::uint32_t> heap_;
+    /** Recycled slots (LIFO keeps the hot slots cache-warm). */
+    std::vector<std::uint32_t> free_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t poolGrowths_ = 0;
 };
+
+inline void
+EventHandle::cancel()
+{
+    if (queue_ != nullptr) {
+        queue_->cancel(id_);
+        queue_ = nullptr;
+        id_ = kInvalidEventId;
+    }
+}
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ != nullptr && queue_->pending(id_);
+}
 
 }  // namespace splitwise::sim
 

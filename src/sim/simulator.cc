@@ -6,22 +6,17 @@
 
 namespace splitwise::sim {
 
-EventId
-Simulator::schedule(TimeUs time, std::function<void()> action, int priority)
+void
+Simulator::panicPast(TimeUs time) const
 {
-    if (time < now_) {
-        panic("Simulator::schedule at t=" + std::to_string(time) +
-              "us, before now=" + std::to_string(now_) + "us");
-    }
-    return queue_.schedule(time, std::move(action), priority);
+    panic("Simulator: scheduling at t=" + std::to_string(time) +
+          "us, before now=" + std::to_string(now_) + "us");
 }
 
-EventId
-Simulator::scheduleAfter(TimeUs delay, std::function<void()> action, int priority)
+void
+Simulator::panicNegativeDelay() const
 {
-    if (delay < 0)
-        panic("Simulator::scheduleAfter with negative delay");
-    return schedule(now_ + delay, std::move(action), priority);
+    panic("Simulator: scheduling with negative delay");
 }
 
 Simulator::HookId

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/event_action.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -17,6 +18,11 @@ namespace splitwise::sim {
  * callbacks at absolute or relative times; run() executes events in
  * deterministic order until the queue drains or a stop condition
  * fires.
+ *
+ * Two scheduling families mirror the queue's ownership model:
+ * post()/postAfter() for fire-and-forget events (the overwhelmingly
+ * common case) and schedule()/scheduleAfter() returning an RAII
+ * EventHandle when the caller may need to cancel.
  */
 class Simulator {
   public:
@@ -29,16 +35,49 @@ class Simulator {
     TimeUs now() const { return now_; }
 
     /**
-     * Schedule an action at an absolute time.
+     * Schedule a fire-and-forget action at an absolute time.
      *
      * Scheduling in the past is an internal error (panic).
      */
-    EventId schedule(TimeUs time, std::function<void()> action, int priority = 0);
+    void
+    post(TimeUs time, EventAction action, int priority = 0)
+    {
+        checkNotPast(time);
+        queue_.post(time, std::move(action), priority);
+    }
 
-    /** Schedule an action @p delay microseconds from now. */
-    EventId scheduleAfter(TimeUs delay, std::function<void()> action, int priority = 0);
+    /** Schedule a fire-and-forget action @p delay us from now. */
+    void
+    postAfter(TimeUs delay, EventAction action, int priority = 0)
+    {
+        checkDelay(delay);
+        queue_.post(now_ + delay, std::move(action), priority);
+    }
 
-    /** Cancel a pending event; no-op if already executed. */
+    /**
+     * Schedule an action at an absolute time and own it: the
+     * returned handle cancels the event when destroyed (see
+     * EventHandle::release() to opt out).
+     */
+    [[nodiscard]] EventHandle
+    schedule(TimeUs time, EventAction action, int priority = 0)
+    {
+        checkNotPast(time);
+        return queue_.schedule(time, std::move(action), priority);
+    }
+
+    /** Handle-owning variant of postAfter(). */
+    [[nodiscard]] EventHandle
+    scheduleAfter(TimeUs delay, EventAction action, int priority = 0)
+    {
+        checkDelay(delay);
+        return queue_.schedule(now_ + delay, std::move(action), priority);
+    }
+
+    /**
+     * Cancel by raw id (from EventHandle::release()); no-op if the
+     * event already executed.
+     */
     void cancel(EventId id) { queue_.cancel(id); }
 
     /**
@@ -97,15 +136,42 @@ class Simulator {
     /** Detach a hook added with addTimeAdvanceHook(); idempotent. */
     void removeTimeAdvanceHook(HookId id);
 
-    /** Number of live pending events. */
+    /** Number of pending events. */
     std::size_t pendingEvents() const { return queue_.size(); }
 
     /** Total events executed over the simulator's lifetime. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Read-only view of the event queue, for the DST invariant
+     * checker's structural integrity probe and the steady-state
+     * allocation tests.
+     */
+    const EventQueue& eventQueue() const { return queue_; }
+
+    /** Pre-size the event pool for an expected pending-event depth. */
+    void reserveEvents(std::size_t events) { queue_.reserve(events); }
+
   private:
     /** Fire every attached hook for an advance to @p next. */
     void fireTimeAdvance(TimeUs next);
+
+    [[noreturn]] void panicPast(TimeUs time) const;
+    [[noreturn]] void panicNegativeDelay() const;
+
+    void
+    checkNotPast(TimeUs time) const
+    {
+        if (time < now_)
+            panicPast(time);
+    }
+
+    void
+    checkDelay(TimeUs delay) const
+    {
+        if (delay < 0)
+            panicNegativeDelay();
+    }
 
     EventQueue queue_;
     TimeUs now_ = 0;

@@ -118,6 +118,7 @@ InvariantChecker::checkNow()
     checkMachines();
     checkTransfers();
     checkTelemetry();
+    checkEventQueue();
     ++checksRun_;
 }
 
@@ -379,6 +380,19 @@ InvariantChecker::checkTransfers()
                 "a cumulative transfer counter decreased");
     }
     lastTransferStats_ = s;
+}
+
+void
+InvariantChecker::checkEventQueue()
+{
+    // Structural self-check of the indexed heap: heap property,
+    // record<->position back-pointers, and free-list accounting. A
+    // corrupt queue would reorder events and break determinism long
+    // before it crashed, so DST probes it at every quiescent point.
+    const std::string err =
+        cluster_.simulator().eventQueue().integrityError();
+    if (!err.empty())
+        violate("event-queue", err);
 }
 
 void

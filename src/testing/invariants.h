@@ -114,6 +114,7 @@ class InvariantChecker {
     void checkMachines();
     void checkTransfers();
     void checkTelemetry();
+    void checkEventQueue();
 
     core::Cluster& cluster_;
     InvariantOptions options_;

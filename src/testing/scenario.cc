@@ -251,7 +251,7 @@ runScenario(const Scenario& scenario, const InvariantOptions& options)
     // Seeded bugs install their hooks before the checker's, so the
     // corruption lands just before the same quiescent point's check.
     if (scenario.bug.kind == BugKind::kOrphanKvBlock) {
-        cluster.simulator().scheduleAfter(scenario.bug.atUs, [&cluster,
+        cluster.simulator().postAfter(scenario.bug.atUs, [&cluster,
                                                              &scenario] {
             const auto idx =
                 static_cast<std::size_t>(scenario.bug.machineId);

@@ -282,7 +282,7 @@ failDuringTransfer(sim::Simulator& sim, LiveRequest* req, Machine* victim)
     auto killed = std::make_shared<bool>(false);
     constexpr sim::TimeUs kStepUs = 100;
     for (sim::TimeUs t = 0; t < sim::secondsToUs(2.0); t += kStepUs) {
-        sim.schedule(t, [req, victim, killed] {
+        sim.post(t, [req, victim, killed] {
             if (*killed || req->phase != RequestPhase::kTransferring)
                 return;
             *killed = true;
@@ -340,7 +340,7 @@ TEST_F(KvTransferTest, RetryDropsWhenEndpointDiesDuringBackoff)
     machines_[0]->submitPrompt(req);
     // The first attempt fails inside the window; the destination dies
     // during the long backoff. The retry must notice and stand down.
-    sim_.schedule(3 * prompt + sim::msToUs(1.0),
+    sim_.post(3 * prompt + sim::msToUs(1.0),
                   [this] { machines_[1]->fail(); });
     sim_.run();
 

@@ -55,14 +55,14 @@ TEST(ChaosTest, CrashedMachineRejoinsAndServesAgain)
     bool failed_after_recovery = true;
     auto& sim = cluster.simulator();
     const auto* machine = cluster.machines()[3].get();
-    sim.schedule(sim::secondsToUs(14), [&] {
+    sim.post(sim::secondsToUs(14), [&] {
         failed_while_down = machine->failed();
         load_while_down = machine->tokenLoadTokens();
     });
-    sim.schedule(sim::secondsToUs(15) + 1, [&] {
+    sim.post(sim::secondsToUs(15) + 1, [&] {
         generated_at_recovery = machine->stats().tokensGenerated;
     });
-    sim.schedule(sim::secondsToUs(20), [&] {
+    sim.post(sim::secondsToUs(20), [&] {
         failed_after_recovery = machine->failed();
         load_after_recovery = machine->tokenLoadTokens();
     });
@@ -92,7 +92,7 @@ TEST(ChaosTest, RejoinedMachineKeepsPoolIdentity)
     cluster.scheduleFailure(0, sim::secondsToUs(4), sim::secondsToUs(6));
 
     core::PoolType pool_after = core::PoolType::kMixed;
-    cluster.simulator().schedule(sim::secondsToUs(11), [&] {
+    cluster.simulator().post(sim::secondsToUs(11), [&] {
         pool_after = cluster.scheduler().poolOf(0);
     });
     const RunReport report = cluster.run(trace);

@@ -289,7 +289,7 @@ TEST(EventQueueProperty, RandomOpsMatchReferenceModel)
         const int op = static_cast<int>(rng.uniformInt(0, 2));
         if (op == 0 || reference.empty()) {
             const std::int64_t t = rng.uniformInt(0, 1000);
-            const auto id = queue.schedule(t, [] {});
+            const auto id = queue.schedule(t, [] {}).release();
             reference[id] = t;
             all_ids.push_back(id);
         } else if (op == 1) {
@@ -313,6 +313,7 @@ TEST(EventQueueProperty, RandomOpsMatchReferenceModel)
         if (!reference.empty()) {
             ASSERT_EQ(queue.nextTime(), reference_next());
         }
+        ASSERT_EQ(queue.integrityError(), "") << "step " << step;
     }
 }
 

@@ -2,10 +2,76 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
+#include <utility>
 #include <vector>
 
 namespace splitwise::sim {
 namespace {
+
+/**
+ * Global allocation counter for the zero-allocation steady-state
+ * assertions. Defined in this TU, so it observes every operator new
+ * in the test binary - including any the queue or EventAction would
+ * perform.
+ */
+std::uint64_t g_allocations = 0;
+
+}  // namespace
+}  // namespace splitwise::sim
+
+void*
+operator new(std::size_t size)
+{
+    ++splitwise::sim::g_allocations;
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    ++splitwise::sim::g_allocations;
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace splitwise::sim {
+namespace {
+
+void
+drain(EventQueue& q)
+{
+    while (!q.empty())
+        q.pop().action();
+}
 
 TEST(EventQueueTest, StartsEmpty)
 {
@@ -19,11 +85,10 @@ TEST(EventQueueTest, PopsInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(30, [&] { order.push_back(3); });
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(20, [&] { order.push_back(2); });
-    while (!q.empty())
-        q.pop().action();
+    q.post(30, [&] { order.push_back(3); });
+    q.post(10, [&] { order.push_back(1); });
+    q.post(20, [&] { order.push_back(2); });
+    drain(q);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -31,108 +96,303 @@ TEST(EventQueueTest, TiesBreakByPriorityThenFifo)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(5, [&] { order.push_back(1); }, 1);
-    q.schedule(5, [&] { order.push_back(2); }, 0);
-    q.schedule(5, [&] { order.push_back(3); }, 0);
-    while (!q.empty())
-        q.pop().action();
+    q.post(5, [&] { order.push_back(1); }, 1);
+    q.post(5, [&] { order.push_back(2); }, 0);
+    q.post(5, [&] { order.push_back(3); }, 0);
+    drain(q);
     // Priority 0 first; equal priorities preserve insertion order.
     EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
 }
 
-TEST(EventQueueTest, NextTimeReportsEarliestLive)
-{
-    EventQueue q;
-    q.schedule(50, [] {});
-    q.schedule(40, [] {});
-    EXPECT_EQ(q.nextTime(), 40);
-}
-
-TEST(EventQueueTest, CancelRemovesEvent)
-{
-    EventQueue q;
-    bool ran = false;
-    const EventId id = q.schedule(10, [&] { ran = true; });
-    q.cancel(id);
-    EXPECT_TRUE(q.empty());
-    EXPECT_FALSE(ran);
-}
-
-TEST(EventQueueTest, CancelledEventSkippedOnPop)
-{
-    EventQueue q;
-    int value = 0;
-    const EventId id = q.schedule(10, [&] { value = 1; });
-    q.schedule(20, [&] { value = 2; });
-    q.cancel(id);
-    EXPECT_EQ(q.nextTime(), 20);
-    q.pop().action();
-    EXPECT_EQ(value, 2);
-    EXPECT_TRUE(q.empty());
-}
-
-TEST(EventQueueTest, CancelIsIdempotent)
-{
-    EventQueue q;
-    const EventId id = q.schedule(10, [] {});
-    q.schedule(20, [] {});
-    q.cancel(id);
-    q.cancel(id);
-    EXPECT_EQ(q.size(), 1u);
-}
-
-TEST(EventQueueTest, CancelAfterPopIsNoOp)
-{
-    EventQueue q;
-    const EventId id = q.schedule(10, [] {});
-    q.schedule(20, [] {});
-    q.pop();
-    q.cancel(id);
-    EXPECT_EQ(q.size(), 1u);
-    EXPECT_EQ(q.nextTime(), 20);
-}
-
-TEST(EventQueueTest, CancelUnknownIdIsNoOp)
-{
-    EventQueue q;
-    q.schedule(10, [] {});
-    q.cancel(12345);
-    EXPECT_EQ(q.size(), 1u);
-}
-
-TEST(EventQueueTest, SizeTracksLiveEvents)
-{
-    EventQueue q;
-    const EventId a = q.schedule(1, [] {});
-    q.schedule(2, [] {});
-    q.schedule(3, [] {});
-    EXPECT_EQ(q.size(), 3u);
-    q.cancel(a);
-    EXPECT_EQ(q.size(), 2u);
-    q.pop();
-    EXPECT_EQ(q.size(), 1u);
-}
-
-TEST(EventQueueTest, ManyEventsStableOrdering)
+TEST(EventQueueTest, ManySameTimeEventsKeepInsertionOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    for (int i = 0; i < 1000; ++i)
-        q.schedule(7, [&order, i] { order.push_back(i); });
-    while (!q.empty())
-        q.pop().action();
-    for (int i = 0; i < 1000; ++i)
+    for (int i = 0; i < 100; ++i)
+        q.post(7, [&order, i] { order.push_back(i); });
+    drain(q);
+    for (int i = 0; i < 100; ++i)
         ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(EventQueueTest, ScheduledCountIsMonotonic)
+TEST(EventQueueTest, NextTimeTracksHead)
 {
     EventQueue q;
-    q.schedule(1, [] {});
-    q.schedule(2, [] {});
-    q.pop();
-    q.schedule(3, [] {});
+    q.post(50, [] {});
+    q.post(20, [] {});
+    EXPECT_EQ(q.nextTime(), 20);
+    (void)q.pop();
+    EXPECT_EQ(q.nextTime(), 50);
+}
+
+TEST(EventQueueTest, PopReturnsIdTimePriority)
+{
+    EventQueue q;
+    q.post(33, [] {}, 4);
+    Event ev = q.pop();
+    EXPECT_EQ(ev.time, 33);
+    EXPECT_EQ(ev.priority, 4);
+    EXPECT_NE(ev.id, kInvalidEventId);
+    EXPECT_TRUE(static_cast<bool>(ev.action));
+}
+
+// ---------------------------------------------------------------
+// Cancellation: head/middle/tail, double cancel, stale handles.
+// ---------------------------------------------------------------
+
+TEST(EventQueueTest, CancelAtHeadMiddleTail)
+{
+    for (int victim = 0; victim < 3; ++victim) {
+        EventQueue q;
+        std::vector<int> order;
+        std::vector<EventHandle> handles;
+        for (int i = 0; i < 3; ++i) {
+            handles.push_back(
+                q.schedule(10 * (i + 1), [&order, i] { order.push_back(i); }));
+        }
+        handles[static_cast<std::size_t>(victim)].cancel();
+        EXPECT_EQ(q.size(), 2u);
+        EXPECT_EQ(q.integrityError(), "");
+        drain(q);
+        std::vector<int> expected;
+        for (int i = 0; i < 3; ++i) {
+            if (i != victim)
+                expected.push_back(i);
+        }
+        EXPECT_EQ(order, expected) << "victim " << victim;
+        // Remaining handles see their events fired.
+        for (auto& h : handles)
+            EXPECT_FALSE(h.pending());
+    }
+}
+
+TEST(EventQueueTest, CancelInLargeHeapKeepsOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 200; ++i) {
+        handles.push_back(
+            q.schedule(1000 - i, [&order, i] { order.push_back(i); }));
+    }
+    // Cancel every third event, spread across the heap.
+    for (std::size_t i = 0; i < handles.size(); i += 3)
+        handles[i].cancel();
+    EXPECT_EQ(q.integrityError(), "");
+    drain(q);
+    // Survivors pop in descending-insertion order (time = 1000 - i).
+    std::vector<int> expected;
+    for (int i = 199; i >= 0; --i) {
+        if (i % 3 != 0)
+            expected.push_back(i);
+    }
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, HandleDoubleCancelIsIdempotent)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.schedule(5, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // second cancel: no-op, no crash
+    EXPECT_TRUE(q.empty());
+    drain(q);
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, RawCancelAfterFireIsInert)
+{
+    EventQueue q;
+    const EventId id = q.schedule(5, [] {}).release();
+    drain(q);
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsInert)
+{
+    EventQueue q;
+    EventHandle first = q.schedule(5, [] {});
+    drain(q);  // fires; slot retired and recycled below
+    bool second_ran = false;
+    EventHandle second = q.schedule(6, [&] { second_ran = true; });
+    // The stale handle must not cancel the recycled slot's new event.
+    first.cancel();
+    EXPECT_TRUE(second.pending());
+    drain(q);
+    EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueTest, DestroyedHandleAutoCancels)
+{
+    EventQueue q;
+    bool ran = false;
+    {
+        EventHandle h = q.schedule(5, [&] { ran = true; });
+    }
+    EXPECT_TRUE(q.empty());
+    drain(q);
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, MoveAssignCancelsPreviousEvent)
+{
+    EventQueue q;
+    bool first_ran = false;
+    bool second_ran = false;
+    EventHandle h = q.schedule(5, [&] { first_ran = true; });
+    h = q.schedule(6, [&] { second_ran = true; });
+    EXPECT_EQ(q.size(), 1u);
+    h.release();
+    drain(q);
+    EXPECT_FALSE(first_ran);
+    EXPECT_TRUE(second_ran);
+}
+
+// ---------------------------------------------------------------
+// Tie-break determinism under interleaved schedule/cancel: the
+// (time, priority, seq) order of survivors must be unaffected by
+// unrelated cancellations.
+// ---------------------------------------------------------------
+
+TEST(EventQueueTest, InterleavedCancelPreservesTieBreakOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> doomed;
+    // Interleave survivors and victims at one timestamp; cancelling
+    // the victims (in scattered order) must not disturb the
+    // survivors' FIFO order.
+    for (int i = 0; i < 50; ++i) {
+        q.post(100, [&order, i] { order.push_back(i); });
+        doomed.push_back(q.schedule(100, [&order, i] {
+            order.push_back(1000 + i);
+        }));
+    }
+    for (std::size_t i = 0; i < doomed.size(); i += 2)
+        doomed[i].cancel();
+    for (std::size_t i = 1; i < doomed.size(); i += 2)
+        doomed[i].cancel();
+    EXPECT_EQ(q.integrityError(), "");
+    drain(q);
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CallbackCanScheduleIntoRecycledSlot)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.post(1, [&] {
+        order.push_back(1);
+        // The fired event's slot is already retired: this scheduling
+        // recycles it while the callback is still running.
+        q.post(2, [&order] { order.push_back(2); });
+    });
+    drain(q);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.integrityError(), "");
+}
+
+// ---------------------------------------------------------------
+// Pooling and the zero-allocation steady state.
+// ---------------------------------------------------------------
+
+TEST(EventQueueTest, PoolReusesSlotsAfterDrain)
+{
+    EventQueue q;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 32; ++i)
+            q.post(round * 100 + i, [] {});
+        drain(q);
+    }
+    const auto stats = q.memoryStats();
+    // The pool never grows past the high-water mark of one round.
+    EXPECT_EQ(stats.poolSlots, 32u);
+    EXPECT_EQ(stats.freeSlots, 32u);
+    EXPECT_EQ(stats.poolGrowths, 32u);
+}
+
+TEST(EventQueueTest, ReservePreallocatesPool)
+{
+    EventQueue q;
+    q.reserve(64);
+    const auto before = q.memoryStats();
+    EXPECT_EQ(before.poolSlots, 64u);
+    for (int i = 0; i < 64; ++i)
+        q.post(i, [] {});
+    const auto after = q.memoryStats();
+    EXPECT_EQ(after.poolSlots, 64u);
+    EXPECT_EQ(after.poolGrowths, 0u);
+    drain(q);
+}
+
+TEST(EventQueueTest, SteadyStateLoopPerformsZeroHeapAllocations)
+{
+    EventQueue q;
+    q.reserve(128);
+    // Warm up: reach the steady-state depth once.
+    for (int i = 0; i < 128; ++i)
+        q.post(i, [] {});
+    drain(q);
+
+    const std::uint64_t fallbacks_before = EventAction::heapFallbacks();
+    const std::uint64_t allocs_before = g_allocations;
+    // The steady-state loop of the simulation: pop one event,
+    // schedule a few more, repeat. Captures sized like the hot-path
+    // closures (a this-pointer and a couple of scalars).
+    std::uint64_t fired = 0;
+    int depth = 0;
+    for (int i = 0; i < 64; ++i)
+        q.post(i, [&fired, &depth] { ++fired; --depth; });
+    depth = 64;
+    TimeUs now = 0;
+    while (!q.empty() && fired < 100000) {
+        Event ev = q.pop();
+        now = ev.time;
+        ev.action();
+        while (depth < 64) {
+            q.post(now + 1 + depth, [&fired, &depth] { ++fired; --depth; });
+            ++depth;
+        }
+    }
+    const std::uint64_t allocs_after = g_allocations;
+    const std::uint64_t fallbacks_after = EventAction::heapFallbacks();
+
+    EXPECT_GE(fired, 100000u);
+    EXPECT_EQ(allocs_after - allocs_before, 0u)
+        << "steady-state schedule/pop loop must not allocate";
+    EXPECT_EQ(fallbacks_after - fallbacks_before, 0u)
+        << "hot-path captures must fit EventAction's inline buffer";
+    EXPECT_EQ(q.memoryStats().poolGrowths, 0u);
+}
+
+TEST(EventQueueTest, ScheduledCountAccumulates)
+{
+    EventQueue q;
+    q.post(1, [] {});
+    q.post(2, [] {});
+    (void)q.pop();
+    q.post(3, [] {});
     EXPECT_EQ(q.scheduledCount(), 3u);
+    drain(q);
+    EXPECT_EQ(q.scheduledCount(), 3u);
+}
+
+TEST(EventQueueDeathTest, EmptyActionPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.post(1, EventAction()), "empty action");
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH((void)q.pop(), "empty queue");
 }
 
 }  // namespace

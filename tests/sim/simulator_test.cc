@@ -19,8 +19,8 @@ TEST(SimulatorTest, RunAdvancesClockToEventTimes)
 {
     Simulator s;
     std::vector<TimeUs> seen;
-    s.schedule(100, [&] { seen.push_back(s.now()); });
-    s.schedule(250, [&] { seen.push_back(s.now()); });
+    s.post(100, [&] { seen.push_back(s.now()); });
+    s.post(250, [&] { seen.push_back(s.now()); });
     const auto ran = s.run();
     EXPECT_EQ(ran, 2u);
     EXPECT_EQ(seen, (std::vector<TimeUs>{100, 250}));
@@ -31,8 +31,8 @@ TEST(SimulatorTest, ScheduleAfterIsRelative)
 {
     Simulator s;
     TimeUs fired_at = -1;
-    s.schedule(100, [&] {
-        s.scheduleAfter(50, [&] { fired_at = s.now(); });
+    s.post(100, [&] {
+        s.postAfter(50, [&] { fired_at = s.now(); });
     });
     s.run();
     EXPECT_EQ(fired_at, 150);
@@ -42,9 +42,9 @@ TEST(SimulatorTest, RunUntilHorizonLeavesLaterEventsQueued)
 {
     Simulator s;
     int count = 0;
-    s.schedule(10, [&] { ++count; });
-    s.schedule(20, [&] { ++count; });
-    s.schedule(30, [&] { ++count; });
+    s.post(10, [&] { ++count; });
+    s.post(20, [&] { ++count; });
+    s.post(30, [&] { ++count; });
     const auto ran = s.run(20);
     EXPECT_EQ(ran, 2u);
     EXPECT_EQ(count, 2);
@@ -61,9 +61,9 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents)
     int depth = 0;
     std::function<void()> chain = [&] {
         if (++depth < 5)
-            s.scheduleAfter(10, chain);
+            s.postAfter(10, chain);
     };
-    s.schedule(0, chain);
+    s.post(0, chain);
     s.run();
     EXPECT_EQ(depth, 5);
     EXPECT_EQ(s.now(), 40);
@@ -73,8 +73,8 @@ TEST(SimulatorTest, StepExecutesOneEvent)
 {
     Simulator s;
     int count = 0;
-    s.schedule(1, [&] { ++count; });
-    s.schedule(2, [&] { ++count; });
+    s.post(1, [&] { ++count; });
+    s.post(2, [&] { ++count; });
     EXPECT_TRUE(s.step());
     EXPECT_EQ(count, 1);
     EXPECT_TRUE(s.step());
@@ -86,11 +86,11 @@ TEST(SimulatorTest, RequestStopHaltsRun)
 {
     Simulator s;
     int count = 0;
-    s.schedule(1, [&] {
+    s.post(1, [&] {
         ++count;
         s.requestStop();
     });
-    s.schedule(2, [&] { ++count; });
+    s.post(2, [&] { ++count; });
     s.run();
     EXPECT_EQ(count, 1);
     EXPECT_EQ(s.pendingEvents(), 1u);
@@ -103,31 +103,59 @@ TEST(SimulatorTest, CancelPreventsExecution)
 {
     Simulator s;
     bool ran = false;
-    const EventId id = s.schedule(10, [&] { ran = true; });
-    s.cancel(id);
+    EventHandle handle = s.schedule(10, [&] { ran = true; });
+    handle.cancel();
     s.run();
     EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, DroppedHandleAutoCancels)
+{
+    Simulator s;
+    bool ran = false;
+    {
+        EventHandle handle = s.schedule(10, [&] { ran = true; });
+        EXPECT_TRUE(handle.pending());
+    }
+    s.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, ReleasedHandleKeepsEventScheduled)
+{
+    Simulator s;
+    bool ran = false;
+    EventId id = kInvalidEventId;
+    {
+        EventHandle handle = s.schedule(10, [&] { ran = true; });
+        id = handle.release();
+    }
+    EXPECT_NE(id, kInvalidEventId);
+    s.run();
+    EXPECT_TRUE(ran);
+    // Raw-id cancel after the fact is inert.
+    s.cancel(id);
 }
 
 TEST(SimulatorDeathTest, SchedulingInThePastPanics)
 {
     Simulator s;
-    s.schedule(100, [] {});
+    s.post(100, [] {});
     s.run();
-    EXPECT_DEATH(s.schedule(50, [] {}), "before now");
+    EXPECT_DEATH(s.post(50, [] {}), "before now");
 }
 
 TEST(SimulatorDeathTest, NegativeDelayPanics)
 {
     Simulator s;
-    EXPECT_DEATH(s.scheduleAfter(-1, [] {}), "negative delay");
+    EXPECT_DEATH(s.postAfter(-1, [] {}), "negative delay");
 }
 
 TEST(SimulatorTest, ExecutedEventsAccumulatesAcrossRuns)
 {
     Simulator s;
-    s.schedule(1, [] {});
-    s.schedule(2, [] {});
+    s.post(1, [] {});
+    s.post(2, [] {});
     s.run(1);
     s.run();
     EXPECT_EQ(s.executedEvents(), 2u);
@@ -139,9 +167,9 @@ TEST(SimulatorTest, TimeAdvanceHookSeesTheJumpBeforeItHappens)
     std::vector<std::pair<TimeUs, TimeUs>> jumps;  // (now, next)
     s.setTimeAdvanceHook(
         [&](TimeUs next) { jumps.emplace_back(s.now(), next); });
-    s.schedule(100, [] {});
-    s.schedule(100, [] {});  // same-time event: no jump, no hook
-    s.schedule(250, [] {});
+    s.post(100, [] {});
+    s.post(100, [] {});  // same-time event: no jump, no hook
+    s.post(250, [] {});
     s.run();
     ASSERT_EQ(jumps.size(), 2u);
     EXPECT_EQ(jumps[0], (std::pair<TimeUs, TimeUs>{0, 100}));
@@ -153,7 +181,7 @@ TEST(SimulatorTest, TimeAdvanceHookFiresOnStepToo)
     Simulator s;
     TimeUs next_seen = -1;
     s.setTimeAdvanceHook([&](TimeUs next) { next_seen = next; });
-    s.schedule(42, [] {});
+    s.post(42, [] {});
     s.step();
     EXPECT_EQ(next_seen, 42);
 }
@@ -163,11 +191,11 @@ TEST(SimulatorTest, NullTimeAdvanceHookDetaches)
     Simulator s;
     int fired = 0;
     s.setTimeAdvanceHook([&](TimeUs) { ++fired; });
-    s.schedule(10, [] {});
+    s.post(10, [] {});
     s.run();
     EXPECT_EQ(fired, 1);
     s.setTimeAdvanceHook(nullptr);
-    s.schedule(20, [] {});
+    s.post(20, [] {});
     s.run();
     EXPECT_EQ(fired, 1);
 }
@@ -177,7 +205,7 @@ TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder)
     Simulator s;
     std::vector<int> order;
     for (int i = 0; i < 10; ++i)
-        s.schedule(42, [&order, i] { order.push_back(i); });
+        s.post(42, [&order, i] { order.push_back(i); });
     s.run();
     for (int i = 0; i < 10; ++i)
         ASSERT_EQ(order[static_cast<std::size_t>(i)], i);

@@ -66,8 +66,8 @@ TEST_F(SamplerTest, EmitsRowsOnTheGrid)
     TimeSeriesSampler sampler(sim_, registry_, 1000);
     sampler.install();
     // Events at 2500 and 5000; boundaries 1000..5000 all crossed.
-    sim_.schedule(2500, [this] { value_ = 1.0; });
-    sim_.schedule(5000, [this] { value_ = 2.0; });
+    sim_.post(2500, [this] { value_ = 1.0; });
+    sim_.post(5000, [this] { value_ = 2.0; });
     sim_.run();
     sampler.finish();
 
@@ -90,7 +90,7 @@ TEST_F(SamplerTest, FinishEmitsFinalRowWithLatestState)
 {
     TimeSeriesSampler sampler(sim_, registry_, 1000);
     sampler.install();
-    sim_.schedule(1500, [this] { value_ = 7.0; });
+    sim_.post(1500, [this] { value_ = 7.0; });
     sim_.run();
     sampler.finish();
     const auto v = sampler.series().column("value");
@@ -104,11 +104,11 @@ TEST_F(SamplerTest, OnEventSampleLandsBetweenGridPoints)
 {
     TimeSeriesSampler sampler(sim_, registry_, 1000);
     sampler.install();
-    sim_.schedule(1499, [this, &sampler] {
+    sim_.post(1499, [this, &sampler] {
         value_ = 3.0;
         sampler.sampleNow();
     });
-    sim_.schedule(3000, [] {});
+    sim_.post(3000, [] {});
     sim_.run();
     sampler.finish();
     const auto t = sampler.series().column("t_s");
@@ -124,7 +124,7 @@ TEST_F(SamplerTest, DuplicateTimestampsCollapse)
 {
     TimeSeriesSampler sampler(sim_, registry_, 1000);
     sampler.install();
-    sim_.schedule(1000, [&sampler] { sampler.sampleNow(); });
+    sim_.post(1000, [&sampler] { sampler.sampleNow(); });
     sim_.run();
     sampler.finish();
     // Grid row at t=1000 plus the on-event sample and finish() at
@@ -139,7 +139,7 @@ TEST_F(SamplerTest, FinishDetachesTheHook)
     sim_.run();
     sampler.finish();
     const auto rows = sampler.series().rows.size();
-    sim_.schedule(sim_.now() + 10000, [] {});
+    sim_.post(sim_.now() + 10000, [] {});
     sim_.run();
     EXPECT_EQ(sampler.series().rows.size(), rows);
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Measure the event-engine perf baseline and emit BENCH_PR5.json.
+#
+# Runs each probe RUNS times (default 5) and reports the median:
+#   - bench_events          events/sec, new vs embedded legacy queue
+#   - bench_dst --short     scenarios/sec through the DST harness
+#   - bench_fig12 --jobs 1  end-to-end design-space sweep wall-clock
+#
+# Usage: tools/perf_baseline.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR defaults to ./build, OUT_JSON to ./BENCH_PR5.json.
+#   RUNS=N overrides the repetition count (min 5 for the committed
+#   baseline; CI may lower it for the smoke gate).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_PR5.json}"
+RUNS="${RUNS:-5}"
+BENCH="$BUILD_DIR/bench"
+
+for bin in bench_events bench_dst bench_fig12_design_space; do
+    if [[ ! -x "$BENCH/$bin" ]]; then
+        echo "perf_baseline: missing $BENCH/$bin (build first)" >&2
+        exit 1
+    fi
+done
+
+# median FILE -> median of one number per line
+median() {
+    sort -n "$1" | awk '{a[NR]=$1} END {
+        if (NR == 0) exit 1;
+        if (NR % 2) print a[(NR+1)/2];
+        else printf "%.6f\n", (a[NR/2] + a[NR/2+1]) / 2 }'
+}
+
+now_s() { python3 -c 'import time; print(f"{time.monotonic():.6f}")'; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "perf_baseline: $RUNS runs per probe" >&2
+
+# --- bench_events: events/sec per (impl, workload) -------------------
+# Full-length runs: the --short shape is noise-dominated (tens of
+# milliseconds per workload), which makes the CI regression gate
+# flaky.
+for i in $(seq 1 "$RUNS"); do
+    "$BENCH/bench_events" > "$tmp/events.$i.txt"
+    awk '/^EVENTS_BENCH/ {
+        impl=""; wl=""; rate="";
+        for (f = 1; f <= NF; ++f) {
+            if ($f ~ /^impl=/) { impl = substr($f, 6) }
+            if ($f ~ /^workload=/) { wl = substr($f, 10) }
+            if ($f ~ /^events_per_sec=/) { rate = substr($f, 16) }
+        }
+        print rate >> ("'"$tmp"'/rate." impl "." wl ".txt")
+    }' "$tmp/events.$i.txt"
+    echo "  bench_events run $i done" >&2
+done
+
+# --- bench_dst --short: scenarios/sec --------------------------------
+DST_SEEDS=200
+for i in $(seq 1 "$RUNS"); do
+    t0="$(now_s)"
+    "$BENCH/bench_dst" --seeds="$DST_SEEDS" --jobs 1 > /dev/null
+    t1="$(now_s)"
+    python3 -c "print(f'{$DST_SEEDS / ($t1 - $t0):.3f}')" \
+        >> "$tmp/dst_rate.txt"
+    python3 -c "print(f'{$t1 - $t0:.6f}')" >> "$tmp/dst_wall.txt"
+    echo "  bench_dst run $i done" >&2
+done
+
+# --- bench_fig12 --jobs 1: end-to-end sweep wall-clock ---------------
+for i in $(seq 1 "$RUNS"); do
+    t0="$(now_s)"
+    "$BENCH/bench_fig12_design_space" --jobs 1 > /dev/null
+    t1="$(now_s)"
+    python3 -c "print(f'{$t1 - $t0:.6f}')" >> "$tmp/fig12_wall.txt"
+    echo "  bench_fig12 run $i done" >&2
+done
+
+events_new_churn="$(median "$tmp/rate.new.churn.txt")"
+events_legacy_churn="$(median "$tmp/rate.legacy.churn.txt")"
+events_new_cancel="$(median "$tmp/rate.new.cancel.txt")"
+events_legacy_cancel="$(median "$tmp/rate.legacy.cancel.txt")"
+events_new_ring="$(median "$tmp/rate.new.ring.txt")"
+events_legacy_ring="$(median "$tmp/rate.legacy.ring.txt")"
+events_new_large="$(median "$tmp/rate.new.large.txt")"
+events_legacy_large="$(median "$tmp/rate.legacy.large.txt")"
+dst_rate="$(median "$tmp/dst_rate.txt")"
+dst_wall="$(median "$tmp/dst_wall.txt")"
+fig12_wall="$(median "$tmp/fig12_wall.txt")"
+
+churn_ratio="$(python3 -c \
+    "print(f'{$events_new_churn / $events_legacy_churn:.3f}')")"
+
+cat > "$OUT_JSON" <<EOF
+{
+  "runs": $RUNS,
+  "statistic": "median",
+  "events_per_sec": {
+    "churn": {"new": $events_new_churn, "legacy": $events_legacy_churn},
+    "cancel": {"new": $events_new_cancel, "legacy": $events_legacy_cancel},
+    "ring": {"new": $events_new_ring, "legacy": $events_legacy_ring},
+    "large": {"new": $events_new_large, "legacy": $events_legacy_large}
+  },
+  "churn_speedup": $churn_ratio,
+  "dst": {
+    "seeds": $DST_SEEDS,
+    "jobs": 1,
+    "scenarios_per_sec": $dst_rate,
+    "p50_wall_s": $dst_wall
+  },
+  "fig12_sweep": {
+    "jobs": 1,
+    "p50_wall_s": $fig12_wall
+  }
+}
+EOF
+
+echo "perf_baseline: wrote $OUT_JSON" >&2
+cat "$OUT_JSON"
