@@ -177,6 +177,11 @@ class ArgParser {
                 const std::string& help, bool required,
                 std::string default_text)
     {
+        // Registering the same flag twice is a bench programming
+        // error: the first registration would silently win at parse
+        // time while the second target never gets written.
+        if (findFlag(name) != nullptr)
+            fail("duplicate flag registration " + name);
         flags_.push_back(
             {name, kind, target, help, required, std::move(default_text)});
     }

@@ -1,0 +1,73 @@
+#include "control/slo_monitor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace splitwise::control {
+
+namespace {
+
+/** Nearest-rank P99 over a scratch vector (empty -> 0). */
+double
+p99(std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t rank =
+        (values.size() * 99 + 99) / 100;  // ceil(n * 0.99)
+    return values[std::min(rank, values.size()) - 1];
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(const model::LlmConfig& llm, sim::TimeUs window_us)
+    : checker_(llm), windowUs_(window_us)
+{
+    if (window_us <= 0)
+        sim::fatal("SloMonitor: window must be positive");
+}
+
+WindowStats
+SloMonitor::refresh(const metrics::RequestMetrics& metrics, sim::TimeUs now)
+{
+    const auto& results = metrics.results();
+    for (; cursor_ < results.size(); ++cursor_) {
+        const auto& r = results[cursor_];
+        Sample s;
+        s.completedAt = r.arrival + sim::msToUs(r.e2eMs);
+        s.ttftSlowdown = r.ttftMs / checker_.refTtftMs(r.promptTokens);
+        if (r.outputTokens > 1) {
+            const std::int64_t mean_ctx = r.promptTokens + r.outputTokens / 2;
+            s.tbtSlowdown = r.tbtMs / checker_.refTbtMs(mean_ctx);
+        }
+        window_.push_back(s);
+    }
+    const sim::TimeUs horizon = now - windowUs_;
+    while (!window_.empty() && window_.front().completedAt < horizon)
+        window_.pop_front();
+
+    WindowStats stats;
+    stats.samples = window_.size();
+    if (window_.empty())
+        return stats;
+
+    std::vector<double> ttft;
+    std::vector<double> tbt;
+    ttft.reserve(window_.size());
+    tbt.reserve(window_.size());
+    for (const auto& s : window_) {
+        ttft.push_back(s.ttftSlowdown);
+        if (s.tbtSlowdown >= 0.0)
+            tbt.push_back(s.tbtSlowdown);
+    }
+    stats.ttftP99Slowdown = p99(ttft);
+    stats.tbtP99Slowdown = p99(tbt);
+    stats.completionRps =
+        static_cast<double>(window_.size()) / sim::usToSeconds(windowUs_);
+    return stats;
+}
+
+}  // namespace splitwise::control

@@ -42,11 +42,23 @@ void
 ClusterScheduler::markFailed(int machine_id)
 {
     const auto it = entries_.find(machine_id);
-    if (it == entries_.end())
-        return;
-    lost_.insert(*it);
-    entries_.erase(it);
-    if (entries_.empty())
+    if (it != entries_.end()) {
+        lost_.insert(*it);
+        entries_.erase(it);
+    } else {
+        // A machine can crash while retired to standby (draining or
+        // parked); it still needs to be parked for rejoin().
+        const auto sit = standby_.find(machine_id);
+        if (sit == standby_.end())
+            return;
+        lost_.insert(*sit);
+        standby_.erase(sit);
+    }
+    // Routed machines can hit zero while standby still holds live
+    // capacity - the owner must restore from standby immediately
+    // (Cluster's emergency restore). Only a cluster with nothing
+    // left anywhere is unrecoverable.
+    if (entries_.empty() && standby_.empty())
         sim::fatal("ClusterScheduler: every machine has failed");
 }
 
@@ -70,6 +82,79 @@ ClusterScheduler::rejoin(int machine_id)
                    {"pool", poolTypeName(entry.pool)}});
 }
 
+void
+ClusterScheduler::retire(int machine_id)
+{
+    const auto it = entries_.find(machine_id);
+    if (it == entries_.end())
+        sim::fatal("ClusterScheduler::retire: machine is not routed");
+    if (entries_.size() == 1)
+        sim::fatal("ClusterScheduler::retire: last routed machine");
+    standby_.insert(*it);
+    entries_.erase(it);
+    ++retires_;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(), "retire",
+                  simulator_.now(), {{"machine", machine_id}});
+}
+
+void
+ClusterScheduler::restore(int machine_id)
+{
+    const auto it = standby_.find(machine_id);
+    if (it == standby_.end())
+        sim::fatal("ClusterScheduler::restore: machine is not in standby");
+    restore(machine_id, it->second.origin);
+}
+
+void
+ClusterScheduler::restore(int machine_id, PoolType origin)
+{
+    const auto it = standby_.find(machine_id);
+    if (it == standby_.end())
+        sim::fatal("ClusterScheduler::restore: machine is not in standby");
+    Entry entry = it->second;
+    standby_.erase(it);
+    // The machine was drained before standby, so it re-enters with a
+    // clean identity - possibly a new one (role flex).
+    entry.origin = origin;
+    entry.pool = origin;
+    entry.mixedSince = 0;
+    entries_[machine_id] = entry;
+    ++restores_;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(), "restore",
+                  simulator_.now(),
+                  {{"machine", machine_id}, {"pool", poolTypeName(origin)}});
+}
+
+bool
+ClusterScheduler::inStandby(int machine_id) const
+{
+    return standby_.count(machine_id) > 0;
+}
+
+int
+ClusterScheduler::anyStandby() const
+{
+    int best = -1;
+    for (const auto& [id, entry] : standby_) {
+        if (best < 0 || id < best)
+            best = id;
+    }
+    return best;
+}
+
+void
+ClusterScheduler::setBrownoutLevel(int level)
+{
+    if (level < 0 || level > 3)
+        sim::fatal("ClusterScheduler::setBrownoutLevel: level out of range");
+    if (level == brownoutLevel_)
+        return;
+    brownoutLevel_ = level;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(),
+                  "brownout", simulator_.now(), {{"level", level}});
+}
+
 std::size_t
 ClusterScheduler::poolSize(PoolType pool) const
 {
@@ -90,13 +175,24 @@ ClusterScheduler::contains(int machine_id) const
 PoolType
 ClusterScheduler::poolOf(int machine_id) const
 {
-    return entries_.at(machine_id).pool;
+    const auto it = entries_.find(machine_id);
+    if (it != entries_.end())
+        return it->second.pool;
+    // Standby and failed machines hold no routing pool; report their
+    // remembered identity instead.
+    return originOf(machine_id);
 }
 
 PoolType
 ClusterScheduler::originOf(int machine_id) const
 {
-    return entries_.at(machine_id).origin;
+    const auto it = entries_.find(machine_id);
+    if (it != entries_.end())
+        return it->second.origin;
+    const auto standby = standby_.find(machine_id);
+    if (standby != standby_.end())
+        return standby->second.origin;
+    return lost_.at(machine_id).origin;
 }
 
 engine::Machine*
@@ -301,6 +397,19 @@ ClusterScheduler::shouldShed() const
            queuedPromptTokens() > config_.shedQueuedTokensBound;
 }
 
+bool
+ClusterScheduler::shouldShedRequest(const engine::LiveRequest& request) const
+{
+    // The brownout ladder degrades admission progressively: L1 drops
+    // the lowest-value traffic, L3 closes the door entirely. The
+    // static queue bound stays active at every level.
+    if (brownoutLevel_ >= 3)
+        return true;
+    if (brownoutLevel_ >= 1 && request.spec.priority > 0)
+        return true;
+    return shouldShed();
+}
+
 void
 ClusterScheduler::routeBaseline(engine::LiveRequest* request)
 {
@@ -358,12 +467,20 @@ ClusterScheduler::routeSplitwise(engine::LiveRequest* request)
 bool
 ClusterScheduler::onArrival(engine::LiveRequest* request, bool force_admit)
 {
-    if (!force_admit && shouldShed()) {
+    if (!force_admit && shouldShedRequest(*request)) {
         ++shedRequests_;
         TELEM_INSTANT(trace_, telemetry::TraceRecorder::clusterTrack(),
                       "shed", simulator_.now(),
                       {{"request", request->spec.id}});
         return false;
+    }
+    // Brownout L2+: cap how much generation an admitted request may
+    // demand. Applied at admission so the cap is part of the
+    // request's contract for its whole lifetime.
+    if (!force_admit && brownoutLevel_ >= 2 &&
+        request->spec.outputTokens > config_.brownoutMaxOutputTokens) {
+        request->spec.outputTokens = config_.brownoutMaxOutputTokens;
+        ++cappedRequests_;
     }
     if (splitwise_)
         routeSplitwise(request);

@@ -74,6 +74,12 @@ struct ClsConfig {
      * are always admitted - the work was already accepted.
      */
     std::int64_t shedQueuedTokensBound = 0;
+    /**
+     * Brownout level 2+: output-token cap applied to newly admitted
+     * requests, bounding the generation work each one can demand
+     * while the cluster is degraded.
+     */
+    std::int64_t brownoutMaxOutputTokens = 256;
 };
 
 /**
@@ -125,6 +131,45 @@ class ClusterScheduler {
     void rejoin(int machine_id);
 
     /**
+     * Take a machine out of routing (autoscaler scale-down or role
+     * flex): no further requests are routed to it, but it keeps
+     * draining in-flight work. Refuses to retire the last routed
+     * machine. The entry moves to standby until restore().
+     */
+    void retire(int machine_id);
+
+    /** Return a standby machine to routing in its remembered origin. */
+    void restore(int machine_id);
+
+    /**
+     * Return a standby machine to routing under a (possibly new)
+     * origin - the autoscaler's role flex. The machine starts in
+     * @p origin with fresh pool state.
+     */
+    void restore(int machine_id, PoolType origin);
+
+    /** True when the machine sits in controller standby. */
+    bool inStandby(int machine_id) const;
+
+    /** Number of machines in controller standby. */
+    std::size_t standbySize() const { return standby_.size(); }
+
+    /** Smallest-id standby machine, or -1 when standby is empty. */
+    int anyStandby() const;
+
+    /**
+     * Set the admission-control brownout level (0 = normal):
+     *   L1+ sheds arrivals with priority > 0 (lowest-value first),
+     *   L2+ additionally caps admitted output lengths,
+     *   L3  rejects every new arrival.
+     * Failure-driven restarts are always admitted.
+     */
+    void setBrownoutLevel(int level);
+
+    /** The current brownout level. */
+    int brownoutLevel() const { return brownoutLevel_; }
+
+    /**
      * Pick a machine to host a recovered decode (KV-cache restored
      * from a checkpoint, SIV-E). Unlike normal token routing this
      * never pulls a prompt machine into the mixed pool and never
@@ -156,6 +201,15 @@ class ClusterScheduler {
 
     /** Number of failed machines re-admitted after recovery. */
     std::uint64_t rejoins() const { return rejoins_; }
+
+    /** Number of machines taken out of routing by the controller. */
+    std::uint64_t retires() const { return retires_; }
+
+    /** Number of standby machines returned to routing. */
+    std::uint64_t restores() const { return restores_; }
+
+    /** Number of admissions whose output length was brownout-capped. */
+    std::uint64_t cappedRequests() const { return cappedRequests_; }
 
     /** Machines currently assigned to @p pool (live only). */
     std::size_t poolSize(PoolType pool) const;
@@ -193,6 +247,9 @@ class ClusterScheduler {
     /** True when admission control should shed a new arrival. */
     bool shouldShed() const;
 
+    /** Brownout-aware shed decision for one arrival. */
+    bool shouldShedRequest(const engine::LiveRequest& request) const;
+
     void routeBaseline(engine::LiveRequest* request);
     void routeSplitwise(engine::LiveRequest* request);
 
@@ -214,12 +271,19 @@ class ClusterScheduler {
     std::unordered_map<int, Entry> entries_;
     /** Entries of currently-failed machines, parked for rejoin(). */
     std::unordered_map<int, Entry> lost_;
+    /** Entries retired from routing by the controller (draining or
+     *  parked machines), waiting for restore(). */
+    std::unordered_map<int, Entry> standby_;
     std::vector<int> machineIds_;
+    int brownoutLevel_ = 0;
     std::uint64_t mixedRoutes_ = 0;
     std::uint64_t poolTransitions_ = 0;
     std::uint64_t repurposings_ = 0;
     std::uint64_t shedRequests_ = 0;
     std::uint64_t rejoins_ = 0;
+    std::uint64_t retires_ = 0;
+    std::uint64_t restores_ = 0;
+    std::uint64_t cappedRequests_ = 0;
     telemetry::TraceRecorder* trace_ = nullptr;
 };
 

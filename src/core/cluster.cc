@@ -300,6 +300,21 @@ Cluster::failMachine(int machine_id)
                 {{"machine", std::to_string(machine_id)},
                  {"t_us", std::to_string(simulator_.now())}});
 
+    // A failure can empty routing entirely while the controller holds
+    // machines in standby; bring one straight back so the stranded
+    // restarts below have somewhere to land.
+    if (cls_->liveMachines() == 0) {
+        const int standby_id = cls_->anyStandby();
+        engine::Machine* standby = machineById(standby_id);
+        if (standby->parked())
+            standby->unpark();
+        cls_->restore(standby_id);
+        ++emergencyRestores_;
+        sim::inform("emergency restore",
+                    {{"machine", std::to_string(standby_id)},
+                     {"t_us", std::to_string(simulator_.now())}});
+    }
+
     for (const auto& req_ptr : live_) {
         engine::LiveRequest* req = req_ptr.get();
         if (req->terminal())
@@ -470,6 +485,7 @@ Cluster::run(const workload::Trace& trace)
     report.checkpointRestores = checkpointRestores_->value();
     report.rejected = rejected_->value();
     report.rejoins = cls_->rejoins();
+    report.control.emergencyRestores = emergencyRestores_;
 
     if (sampler_) {
         // The final row lands at end-of-run, so cumulative columns
@@ -487,6 +503,12 @@ Cluster::run(const workload::Trace& trace)
         pool.energyWh += s.energyWh;
         pool.promptTokensProcessed += s.promptTokensProcessed;
         pool.tokensGenerated += s.tokensGenerated;
+        pool.parkedUs += s.parkedUs;
+        pool.downUs += s.downUs;
+        pool.poweredUs += s.poweredUs;
+        pool.idleEnergyWh += s.idleEnergyWh;
+        pool.costDollars += sim::usToSeconds(s.poweredUs) / 3600.0 *
+                            m.spec().costPerHour;
         pool.activeTokens.merge(s.activeTokens.histogram());
         report.preemptions += m.mls().preemptionCount();
     };

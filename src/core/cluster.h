@@ -60,8 +60,54 @@ struct PoolReport {
     double energyWh = 0.0;
     std::int64_t promptTokensProcessed = 0;
     std::int64_t tokensGenerated = 0;
+    /** Machine-time powered off by the control plane. */
+    sim::TimeUs parkedUs = 0;
+    /** Machine-time lost to failures. */
+    sim::TimeUs downUs = 0;
+    /** Machine-time the deployment paid for (wall minus parked). */
+    sim::TimeUs poweredUs = 0;
+    /** Idle-floor energy while powered and not iterating, Wh. */
+    double idleEnergyWh = 0.0;
+    /** Paid machine-hours priced at the pool's spec rate. */
+    double costDollars = 0.0;
     /** Time-weighted active-batched-token distribution (Fig. 17). */
     metrics::TimeWeightedHistogram activeTokens;
+};
+
+/**
+ * What the online control plane did over a run. Only meaningful (and
+ * only serialized) when an autoscaler drove the cluster; a disabled
+ * report keeps existing outputs byte-identical.
+ */
+struct ControlReport {
+    bool enabled = false;
+    /** Controller evaluations (periodic ticks). */
+    std::uint64_t ticks = 0;
+    /** Machines brought into routing (unparked or un-retired). */
+    std::uint64_t scaleUps = 0;
+    /** Machines retired from routing toward park. */
+    std::uint64_t scaleDowns = 0;
+    /** Machines moved between prompt/token roles under surge. */
+    std::uint64_t roleFlexes = 0;
+    /** Brownout-ladder moves (either direction). */
+    std::uint64_t brownoutTransitions = 0;
+    int maxBrownoutLevel = 0;
+    /** Simulated time spent at brownout level >= 1. */
+    sim::TimeUs brownoutUs = 0;
+    /** Power-cap assignments issued for the facility budget. */
+    std::uint64_t powerCapChanges = 0;
+    /** Failures that forced a standby machine back into routing. */
+    std::uint64_t emergencyRestores = 0;
+    /** Fleet totals the controller trades off against SLOs. */
+    double machineHours = 0.0;
+    double costDollars = 0.0;
+    /** Busy + idle energy across the fleet, Wh. */
+    double totalEnergyWh = 0.0;
+    /**
+     * Fraction of submitted requests finished within every Table VI
+     * P99 limit; shed and rejected requests count against it.
+     */
+    double sloAttainment = 0.0;
 };
 
 /** Everything a cluster run produced. */
@@ -90,6 +136,8 @@ struct RunReport {
      * SimConfig::telemetry.sampleIntervalUs was set.
      */
     telemetry::TimeSeries timeseries;
+    /** Control-plane activity; disabled unless an autoscaler ran. */
+    ControlReport control;
 
     /** Completed-request throughput over the run. */
     double
@@ -161,6 +209,7 @@ class Cluster {
                              double bandwidth_factor);
 
     const ClusterDesign& design() const { return design_; }
+    const model::LlmConfig& llm() const { return llm_; }
     sim::Simulator& simulator() { return simulator_; }
     ClusterScheduler& scheduler() { return *cls_; }
     engine::KvTransferEngine& transferEngine() { return engine_; }
@@ -195,6 +244,12 @@ class Cluster {
 
     /** Completed-request records accumulated so far. */
     const metrics::RequestMetrics& results() const { return results_; }
+
+    /**
+     * Failures that emptied routing entirely while the controller
+     * held machines in standby, forcing one straight back in.
+     */
+    std::uint64_t emergencyRestores() const { return emergencyRestores_; }
 
   private:
     engine::Machine* machineById(int id);
@@ -249,6 +304,7 @@ class Cluster {
     telemetry::Counter* rejected_ = nullptr;
     std::unique_ptr<telemetry::TraceRecorder> trace_;
     std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
+    std::uint64_t emergencyRestores_ = 0;
     bool ran_ = false;
 };
 

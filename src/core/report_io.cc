@@ -101,6 +101,25 @@ reportToJson(const RunReport& report, const SloReport* slo)
     if (!report.timeseries.empty())
         out << ",\"timeseries\":" << report.timeseries.toJson();
 
+    // Control-plane section: present only when an autoscaler drove
+    // the run, so uncontrolled reports keep the existing schema.
+    if (report.control.enabled) {
+        const ControlReport& c = report.control;
+        out << ",\"control\":{\"ticks\":" << c.ticks
+            << ",\"scale_ups\":" << c.scaleUps
+            << ",\"scale_downs\":" << c.scaleDowns
+            << ",\"role_flexes\":" << c.roleFlexes
+            << ",\"brownout_transitions\":" << c.brownoutTransitions
+            << ",\"max_brownout_level\":" << c.maxBrownoutLevel
+            << ",\"brownout_s\":" << num(sim::usToSeconds(c.brownoutUs))
+            << ",\"power_cap_changes\":" << c.powerCapChanges
+            << ",\"emergency_restores\":" << c.emergencyRestores
+            << ",\"machine_hours\":" << num(c.machineHours)
+            << ",\"cost_dollars\":" << num(c.costDollars)
+            << ",\"total_energy_wh\":" << num(c.totalEnergyWh)
+            << ",\"slo_attainment\":" << num(c.sloAttainment) << '}';
+    }
+
     if (slo) {
         out << ",\"slo\":{\"pass\":" << (slo->pass ? "true" : "false")
             << ",\"violation\":\"" << slo->violation << "\",";

@@ -92,4 +92,31 @@ SloChecker::evaluate(const metrics::RequestMetrics& metrics,
     return report;
 }
 
+double
+sloAttainment(const SloChecker& checker,
+              const metrics::RequestMetrics& metrics, std::size_t submitted,
+              const SloSet& slos)
+{
+    if (submitted == 0)
+        return 0.0;
+    std::size_t within = 0;
+    for (const auto& r : metrics.results()) {
+        if (r.ttftMs / checker.refTtftMs(r.promptTokens) > slos.ttft.p99)
+            continue;
+        if (r.outputTokens > 1) {
+            const std::int64_t mean_ctx = r.promptTokens + r.outputTokens / 2;
+            if (r.tbtMs / checker.refTbtMs(mean_ctx) > slos.tbt.p99)
+                continue;
+        }
+        workload::Request spec;
+        spec.promptTokens = r.promptTokens;
+        spec.outputTokens = r.outputTokens;
+        spec.arrival = r.arrival;
+        if (r.e2eMs / checker.refE2eMs(spec) > slos.e2e.p99)
+            continue;
+        ++within;
+    }
+    return static_cast<double>(within) / static_cast<double>(submitted);
+}
+
 }  // namespace splitwise::core

@@ -1,6 +1,7 @@
 #ifndef SPLITWISE_CORE_SLO_H_
 #define SPLITWISE_CORE_SLO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "metrics/request_metrics.h"
@@ -68,6 +69,16 @@ class SloChecker {
   private:
     model::AnalyticalPerfModel reference_;
 };
+
+/**
+ * Fraction of @p submitted requests that finished within every P99
+ * slowdown limit of @p slos (Table VI). Requests shed, rejected, or
+ * never completed count against attainment - graceful degradation
+ * trades exactly this number against capacity and power.
+ */
+double sloAttainment(const SloChecker& checker,
+                     const metrics::RequestMetrics& metrics,
+                     std::size_t submitted, const SloSet& slos = {});
 
 }  // namespace splitwise::core
 

@@ -54,6 +54,8 @@ Machine::submitPrompt(LiveRequest* request)
 {
     if (failed_)
         sim::panic("Machine::submitPrompt on a failed machine");
+    if (parked_)
+        sim::panic("Machine::submitPrompt on a parked machine");
     request->promptMachine = id_;
     TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
                                  request->spec.id),
@@ -66,7 +68,7 @@ Machine::submitPrompt(LiveRequest* request)
 bool
 Machine::reserveKv(LiveRequest* request, std::int64_t tokens)
 {
-    if (failed_)
+    if (failed_ || parked_)
         return false;
     return mls_.blocks().allocate(request->spec.id, tokens);
 }
@@ -85,6 +87,8 @@ Machine::acceptTransferred(LiveRequest* request)
 {
     if (failed_)
         sim::panic("Machine::acceptTransferred on a failed machine");
+    if (parked_)
+        sim::panic("Machine::acceptTransferred on a parked machine");
     TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
                                  request->spec.id),
                      "decode", simulator_.now(), {{"machine", id_}});
@@ -131,7 +135,7 @@ Machine::maxBatchWithinTbt(double tbt_ms) const
 void
 Machine::kick()
 {
-    if (busy_ || failed_)
+    if (busy_ || failed_ || parked_)
         return;
     startIteration();
 }
@@ -149,7 +153,15 @@ Machine::fail()
     }
     TELEM_INSTANT(trace_, telemetry::TraceRecorder::machineTrack(id_),
                   "fail", simulator_.now());
+    // A crash trumps a park: close the parked interval so downtime
+    // is accounted as down, not parked, and let recover() bring the
+    // machine back into service directly.
+    if (parked_) {
+        stats_.parkedUs += simulator_.now() - parkedSince_;
+        parked_ = false;
+    }
     failed_ = true;
+    downSince_ = simulator_.now();
     ++epoch_;
     busy_ = false;
     mls_.clearAll();
@@ -164,10 +176,46 @@ Machine::recover()
     if (!failed_)
         return;
     failed_ = false;
+    stats_.downUs += simulator_.now() - downSince_;
     TELEM_INSTANT(trace_, telemetry::TraceRecorder::machineTrack(id_),
                   "recover", simulator_.now());
     stats_.activeTokens.set(simulator_.now(), 0);
     kick();
+}
+
+void
+Machine::park()
+{
+    if (parked_)
+        return;
+    if (failed_)
+        sim::panic("Machine::park on a failed machine");
+    if (busy_ || mls_.hasWork() || mls_.blocks().residents() > 0)
+        sim::panic("Machine::park with work on the machine");
+    parked_ = true;
+    parkedSince_ = simulator_.now();
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::machineTrack(id_),
+                  "park", simulator_.now());
+}
+
+void
+Machine::unpark()
+{
+    if (!parked_)
+        return;
+    parked_ = false;
+    stats_.parkedUs += simulator_.now() - parkedSince_;
+    TELEM_INSTANT(trace_, telemetry::TraceRecorder::machineTrack(id_),
+                  "unpark", simulator_.now());
+    kick();
+}
+
+void
+Machine::setPowerCap(double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        sim::fatal("Machine::setPowerCap: fraction must be in (0, 1]");
+    powerCap_ = fraction;
 }
 
 void
@@ -192,6 +240,27 @@ Machine::startIteration()
     if (perfScale_ != 1.0) {
         duration = static_cast<sim::TimeUs>(
             static_cast<double>(duration) * perfScale_);
+    }
+
+    // A power cap slows the batch down per Fig. 9: compute-bound
+    // prompt phases pay roughly proportionally, bandwidth-bound token
+    // phases only when capped below their natural (~half TDP) draw.
+    // Mixed batches take the worst case across their phases.
+    if (powerCap_ < 1.0) {
+        double cap_mult = 1.0;
+        if (!plan.prompts.empty()) {
+            cap_mult = power_.capLatencyMultiplier(model::Phase::kPrompt,
+                                                   powerCap_);
+        }
+        if (!plan.decodes.empty()) {
+            cap_mult = std::max(
+                cap_mult,
+                power_.capLatencyMultiplier(model::Phase::kToken, powerCap_));
+        }
+        if (cap_mult != 1.0) {
+            duration = static_cast<sim::TimeUs>(
+                static_cast<double>(duration) * cap_mult);
+        }
     }
 
     // Outbound layer-wise KV transfers steal compute cycles from the
@@ -238,6 +307,8 @@ Machine::startIteration()
             gpu_fraction,
             power_.tokenPowerFraction(static_cast<int>(plan.decodes.size())));
     }
+    if (powerCap_ < 1.0)
+        gpu_fraction = std::min(gpu_fraction, powerCap_);
     const double watts = power_.machinePowerWatts(spec_, gpu_fraction);
     currentWatts_ = watts;
     stats_.energyWh += watts * sim::usToSeconds(duration) / 3600.0;
@@ -364,13 +435,29 @@ Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
 void
 Machine::finalizeStats()
 {
-    stats_.activeTokens.finish(simulator_.now());
+    const sim::TimeUs now = simulator_.now();
+    stats_.activeTokens.finish(now);
+    // Close any open parked/down interval; idempotent because the
+    // interval start moves to now.
+    if (parked_) {
+        stats_.parkedUs += now - parkedSince_;
+        parkedSince_ = now;
+    }
+    if (failed_) {
+        stats_.downUs += now - downSince_;
+        downSince_ = now;
+    }
+    stats_.poweredUs = now - stats_.parkedUs;
+    const sim::TimeUs idle = std::max<sim::TimeUs>(
+        0, stats_.poweredUs - stats_.busyUs - stats_.downUs);
+    stats_.idleEnergyWh = power_.machinePowerWatts(spec_, 0.0) *
+                          sim::usToSeconds(idle) / 3600.0;
 }
 
 double
 Machine::currentPowerWatts() const
 {
-    if (failed_)
+    if (failed_ || parked_)
         return 0.0;
     if (busy_)
         return currentWatts_;

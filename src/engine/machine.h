@@ -29,6 +29,17 @@ struct MachineStats {
     std::int64_t tokensGenerated = 0;
     /** GPU + platform energy while iterating, Wh. */
     double energyWh = 0.0;
+    /** Time spent parked (powered off by the control plane). */
+    sim::TimeUs parkedUs = 0;
+    /** Time spent failed (crashed, drawing nothing). */
+    sim::TimeUs downUs = 0;
+    /** Powered wall-clock (run length minus parked time); the
+     *  machine-hours the deployment pays for. Set by finalizeStats. */
+    sim::TimeUs poweredUs = 0;
+    /** Idle-floor energy while powered, up, and not iterating, Wh.
+     *  Kept separate from energyWh (busy iterations only) so the
+     *  paper-anchored energy numbers are unchanged. */
+    double idleEnergyWh = 0.0;
     /** Active-batched-token signal over time (Figs. 4/17). */
     metrics::SignalTracker activeTokens;
 };
@@ -121,6 +132,36 @@ class Machine {
     bool failed() const { return failed_; }
 
     /**
+     * Power the machine off (autoscaler scale-down). Only legal once
+     * the machine is fully drained - no in-flight iteration, no
+     * queued or resident work, no KV allocations. A parked machine
+     * draws no power, accrues no machine-hours, and accepts no work
+     * until unpark().
+     */
+    void park();
+
+    /**
+     * Power a parked machine back on (autoscaler scale-up, after the
+     * provisioning lead time). The machine comes back empty and the
+     * owner must re-admit it to routing (CLS restore).
+     */
+    void unpark();
+
+    /** True while powered off by the control plane. */
+    bool parked() const { return parked_; }
+
+    /**
+     * Apply a per-GPU power cap as a fraction of TDP (Fig. 9).
+     * Iterations whose phase needs more than the cap run slower by
+     * the model's cap-latency multiplier; caps above the phase's
+     * natural draw cost nothing. 1.0 removes the cap.
+     */
+    void setPowerCap(double fraction);
+
+    /** The current power-cap fraction (1.0 = uncapped). */
+    double powerCap() const { return powerCap_; }
+
+    /**
      * Straggler injection: multiply every iteration's duration by
      * @p scale (> 1 = slower). Routing signals are untouched, so the
      * CLS only sees the straggler through its growing queues.
@@ -195,6 +236,11 @@ class Machine {
 
     bool busy_ = false;
     bool failed_ = false;
+    bool parked_ = false;
+    sim::TimeUs parkedSince_ = 0;
+    sim::TimeUs downSince_ = 0;
+    /** Per-GPU power cap as a fraction of TDP; 1.0 = uncapped. */
+    double powerCap_ = 1.0;
     /**
      * Bumped on every fail(); an in-flight iteration-completion event
      * captured under an older epoch must drop silently, even when the

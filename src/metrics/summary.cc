@@ -71,11 +71,23 @@ Summary::histogram(std::size_t bucket_count) const
     if (samples_.empty())
         return {};
     ensureSorted();
-    const double lo = sorted_.front();
-    const double hi = sorted_.back();
+    // A NaN or infinite sample would poison the range arithmetic
+    // (NaN width makes the bucket-index cast undefined), so the
+    // histogram covers the finite samples only - same spirit as the
+    // percentile() NaN guard.
+    std::vector<double> finite;
+    finite.reserve(sorted_.size());
+    for (double v : sorted_) {
+        if (std::isfinite(v))
+            finite.push_back(v);
+    }
+    if (finite.empty())
+        return {};
+    const double lo = finite.front();
+    const double hi = finite.back();
     if (hi <= lo) {
         // Degenerate range: one bucket holds everything.
-        return {{hi, samples_.size()}};
+        return {{hi, finite.size()}};
     }
     const double width = (hi - lo) / static_cast<double>(bucket_count);
     std::vector<Bucket> buckets(bucket_count);
@@ -83,7 +95,7 @@ Summary::histogram(std::size_t bucket_count) const
         buckets[i].upperEdge = lo + width * static_cast<double>(i + 1);
     // Exact upper edge to dodge accumulated rounding at the top.
     buckets.back().upperEdge = hi;
-    for (double v : sorted_) {
+    for (double v : finite) {
         auto idx = static_cast<std::size_t>((v - lo) / width);
         idx = std::min(idx, bucket_count - 1);
         ++buckets[idx].count;

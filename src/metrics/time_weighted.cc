@@ -39,6 +39,11 @@ TimeWeightedHistogram::mean() const
 std::vector<std::pair<std::int64_t, double>>
 TimeWeightedHistogram::cdf() const
 {
+    // Guard the empty window explicitly (like cdfAt/mean) so a
+    // controller sampling an idle signal can never divide by a zero
+    // total, whatever invariants the map happens to satisfy.
+    if (total_ == 0)
+        return {};
     std::vector<std::pair<std::int64_t, double>> out;
     out.reserve(timeAt_.size());
     sim::TimeUs acc = 0;

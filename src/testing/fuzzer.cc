@@ -92,6 +92,16 @@ makeScenario(std::uint64_t seed)
     storm.linkDegradeWindowUs = sim::msToUs(600.0);
     s.faults = core::makeFaultStorm(
         storm, static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000)));
+
+    // Control plane last, so pre-autoscaler seeds keep drawing the
+    // same scenario prefix. Sheddable priorities make brownout L1
+    // observable; baselines ignore the flag.
+    s.autoscale = rng.bernoulli(0.35);
+    if (s.autoscale) {
+        workload::assignPriorities(
+            s.requests, rng.uniform(0.1, 0.5),
+            static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000)));
+    }
     return s;
 }
 

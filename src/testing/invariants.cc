@@ -116,6 +116,8 @@ InvariantChecker::checkNow()
     refreshIndex();
     checkRequests();
     checkMachines();
+    if (controller_)
+        checkController();
     checkTransfers();
     checkTelemetry();
     checkEventQueue();
@@ -289,14 +291,19 @@ InvariantChecker::checkMachines()
                         std::to_string(m.id()));
         }
 
-        // Scheduler membership mirrors liveness exactly.
-        if (cls.contains(m.id()) == m.failed()) {
+        // Pool-membership conservation: every machine sits in exactly
+        // one of {routed, controller standby, failed} - a machine
+        // lost (or duplicated) across a role flex breaks this.
+        const int states = (cls.contains(m.id()) ? 1 : 0) +
+                           (cls.inStandby(m.id()) ? 1 : 0) +
+                           (m.failed() ? 1 : 0);
+        if (states != 1) {
             violate("machine-pool",
-                    "machine " + std::to_string(m.id()) +
-                        (m.failed() ? " failed but still routed"
-                                    : " live but not in any pool"));
+                    "machine " + std::to_string(m.id()) + " is in " +
+                        std::to_string(states) +
+                        " of {routed, standby, failed}");
         }
-        if (!m.failed())
+        if (cls.contains(m.id()))
             ++alive;
 
         if (m.failed()) {
@@ -307,6 +314,21 @@ InvariantChecker::checkMachines()
                 m.mls().blocks().usedTokens() != 0) {
                 violate("machine-pool",
                         "failed machine " + std::to_string(m.id()) +
+                            " still holds work or KV");
+            }
+        }
+
+        // A parked machine was drained first and sits in standby.
+        if (m.parked()) {
+            if (!cls.inStandby(m.id())) {
+                violate("machine-pool",
+                        "machine " + std::to_string(m.id()) +
+                            " parked outside controller standby");
+            }
+            if (m.busy() || m.mls().hasWork() ||
+                m.mls().blocks().residents() != 0) {
+                violate("machine-pool",
+                        "parked machine " + std::to_string(m.id()) +
                             " still holds work or KV");
             }
         }
@@ -349,7 +371,8 @@ InvariantChecker::checkMachines()
     if (cls.liveMachines() != alive) {
         violate("machine-pool",
                 "scheduler tracks " + std::to_string(cls.liveMachines()) +
-                    " live machines, cluster has " + std::to_string(alive));
+                    " live machines, cluster routes " +
+                    std::to_string(alive));
     }
     const std::size_t pooled = cls.poolSize(core::PoolType::kPrompt) +
                                cls.poolSize(core::PoolType::kToken) +
@@ -357,7 +380,88 @@ InvariantChecker::checkMachines()
     if (pooled != alive) {
         violate("machine-pool",
                 "pool sizes sum to " + std::to_string(pooled) + " but " +
-                    std::to_string(alive) + " machines are live");
+                    std::to_string(alive) + " machines are routed");
+    }
+}
+
+void
+InvariantChecker::checkController()
+{
+    const auto& actions = controller_->actions();
+    const auto& cfg = controller_->config();
+    for (; actionCursor_ < actions.size(); ++actionCursor_) {
+        const control::ControlAction& a = actions[actionCursor_];
+        switch (a.type) {
+          case control::ActionType::kScaleUpStart:
+          case control::ActionType::kScaleDownStart:
+          case control::ActionType::kFlexStart: {
+            // No oscillation faster than the cooldown: successive
+            // scale initiations on one pool must be spaced out. A
+            // flex touches both pools and cools both.
+            const bool both = a.type == control::ActionType::kFlexStart;
+            const bool prompt = both || a.pool == core::PoolType::kPrompt;
+            const bool token = both || a.pool == core::PoolType::kToken;
+            if (prompt) {
+                if (lastInitPrompt_ >= 0 &&
+                    a.at - lastInitPrompt_ < cfg.scaleCooldownUs) {
+                    violate("scale-cooldown",
+                            "prompt-pool scale actions " +
+                                std::to_string(a.at - lastInitPrompt_) +
+                                "us apart (cooldown " +
+                                std::to_string(cfg.scaleCooldownUs) + "us)");
+                }
+                lastInitPrompt_ = a.at;
+            }
+            if (token) {
+                if (lastInitToken_ >= 0 &&
+                    a.at - lastInitToken_ < cfg.scaleCooldownUs) {
+                    violate("scale-cooldown",
+                            "token-pool scale actions " +
+                                std::to_string(a.at - lastInitToken_) +
+                                "us apart (cooldown " +
+                                std::to_string(cfg.scaleCooldownUs) + "us)");
+                }
+                lastInitToken_ = a.at;
+            }
+            break;
+          }
+          case control::ActionType::kBrownout: {
+            if (a.brownoutLevel < 0 || a.brownoutLevel > 3) {
+                violate("brownout-monotone",
+                        "brownout level " +
+                            std::to_string(a.brownoutLevel) +
+                            " outside the ladder");
+            }
+            const int delta = a.brownoutLevel - lastBrownoutLevel_;
+            if (delta != 1 && delta != -1) {
+                violate("brownout-monotone",
+                        "brownout jumped " +
+                            std::to_string(lastBrownoutLevel_) + " -> " +
+                            std::to_string(a.brownoutLevel));
+            }
+            if (lastBrownoutAt_ >= 0 &&
+                a.at - lastBrownoutAt_ < cfg.brownoutCooldownUs) {
+                violate("brownout-monotone",
+                        "brownout moves " +
+                            std::to_string(a.at - lastBrownoutAt_) +
+                            "us apart (cooldown " +
+                            std::to_string(cfg.brownoutCooldownUs) + "us)");
+            }
+            lastBrownoutLevel_ = a.brownoutLevel;
+            lastBrownoutAt_ = a.at;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    // The ladder and the scheduler may not drift apart.
+    if (cluster_.scheduler().brownoutLevel() != lastBrownoutLevel_) {
+        violate("brownout-monotone",
+                "scheduler at level " +
+                    std::to_string(cluster_.scheduler().brownoutLevel()) +
+                    " but the controller last set " +
+                    std::to_string(lastBrownoutLevel_));
     }
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "control/autoscaler.h"
 #include "core/cluster.h"
 
 namespace splitwise::testing {
@@ -85,6 +86,18 @@ class InvariantChecker {
     void checkNow();
 
     /**
+     * Also check the control plane's action log: scale actions on
+     * one pool spaced at least the configured cooldown apart,
+     * brownout moves of exactly one level inside [0, 3] respecting
+     * their own cooldown, and the scheduler's ladder level matching
+     * the controller's. Attach after constructing the Autoscaler.
+     */
+    void attachController(const control::Autoscaler* controller)
+    {
+        controller_ = controller;
+    }
+
+    /**
      * Post-run balance checks: every request terminal, the report's
      * aggregates match the live state, all KV released, no open
      * spans, no in-flight transfers.
@@ -112,12 +125,20 @@ class InvariantChecker {
     void refreshIndex();
     void checkRequests();
     void checkMachines();
+    void checkController();
     void checkTransfers();
     void checkTelemetry();
     void checkEventQueue();
 
     core::Cluster& cluster_;
     InvariantOptions options_;
+    const control::Autoscaler* controller_ = nullptr;
+    /** Control actions already validated. */
+    std::size_t actionCursor_ = 0;
+    sim::TimeUs lastInitPrompt_ = -1;
+    sim::TimeUs lastInitToken_ = -1;
+    int lastBrownoutLevel_ = 0;
+    sim::TimeUs lastBrownoutAt_ = -1;
     sim::Simulator::HookId hook_;
     std::uint64_t advances_ = 0;
     std::uint64_t checksRun_ = 0;

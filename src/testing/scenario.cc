@@ -1,6 +1,7 @@
 #include "testing/scenario.h"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -93,6 +94,7 @@ scenarioToJson(const Scenario& s)
     config.set("use_piecewise_perf_model",
                JsonValue(s.usePiecewisePerfModel));
     config.set("trace_enabled", JsonValue(s.traceEnabled));
+    config.set("autoscale", JsonValue(s.autoscale));
     JsonValue retry = JsonValue::makeObject();
     retry.set("max_retries",
               JsonValue(static_cast<std::int64_t>(s.kvRetry.maxRetries)));
@@ -109,6 +111,7 @@ scenarioToJson(const Scenario& s)
         req.set("arrival_us", JsonValue(r.arrival));
         req.set("prompt_tokens", JsonValue(r.promptTokens));
         req.set("output_tokens", JsonValue(r.outputTokens));
+        req.set("priority", JsonValue(static_cast<std::int64_t>(r.priority)));
         requests.push(req);
     }
     doc.set("requests", requests);
@@ -161,6 +164,10 @@ scenarioFromJson(const core::JsonValue& doc)
     s.kvCheckpointing = config.at("kv_checkpointing").asBool();
     s.usePiecewisePerfModel = config.at("use_piecewise_perf_model").asBool();
     s.traceEnabled = config.at("trace_enabled").asBool();
+    // Absent in pre-control-plane scenario files; default off keeps
+    // pinned repros replaying byte-identically.
+    if (config.has("autoscale"))
+        s.autoscale = config.at("autoscale").asBool();
     const auto& retry = config.at("kv_retry");
     s.kvRetry.maxRetries = static_cast<int>(retry.at("max_retries").asInt());
     s.kvRetry.backoffBaseUs = retry.at("backoff_base_us").asInt();
@@ -173,6 +180,8 @@ scenarioFromJson(const core::JsonValue& doc)
         r.arrival = req.at("arrival_us").asInt();
         r.promptTokens = req.at("prompt_tokens").asInt();
         r.outputTokens = req.at("output_tokens").asInt();
+        if (req.has("priority"))
+            r.priority = static_cast<int>(req.at("priority").asInt());
         s.requests.push_back(r);
     }
 
@@ -218,6 +227,29 @@ scenarioDesign(const Scenario& scenario)
 {
     return provision::makeDesign(scenario.designKind, scenario.numPrompt,
                                  scenario.numToken);
+}
+
+control::AutoscalerConfig
+dstAutoscalerConfig(const core::ClusterDesign& design)
+{
+    control::AutoscalerConfig cfg;
+    cfg.tickIntervalUs = sim::msToUs(200.0);
+    cfg.slidingWindowUs = sim::secondsToUs(2.0);
+    cfg.provisioningLeadUs = sim::msToUs(400.0);
+    cfg.scaleCooldownUs = sim::msToUs(900.0);
+    cfg.brownoutCooldownUs = sim::msToUs(400.0);
+    cfg.ttftScaleUpSlowdown = 2.5;
+    cfg.tbtScaleUpSlowdown = 2.0;
+    cfg.queuedTokensHighPerMachine = 1500;
+    cfg.kvHighUtilization = 0.6;
+    cfg.ttftScaleDownSlowdown = 2.0;
+    cfg.tbtScaleDownSlowdown = 2.0;
+    cfg.queuedTokensLowPerMachine = 600;
+    cfg.kvLowUtilization = 0.35;
+    cfg.brownoutQueuedTokensPerMachine = 4000;
+    cfg.brownoutTtftSlowdown = 5.0;
+    cfg.powerBudgetWatts = design.footprint().powerWatts * 0.9;
+    return cfg;
 }
 
 core::SimConfig
@@ -284,9 +316,22 @@ runScenario(const Scenario& scenario, const InvariantOptions& options)
         });
     }
 
+    // The controller posts its own tick events, so it must exist
+    // before run(); splitwise-only because baselines have no pools
+    // to scale.
+    std::unique_ptr<control::Autoscaler> autoscaler;
+    if (scenario.autoscale && cluster.design().splitwise) {
+        autoscaler = std::make_unique<control::Autoscaler>(
+            cluster, dstAutoscalerConfig(cluster.design()));
+    }
+
     InvariantChecker checker(cluster, options);
+    if (autoscaler)
+        checker.attachController(autoscaler.get());
     try {
-        const core::RunReport report = cluster.run(scenario.requests);
+        core::RunReport report = cluster.run(scenario.requests);
+        if (autoscaler)
+            autoscaler->fillReport(report);
         checker.finalCheck(report);
         outcome.completed = report.requests.completed();
         outcome.rejected = report.rejected;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "control/autoscaler.h"
 #include "core/cluster.h"
 #include "core/fault_plan.h"
 #include "core/json.h"
@@ -75,6 +76,13 @@ struct Scenario {
     engine::KvRetryPolicy kvRetry;
     /** Record lifecycle spans so span-balance invariants are live. */
     bool traceEnabled = false;
+    /**
+     * Run an Autoscaler (dstAutoscalerConfig) over the scenario so
+     * controller actions race faults and the checker's control-plane
+     * invariants are live. Splitwise designs only; ignored for
+     * baselines.
+     */
+    bool autoscale = false;
 
     workload::Trace requests;
     core::FaultPlan faults;
@@ -96,6 +104,15 @@ core::ClusterDesign scenarioDesign(const Scenario& scenario);
 
 /** The SimConfig a scenario describes. */
 core::SimConfig scenarioSimConfig(const Scenario& scenario);
+
+/**
+ * Controller tuning for DST runs: cadence and cooldowns compressed
+ * to fractions of a second and thresholds lowered so fuzzed traces
+ * a few seconds long still exercise scale/flex/brownout/power-cap
+ * paths. The power budget is set just below the design's provisioned
+ * draw so cap placement is always active.
+ */
+control::AutoscalerConfig dstAutoscalerConfig(const core::ClusterDesign& design);
 
 /** What one scenario run produced. */
 struct ScenarioOutcome {

@@ -1,0 +1,72 @@
+#include "workload/rate_curve.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace splitwise::workload {
+
+RateCurve::RateCurve(double trough, double peak, sim::TimeUs period,
+                     sim::TimeUs phase)
+    : trough_(trough), peak_(peak), period_(period), phase_(phase)
+{
+}
+
+RateCurve
+RateCurve::constant(double rps)
+{
+    if (rps <= 0.0)
+        sim::fatal("RateCurve::constant: rps must be positive");
+    return RateCurve(rps, rps, 0, 0);
+}
+
+RateCurve
+RateCurve::diurnal(double trough_rps, double peak_rps, sim::TimeUs period,
+                   sim::TimeUs phase)
+{
+    if (trough_rps <= 0.0 || peak_rps < trough_rps)
+        sim::fatal("RateCurve::diurnal: need 0 < trough <= peak");
+    if (period <= 0)
+        sim::fatal("RateCurve::diurnal: period must be positive");
+    return RateCurve(trough_rps, peak_rps, period, phase);
+}
+
+RateCurve&
+RateCurve::addSpike(sim::TimeUs start, sim::TimeUs duration, double multiplier)
+{
+    if (duration <= 0)
+        sim::fatal("RateCurve::addSpike: duration must be positive");
+    if (multiplier <= 1.0)
+        sim::fatal("RateCurve::addSpike: multiplier must exceed 1");
+    spikes_.push_back({start, start + duration, multiplier});
+    return *this;
+}
+
+double
+RateCurve::rateAt(sim::TimeUs t) const
+{
+    double rate = trough_;
+    if (period_ > 0) {
+        constexpr double kTwoPi = 6.283185307179586476925286766559;
+        const double cycle =
+            static_cast<double>(t + phase_) / static_cast<double>(period_);
+        rate = trough_ +
+               (peak_ - trough_) * 0.5 * (1.0 - std::cos(kTwoPi * cycle));
+    }
+    for (const auto& s : spikes_) {
+        if (t >= s.start && t < s.end)
+            rate *= s.multiplier;
+    }
+    return rate;
+}
+
+double
+RateCurve::maxRate() const
+{
+    double bound = peak_;
+    for (const auto& s : spikes_)
+        bound *= s.multiplier;
+    return bound;
+}
+
+}  // namespace splitwise::workload

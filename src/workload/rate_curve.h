@@ -1,0 +1,75 @@
+#ifndef SPLITWISE_WORKLOAD_RATE_CURVE_H_
+#define SPLITWISE_WORKLOAD_RATE_CURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace splitwise::workload {
+
+/**
+ * A time-varying arrival-rate function lambda(t) in requests/s:
+ * either a constant or a diurnal cosine between a trough and a peak,
+ * optionally overlaid with multiplicative flash-crowd spikes. Drives
+ * the non-homogeneous Poisson trace generator (thinning), so the
+ * autoscaler faces the day/night swings and surges the paper's
+ * production traces exhibit.
+ */
+class RateCurve {
+  public:
+    /** Flat lambda(t) = rps. */
+    static RateCurve constant(double rps);
+
+    /**
+     * Diurnal cosine: lambda(t) oscillates between @p trough_rps and
+     * @p peak_rps with @p period (one simulated "day"), starting at
+     * the trough. @p phase shifts the curve left.
+     */
+    static RateCurve diurnal(double trough_rps, double peak_rps,
+                             sim::TimeUs period, sim::TimeUs phase = 0);
+
+    /**
+     * Overlay a flash crowd: the rate is multiplied by
+     * @p multiplier (> 1) during [start, start + duration).
+     * Overlapping spikes compound multiplicatively.
+     */
+    RateCurve& addSpike(sim::TimeUs start, sim::TimeUs duration,
+                        double multiplier);
+
+    /** The instantaneous rate at simulated time @p t, requests/s. */
+    double rateAt(sim::TimeUs t) const;
+
+    /**
+     * An upper bound on rateAt over all t - the thinning envelope.
+     * Conservative when spikes never overlap (it compounds every
+     * spike), which only costs extra rejected candidate draws.
+     */
+    double maxRate() const;
+
+    /** The curve's trough-to-peak base rates (peak == trough when
+     *  constant). */
+    double troughRps() const { return trough_; }
+    double peakRps() const { return peak_; }
+
+  private:
+    struct Spike {
+        sim::TimeUs start = 0;
+        sim::TimeUs end = 0;
+        double multiplier = 1.0;
+    };
+
+    RateCurve(double trough, double peak, sim::TimeUs period,
+              sim::TimeUs phase);
+
+    double trough_ = 0.0;
+    double peak_ = 0.0;
+    /** 0 = constant curve (no oscillation). */
+    sim::TimeUs period_ = 0;
+    sim::TimeUs phase_ = 0;
+    std::vector<Spike> spikes_;
+};
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_RATE_CURVE_H_

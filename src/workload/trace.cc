@@ -30,10 +30,10 @@ writeCsv(const Trace& trace, const std::string& path)
     std::ofstream out(path);
     if (!out)
         sim::fatal("writeCsv: cannot open " + path);
-    out << "id,arrival_us,prompt_tokens,output_tokens\n";
+    out << "id,arrival_us,prompt_tokens,output_tokens,priority\n";
     for (const auto& r : trace) {
         out << r.id << ',' << r.arrival << ',' << r.promptTokens << ','
-            << r.outputTokens << '\n';
+            << r.outputTokens << ',' << r.priority << '\n';
     }
 }
 
@@ -56,6 +56,11 @@ readCsv(const std::string& path)
         if (!(row >> r.id >> comma >> r.arrival >> comma >> r.promptTokens >>
               comma >> r.outputTokens)) {
             sim::fatal("readCsv: malformed row in " + path + ": " + line);
+        }
+        // Priority is a later addition; rows without it parse as 0.
+        if (row >> comma) {
+            if (!(row >> r.priority))
+                sim::fatal("readCsv: malformed row in " + path + ": " + line);
         }
         trace.push_back(r);
     }

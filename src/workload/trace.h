@@ -19,6 +19,12 @@ struct Request {
     sim::TimeUs arrival = 0;
     std::int64_t promptTokens = 0;
     std::int64_t outputTokens = 0;
+    /**
+     * Scheduling priority: 0 = interactive (default), higher values
+     * are increasingly sheddable background/batch traffic. The
+     * brownout ladder drops the highest values first.
+     */
+    int priority = 0;
 };
 
 /** A request trace sorted by arrival time. */
@@ -32,12 +38,13 @@ sim::TimeUs traceSpan(const Trace& trace);
 
 /**
  * Write a trace as CSV with header
- * `id,arrival_us,prompt_tokens,output_tokens`.
+ * `id,arrival_us,prompt_tokens,output_tokens,priority`.
  */
 void writeCsv(const Trace& trace, const std::string& path);
 
 /**
- * Read a trace written by writeCsv.
+ * Read a trace written by writeCsv. The trailing priority column is
+ * optional so traces from before it existed still load (priority 0).
  *
  * @throws std::runtime_error on malformed rows (via sim::fatal).
  */

@@ -47,4 +47,38 @@ TraceGenerator::generateUniform(std::size_t count, sim::TimeUs interval)
     return trace;
 }
 
+Trace
+TraceGenerator::generate(const RateCurve& curve, sim::TimeUs duration)
+{
+    // Thinning (Lewis-Shedler): draw candidates at the envelope rate
+    // and keep each with probability lambda(t)/envelope. Every
+    // candidate consumes the same rng draws whether kept or not, so
+    // the stream stays aligned across curve tweaks to spike windows.
+    const double bound = curve.maxRate();
+    if (bound <= 0.0)
+        sim::fatal("TraceGenerator: rate curve has non-positive envelope");
+    Trace trace;
+    double t_s = 0.0;
+    const double horizon_s = sim::usToSeconds(duration);
+    while (true) {
+        t_s += rng_.exponential(bound);
+        if (t_s >= horizon_s)
+            break;
+        const sim::TimeUs t = sim::secondsToUs(t_s);
+        if (rng_.bernoulli(curve.rateAt(t) / bound))
+            trace.push_back(makeRequest(t));
+    }
+    return trace;
+}
+
+void
+assignPriorities(Trace& trace, double sheddable_fraction, std::uint64_t seed)
+{
+    if (sheddable_fraction < 0.0 || sheddable_fraction > 1.0)
+        sim::fatal("assignPriorities: fraction must lie in [0, 1]");
+    sim::Rng rng(seed);
+    for (auto& r : trace)
+        r.priority = rng.bernoulli(sheddable_fraction) ? 1 : 0;
+}
+
 }  // namespace splitwise::workload

@@ -5,6 +5,7 @@
 
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "workload/rate_curve.h"
 #include "workload/trace.h"
 #include "workload/workloads.h"
 
@@ -37,6 +38,13 @@ class TraceGenerator {
      */
     Trace generateUniform(std::size_t count, sim::TimeUs interval);
 
+    /**
+     * Generate a trace whose arrival rate follows @p curve - a
+     * non-homogeneous Poisson process sampled by thinning against
+     * the curve's maxRate() envelope. Deterministic per seed.
+     */
+    Trace generate(const RateCurve& curve, sim::TimeUs duration);
+
   private:
     Request makeRequest(sim::TimeUs arrival);
 
@@ -44,6 +52,15 @@ class TraceGenerator {
     sim::Rng rng_;
     std::uint64_t nextId_ = 0;
 };
+
+/**
+ * Mark a random @p sheddable_fraction of @p trace priority 1 (batch
+ * work the brownout ladder sheds first); the rest stay priority 0
+ * (interactive). Deterministic per @p seed, independent of the
+ * generator's sampling stream.
+ */
+void assignPriorities(Trace& trace, double sheddable_fraction,
+                      std::uint64_t seed);
 
 }  // namespace splitwise::workload
 

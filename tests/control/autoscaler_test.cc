@@ -1,0 +1,306 @@
+#include "control/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/cluster.h"
+#include "core/designs.h"
+#include "core/report_io.h"
+#include "model/llm_config.h"
+#include "workload/rate_curve.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace splitwise::control {
+namespace {
+
+/**
+ * The autoscaler is exercised end-to-end through small clusters: the
+ * controller ticks inside the simulation and its action log plus the
+ * report's control section are the observable behaviour.
+ */
+
+/** Fast cadence so a few simulated seconds see many decisions. */
+AutoscalerConfig
+fastConfig()
+{
+    AutoscalerConfig cfg;
+    cfg.tickIntervalUs = sim::msToUs(200.0);
+    cfg.slidingWindowUs = sim::secondsToUs(2.0);
+    cfg.provisioningLeadUs = sim::msToUs(400.0);
+    cfg.scaleCooldownUs = sim::msToUs(800.0);
+    cfg.brownoutCooldownUs = sim::msToUs(600.0);
+    return cfg;
+}
+
+workload::Trace
+steadyTrace(double rps, double seconds, std::uint64_t seed = 7)
+{
+    workload::TraceGenerator gen(workload::conversation(), seed);
+    return gen.generate(rps, sim::secondsToUs(seconds));
+}
+
+TEST(AutoscalerTest, RequiresSplitwiseDesign)
+{
+    core::Cluster cluster(model::llama2_70b(), core::baselineH100(2));
+    EXPECT_THROW(Autoscaler(cluster, fastConfig()), std::runtime_error);
+}
+
+TEST(AutoscalerTest, RejectsInvalidConfig)
+{
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(2, 2));
+    AutoscalerConfig cfg = fastConfig();
+    cfg.tickIntervalUs = 0;
+    EXPECT_THROW(Autoscaler(cluster, cfg), std::runtime_error);
+}
+
+TEST(AutoscalerTest, IdleClusterScalesDownToTheFloor)
+{
+    // 4P+4T fed a trickle: the controller must park down to the
+    // configured minimum and bank the machine-hours.
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(4, 4));
+    Autoscaler scaler(cluster, fastConfig());
+    const auto trace = steadyTrace(1.0, 8.0);
+    core::RunReport report = cluster.run(trace);
+    scaler.fillReport(report);
+
+    EXPECT_TRUE(report.control.enabled);
+    EXPECT_GT(report.control.ticks, 0u);
+    EXPECT_GT(report.control.scaleDowns, 0u);
+    EXPECT_GT(report.promptPool.parkedUs + report.tokenPool.parkedUs, 0);
+    // Parked time is unpaid: the fleet cost less than always-on.
+    const double wall_machine_us =
+        static_cast<double>(report.simulatedUs) * 8.0;
+    EXPECT_LT(static_cast<double>(report.promptPool.poweredUs +
+                                  report.tokenPool.poweredUs),
+              wall_machine_us);
+    EXPECT_EQ(report.requests.completed() + report.rejected, trace.size());
+}
+
+TEST(AutoscalerTest, NeverBelowTheMinimumFloor)
+{
+    AutoscalerConfig cfg = fastConfig();
+    cfg.minPromptMachines = 2;
+    cfg.minTokenMachines = 3;
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(4, 4));
+    Autoscaler scaler(cluster, cfg);
+    cluster.run(steadyTrace(0.5, 6.0));
+
+    const auto& cls = cluster.scheduler();
+    EXPECT_GE(cls.poolSize(core::PoolType::kPrompt), 2u);
+    EXPECT_GE(cls.poolSize(core::PoolType::kToken), 3u);
+}
+
+TEST(AutoscalerTest, SurgeAfterValleyScalesBackUp)
+{
+    // A quiet first half parks machines; the surge must bring them
+    // back (kScaleUpStart then kScaleUp after the lead time).
+    auto curve = workload::RateCurve::constant(1.0);
+    curve.addSpike(sim::secondsToUs(6.0), sim::secondsToUs(6.0), 14.0);
+    workload::TraceGenerator gen(workload::conversation(), 11);
+    const auto trace = gen.generate(curve, sim::secondsToUs(12.0));
+
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(3, 3));
+    Autoscaler scaler(cluster, fastConfig());
+    core::RunReport report = cluster.run(trace);
+    scaler.fillReport(report);
+
+    EXPECT_GT(report.control.scaleDowns, 0u);
+    EXPECT_GT(report.control.scaleUps, 0u);
+    bool saw_start = false, saw_finish = false;
+    for (const auto& a : scaler.actions()) {
+        saw_start = saw_start || a.type == ActionType::kScaleUpStart;
+        saw_finish = saw_finish || a.type == ActionType::kScaleUp;
+    }
+    EXPECT_TRUE(saw_start);
+    EXPECT_TRUE(saw_finish);
+}
+
+TEST(AutoscalerTest, ScaleActionsRespectTheCooldown)
+{
+    auto curve = workload::RateCurve::constant(1.0);
+    curve.addSpike(sim::secondsToUs(5.0), sim::secondsToUs(5.0), 14.0);
+    workload::TraceGenerator gen(workload::conversation(), 13);
+    const auto trace = gen.generate(curve, sim::secondsToUs(12.0));
+
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(3, 3));
+    AutoscalerConfig cfg = fastConfig();
+    Autoscaler scaler(cluster, cfg);
+    cluster.run(trace);
+
+    sim::TimeUs last_prompt = -1, last_token = -1;
+    for (const auto& a : scaler.actions()) {
+        if (a.type != ActionType::kScaleUpStart &&
+            a.type != ActionType::kScaleDownStart &&
+            a.type != ActionType::kFlexStart) {
+            continue;
+        }
+        const bool prompt = a.pool == core::PoolType::kPrompt ||
+                            a.type == ActionType::kFlexStart;
+        const bool token = a.pool == core::PoolType::kToken ||
+                           a.type == ActionType::kFlexStart;
+        if (prompt) {
+            if (last_prompt >= 0)
+                EXPECT_GE(a.at - last_prompt, cfg.scaleCooldownUs);
+            last_prompt = a.at;
+        }
+        if (token) {
+            if (last_token >= 0)
+                EXPECT_GE(a.at - last_token, cfg.scaleCooldownUs);
+            last_token = a.at;
+        }
+    }
+}
+
+TEST(AutoscalerTest, OverloadClimbsTheBrownoutLadderAndRecovers)
+{
+    // 1P+1T swamped far past capacity, then the tail drains: the
+    // ladder must climb (shedding sheddable work first) and step
+    // back down one level at a time.
+    AutoscalerConfig cfg = fastConfig();
+    cfg.brownoutQueuedTokensPerMachine = 2000;
+    cfg.brownoutTtftSlowdown = 3.0;
+    cfg.minPromptMachines = 1;
+    cfg.minTokenMachines = 1;
+
+    workload::Trace trace;
+    for (int i = 0; i < 120; ++i) {
+        workload::Request r;
+        r.id = static_cast<std::uint64_t>(i);
+        r.arrival = sim::msToUs(20.0 * i);
+        r.promptTokens = 1500;
+        r.outputTokens = 80;
+        r.priority = i % 2;
+        trace.push_back(r);
+    }
+
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(1, 1));
+    Autoscaler scaler(cluster, cfg);
+    core::RunReport report = cluster.run(trace);
+    scaler.fillReport(report);
+
+    EXPECT_GE(report.control.maxBrownoutLevel, 1);
+    EXPECT_GT(report.control.brownoutTransitions, 1u);
+    EXPECT_GT(report.control.brownoutUs, 0);
+    EXPECT_GT(report.rejected, 0u);
+    // One level per move, always inside the ladder, and at least one
+    // downward step once the tail drained. (The controller only
+    // ticks while the simulation has events, so the final level may
+    // legitimately rest one step above zero.)
+    int level = 0;
+    bool recovered = false;
+    for (const auto& a : scaler.actions()) {
+        if (a.type != ActionType::kBrownout)
+            continue;
+        EXPECT_EQ(std::abs(a.brownoutLevel - level), 1);
+        recovered = recovered || a.brownoutLevel < level;
+        level = a.brownoutLevel;
+        EXPECT_GE(level, 0);
+        EXPECT_LE(level, 3);
+    }
+    EXPECT_TRUE(recovered);
+    EXPECT_LT(cluster.scheduler().brownoutLevel(),
+              report.control.maxBrownoutLevel);
+    EXPECT_EQ(cluster.scheduler().brownoutLevel(), level);
+    EXPECT_EQ(report.requests.completed() + report.rejected, 120u);
+}
+
+TEST(AutoscalerTest, PowerBudgetPlacesTokenCapsFirst)
+{
+    // Budget below the fleet's provisioned draw: caps must appear,
+    // and the token pool (where Fig. 9 says caps are nearly free)
+    // must carry the deeper ones.
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(2, 2));
+    AutoscalerConfig cfg = fastConfig();
+    cfg.powerBudgetWatts = cluster.design().footprint().powerWatts * 0.8;
+    Autoscaler scaler(cluster, cfg);
+    core::RunReport report = cluster.run(steadyTrace(4.0, 6.0));
+    scaler.fillReport(report);
+
+    EXPECT_GT(report.control.powerCapChanges, 0u);
+    double deepest_token = 1.0, deepest_prompt = 1.0;
+    for (const auto& a : scaler.actions()) {
+        if (a.type != ActionType::kPowerCap)
+            continue;
+        EXPECT_GE(a.capFraction, cfg.tokenCapFloor);
+        EXPECT_LE(a.capFraction, 1.0);
+        if (a.pool == core::PoolType::kToken)
+            deepest_token = std::min(deepest_token, a.capFraction);
+        else
+            deepest_prompt = std::min(deepest_prompt, a.capFraction);
+    }
+    EXPECT_LT(deepest_token, 1.0);
+    EXPECT_LE(deepest_token, deepest_prompt);
+}
+
+TEST(AutoscalerTest, DeterministicActionLogAndReport)
+{
+    auto run_once = [](std::string* json) {
+        auto curve = workload::RateCurve::diurnal(1.0, 10.0,
+                                                  sim::secondsToUs(10.0));
+        workload::TraceGenerator gen(workload::conversation(), 5);
+        const auto trace = gen.generate(curve, sim::secondsToUs(10.0));
+        core::Cluster cluster(model::llama2_70b(),
+                              core::splitwiseHH(3, 3));
+        Autoscaler scaler(cluster, fastConfig());
+        core::RunReport report = cluster.run(trace);
+        scaler.fillReport(report);
+        *json = core::reportToJson(report);
+        return scaler.actions();
+    };
+    std::string json_a, json_b;
+    const auto a = run_once(&json_a);
+    const auto b = run_once(&json_b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].at, b[i].at);
+        EXPECT_EQ(a[i].type, b[i].type);
+        EXPECT_EQ(a[i].machine, b[i].machine);
+    }
+    EXPECT_EQ(json_a, json_b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(AutoscalerTest, DisabledControlSectionStaysOutOfTheReport)
+{
+    // Without fillReport the control block must not serialize: the
+    // byte-stability contract for every pre-existing golden.
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(2, 2));
+    const core::RunReport report = cluster.run(steadyTrace(2.0, 3.0));
+    EXPECT_FALSE(report.control.enabled);
+    EXPECT_EQ(core::reportToJson(report).find("\"control\""),
+              std::string::npos);
+}
+
+TEST(AutoscalerTest, FlexMovesAMachineAcrossRoles)
+{
+    // Prompt-heavy surge with an idle token pool: cheaper to flex a
+    // token machine across than to wait for an unpark (everything is
+    // already routed, so flex is the only scale-up path).
+    AutoscalerConfig cfg = fastConfig();
+    cfg.queuedTokensHighPerMachine = 1500;
+    workload::Trace trace;
+    for (int i = 0; i < 60; ++i) {
+        workload::Request r;
+        r.id = static_cast<std::uint64_t>(i);
+        r.arrival = sim::msToUs(40.0 * i);
+        r.promptTokens = 2000;
+        r.outputTokens = 4;
+        trace.push_back(r);
+    }
+    core::Cluster cluster(model::llama2_70b(), core::splitwiseHH(1, 3));
+    Autoscaler scaler(cluster, cfg);
+    core::RunReport report = cluster.run(trace);
+    scaler.fillReport(report);
+
+    EXPECT_GT(report.control.roleFlexes, 0u);
+    EXPECT_EQ(report.requests.completed() + report.rejected, 60u);
+    // Drained flex: the donor left with no in-flight work, so no
+    // request was restarted by the move.
+    EXPECT_EQ(report.restarts, 0u);
+}
+
+}  // namespace
+}  // namespace splitwise::control

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/cluster.h"
 #include "core/designs.h"
 #include "model/llm_config.h"
@@ -163,6 +165,109 @@ TEST(ClsTest, RandomRoutingDeterministicPerSeed)
     const RunReport a = run_once();
     const RunReport b = run_once();
     EXPECT_DOUBLE_EQ(a.requests.e2eMs().mean(), b.requests.e2eMs().mean());
+}
+
+TEST(ClsTest, RetireRestoreRoundTripKeepsCounters)
+{
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 2));
+    auto& cls = cluster.scheduler();
+    cls.retire(0);
+    EXPECT_FALSE(cls.contains(0));
+    EXPECT_TRUE(cls.inStandby(0));
+    EXPECT_EQ(cls.standbySize(), 1u);
+    EXPECT_EQ(cls.liveMachines(), 3u);
+    EXPECT_EQ(cls.poolSize(PoolType::kPrompt), 1u);
+    // Standby machines keep answering identity queries: the origin
+    // survives for restore().
+    EXPECT_EQ(cls.originOf(0), PoolType::kPrompt);
+
+    cls.restore(0);
+    EXPECT_TRUE(cls.contains(0));
+    EXPECT_FALSE(cls.inStandby(0));
+    EXPECT_EQ(cls.poolOf(0), PoolType::kPrompt);
+    EXPECT_EQ(cls.retires(), 1u);
+    EXPECT_EQ(cls.restores(), 1u);
+    EXPECT_EQ(cls.liveMachines(), 4u);
+}
+
+TEST(ClsTest, RestoreUnderNewOriginIsARoleFlex)
+{
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 2));
+    auto& cls = cluster.scheduler();
+    cls.retire(0);
+    cls.restore(0, PoolType::kToken);
+    EXPECT_EQ(cls.poolOf(0), PoolType::kToken);
+    EXPECT_EQ(cls.originOf(0), PoolType::kToken);
+    EXPECT_EQ(cls.poolSize(PoolType::kPrompt), 1u);
+    EXPECT_EQ(cls.poolSize(PoolType::kToken), 3u);
+}
+
+TEST(ClsTest, RetireRefusesTheLastRoutedMachine)
+{
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 2));
+    auto& cls = cluster.scheduler();
+    cls.retire(0);
+    cls.retire(1);
+    cls.retire(2);
+    EXPECT_THROW(cls.retire(3), std::runtime_error);
+    EXPECT_THROW(cls.retire(0), std::runtime_error);  // not routed
+}
+
+TEST(ClsTest, FlexedMachineFailsAndRejoinsItsFlexedPool)
+{
+    // A machine flexed prompt->token crashes and recovers mid-run:
+    // it must rejoin under its flexed identity (the origin restore()
+    // assigned), with retire/restore/rejoin counters consistent and
+    // no machine lost or double-counted.
+    Cluster cluster(model::llama2_70b(), splitwiseHH(2, 2));
+    auto& cls = cluster.scheduler();
+    cls.retire(0);
+    cls.restore(0, PoolType::kToken);
+    cluster.scheduleFailure(0, sim::secondsToUs(2),
+                            /*downtime_us=*/sim::secondsToUs(3));
+
+    const auto trace = uniformTrace(30, 0.3, 1200, 30);
+    const RunReport report = cluster.run(trace);
+    EXPECT_EQ(report.requests.completed() + report.rejected, 30u);
+    EXPECT_EQ(report.rejoins, 1u);
+    EXPECT_TRUE(cls.contains(0));
+    EXPECT_EQ(cls.poolOf(0), PoolType::kToken);
+    EXPECT_EQ(cls.originOf(0), PoolType::kToken);
+    EXPECT_EQ(cls.liveMachines(), 4u);
+    EXPECT_EQ(cls.standbySize(), 0u);
+    EXPECT_EQ(cls.retires(), 1u);
+    EXPECT_EQ(cls.restores(), 1u);
+}
+
+TEST(ClsTest, FailedWhileMixedRejoinsOriginPool)
+{
+    // A token machine pulled into the mixed pool by a prompt burst
+    // crashes there; after recovery it must sit in its origin token
+    // pool with no mixed-pool residue.
+    workload::Trace trace;
+    for (int i = 0; i < 24; ++i)
+        trace.push_back({static_cast<std::uint64_t>(i), 0, 6000, 2});
+    for (int i = 24; i < 40; ++i) {
+        trace.push_back({static_cast<std::uint64_t>(i),
+                         sim::secondsToUs(6 + (i - 24) / 4.0), 1200, 20});
+    }
+    SimConfig config;
+    config.cls.promptOverflowTokens = 8000;
+    Cluster cluster(model::llama2_70b(), splitwiseHH(1, 3), config);
+    cluster.scheduleFailure(1, sim::msToUs(50),
+                            /*downtime_us=*/sim::secondsToUs(2));
+    const RunReport report = cluster.run(trace);
+
+    EXPECT_GT(report.mixedRoutes, 0u);
+    EXPECT_EQ(report.rejoins, 1u);
+    EXPECT_EQ(report.requests.completed() + report.rejected, 40u);
+    const auto& cls = cluster.scheduler();
+    EXPECT_EQ(cls.poolOf(1), PoolType::kToken);
+    EXPECT_EQ(cls.originOf(1), PoolType::kToken);
+    EXPECT_EQ(cls.liveMachines(), 4u);
+    // Every machine drained back to its origin pool.
+    for (int id = 0; id < 4; ++id)
+        EXPECT_EQ(cls.poolOf(id), cls.originOf(id)) << "machine " << id;
 }
 
 TEST(ClsTest, BaselineRoutesWholeRequestsByLoad)

@@ -178,5 +178,32 @@ TEST(SummaryTest, HistogramZeroBucketsRoundsUpToOne)
     EXPECT_EQ(buckets[0].count, 2u);
 }
 
+
+TEST(SummaryTest, HistogramIgnoresNonFiniteSamples)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(std::numeric_limits<double>::quiet_NaN());
+    s.add(3.0);
+    s.add(std::numeric_limits<double>::infinity());
+    const auto buckets = s.histogram(2);
+    ASSERT_EQ(buckets.size(), 2u);
+    std::size_t total = 0;
+    for (const auto& b : buckets) {
+        EXPECT_TRUE(std::isfinite(b.upperEdge));
+        total += b.count;
+    }
+    EXPECT_EQ(total, 2u);  // only the finite samples are bucketed
+    EXPECT_DOUBLE_EQ(buckets.back().upperEdge, 3.0);
+}
+
+TEST(SummaryTest, HistogramAllNonFiniteIsEmpty)
+{
+    Summary s;
+    s.add(std::numeric_limits<double>::quiet_NaN());
+    s.add(std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(s.histogram(4).empty());
+}
+
 }  // namespace
 }  // namespace splitwise::metrics

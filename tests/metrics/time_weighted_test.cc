@@ -126,5 +126,20 @@ TEST(SignalTrackerTest, ValueAccessorTracksCurrent)
     EXPECT_EQ(t.value(), 9);
 }
 
+
+TEST(TimeWeightedTest, EmptyHistogramCdfIsEmptyAndFinite)
+{
+    TimeWeightedHistogram h;
+    EXPECT_TRUE(h.cdf().empty());
+    EXPECT_DOUBLE_EQ(h.cdfAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+    // Merging empties (an idle controller window) must stay empty.
+    TimeWeightedHistogram other;
+    h.merge(other);
+    EXPECT_TRUE(h.cdf().empty());
+    EXPECT_EQ(h.totalTime(), 0);
+}
+
 }  // namespace
 }  // namespace splitwise::metrics

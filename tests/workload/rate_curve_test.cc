@@ -1,0 +1,158 @@
+#include "workload/rate_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/time.h"
+#include "workload/trace_gen.h"
+#include "workload/workloads.h"
+
+namespace splitwise::workload {
+namespace {
+
+constexpr sim::TimeUs kDay = sim::secondsToUs(600);
+
+TEST(RateCurveTest, ConstantIsFlat)
+{
+    const RateCurve curve = RateCurve::constant(40.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(0), 40.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(sim::secondsToUs(123)), 40.0);
+    EXPECT_DOUBLE_EQ(curve.maxRate(), 40.0);
+}
+
+TEST(RateCurveTest, DiurnalOscillatesBetweenTroughAndPeak)
+{
+    const RateCurve curve = RateCurve::diurnal(10.0, 50.0, kDay);
+    EXPECT_NEAR(curve.rateAt(0), 10.0, 1e-9);
+    EXPECT_NEAR(curve.rateAt(kDay / 2), 50.0, 1e-9);
+    EXPECT_NEAR(curve.rateAt(kDay), 10.0, 1e-9);
+    EXPECT_NEAR(curve.rateAt(kDay / 4), 30.0, 1e-9);
+    // Never outside the band.
+    for (sim::TimeUs t = 0; t <= 2 * kDay; t += kDay / 37) {
+        const double r = curve.rateAt(t);
+        EXPECT_GE(r, 10.0 - 1e-9);
+        EXPECT_LE(r, 50.0 + 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(curve.maxRate(), 50.0);
+}
+
+TEST(RateCurveTest, PhaseShiftsTheCurve)
+{
+    const RateCurve shifted = RateCurve::diurnal(10.0, 50.0, kDay, kDay / 2);
+    EXPECT_NEAR(shifted.rateAt(0), 50.0, 1e-9);
+}
+
+TEST(RateCurveTest, SpikesMultiplyInsideTheirWindowOnly)
+{
+    RateCurve curve = RateCurve::constant(20.0);
+    curve.addSpike(sim::secondsToUs(100), sim::secondsToUs(50), 3.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(sim::secondsToUs(99)), 20.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(sim::secondsToUs(100)), 60.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(sim::secondsToUs(149)), 60.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(sim::secondsToUs(150)), 20.0);
+    EXPECT_DOUBLE_EQ(curve.maxRate(), 60.0);
+}
+
+TEST(RateCurveTest, OverlappingSpikesCompound)
+{
+    RateCurve curve = RateCurve::constant(10.0);
+    curve.addSpike(0, sim::secondsToUs(100), 2.0)
+        .addSpike(sim::secondsToUs(50), sim::secondsToUs(100), 3.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(sim::secondsToUs(75)), 60.0);
+    EXPECT_DOUBLE_EQ(curve.maxRate(), 60.0);
+}
+
+TEST(NonHomogeneousTraceTest, DeterministicPerSeed)
+{
+    const RateCurve curve = RateCurve::diurnal(5.0, 40.0, kDay);
+    TraceGenerator a(coding(), 7);
+    TraceGenerator b(coding(), 7);
+    const Trace ta = a.generate(curve, kDay);
+    const Trace tb = b.generate(curve, kDay);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].arrival, tb[i].arrival);
+        EXPECT_EQ(ta[i].promptTokens, tb[i].promptTokens);
+        EXPECT_EQ(ta[i].outputTokens, tb[i].outputTokens);
+    }
+}
+
+TEST(NonHomogeneousTraceTest, ArrivalsTrackTheCurve)
+{
+    // A full diurnal day: the peak-half of the day must hold far
+    // more arrivals than the trough-half, and totals must be within
+    // a loose band of the integrated rate.
+    const RateCurve curve = RateCurve::diurnal(5.0, 50.0, kDay);
+    TraceGenerator gen(coding(), 11);
+    const Trace trace = gen.generate(curve, kDay);
+
+    std::size_t trough_half = 0;
+    std::size_t peak_half = 0;
+    for (const auto& r : trace) {
+        ASSERT_GE(r.arrival, 0);
+        ASSERT_LT(r.arrival, kDay);
+        if (r.arrival >= kDay / 4 && r.arrival < 3 * kDay / 4)
+            ++peak_half;
+        else
+            ++trough_half;
+    }
+    EXPECT_GT(peak_half, 2 * trough_half);
+
+    // Integrated mean rate over a full period = (trough + peak) / 2.
+    const double expected =
+        0.5 * (5.0 + 50.0) * sim::usToSeconds(kDay);
+    EXPECT_GT(static_cast<double>(trace.size()), 0.8 * expected);
+    EXPECT_LT(static_cast<double>(trace.size()), 1.2 * expected);
+}
+
+TEST(NonHomogeneousTraceTest, FlashCrowdConcentratesArrivals)
+{
+    RateCurve curve = RateCurve::constant(10.0);
+    const sim::TimeUs start = sim::secondsToUs(200);
+    const sim::TimeUs len = sim::secondsToUs(60);
+    curve.addSpike(start, len, 8.0);
+    TraceGenerator gen(coding(), 3);
+    const Trace trace = gen.generate(curve, sim::secondsToUs(600));
+
+    std::size_t inside = 0;
+    for (const auto& r : trace) {
+        if (r.arrival >= start && r.arrival < start + len)
+            ++inside;
+    }
+    // The 60 s spike at 8x should hold roughly half the arrivals
+    // (480 expected inside vs 5400/600 outside -> ~47%).
+    EXPECT_GT(inside, trace.size() / 3);
+    EXPECT_LT(inside, 2 * trace.size() / 3);
+}
+
+TEST(AssignPrioritiesTest, DeterministicAndProportional)
+{
+    TraceGenerator gen(coding(), 5);
+    Trace a = gen.generateUniform(2000, 1000);
+    Trace b = a;
+    assignPriorities(a, 0.3, 99);
+    assignPriorities(b, 0.3, 99);
+
+    std::size_t sheddable = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].priority, b[i].priority);
+        if (a[i].priority == 1)
+            ++sheddable;
+    }
+    EXPECT_GT(sheddable, a.size() / 5);
+    EXPECT_LT(sheddable, a.size() / 2);
+}
+
+TEST(AssignPrioritiesTest, ZeroFractionLeavesEveryoneInteractive)
+{
+    TraceGenerator gen(coding(), 5);
+    Trace t = gen.generateUniform(50, 1000);
+    assignPriorities(t, 0.0, 1);
+    EXPECT_TRUE(std::all_of(t.begin(), t.end(),
+                            [](const Request& r) { return r.priority == 0; }));
+}
+
+}  // namespace
+}  // namespace splitwise::workload

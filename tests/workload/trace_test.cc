@@ -33,9 +33,9 @@ Trace
 sampleTrace()
 {
     Trace t;
-    t.push_back({0, 0, 100, 10});
-    t.push_back({1, sim::secondsToUs(1), 2000, 50});
-    t.push_back({2, sim::secondsToUs(2), 512, 1});
+    t.push_back({0, 0, 100, 10, 0});
+    t.push_back({1, sim::secondsToUs(1), 2000, 50, 1});
+    t.push_back({2, sim::secondsToUs(2), 512, 1, 2});
     return t;
 }
 
@@ -50,7 +50,21 @@ TEST_F(TraceIoTest, RoundTripsThroughCsv)
         EXPECT_EQ(loaded[i].arrival, original[i].arrival);
         EXPECT_EQ(loaded[i].promptTokens, original[i].promptTokens);
         EXPECT_EQ(loaded[i].outputTokens, original[i].outputTokens);
+        EXPECT_EQ(loaded[i].priority, original[i].priority);
     }
+}
+
+TEST_F(TraceIoTest, LegacyRowsWithoutPriorityParseAsZero)
+{
+    std::ofstream out(path_);
+    out << "id,arrival_us,prompt_tokens,output_tokens\n";
+    out << "0,0,100,10\n";
+    out << "1,5,200,20\n";
+    out.close();
+    const Trace loaded = readCsv(path_.string());
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].priority, 0);
+    EXPECT_EQ(loaded[1].priority, 0);
 }
 
 TEST_F(TraceIoTest, EmptyTraceRoundTrips)

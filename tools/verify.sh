@@ -56,6 +56,14 @@ build/bench/bench_fig12_design_space --jobs 8 \
 cmp "$tmpdir/fig12-jobs1.json" "$tmpdir/fig12-jobs8.json"
 echo "per-cell reports byte-identical across job counts"
 
+step "autoscale gate: acceptance checks + --jobs 1 vs --jobs 8"
+build/bench/bench_autoscale --short --jobs 1 \
+    --report-out="$tmpdir/autoscale-jobs1.json" >/dev/null
+build/bench/bench_autoscale --short --jobs 8 \
+    --report-out="$tmpdir/autoscale-jobs8.json" >/dev/null
+cmp "$tmpdir/autoscale-jobs1.json" "$tmpdir/autoscale-jobs8.json"
+echo "autoscale reports byte-identical across job counts"
+
 step "DST smoke: bench_dst --short (fuzz + invariant checker)"
 build/bench/bench_dst --short --jobs 4
 
