@@ -16,6 +16,16 @@
  *   --trace-out=PATH        Perfetto/Chrome trace JSON per cluster
  *                           run (open in ui.perfetto.dev).
  *   --timeseries-out=PATH   Sampled cluster metrics as CSV.
+ *   --breakdown-out=PATH    Latency-attribution JSON per cluster run
+ *                           (per-phase breakdown + SLO-offender
+ *                           exemplar timelines); implies span
+ *                           tracking. No-op in telemetry-off builds.
+ *   --exemplars=K           Worst-offender timelines retained per run
+ *                           (default 3).
+ *   --spans=MODE            Span tracking: auto (follow
+ *                           --breakdown-out), on (track without
+ *                           writing files; the perf probe's A/B
+ *                           switch), or off.
  *   --sample-interval-ms=N  Sampling grid (default 1000 ms);
  *                           implies sampling when --timeseries-out
  *                           is given.
@@ -120,6 +130,16 @@ struct BenchArgs {
     std::string traceOut;
     /** Time-series CSV destination; empty disables sampling. */
     std::string timeseriesOut;
+    /** Attribution JSON destination; empty disables span tracking. */
+    std::string breakdownOut;
+    /**
+     * Span tracking override (`--spans`): "auto" follows
+     * --breakdown-out, "on" tracks without writing attribution files
+     * (how the perf probe prices tracing), "off" forces it off.
+     */
+    std::string spans = "auto";
+    /** SLO-offender exemplar timelines retained (`--exemplars`). */
+    int exemplars = 3;
     /** Sampling grid spacing as parsed (`--sample-interval-ms`). */
     double sampleIntervalMs = 1000.0;
     /** Sampling grid spacing (derived from sampleIntervalMs). */
@@ -138,7 +158,11 @@ struct BenchArgs {
      */
     std::atomic<int> runIndex{0};
 
-    bool any() const { return !traceOut.empty() || !timeseriesOut.empty(); }
+    bool any() const
+    {
+        return !traceOut.empty() || !timeseriesOut.empty() ||
+               !breakdownOut.empty();
+    }
 };
 
 /** The process-wide parsed bench arguments. */
@@ -164,6 +188,13 @@ benchParser(const std::string& program, const std::string& summary)
                      "write a Perfetto/Chrome trace JSON per cluster run");
     parser.addString("--timeseries-out", &args.timeseriesOut,
                      "write sampled cluster metrics as CSV");
+    parser.addString("--breakdown-out", &args.breakdownOut,
+                     "write latency-attribution JSON per cluster run");
+    parser.addInt("--exemplars", &args.exemplars,
+                  "SLO-offender exemplar timelines retained per run");
+    parser.addString("--spans", &args.spans,
+                     "span tracking: auto (follow --breakdown-out), "
+                     "on, or off");
     parser.addDouble("--sample-interval-ms", &args.sampleIntervalMs,
                      "time-series sampling grid in milliseconds");
     parser.addInt("--jobs", &args.jobs,
@@ -181,6 +212,13 @@ benchParser(const std::string& program, const std::string& summary)
             sim::fatal("--jobs must be >= 0 (0 = hardware default)");
         if (args.runs < 1)
             sim::fatal("--runs must be >= 1");
+        if (args.exemplars < 0)
+            sim::fatal("--exemplars must be >= 0");
+        if (args.spans != "auto" && args.spans != "on" &&
+            args.spans != "off")
+            sim::fatal("--spans must be auto, on, or off");
+        if (args.spans == "off" && !args.breakdownOut.empty())
+            sim::fatal("--spans=off contradicts --breakdown-out");
     });
     return parser;
 }
@@ -213,6 +251,11 @@ applyTelemetryCli(core::SimConfig& config)
         config.telemetry.traceEnabled = true;
     if (!args.timeseriesOut.empty())
         config.telemetry.sampleIntervalUs = args.sampleIntervalUs;
+    if (!args.breakdownOut.empty() || args.spans == "on")
+        config.telemetry.spanTracking = true;
+    if (args.spans == "off")
+        config.telemetry.spanTracking = false;
+    config.telemetry.exemplarK = args.exemplars;
 }
 
 /** Deprecated shim: use core::indexedSinkPath. */
@@ -239,6 +282,9 @@ cliRunSinks(core::SimConfig& sim, int index = 0)
             core::indexedSinkPath(args.timeseriesOut, index);
         sim.telemetry.sampleIntervalUs = args.sampleIntervalUs;
     }
+    if (!args.breakdownOut.empty())
+        sinks.breakdownPath = core::indexedSinkPath(args.breakdownOut, index);
+    sim.telemetry.exemplarK = args.exemplars;
     return sinks;
 }
 
@@ -265,6 +311,17 @@ writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report,
         report.timeseries.writeCsv(path);
         std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
                     report.timeseries.rows.size());
+    }
+    if (!args.breakdownOut.empty() && cluster.spanTracker()) {
+        const auto path = indexedPath(args.breakdownOut, index);
+        const std::string json = cluster.spanTracker()->attributionJson();
+        std::FILE* file = std::fopen(path.c_str(), "w");
+        if (!file)
+            sim::fatal("cannot write breakdown file " + path);
+        std::fwrite(json.data(), 1, json.size(), file);
+        std::fclose(file);
+        std::printf("wrote breakdown %s (%zu requests)\n", path.c_str(),
+                    cluster.spanTracker()->completedCount());
     }
 }
 

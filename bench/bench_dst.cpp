@@ -36,6 +36,8 @@ struct DstArgs {
     int checkEvery = 1;
     std::uint64_t dumpSeed = 0;
     std::string dumpOut;
+    /** Parsed shared --spans flag (Scenario::spanOverride). */
+    int spanOverride = 0;
 };
 
 DstArgs
@@ -58,6 +60,13 @@ parseArgs(int argc, char** argv)
     parser.addString("--dump-out", &args.dumpOut,
                      "write the --dump-seed scenario JSON here and exit");
     parser.parse(argc, argv);
+    // The shared --spans flag maps onto the scenario override: "auto"
+    // lets each fuzzed scenario decide.
+    const std::string& spans = bench::benchArgs().spans;
+    if (spans == "on")
+        args.spanOverride = 1;
+    else if (spans == "off")
+        args.spanOverride = -1;
     if (!args.timeBudget.empty()) {
         std::string v = args.timeBudget;
         if (v.back() == 's')
@@ -115,6 +124,7 @@ runSoak(const DstArgs& args)
                                     static_cast<std::uint64_t>(batch)));
         config.baseSeed = args.baseSeed + ran;
         config.jobs = jobs;
+        config.spanOverride = args.spanOverride;
         config.invariants.checkEveryNthAdvance = args.checkEvery;
         const auto results = testing::fuzz(config);
 
@@ -126,6 +136,22 @@ runSoak(const DstArgs& args)
                     r.outcome.invariant.c_str(),
                     static_cast<long long>(r.outcome.violationTime),
                     r.outcome.detail.c_str());
+                if (!r.outcome.flightRecorderJson.empty()) {
+                    // The tracker's last moments before the violation:
+                    // recent completed timelines plus everything live.
+                    const std::string flight_path =
+                        "dst_flight_" + std::to_string(r.seed) + ".json";
+                    std::FILE* file =
+                        std::fopen(flight_path.c_str(), "w");
+                    if (file) {
+                        std::fwrite(r.outcome.flightRecorderJson.data(), 1,
+                                    r.outcome.flightRecorderJson.size(),
+                                    file);
+                        std::fclose(file);
+                        std::printf("flight recorder: %s\n",
+                                    flight_path.c_str());
+                    }
+                }
                 std::printf("shrinking (%zu requests, %zu faults)...\n",
                             r.scenario.requests.size(),
                             r.scenario.faults.size());

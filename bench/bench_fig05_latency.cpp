@@ -3,8 +3,15 @@
  * Regenerates paper Fig. 5: (a) TTFT vs. prompt size, (b) TBT vs.
  * token batch size, and (c) E2E latency percentiles on the
  * production-like traces, for BLOOM-176B and Llama2-70B on DGX-H100.
+ *
+ * Section (d) runs a full Splitwise-HH cluster with span tracking on
+ * and prints the per-phase latency attribution, pinning the gap
+ * between Fig. 5's uncontended model latencies and cluster-observed
+ * latencies on queueing vs. KV transfer. `--breakdown-out=PATH`
+ * additionally writes the attribution JSON (with exemplar timelines).
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -74,5 +81,55 @@ main(int argc, char** argv)
     e2e.print();
     std::printf("Paper: most E2E time is spent in the token phase"
                 " (Insight III)\n");
+
+    bench::banner("Fig. 5d: cluster-run latency attribution "
+                  "(Splitwise-HH, coding)");
+    {
+        const bool short_run = bench::benchArgs().shortRun;
+        core::SimConfig config;
+        bench::applyTelemetryCli(config);
+        // The attribution section is this bench's whole point, so
+        // span tracking is on regardless of --breakdown-out.
+        config.telemetry.spanTracking = true;
+        const auto design = bench::isoPowerDesign(
+            provision::DesignKind::kSplitwiseHH, "coding");
+        const auto trace = bench::makeTrace(workload::coding(), 60.0,
+                                            short_run ? 20.0 : 60.0);
+        const auto report =
+            bench::runCluster(model::llama2_70b(), design, trace, config);
+        if (!report.breakdown.enabled) {
+            std::printf("span tracking unavailable "
+                        "(SPLITWISE_TELEMETRY=OFF build); skipped\n");
+        } else {
+            const telemetry::LatencyBreakdown& b = report.breakdown;
+            Table phases({"phase", "requests", "total (s)", "share (%)",
+                          "mean (ms)", "p50 (ms)", "p99 (ms)", "max (ms)"});
+            for (const auto& p : b.phases) {
+                if (p.requests == 0)
+                    continue;
+                phases.addRow(
+                    {telemetry::spanPhaseName(p.phase),
+                     std::to_string(p.requests),
+                     Table::fmt(p.totalMs / 1e3),
+                     Table::fmt(100.0 * p.totalMs / b.e2eTotalMs),
+                     Table::fmt(p.meanMs), Table::fmt(p.p50Ms),
+                     Table::fmt(p.p99Ms), Table::fmt(p.maxMs)});
+            }
+            phases.print();
+            const double drift =
+                std::abs(b.attributedTotalMs - b.e2eTotalMs) /
+                (b.e2eTotalMs > 0.0 ? b.e2eTotalMs : 1.0);
+            std::printf("attributed %.3f s of %.3f s E2E across %zu "
+                        "requests (drift %.4f%%)\n",
+                        b.attributedTotalMs / 1e3, b.e2eTotalMs / 1e3,
+                        b.requests, 100.0 * drift);
+            if (drift > 0.005) {
+                sim::fatal("bench_fig05_latency: per-phase attribution "
+                           "drifted more than 0.5% from E2E");
+            }
+            std::printf("The gap above Fig. 5c's uncontended E2E is the "
+                        "queue/kv_transfer share.\n");
+        }
+    }
     return 0;
 }

@@ -226,6 +226,13 @@ class ClusterScheduler {
      */
     void setTrace(telemetry::TraceRecorder* trace) { trace_ = trace; }
 
+    /**
+     * Attach a span tracker: brownout-level changes flow into it so
+     * queue wait taken under degraded admission is attributed as
+     * brownout stall. nullptr detaches.
+     */
+    void setSpans(telemetry::SpanTracker* spans) { spans_ = spans; }
+
   private:
     struct Entry {
         engine::Machine* machine = nullptr;
@@ -285,6 +292,7 @@ class ClusterScheduler {
     std::uint64_t restores_ = 0;
     std::uint64_t cappedRequests_ = 0;
     telemetry::TraceRecorder* trace_ = nullptr;
+    telemetry::SpanTracker* spans_ = nullptr;
 };
 
 }  // namespace splitwise::core

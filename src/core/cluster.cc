@@ -32,6 +32,8 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
     if (design_.splitwise && design_.numToken <= 0)
         sim::fatal("Cluster: Splitwise design needs token machines");
 
+    results_.setSketchMode(config_.sketchLatencies);
+
     // Token machines are "full" once another resident would push
     // their TBT past the median SLO bound (Table VI: 1.25x the
     // uncontended DGX-A100 reference).
@@ -49,7 +51,14 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
     };
     callbacks.onRequestDone = [this](engine::Machine&,
                                      engine::LiveRequest* req) {
-        results_.add(req->result());
+        const metrics::RequestResult result = req->result();
+        results_.add(result);
+#if SPLITWISE_TELEMETRY_ENABLED
+        if (spans_) {
+            spans_->complete(req->spec.id, simulator_.now(),
+                             worstSlowdown(result));
+        }
+#endif
     };
     callbacks.transferInterference =
         [this](engine::Machine& m, engine::LiveRequest* req,
@@ -223,6 +232,40 @@ Cluster::setupTelemetry()
         engine_.setTrace(trace_.get());
         cls_->setTrace(trace_.get());
     }
+
+#if SPLITWISE_TELEMETRY_ENABLED
+    if (config_.telemetry.spanTracking) {
+        telemetry::SpanTrackerConfig span_config;
+        span_config.exemplarK = std::max(0, config_.telemetry.exemplarK);
+        span_config.flightRecorderCapacity = static_cast<std::size_t>(
+            std::max(0, config_.telemetry.flightRecorderCapacity));
+        spans_ = std::make_unique<telemetry::SpanTracker>(span_config);
+        sloRef_ = std::make_unique<SloChecker>(llm_);
+        for (const auto& m : machines_)
+            m->setSpans(spans_.get());
+        engine_.setSpans(spans_.get());
+        cls_->setSpans(spans_.get());
+    }
+#endif
+}
+
+double
+Cluster::worstSlowdown(const metrics::RequestResult& result) const
+{
+    // Mirrors SloChecker::evaluate's per-request slowdown definitions
+    // so an exemplar's rank explains its SLO verdict directly.
+    double slowdown = result.ttftMs / sloRef_->refTtftMs(result.promptTokens);
+    if (result.outputTokens > 1) {
+        const std::int64_t mean_ctx =
+            result.promptTokens + result.outputTokens / 2;
+        slowdown =
+            std::max(slowdown, result.tbtMs / sloRef_->refTbtMs(mean_ctx));
+    }
+    workload::Request spec;
+    spec.promptTokens = result.promptTokens;
+    spec.outputTokens = result.outputTokens;
+    spec.arrival = result.arrival;
+    return std::max(slowdown, result.e2eMs / sloRef_->refE2eMs(spec));
 }
 
 void
@@ -296,9 +339,7 @@ Cluster::failMachine(int machine_id)
     // survivors.
     cls_->markFailed(machine_id);
     machine->fail();
-    sim::inform("machine failed",
-                {{"machine", std::to_string(machine_id)},
-                 {"t_us", std::to_string(simulator_.now())}});
+    sim::inform("machine failed", {{"machine", std::to_string(machine_id)}});
 
     // A failure can empty routing entirely while the controller holds
     // machines in standby; bring one straight back so the stranded
@@ -311,8 +352,7 @@ Cluster::failMachine(int machine_id)
         cls_->restore(standby_id);
         ++emergencyRestores_;
         sim::inform("emergency restore",
-                    {{"machine", std::to_string(standby_id)},
-                     {"t_us", std::to_string(simulator_.now())}});
+                    {{"machine", std::to_string(standby_id)}});
     }
 
     for (const auto& req_ptr : live_) {
@@ -329,6 +369,9 @@ Cluster::failMachine(int machine_id)
             (req->phase == engine::RequestPhase::kDecoding &&
              req->tokenMachine == machine_id);
         if (stranded) {
+            // Log lines from the restart path (admission, KV
+            // release, checkpoint restore) identify their request.
+            sim::LogRequestScope log_scope(req->spec.id);
             // Release any KV copy a surviving machine still holds
             // (e.g. the prompt machine of an in-flight transfer).
             for (int mid : {req->promptMachine, req->tokenMachine}) {
@@ -343,6 +386,9 @@ Cluster::failMachine(int machine_id)
                 checkpointRestores_->add();
                 continue;
             }
+            // Fold the lost work into a restart-penalty span before
+            // re-admission re-opens the queue span.
+            TELEM_REQ_RESTART(spans_.get(), req->spec.id, simulator_.now());
             req->resetForRestart();
             restarts_->add();
             cls_->onArrival(req, /*force_admit=*/true);
@@ -373,7 +419,6 @@ Cluster::recoverMachine(int machine_id)
     cls_->rejoin(machine_id);
     sim::inform("machine rejoined",
                 {{"machine", std::to_string(machine_id)},
-                 {"t_us", std::to_string(simulator_.now())},
                  {"pool", poolTypeName(cls_->poolOf(machine_id))}});
     if (sampler_)
         sampler_->sampleNow();
@@ -387,6 +432,9 @@ Cluster::onTransferAbort(engine::LiveRequest* request)
     // The retry budget is spent; fall back to the paper's blunt
     // policy and recompute the prompt from scratch. Restarts bypass
     // admission control - the request was already accepted.
+    sim::LogRequestScope log_scope(request->spec.id);
+    sim::inform("transfer retries exhausted; restarting request");
+    TELEM_REQ_RESTART(spans_.get(), request->spec.id, simulator_.now());
     request->resetForRestart();
     restarts_->add();
     cls_->onArrival(request, /*force_admit=*/true);
@@ -409,6 +457,10 @@ Cluster::restoreFromCheckpoint(engine::LiveRequest* request)
                      telemetry::TraceRecorder::requestTrack(request->spec.id),
                      "kv_restore", simulator_.now(),
                      {{"host", host->id()}});
+    // The generated work survives, so this is a transfer span (the
+    // restore pays a wire move), not a restart penalty.
+    TELEM_REQ_PHASE(spans_.get(), request->spec.id,
+                    telemetry::SpanPhase::kKvTransfer, simulator_.now());
     const double bytes = static_cast<double>(request->contextTokens()) *
                          static_cast<double>(llm_.kvBytesPerToken()) /
                          config_.kvCompressionRatio;
@@ -486,6 +538,8 @@ Cluster::run(const workload::Trace& trace)
     report.rejected = rejected_->value();
     report.rejoins = cls_->rejoins();
     report.control.emergencyRestores = emergencyRestores_;
+    if (spans_)
+        report.breakdown = spans_->breakdown();
 
     if (sampler_) {
         // The final row lands at end-of-run, so cumulative columns

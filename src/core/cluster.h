@@ -48,6 +48,14 @@ struct SimConfig {
      * fit is derived from. The two agree within 3% MAPE.
      */
     bool usePiecewisePerfModel = false;
+    /**
+     * Hold per-request latency distributions in DDSketch-style
+     * quantile sketches (O(buckets) memory) instead of exact
+     * per-request records. Percentiles stay within the sketch's
+     * relative-error bound; the per-request record vector stays
+     * empty. Flip before run() only.
+     */
+    bool sketchLatencies = false;
     /** Lifecycle tracing and time-series sampling switches. */
     telemetry::TelemetryConfig telemetry;
 };
@@ -138,6 +146,11 @@ struct RunReport {
     telemetry::TimeSeries timeseries;
     /** Control-plane activity; disabled unless an autoscaler ran. */
     ControlReport control;
+    /**
+     * Critical-path latency attribution; disabled unless
+     * SimConfig::telemetry.spanTracking was set.
+     */
+    telemetry::LatencyBreakdown breakdown;
 
     /** Completed-request throughput over the run. */
     double
@@ -220,6 +233,14 @@ class Cluster {
      */
     telemetry::TraceRecorder* traceRecorder() { return trace_.get(); }
 
+    /**
+     * Per-request span timelines of the last run; nullptr unless
+     * SimConfig::telemetry.spanTracking was set (and the build has
+     * telemetry compiled in).
+     */
+    telemetry::SpanTracker* spanTracker() { return spans_.get(); }
+    const telemetry::SpanTracker* spanTracker() const { return spans_.get(); }
+
     /** The run's counter/gauge registry (always populated). */
     telemetry::MetricsRegistry& metrics() { return registry_; }
     const telemetry::MetricsRegistry& metrics() const { return registry_; }
@@ -270,6 +291,13 @@ class Cluster {
     void onTransferAbort(engine::LiveRequest* request);
 
     /**
+     * Worst per-metric Table VI slowdown of one completed request
+     * (max of TTFT, TBT, and E2E against the DGX-A100 reference) —
+     * the exemplar-ranking key. Requires sloRef_.
+     */
+    double worstSlowdown(const metrics::RequestResult& result) const;
+
+    /**
      * Recover a decode-phase request from the KV checkpoint store
      * onto a healthy machine.
      *
@@ -303,6 +331,9 @@ class Cluster {
     telemetry::Counter* checkpointRestores_ = nullptr;
     telemetry::Counter* rejected_ = nullptr;
     std::unique_ptr<telemetry::TraceRecorder> trace_;
+    std::unique_ptr<telemetry::SpanTracker> spans_;
+    /** Slowdown reference for exemplar ranking; set iff spans_ is. */
+    std::unique_ptr<SloChecker> sloRef_;
     std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
     std::uint64_t emergencyRestores_ = 0;
     bool ran_ = false;

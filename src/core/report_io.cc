@@ -19,14 +19,20 @@ num(double v)
     return buf;
 }
 
+/**
+ * Latency distribution emission goes through the mode-agnostic
+ * LatencyStats view: exact runs serialize the same digits as the old
+ * Summary-based path (byte-identical reports), sketch runs serialize
+ * the sketch estimates with the same schema.
+ */
 void
 summaryJson(std::ostringstream& out, const char* name,
-            const metrics::Summary& s)
+            const metrics::RequestMetrics::LatencyStats& s)
 {
-    out << '"' << name << "\":{\"count\":" << s.count()
-        << ",\"mean\":" << num(s.mean()) << ",\"p50\":" << num(s.p50())
-        << ",\"p90\":" << num(s.p90()) << ",\"p99\":" << num(s.p99())
-        << ",\"max\":" << num(s.max()) << '}';
+    out << '"' << name << "\":{\"count\":" << s.count
+        << ",\"mean\":" << num(s.mean) << ",\"p50\":" << num(s.p50)
+        << ",\"p90\":" << num(s.p90) << ",\"p99\":" << num(s.p99)
+        << ",\"max\":" << num(s.max) << '}';
 }
 
 void
@@ -63,13 +69,13 @@ reportToJson(const RunReport& report, const SloReport* slo)
         << ",\"throughput_rps\":" << num(report.requests.throughputRps())
         << ",\"token_throughput\":" << num(report.requests.tokenThroughput())
         << ',';
-    summaryJson(out, "ttft_ms", report.requests.ttftMs());
+    summaryJson(out, "ttft_ms", report.requests.ttftStats());
     out << ',';
-    summaryJson(out, "tbt_ms", report.requests.tbtMs());
+    summaryJson(out, "tbt_ms", report.requests.tbtStats());
     out << ',';
-    summaryJson(out, "max_tbt_ms", report.requests.maxTbtMs());
+    summaryJson(out, "max_tbt_ms", report.requests.maxTbtStats());
     out << ',';
-    summaryJson(out, "e2e_ms", report.requests.e2eMs());
+    summaryJson(out, "e2e_ms", report.requests.e2eStats());
     out << "},";
 
     out << "\"pools\":{";
@@ -95,6 +101,29 @@ reportToJson(const RunReport& report, const SloReport* slo)
         << ",\"checkpoint_restores\":" << report.checkpointRestores
         << ",\"rejected\":" << report.rejected
         << ",\"rejoins\":" << report.rejoins << '}';
+
+    // Latency attribution: present only when span tracking was on,
+    // so existing reports keep their schema.
+    if (report.breakdown.enabled) {
+        const telemetry::LatencyBreakdown& b = report.breakdown;
+        out << ",\"breakdown\":{\"requests\":" << b.requests
+            << ",\"e2e_total_ms\":" << num(b.e2eTotalMs)
+            << ",\"attributed_total_ms\":" << num(b.attributedTotalMs)
+            << ",\"phases\":{";
+        bool first = true;
+        for (const auto& p : b.phases) {
+            if (!first)
+                out << ',';
+            first = false;
+            out << '"' << telemetry::spanPhaseName(p.phase)
+                << "\":{\"requests\":" << p.requests
+                << ",\"total_ms\":" << num(p.totalMs)
+                << ",\"mean\":" << num(p.meanMs) << ",\"p50\":" << num(p.p50Ms)
+                << ",\"p99\":" << num(p.p99Ms) << ",\"max\":" << num(p.maxMs)
+                << '}';
+        }
+        out << "}}";
+    }
 
     // Sampled time-series: present only when sampling was on, so
     // telemetry-off reports keep the exact pre-telemetry schema.
@@ -128,6 +157,8 @@ reportToJson(const RunReport& report, const SloReport* slo)
         limitsJson(out, "tbt_slowdown", slo->tbtSlowdown);
         out << ',';
         limitsJson(out, "e2e_slowdown", slo->e2eSlowdown);
+        out << ',';
+        limitsJson(out, "max_tbt_slowdown", slo->maxTbtSlowdown);
         out << '}';
     }
     out << '}';
@@ -152,6 +183,7 @@ reportDigestFromJson(const std::string& json)
     d.ttftP50Ms = requests.at("ttft_ms").at("p50").asNumber();
     d.ttftP99Ms = requests.at("ttft_ms").at("p99").asNumber();
     d.tbtP50Ms = requests.at("tbt_ms").at("p50").asNumber();
+    d.maxTbtP99Ms = requests.at("max_tbt_ms").at("p99").asNumber();
     d.e2eP50Ms = requests.at("e2e_ms").at("p50").asNumber();
 
     const JsonValue& pools = doc.at("pools");

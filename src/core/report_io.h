@@ -44,6 +44,8 @@ struct ReportDigest {
     double ttftP50Ms = 0.0;
     double ttftP99Ms = 0.0;
     double tbtP50Ms = 0.0;
+    /** Tail-TBT: P99 of the per-request worst inter-token gap. */
+    double maxTbtP99Ms = 0.0;
     double e2eP50Ms = 0.0;
 
     std::int64_t promptPoolTokens = 0;

@@ -21,6 +21,8 @@ effectiveConfig(const RunOptions& options)
         config.telemetry.sampleIntervalUs <= 0) {
         config.telemetry.sampleIntervalUs = sim::msToUs(1000.0);
     }
+    if (!options.sinks.breakdownPath.empty())
+        config.telemetry.spanTracking = true;
     return config;
 }
 
@@ -46,6 +48,17 @@ runOne(const RunOptions& options, const SimConfig& config,
         report.timeseries.writeCsv(path);
         std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
                     report.timeseries.rows.size());
+    }
+    if (!options.sinks.breakdownPath.empty() && cluster.spanTracker()) {
+        const auto path = indexedSinkPath(options.sinks.breakdownPath, index);
+        const std::string json = cluster.spanTracker()->attributionJson();
+        std::FILE* file = std::fopen(path.c_str(), "w");
+        if (!file)
+            sim::fatal("core::run: cannot write breakdown file " + path);
+        std::fwrite(json.data(), 1, json.size(), file);
+        std::fclose(file);
+        std::printf("wrote breakdown %s (%zu requests)\n", path.c_str(),
+                    cluster.spanTracker()->completedCount());
     }
     return report;
 }

@@ -34,8 +34,18 @@ struct RunSinks {
     std::string tracePath;
     /** Sampled cluster metrics CSV (implies time-series sampling). */
     std::string timeseriesPath;
+    /**
+     * Latency-attribution JSON: per-phase breakdown plus SLO-offender
+     * exemplar timelines (implies span tracking). Ignored by
+     * SPLITWISE_TELEMETRY=OFF builds.
+     */
+    std::string breakdownPath;
 
-    bool any() const { return !tracePath.empty() || !timeseriesPath.empty(); }
+    bool any() const
+    {
+        return !tracePath.empty() || !timeseriesPath.empty() ||
+               !breakdownPath.empty();
+    }
 };
 
 /**

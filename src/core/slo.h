@@ -27,6 +27,16 @@ struct SloSet {
     SloLimits ttft{2.0, 3.0, 6.0};
     SloLimits tbt{1.25, 1.5, 5.0};
     SloLimits e2e{1.25, 1.5, 5.0};
+    /**
+     * Tail-TBT: the request's largest single inter-token gap (Fig. 2
+     * effect), relative to the uncontended reference TBT. Mixed
+     * batching stalls a decode behind whole prompt chunks even at
+     * loads where mean TBT is healthy (a baseline H100 at its knee
+     * sees p90 near 23x), so the limits sit above that envelope:
+     * they bound pathological streaming stalls rather than average
+     * pace, and never bind before the paper's nine Table VI checks.
+     */
+    SloLimits maxTbt{10.0, 30.0, 60.0};
 };
 
 /**
@@ -40,6 +50,7 @@ struct SloReport {
     SloLimits ttftSlowdown;
     SloLimits tbtSlowdown;
     SloLimits e2eSlowdown;
+    SloLimits maxTbtSlowdown;
     bool pass = false;
     /** First violated limit, e.g. "TBT p99" (empty when passing). */
     std::string violation;

@@ -121,6 +121,8 @@ KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
                      telemetry::TraceRecorder::requestTrack(request->spec.id),
                      "kv_transfer", simulator_.now(),
                      {{"src", src->id()}, {"dst", dst->id()}});
+    TELEM_REQ_PHASE(spans_, request->spec.id,
+                    telemetry::SpanPhase::kKvTransfer, simulator_.now());
     if (dst->failed()) {
         // Destination died between routing and prompt completion:
         // continue the decode locally on the prompt machine.
@@ -128,6 +130,12 @@ KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
         src->acceptTransferred(request);
         return;
     }
+    // Intermediate flow point: the request-track "kv_transfer" span
+    // just opened, linking the prompt machine's handoff arrow through
+    // the transfer span to the token machine.
+    TELEM_FLOW_STEP(trace_,
+                    telemetry::TraceRecorder::requestTrack(request->spec.id),
+                    "kv_handoff", simulator_.now(), request->spec.id);
     // KV for the accumulated context plus the next generated token
     // must land on the destination before decoding resumes.
     if (!dst->reserveKv(request, request->contextTokens() + 1)) {
@@ -136,6 +144,8 @@ KvTransferEngine::startTransfer(LiveRequest* request, Machine* src,
                                   request->spec.id),
                       "kv_memory_stall", simulator_.now(),
                       {{"dst", dst->id()}});
+        TELEM_REQ_PHASE(spans_, request->spec.id,
+                        telemetry::SpanPhase::kKvStall, simulator_.now());
         waiting_[dst->id()].push_back({request, src, prompt_compute,
                                        request->restartEpoch,
                                        std::move(done)});
@@ -149,6 +159,10 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
                          sim::TimeUs prompt_compute, DoneCallback done,
                          int attempt)
 {
+    // Re-enter the transfer phase: a no-op on the first attempt, and
+    // the stall/backoff-to-wire transition on later ones.
+    TELEM_REQ_PHASE(spans_, request->spec.id,
+                    telemetry::SpanPhase::kKvTransfer, simulator_.now());
     const auto& model = modelFor(*src, *dst);
     const auto plan = model.plan(request->spec.promptTokens, prompt_compute);
 
@@ -227,6 +241,12 @@ KvTransferEngine::launch(LiveRequest* request, Machine* src, Machine* dst,
         // owns the cache now.
         if (!src->failed())
             src->releaseKv(request);
+#if SPLITWISE_TELEMETRY_ENABLED
+        // The destination's first decode iteration will close the
+        // cross-machine flow arrow for this request.
+        if (trace_)
+            trace_->markPendingFlow(request->spec.id);
+#endif
         dst->acceptTransferred(request);
         if (done)
             done(request);
@@ -252,6 +272,8 @@ KvTransferEngine::handleAttemptFailure(LiveRequest* request, Machine* src,
                   telemetry::TraceRecorder::requestTrack(request->spec.id),
                   "kv_retry", simulator_.now(),
                   {{"attempt", attempt + 1}, {"backoff_us", backoff}});
+    TELEM_REQ_PHASE(spans_, request->spec.id,
+                    telemetry::SpanPhase::kKvBackoff, simulator_.now());
     const std::uint32_t epoch = request->restartEpoch;
     simulator_.postAfter(
         backoff, [this, request, src, dst, prompt_compute, attempt, epoch,

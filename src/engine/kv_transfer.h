@@ -147,6 +147,9 @@ class KvTransferEngine {
     /** Attach a trace recorder for transfer spans/instants. */
     void setTrace(telemetry::TraceRecorder* trace) { trace_ = trace; }
 
+    /** Attach a span tracker for transfer/stall/backoff attribution. */
+    void setSpans(telemetry::SpanTracker* spans) { spans_ = spans; }
+
     /** Transfer attempts currently occupying wire time. */
     std::size_t inFlightTransfers() const { return inFlight_; }
 
@@ -215,6 +218,7 @@ class KvTransferEngine {
     std::unordered_map<int, std::deque<Pending>> waiting_;
     Stats stats_;
     telemetry::TraceRecorder* trace_ = nullptr;
+    telemetry::SpanTracker* spans_ = nullptr;
     std::size_t inFlight_ = 0;
 };
 

@@ -61,6 +61,8 @@ Machine::submitPrompt(LiveRequest* request)
                                  request->spec.id),
                      "queued", simulator_.now(),
                      {{"machine", id_}, {"restarts", request->restarts}});
+    TELEM_REQ_PHASE(spans_, request->spec.id, telemetry::SpanPhase::kQueue,
+                    simulator_.now());
     mls_.enqueuePrompt(request);
     kick();
 }
@@ -92,6 +94,8 @@ Machine::acceptTransferred(LiveRequest* request)
     TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
                                  request->spec.id),
                      "decode", simulator_.now(), {{"machine", id_}});
+    TELEM_REQ_PHASE(spans_, request->spec.id, telemetry::SpanPhase::kDecode,
+                    simulator_.now());
     mls_.addResident(request);
     kick();
 }
@@ -130,6 +134,24 @@ Machine::maxBatchWithinTbt(double tbt_ms) const
     cachedTbtBoundMs_ = tbt_ms;
     cachedMaxBatch_ = lo;
     return lo;
+}
+
+void
+Machine::setSpans(telemetry::SpanTracker* spans)
+{
+    spans_ = spans;
+#if SPLITWISE_TELEMETRY_ENABLED
+    // A preempted resident's KV is dropped and it recomputes from the
+    // queue, so its attribution returns to the queue phase.
+    if (spans) {
+        mls_.setPreemptHook([this](LiveRequest* victim) {
+            spans_->transition(victim->spec.id, telemetry::SpanPhase::kQueue,
+                               simulator_.now());
+        });
+    } else {
+        mls_.setPreemptHook(nullptr);
+    }
+#endif
 }
 
 void
@@ -296,6 +318,25 @@ Machine::startIteration()
                 telemetry::TraceRecorder::requestTrack(req->spec.id),
                 "prompt", simulator_.now(), {{"machine", id_}});
         }
+        // Transferred-in requests complete their cross-machine flow
+        // arrow here: the 'f' point must sit inside an open slice on
+        // this machine's track, and the first decode iteration is
+        // the first such slice after the handoff.
+        if (trace_->hasPendingFlows()) {
+            for (auto* req : plan.decodes) {
+                if (trace_->takePendingFlow(req->spec.id)) {
+                    trace_->flowEnd(
+                        telemetry::TraceRecorder::machineTrack(id_),
+                        "kv_handoff", simulator_.now(), req->spec.id);
+                }
+            }
+        }
+    }
+    if (spans_) {
+        for (auto* req : plan.prompts) {
+            spans_->transition(req->spec.id, telemetry::SpanPhase::kPrefill,
+                               simulator_.now());
+        }
     }
 #endif
     double gpu_fraction = 0.0;
@@ -356,12 +397,19 @@ Machine::routePromptCompletion(LiveRequest* request,
         TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
                                      request->spec.id),
                          "decode", simulator_.now(), {{"machine", id_}});
+        TELEM_REQ_PHASE(spans_, request->spec.id,
+                        telemetry::SpanPhase::kDecode, simulator_.now());
         mls_.addResident(request);
         return;
     }
     request->phase = RequestPhase::kTransferring;
     if (!callbacks_.onPromptDone)
         sim::panic("Machine: remote token machine but no onPromptDone hook");
+    // Flow-arrow source: emitted while this machine's iteration slice
+    // is still open (routePromptCompletion runs before the machine
+    // track's SPAN_END in completeIteration).
+    TELEM_FLOW_START(trace_, telemetry::TraceRecorder::machineTrack(id_),
+                     "kv_handoff", simulator_.now(), request->spec.id);
     callbacks_.onPromptDone(*this, request, prompt_compute);
 }
 

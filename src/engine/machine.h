@@ -205,6 +205,13 @@ class Machine {
     void setTrace(telemetry::TraceRecorder* trace) { trace_ = trace; }
 
     /**
+     * Attach a span tracker: queue/prefill/decode attribution phases
+     * for every request this machine touches, including preemption
+     * re-queues. nullptr detaches.
+     */
+    void setSpans(telemetry::SpanTracker* spans);
+
+    /**
      * Modeled machine power draw right now: the in-flight
      * iteration's draw while busy, the platform/idle floor
      * otherwise. Telemetry gauge for the paper's power figures.
@@ -261,6 +268,7 @@ class Machine {
     /** Draw of the in-flight iteration; idle floor while not busy. */
     double currentWatts_ = 0.0;
     telemetry::TraceRecorder* trace_ = nullptr;
+    telemetry::SpanTracker* spans_ = nullptr;
     MachineStats stats_;
     mutable double cachedTbtBoundMs_ = -1.0;
     mutable int cachedMaxBatch_ = 0;

@@ -239,6 +239,8 @@ Mls::preemptForMemory()
     victim->phase = RequestPhase::kPromptQueued;
     victim->promptProcessed = 0;
     promptQueue_.push_front(victim);
+    if (onPreempt_)
+        onPreempt_(victim);
     return true;
 }
 

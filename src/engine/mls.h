@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -172,6 +173,17 @@ class Mls {
     /** Total preemption-recompute events (statistics). */
     std::uint64_t preemptionCount() const { return preemptions_; }
 
+    /**
+     * Observer called when a resident is preempted back into the
+     * prompt queue (telemetry attribution hook; the Machine installs
+     * it so preempted decode time re-enters the queue phase).
+     */
+    void
+    setPreemptHook(std::function<void(LiveRequest*)> hook)
+    {
+        onPreempt_ = std::move(hook);
+    }
+
     const MlsConfig& config() const { return config_; }
 
   private:
@@ -210,6 +222,7 @@ class Mls {
     /** Members of the in-flight request-level batch. */
     std::unordered_set<LiveRequest*> requestLevelBatch_;
     std::uint64_t preemptions_ = 0;
+    std::function<void(LiveRequest*)> onPreempt_;
 };
 
 }  // namespace splitwise::engine

@@ -1,0 +1,109 @@
+#include "metrics/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace splitwise::metrics {
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+    if (!(alpha > 0.0) || !(alpha < 1.0)) {
+        sim::fatal("QuantileSketch alpha must be in (0, 1)");
+    }
+    gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+    logGamma_ = std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::indexOf(double value) const {
+    return static_cast<std::int32_t>(std::ceil(std::log(value) / logGamma_));
+}
+
+double QuantileSketch::valueOf(std::int32_t index) const {
+    // Geometric midpoint of (gamma^(i-1), gamma^i]: the estimate is
+    // within a factor (1 +/- alpha) of any sample in the bucket.
+    return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double value) {
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    if (value <= 0.0) {
+        ++zeroCount_;
+    } else {
+        ++buckets_[indexOf(value)];
+    }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+    if (other.alpha_ != alpha_) {
+        sim::fatal("QuantileSketch merge with mismatched alpha");
+    }
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    zeroCount_ += other.zeroCount_;
+    for (const auto& [index, n] : other.buckets_) {
+        buckets_[index] += n;
+    }
+}
+
+double QuantileSketch::mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::percentile(double p) const {
+    if (std::isnan(p)) return p;
+    if (count_ == 0) return 0.0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    // Same fractional-rank convention as Summary::percentile; the
+    // walk below locates the bucket holding that order statistic.
+    const double rank =
+        clamped / 100.0 * static_cast<double>(count_ - 1);
+    // The extreme order statistics are tracked exactly - return them
+    // rather than a bucket midpoint, matching Summary's p0/p100.
+    if (rank <= 0.0) return min_;
+    if (rank >= static_cast<double>(count_ - 1)) return max_;
+    std::uint64_t seen = zeroCount_;
+    double estimate = 0.0;
+    if (rank >= static_cast<double>(seen)) {
+        for (const auto& [index, n] : buckets_) {
+            seen += n;
+            if (rank < static_cast<double>(seen)) {
+                estimate = valueOf(index);
+                break;
+            }
+        }
+        if (rank >= static_cast<double>(seen)) estimate = max_;
+    }
+    return std::clamp(estimate, min_, max_);
+}
+
+void QuantileSketch::clear() {
+    buckets_.clear();
+    zeroCount_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+}  // namespace splitwise::metrics

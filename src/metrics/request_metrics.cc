@@ -2,17 +2,38 @@
 
 #include <algorithm>
 
+#include "sim/log.h"
+
 namespace splitwise::metrics {
+
+void
+RequestMetrics::setSketchMode(bool on)
+{
+    if (on == sketch_)
+        return;
+    if (completed_ != 0)
+        sim::fatal("RequestMetrics::setSketchMode after results were added");
+    sketch_ = on;
+}
 
 void
 RequestMetrics::add(const RequestResult& result)
 {
-    results_.push_back(result);
-    ttft_.add(result.ttftMs);
-    if (result.outputTokens > 1)
-        tbt_.add(result.tbtMs);
-    maxTbt_.add(result.maxTbtMs);
-    e2e_.add(result.e2eMs);
+    ++completed_;
+    if (sketch_) {
+        ttftSketch_.add(result.ttftMs);
+        if (result.outputTokens > 1)
+            tbtSketch_.add(result.tbtMs);
+        maxTbtSketch_.add(result.maxTbtMs);
+        e2eSketch_.add(result.e2eMs);
+    } else {
+        results_.push_back(result);
+        ttft_.add(result.ttftMs);
+        if (result.outputTokens > 1)
+            tbt_.add(result.tbtMs);
+        maxTbt_.add(result.maxTbtMs);
+        e2e_.add(result.e2eMs);
+    }
     totalOutput_ += result.outputTokens;
     totalPrompt_ += result.promptTokens;
     firstArrival_ = std::min(firstArrival_, result.arrival);
@@ -20,20 +41,58 @@ RequestMetrics::add(const RequestResult& result)
     lastCompletion_ = std::max(lastCompletion_, completion);
 }
 
+RequestMetrics::LatencyStats
+RequestMetrics::statsOf(const Summary& summary)
+{
+    return {summary.count(), summary.mean(), summary.p50(),
+            summary.p90(),   summary.p99(),  summary.max()};
+}
+
+RequestMetrics::LatencyStats
+RequestMetrics::statsOf(const QuantileSketch& sketch)
+{
+    return {sketch.count(), sketch.mean(), sketch.p50(),
+            sketch.p90(),   sketch.p99(),  sketch.max()};
+}
+
+RequestMetrics::LatencyStats
+RequestMetrics::ttftStats() const
+{
+    return sketch_ ? statsOf(ttftSketch_) : statsOf(ttft_);
+}
+
+RequestMetrics::LatencyStats
+RequestMetrics::tbtStats() const
+{
+    return sketch_ ? statsOf(tbtSketch_) : statsOf(tbt_);
+}
+
+RequestMetrics::LatencyStats
+RequestMetrics::maxTbtStats() const
+{
+    return sketch_ ? statsOf(maxTbtSketch_) : statsOf(maxTbt_);
+}
+
+RequestMetrics::LatencyStats
+RequestMetrics::e2eStats() const
+{
+    return sketch_ ? statsOf(e2eSketch_) : statsOf(e2e_);
+}
+
 double
 RequestMetrics::throughputRps()
  const
 {
-    if (results_.empty() || lastCompletion_ <= firstArrival_)
+    if (completed_ == 0 || lastCompletion_ <= firstArrival_)
         return 0.0;
     const double span_s = sim::usToSeconds(lastCompletion_ - firstArrival_);
-    return static_cast<double>(results_.size()) / span_s;
+    return static_cast<double>(completed_) / span_s;
 }
 
 double
 RequestMetrics::tokenThroughput() const
 {
-    if (results_.empty() || lastCompletion_ <= firstArrival_)
+    if (completed_ == 0 || lastCompletion_ <= firstArrival_)
         return 0.0;
     const double span_s = sim::usToSeconds(lastCompletion_ - firstArrival_);
     return static_cast<double>(totalOutput_) / span_s;
@@ -42,8 +101,22 @@ RequestMetrics::tokenThroughput() const
 void
 RequestMetrics::merge(const RequestMetrics& other)
 {
-    for (const auto& r : other.results_)
-        add(r);
+    if (other.sketch_ != sketch_)
+        sim::fatal("RequestMetrics::merge across storage modes");
+    if (sketch_) {
+        completed_ += other.completed_;
+        ttftSketch_.merge(other.ttftSketch_);
+        tbtSketch_.merge(other.tbtSketch_);
+        maxTbtSketch_.merge(other.maxTbtSketch_);
+        e2eSketch_.merge(other.e2eSketch_);
+        totalOutput_ += other.totalOutput_;
+        totalPrompt_ += other.totalPrompt_;
+        firstArrival_ = std::min(firstArrival_, other.firstArrival_);
+        lastCompletion_ = std::max(lastCompletion_, other.lastCompletion_);
+    } else {
+        for (const auto& r : other.results_)
+            add(r);
+    }
 }
 
 }  // namespace splitwise::metrics

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "metrics/quantile_sketch.h"
 #include "metrics/summary.h"
 #include "sim/time.h"
 
@@ -36,29 +37,78 @@ struct RequestResult {
 /**
  * Aggregates per-request results into the latency summaries the
  * paper's SLOs and plots are defined over.
+ *
+ * Two storage modes:
+ *  - exact (default): every RequestResult is retained and the four
+ *    latency distributions are exact Summary objects — O(requests)
+ *    memory, required by anything that walks results() (per-request
+ *    SLO evaluation, the SloMonitor window cursor).
+ *  - sketch (setSketchMode(true)): per-request results are folded
+ *    into QuantileSketch instances and dropped — O(buckets) memory,
+ *    for 10^6+-request runs. results() stays empty and percentiles
+ *    carry the sketch's relative-error bound.
  */
 class RequestMetrics {
   public:
+    /**
+     * Backend-independent view of one latency distribution — the
+     * fields reportToJson emits. Exact mode fills it from Summary,
+     * sketch mode from QuantileSketch.
+     */
+    struct LatencyStats {
+        std::size_t count = 0;
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+        double max = 0.0;
+    };
+
+    /**
+     * Switch to bounded-memory sketch storage. Must be called before
+     * the first add() (fatal otherwise — the two backends cannot be
+     * reconciled retroactively).
+     */
+    void setSketchMode(bool on);
+
+    /** True when latencies are held in sketches, not exact samples. */
+    bool sketchMode() const { return sketch_; }
+
     /** Record one finished request. */
     void add(const RequestResult& result);
 
-    /** All recorded per-request results, in completion order. */
+    /**
+     * All recorded per-request results, in completion order.
+     * Always empty in sketch mode — that is the memory saving.
+     */
     const std::vector<RequestResult>& results() const { return results_; }
 
-    /** Number of completed requests. */
-    std::size_t completed() const { return results_.size(); }
+    /** Number of completed requests (tracked in both modes). */
+    std::size_t completed() const { return completed_; }
 
-    /** TTFT distribution (ms). */
+    /** TTFT distribution (ms). Empty in sketch mode; use ttftStats(). */
     const Summary& ttftMs() const { return ttft_; }
 
-    /** Per-request mean TBT distribution (ms). */
+    /** Per-request mean TBT distribution (ms). Empty in sketch mode. */
     const Summary& tbtMs() const { return tbt_; }
 
-    /** Per-request max TBT distribution (ms). */
+    /** Per-request max TBT distribution (ms). Empty in sketch mode. */
     const Summary& maxTbtMs() const { return maxTbt_; }
 
-    /** E2E latency distribution (ms). */
+    /** E2E latency distribution (ms). Empty in sketch mode. */
     const Summary& e2eMs() const { return e2e_; }
+
+    /** TTFT stats from whichever backend is active. */
+    LatencyStats ttftStats() const;
+
+    /** Mean-TBT stats from whichever backend is active. */
+    LatencyStats tbtStats() const;
+
+    /** Max-TBT stats from whichever backend is active. */
+    LatencyStats maxTbtStats() const;
+
+    /** E2E stats from whichever backend is active. */
+    LatencyStats e2eStats() const;
 
     /** Total generated tokens across completed requests. */
     std::int64_t totalOutputTokens() const { return totalOutput_; }
@@ -75,15 +125,28 @@ class RequestMetrics {
     /** Generated-token throughput over the same span (tokens/s). */
     double tokenThroughput() const;
 
-    /** Merge another collector's results into this one. */
+    /**
+     * Merge another collector's results into this one. Storage modes
+     * must match (fatal otherwise). Sketch-mode merges add bucket
+     * counts, so the result is independent of merge order.
+     */
     void merge(const RequestMetrics& other);
 
   private:
+    static LatencyStats statsOf(const Summary& summary);
+    static LatencyStats statsOf(const QuantileSketch& sketch);
+
+    bool sketch_ = false;
+    std::size_t completed_ = 0;
     std::vector<RequestResult> results_;
     Summary ttft_;
     Summary tbt_;
     Summary maxTbt_;
     Summary e2e_;
+    QuantileSketch ttftSketch_;
+    QuantileSketch tbtSketch_;
+    QuantileSketch maxTbtSketch_;
+    QuantileSketch e2eSketch_;
     std::int64_t totalOutput_ = 0;
     std::int64_t totalPrompt_ = 0;
     sim::TimeUs firstArrival_ = sim::kTimeNever;

@@ -45,6 +45,27 @@ levelRef()
     return level;
 }
 
+/** Per-thread log context: simulated clock and open request scope. */
+thread_local const std::int64_t* tlClock = nullptr;
+thread_local std::uint64_t tlRequest = 0;
+thread_local bool tlHasRequest = false;
+
+/** Leading `t_us=`/`request=` fields from the attached context. */
+std::string
+contextFields()
+{
+    std::string out;
+    if (tlClock) {
+        out += " t_us=";
+        out += std::to_string(*tlClock);
+    }
+    if (tlHasRequest) {
+        out += " request=";
+        out += std::to_string(tlRequest);
+    }
+    return out;
+}
+
 /** Append " key=value" per field, quoting values with spaces. */
 std::string
 renderFields(const LogFields& fields)
@@ -101,40 +122,67 @@ Log::write(LogLevel level, const std::string& msg)
 }
 
 void
+setLogClock(const std::int64_t* now_us)
+{
+    tlClock = now_us;
+}
+
+const std::int64_t*
+logClock()
+{
+    return tlClock;
+}
+
+LogRequestScope::LogRequestScope(std::uint64_t id)
+    : previous_(tlRequest), hadPrevious_(tlHasRequest)
+{
+    tlRequest = id;
+    tlHasRequest = true;
+}
+
+LogRequestScope::~LogRequestScope()
+{
+    tlRequest = previous_;
+    tlHasRequest = hadPrevious_;
+}
+
+void
 inform(const std::string& msg)
 {
-    Log::write(LogLevel::kInfo, msg);
+    Log::write(LogLevel::kInfo, msg + contextFields());
 }
 
 void
 warn(const std::string& msg)
 {
-    Log::write(LogLevel::kWarn, msg);
+    Log::write(LogLevel::kWarn, msg + contextFields());
 }
 
 void
 inform(const std::string& msg, const LogFields& fields)
 {
-    Log::write(LogLevel::kInfo, msg + renderFields(fields));
+    Log::write(LogLevel::kInfo,
+               msg + contextFields() + renderFields(fields));
 }
 
 void
 warn(const std::string& msg, const LogFields& fields)
 {
-    Log::write(LogLevel::kWarn, msg + renderFields(fields));
+    Log::write(LogLevel::kWarn,
+               msg + contextFields() + renderFields(fields));
 }
 
 void
 fatal(const std::string& msg)
 {
-    Log::write(LogLevel::kError, "fatal: " + msg);
+    Log::write(LogLevel::kError, "fatal: " + msg + contextFields());
     throw std::runtime_error(msg);
 }
 
 void
 panic(const std::string& msg)
 {
-    Log::write(LogLevel::kError, "panic: " + msg);
+    Log::write(LogLevel::kError, "panic: " + msg + contextFields());
     std::abort();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SPLITWISE_SIM_LOG_H_
 #define SPLITWISE_SIM_LOG_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -62,9 +63,45 @@ void warn(const std::string& msg);
  * Structured variants: the fields render as a `key=value` suffix
  * ("machine failed machine=3 t_us=120000"), values with spaces
  * quoted, so log lines stay grep- and parse-friendly.
+ *
+ * When a simulated clock is attached (see setLogClock) every line -
+ * plain or structured - leads its fields with `t_us=<now>`, and when
+ * a request scope is open (see LogRequestScope) with `request=<id>`,
+ * so any log emitted from inside an event handler self-locates on
+ * the simulated timeline without each call site threading the clock.
  */
 void inform(const std::string& msg, const LogFields& fields);
 void warn(const std::string& msg, const LogFields& fields);
+
+/**
+ * Attach the simulated clock for this thread's log prefixes; pass
+ * nullptr to detach. The pointer must outlive the attachment (the
+ * Simulator attaches its own clock for its lifetime). Kept as a raw
+ * int64 pointer so this header stays free of sim/time.h: TimeUs is
+ * std::int64_t by definition.
+ */
+void setLogClock(const std::int64_t* now_us);
+
+/** Currently attached clock for this thread (nullptr if none). */
+const std::int64_t* logClock();
+
+/**
+ * RAII request-id scope: log lines emitted while a scope is open
+ * carry a `request=<id>` field. Scopes nest; the innermost id wins
+ * and the previous one is restored on destruction.
+ */
+class LogRequestScope {
+  public:
+    explicit LogRequestScope(std::uint64_t id);
+    ~LogRequestScope();
+
+    LogRequestScope(const LogRequestScope&) = delete;
+    LogRequestScope& operator=(const LogRequestScope&) = delete;
+
+  private:
+    std::uint64_t previous_;
+    bool hadPrevious_;
+};
 
 /**
  * Report an unrecoverable user error (bad config, invalid argument).

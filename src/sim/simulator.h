@@ -7,6 +7,7 @@
 
 #include "sim/event_action.h"
 #include "sim/event_queue.h"
+#include "sim/log.h"
 #include "sim/time.h"
 
 namespace splitwise::sim {
@@ -26,7 +27,20 @@ namespace splitwise::sim {
  */
 class Simulator {
   public:
-    Simulator() = default;
+    /**
+     * Construction attaches this simulator's clock as the thread's
+     * log-context clock (see sim::setLogClock), so every log emitted
+     * while this simulator drives the thread carries a `t_us=` field.
+     * The latest-constructed simulator on a thread wins; destruction
+     * detaches only if this clock is still the attached one.
+     */
+    Simulator() { setLogClock(&now_); }
+
+    ~Simulator()
+    {
+        if (logClock() == &now_)
+            setLogClock(nullptr);
+    }
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;

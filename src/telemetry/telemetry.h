@@ -15,6 +15,7 @@
 
 #include "sim/time.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/span_tracker.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace_recorder.h"
 
@@ -42,11 +43,25 @@ struct TelemetryConfig {
      */
     bool perMachineSeries = true;
 
+    /**
+     * Track per-request causal span timelines (SpanTracker): latency
+     * breakdown, SLO-breach exemplars, flight recorder. Independent
+     * of traceEnabled — span tracking holds O(live requests), not
+     * O(events), so it scales to runs where full tracing cannot.
+     */
+    bool spanTracking = false;
+
+    /** Worst-offender exemplar timelines kept (0 disables). */
+    int exemplarK = 3;
+
+    /** Flight-recorder ring capacity (recent completed timelines). */
+    int flightRecorderCapacity = 256;
+
     /** True when any telemetry stream is requested. */
     bool
     any() const
     {
-        return traceEnabled || sampleIntervalUs > 0;
+        return traceEnabled || spanTracking || sampleIntervalUs > 0;
     }
 };
 
@@ -89,6 +104,48 @@ struct TelemetryConfig {
             (rec)->instant((track), (name), (now), ##__VA_ARGS__); \
     } while (0)
 
+/** Move a request between SpanTracker attribution phases. */
+#define TELEM_REQ_PHASE(spans, id, phase, now) \
+    do { \
+        if (spans) \
+            (spans)->transition((id), (phase), (now)); \
+    } while (0)
+
+/** Fold a crash-restarted request's work into restart_penalty. */
+#define TELEM_REQ_RESTART(spans, id, now) \
+    do { \
+        if (spans) \
+            (spans)->restart((id), (now)); \
+    } while (0)
+
+/** Finish a request's timeline (slowdown ranks exemplars). */
+#define TELEM_REQ_COMPLETE(spans, id, now, slowdown) \
+    do { \
+        if (spans) \
+            (spans)->complete((id), (now), (slowdown)); \
+    } while (0)
+
+/** Source side of a cross-track flow arrow. */
+#define TELEM_FLOW_START(rec, track, name, now, id) \
+    do { \
+        if (rec) \
+            (rec)->flowStart((track), (name), (now), (id)); \
+    } while (0)
+
+/** Intermediate flow point. */
+#define TELEM_FLOW_STEP(rec, track, name, now, id) \
+    do { \
+        if (rec) \
+            (rec)->flowStep((track), (name), (now), (id)); \
+    } while (0)
+
+/** Destination side of a cross-track flow arrow. */
+#define TELEM_FLOW_END(rec, track, name, now, id) \
+    do { \
+        if (rec) \
+            (rec)->flowEnd((track), (name), (now), (id)); \
+    } while (0)
+
 #else  // SPLITWISE_TELEMETRY_ENABLED
 
 #define TELEM_SPAN_BEGIN(rec, track, name, now, ...) \
@@ -104,6 +161,24 @@ struct TelemetryConfig {
     do { \
     } while (0)
 #define TELEM_INSTANT(rec, track, name, now, ...) \
+    do { \
+    } while (0)
+#define TELEM_REQ_PHASE(spans, id, phase, now) \
+    do { \
+    } while (0)
+#define TELEM_REQ_RESTART(spans, id, now) \
+    do { \
+    } while (0)
+#define TELEM_REQ_COMPLETE(spans, id, now, slowdown) \
+    do { \
+    } while (0)
+#define TELEM_FLOW_START(rec, track, name, now, id) \
+    do { \
+    } while (0)
+#define TELEM_FLOW_STEP(rec, track, name, now, id) \
+    do { \
+    } while (0)
+#define TELEM_FLOW_END(rec, track, name, now, id) \
     do { \
     } while (0)
 

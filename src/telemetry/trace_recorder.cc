@@ -133,7 +133,7 @@ TraceRecorder::begin(Track track, const char* name, sim::TimeUs ts,
                      TraceArgs args)
 {
     open_[key(track)].push_back(name);
-    events_.push_back({'B', track, ts, name, std::move(args)});
+    events_.push_back({'B', track, ts, name, 0, std::move(args)});
 }
 
 void
@@ -143,7 +143,7 @@ TraceRecorder::end(Track track, sim::TimeUs ts)
     if (it == open_.end() || it->second.empty())
         sim::panic("TraceRecorder::end without a matching begin");
     it->second.pop_back();
-    events_.push_back({'E', track, ts, "", {}});
+    events_.push_back({'E', track, ts, "", 0, {}});
 }
 
 void
@@ -173,7 +173,40 @@ void
 TraceRecorder::instant(Track track, const char* name, sim::TimeUs ts,
                        TraceArgs args)
 {
-    events_.push_back({'i', track, ts, name, std::move(args)});
+    events_.push_back({'i', track, ts, name, 0, std::move(args)});
+}
+
+void
+TraceRecorder::flowStart(Track track, const char* name, sim::TimeUs ts,
+                         std::uint64_t flow_id)
+{
+    events_.push_back({'s', track, ts, name, flow_id, {}});
+}
+
+void
+TraceRecorder::flowStep(Track track, const char* name, sim::TimeUs ts,
+                        std::uint64_t flow_id)
+{
+    events_.push_back({'t', track, ts, name, flow_id, {}});
+}
+
+void
+TraceRecorder::flowEnd(Track track, const char* name, sim::TimeUs ts,
+                       std::uint64_t flow_id)
+{
+    events_.push_back({'f', track, ts, name, flow_id, {}});
+}
+
+void
+TraceRecorder::markPendingFlow(std::uint64_t flow_id)
+{
+    pendingFlows_.insert(flow_id);
+}
+
+bool
+TraceRecorder::takePendingFlow(std::uint64_t flow_id)
+{
+    return pendingFlows_.erase(flow_id) > 0;
 }
 
 std::size_t
@@ -229,12 +262,21 @@ TraceRecorder::toJson() const
         sep();
         out << "{\"ph\":\"" << ev.ph << "\",\"pid\":" << ev.track.pid
             << ",\"tid\":" << ev.track.tid << ",\"ts\":" << ev.ts;
+        const bool flow = ev.ph == 's' || ev.ph == 't' || ev.ph == 'f';
         if (ev.ph != 'E') {
             out << ",\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
-                << pidCategory(ev.track.pid) << '"';
+                << (flow ? "flow" : pidCategory(ev.track.pid)) << '"';
         }
         if (ev.ph == 'i')
             out << ",\"s\":\"t\"";
+        if (flow) {
+            out << ",\"id\":" << ev.flowId;
+            // Bind the terminating point to the *enclosing* slice end,
+            // the convention Perfetto's importer expects for arrows
+            // that land inside a slice rather than at its start.
+            if (ev.ph == 'f')
+                out << ",\"bp\":\"e\"";
+        }
         if (!ev.args.empty()) {
             out << ",\"args\":{";
             for (std::size_t i = 0; i < ev.args.size(); ++i) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -94,6 +95,35 @@ class TraceRecorder {
     void instant(Track track, const char* name, sim::TimeUs ts,
                  TraceArgs args = {});
 
+    /**
+     * Flow events ('s'/'t'/'f') draw an arrow between tracks sharing
+     * @p flow_id — how one request's KV handoff is linked across its
+     * prompt-machine slice, its request-track transfer span, and its
+     * token-machine slice. The trace_event format binds each flow
+     * point to the slice *open on that track at @p ts*, so callers
+     * must emit them while the relevant span is open.
+     */
+    void flowStart(Track track, const char* name, sim::TimeUs ts,
+                   std::uint64_t flow_id);
+
+    /** Intermediate flow point (same binding rule as flowStart). */
+    void flowStep(Track track, const char* name, sim::TimeUs ts,
+                  std::uint64_t flow_id);
+
+    /** Terminating flow point (emitted with bp:"e"). */
+    void flowEnd(Track track, const char* name, sim::TimeUs ts,
+                 std::uint64_t flow_id);
+
+    /**
+     * Cross-machine handoff bookkeeping: the source side marks a flow
+     * id as pending; the destination side takes it when its first
+     * slice opens and emits the flowEnd there. take returns false when
+     * the id was never marked (e.g. a locally-decoded request).
+     */
+    void markPendingFlow(std::uint64_t flow_id);
+    bool takePendingFlow(std::uint64_t flow_id);
+    bool hasPendingFlows() const { return !pendingFlows_.empty(); }
+
     /** Number of recorded events (metadata excluded). */
     std::size_t eventCount() const { return events_.size(); }
 
@@ -111,10 +141,12 @@ class TraceRecorder {
 
   private:
     struct Event {
-        char ph = 'i';  // 'B', 'E', or 'i'
+        char ph = 'i';  // 'B', 'E', 'i', or flow 's'/'t'/'f'
         Track track;
         sim::TimeUs ts = 0;
         const char* name = "";
+        /** Flow binding id; meaningful only for 's'/'t'/'f'. */
+        std::uint64_t flowId = 0;
         TraceArgs args;
     };
 
@@ -125,6 +157,8 @@ class TraceRecorder {
     /** Stack of open span names per track. */
     std::map<TrackKey, std::vector<const char*>> open_;
     std::map<TrackKey, std::string> trackNames_;
+    /** Flow ids awaiting their destination-side flowEnd. */
+    std::unordered_set<std::uint64_t> pendingFlows_;
 };
 
 }  // namespace splitwise::telemetry

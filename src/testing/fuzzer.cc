@@ -118,6 +118,7 @@ fuzz(const FuzzerConfig& config)
         FuzzResult result;
         result.seed = seed;
         result.scenario = makeScenario(seed);
+        result.scenario.spanOverride = config.spanOverride;
         result.outcome = runScenario(result.scenario, config.invariants);
         return result;
     });

@@ -29,6 +29,9 @@ struct FuzzerConfig {
     std::uint64_t baseSeed = 1;
     /** RunPool worker count (0 = hardware default, 1 = serial). */
     int jobs = 1;
+    /** Span-tracking override stamped on every composed scenario
+     *  (Scenario::spanOverride: 0 auto, 1 force on, -1 force off). */
+    int spanOverride = 0;
     InvariantOptions invariants;
 };
 

@@ -120,6 +120,7 @@ InvariantChecker::checkNow()
         checkController();
     checkTransfers();
     checkTelemetry();
+    checkSpanTimelines();
     checkEventQueue();
     ++checksRun_;
 }
@@ -531,6 +532,43 @@ InvariantChecker::checkTelemetry()
 }
 
 void
+InvariantChecker::checkSpanTimelines()
+{
+#if SPLITWISE_TELEMETRY_ENABLED
+    const telemetry::SpanTracker* spans = cluster_.spanTracker();
+    if (!spans)
+        return;
+    // The sweep below is O(live timelines x segments); span defects
+    // are persistent (append-only segments), so sampling every Nth
+    // check loses only latency, not coverage. finalCheck re-sweeps.
+    if (options_.spanCheckEveryNth > 1 &&
+        (spanCheckTick_++ % static_cast<std::uint64_t>(
+                                options_.spanCheckEveryNth)) != 0) {
+        return;
+    }
+    // Timeline balance: exactly one live timeline per routed,
+    // non-terminal request - the tracker may neither leak completed
+    // timelines nor lose live ones.
+    std::size_t routed = 0;
+    for (const auto& req : cluster_.liveRequests()) {
+        if (!req->terminal() && req->promptMachine >= 0)
+            ++routed;
+    }
+    if (spans->liveCount() != routed) {
+        violate("span-balance",
+                std::to_string(spans->liveCount()) +
+                    " live request timelines, expected " +
+                    std::to_string(routed) + " routed non-terminal requests");
+    }
+    // Structural self-check: contiguous from arrival, exactly one
+    // open segment, end >= start everywhere.
+    const std::string err = spans->integrityError();
+    if (!err.empty())
+        violate("span-balance", err);
+#endif
+}
+
+void
 InvariantChecker::finalCheck(const core::RunReport& report)
 {
     refreshIndex();
@@ -604,6 +642,26 @@ InvariantChecker::finalCheck(const core::RunReport& report)
             violate("span-balance",
                     std::to_string(rec->openSpans()) +
                         " spans still open after the run");
+        }
+    }
+    if (const auto* spans = cluster_.spanTracker()) {
+        if (spans->liveCount() != 0) {
+            violate("span-balance",
+                    std::to_string(spans->liveCount()) +
+                        " request timelines still open after the run "
+                        "drained");
+        }
+        // Full structural sweep: the per-check sweep samples at
+        // spanCheckEveryNth, so re-verify everything still live here.
+        const std::string err = spans->integrityError();
+        if (!err.empty())
+            violate("span-balance", err);
+        if (spans->completedCount() != done) {
+            violate("span-balance",
+                    "tracker folded " +
+                        std::to_string(spans->completedCount()) +
+                        " completed timelines, live state says " +
+                        std::to_string(done) + " requests finished");
         }
     }
 #endif

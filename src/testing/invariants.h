@@ -59,6 +59,14 @@ struct InvariantOptions {
      * the final post-run check always runs in full.
      */
     int checkEveryNthAdvance = 1;
+    /**
+     * Run the span-timeline structural sweep only every Nth
+     * invariant check (the final check always sweeps). Span defects
+     * cannot self-heal - segments are append-only, a gap or leaked
+     * timeline persists - so thinning trades detection *latency*,
+     * not detection, for keeping the spans-on DST overhead small.
+     */
+    int spanCheckEveryNth = 64;
 };
 
 /**
@@ -128,6 +136,8 @@ class InvariantChecker {
     void checkController();
     void checkTransfers();
     void checkTelemetry();
+    /** Span-tracker balance + structural integrity (span-balance). */
+    void checkSpanTimelines();
     void checkEventQueue();
 
     core::Cluster& cluster_;
@@ -142,6 +152,8 @@ class InvariantChecker {
     sim::Simulator::HookId hook_;
     std::uint64_t advances_ = 0;
     std::uint64_t checksRun_ = 0;
+    /** Modular counter behind InvariantOptions::spanCheckEveryNth. */
+    std::uint64_t spanCheckTick_ = 0;
     sim::TimeUs lastAdvance_ = -1;
     engine::KvTransferEngine::Stats lastTransferStats_;
     std::unordered_map<std::uint64_t, const engine::LiveRequest*> byId_;

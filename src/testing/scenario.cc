@@ -264,6 +264,9 @@ scenarioSimConfig(const Scenario& scenario)
     config.usePiecewisePerfModel = scenario.usePiecewisePerfModel;
     config.kvRetry = scenario.kvRetry;
     config.telemetry.traceEnabled = scenario.traceEnabled;
+    // Span tracking rides the trace switch (or the explicit
+    // override) so fuzzed runs exercise the span-balance invariant.
+    config.telemetry.spanTracking = scenario.spansEnabled();
     return config;
 }
 
@@ -338,11 +341,13 @@ runScenario(const Scenario& scenario, const InvariantOptions& options)
         outcome.restarts = report.restarts;
         outcome.transfers = report.transfers.transfers;
 
-        core::JsonValue json = core::JsonValue::makeObject();
-        json.set("violated", core::JsonValue(false));
-        json.set("report",
-                 core::JsonValue::parse(core::reportToJson(report)));
-        outcome.outcomeJson = json.dump();
+        // Splice the report text directly: reportToJson already emits
+        // the compact dump() style, and round-tripping it through a
+        // JsonValue DOM per scenario dominated the spans-on cost of
+        // the whole DST harness.
+        outcome.outcomeJson =
+            "{\"violated\":false,\"report\":" + core::reportToJson(report) +
+            "}";
     } catch (const InvariantViolation& v) {
         outcome.violated = true;
         outcome.invariant = v.invariant();
@@ -364,6 +369,12 @@ runScenario(const Scenario& scenario, const InvariantOptions& options)
         json.set("violation_time_us", core::JsonValue(outcome.violationTime));
         json.set("detail", core::JsonValue(outcome.detail));
         outcome.outcomeJson = json.dump();
+        // Snapshot the span flight recorder before the cluster (and
+        // its tracker) go out of scope.
+        if (cluster.spanTracker()) {
+            outcome.flightRecorderJson =
+                cluster.spanTracker()->flightRecorderJson();
+        }
     }
     return outcome;
 }

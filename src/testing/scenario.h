@@ -88,7 +88,22 @@ struct Scenario {
     core::FaultPlan faults;
     BugPlan bug;
 
+    /**
+     * Runtime-only span-tracking override (never serialized, so
+     * pinned repro files replay unchanged): 0 = auto (span tracking
+     * follows traceEnabled), 1 = force on, -1 = force off. The soak
+     * driver's --spans flag sets this.
+     */
+    int spanOverride = 0;
+
     int machines() const { return numPrompt + numToken; }
+
+    /** Whether a run of this scenario tracks request spans. */
+    bool
+    spansEnabled() const
+    {
+        return spanOverride > 0 || (spanOverride == 0 && traceEnabled);
+    }
 };
 
 /** Scenario <-> JSON (format `splitwise-dst-scenario-v1`). */
@@ -135,6 +150,15 @@ struct ScenarioOutcome {
      * string on every replay, across thread counts.
      */
     std::string outcomeJson;
+
+    /**
+     * Flight-recorder dump (recent + live span timelines) captured at
+     * the moment of a violation; empty on clean runs or when the run
+     * tracked no spans. The soak driver writes it next to the shrunk
+     * reproducer so the last moments before the violation are
+     * reconstructable.
+     */
+    std::string flightRecorderJson;
 };
 
 /**

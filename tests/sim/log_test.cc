@@ -100,6 +100,63 @@ TEST_F(LogTest, StructuredMessagesRespectTheLevel)
     EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
 }
 
+TEST_F(LogTest, AttachedClockPrefixesEveryLine)
+{
+    Log::setLevel(LogLevel::kInfo);
+    std::int64_t now_us = 120000;
+    setLogClock(&now_us);
+    ::testing::internal::CaptureStderr();
+    inform("machine failed", {{"machine", "3"}});
+    now_us = 130000;
+    warn("plain message");
+    setLogClock(nullptr);
+    inform("after detach");
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out,
+              "[info] machine failed t_us=120000 machine=3\n"
+              "[warn] plain message t_us=130000\n"
+              "[info] after detach\n");
+}
+
+TEST_F(LogTest, RequestScopeNestsAndRestores)
+{
+    Log::setLevel(LogLevel::kInfo);
+    std::int64_t now_us = 5;
+    setLogClock(&now_us);
+    ::testing::internal::CaptureStderr();
+    {
+        LogRequestScope outer(7);
+        inform("outer");
+        {
+            LogRequestScope inner(9);
+            inform("inner", {{"k", "v"}});
+        }
+        inform("outer again");
+    }
+    inform("no scope");
+    setLogClock(nullptr);
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out,
+              "[info] outer t_us=5 request=7\n"
+              "[info] inner t_us=5 request=9 k=v\n"
+              "[info] outer again t_us=5 request=7\n"
+              "[info] no scope t_us=5\n");
+}
+
+TEST_F(LogTest, FatalKeepsThrownMessageFreeOfContext)
+{
+    Log::setLevel(LogLevel::kOff);
+    std::int64_t now_us = 42;
+    setLogClock(&now_us);
+    try {
+        fatal("bad flag");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "bad flag");
+    }
+    setLogClock(nullptr);
+}
+
 TEST(LogDeathTest, PanicAborts)
 {
     EXPECT_DEATH(panic("invariant violated"), "invariant violated");

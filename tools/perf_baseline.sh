@@ -5,6 +5,17 @@
 #   - bench_events          events/sec, new vs embedded legacy queue
 #   - bench_dst --short     scenarios/sec through the DST harness
 #   - bench_fig12 --jobs 1  end-to-end design-space sweep wall-clock
+#   - span-tracking overhead, two probes:
+#       sweep: bench_fig12 --spans on vs off — production-shaped
+#           (dozens of full cluster runs, the tracker amortizes);
+#           the perf-smoke job gates this ratio at 1.05.
+#       dst: bench_dst, 2000 fixed seeds (--short caps at 24, too
+#           little signal) + peak RSS both sides — recorded as a
+#           diagnostic only: 2000 fresh micro-sims re-pay tracker
+#           setup per scenario and the span-balance invariant sweep
+#           is a DST-only cost, so this ratio overstates tracing.
+#       Both use the min over interleaved off/on pairs: wall minima
+#       are the standard noise-robust statistic on shared hosts.
 #
 # Usage: tools/perf_baseline.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR defaults to ./build, OUT_JSON to ./BENCH_PR5.json.
@@ -30,6 +41,11 @@ median() {
         if (NR == 0) exit 1;
         if (NR % 2) print a[(NR+1)/2];
         else printf "%.6f\n", (a[NR/2] + a[NR/2+1]) / 2 }'
+}
+
+# minval FILE -> smallest of one number per line
+minval() {
+    sort -n "$1" | head -1
 }
 
 now_s() { python3 -c 'import time; print(f"{time.monotonic():.6f}")'; }
@@ -69,6 +85,58 @@ for i in $(seq 1 "$RUNS"); do
     echo "  bench_dst run $i done" >&2
 done
 
+# --- span tracking: overhead + peak RSS --------------------------------
+# Interleaved off/on pairs so host noise lands on both sides equally.
+# Peak RSS comes from GNU time -v when present, else a python3 rusage
+# fallback.
+SPAN_SEEDS=2000
+measure_spans() {
+    # $1 = bench binary, $2 = --spans value, $3 = output prefix,
+    # $4.. = extra args; appends wall seconds to $3.wall and peak RSS
+    # (KiB) to $3.rss.
+    local bin="$1" spans="$2" prefix="$3"
+    shift 3
+    if [[ -x /usr/bin/time ]]; then
+        local t0 t1 rss
+        t0="$(now_s)"
+        rss="$(/usr/bin/time -v "$bin" --jobs 1 --spans "$spans" "$@" \
+            2>&1 >/dev/null |
+            awk '/Maximum resident set size/ {print $NF}')"
+        t1="$(now_s)"
+        python3 -c "print(f'{$t1 - $t0:.6f}')" >> "$prefix.wall"
+        echo "${rss:-0}" >> "$prefix.rss"
+    else
+        python3 - "$bin" "$spans" "$@" \
+            >> "$prefix.wall" 2>> "$prefix.rss" <<'PYEOF'
+import resource, subprocess, sys, time
+bin, spans = sys.argv[1], sys.argv[2]
+t0 = time.monotonic()
+subprocess.run([bin, "--jobs", "1", "--spans", spans] + sys.argv[3:],
+               stdout=subprocess.DEVNULL, check=True)
+wall = time.monotonic() - t0
+rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"{wall:.6f}")
+print(rss, file=sys.stderr)
+PYEOF
+    fi
+}
+
+# The gated sweep probe is cheap (~0.25 s/run), so it gets extra
+# pairs: the min over few pairs still carries host noise.
+SWEEP_PAIRS=$((RUNS > 8 ? RUNS : 8))
+for i in $(seq 1 "$SWEEP_PAIRS"); do
+    measure_spans "$BENCH/bench_fig12_design_space" off "$tmp/sweep_off"
+    measure_spans "$BENCH/bench_fig12_design_space" on "$tmp/sweep_on"
+done
+echo "  sweep span-overhead pairs done" >&2
+for i in $(seq 1 "$RUNS"); do
+    measure_spans "$BENCH/bench_dst" off "$tmp/spans_off" \
+        --seeds="$SPAN_SEEDS"
+    measure_spans "$BENCH/bench_dst" on "$tmp/spans_on" \
+        --seeds="$SPAN_SEEDS"
+    echo "  dst span-overhead pair $i done" >&2
+done
+
 # --- bench_fig12 --jobs 1: end-to-end sweep wall-clock ---------------
 for i in $(seq 1 "$RUNS"); do
     t0="$(now_s)"
@@ -89,6 +157,16 @@ events_legacy_large="$(median "$tmp/rate.legacy.large.txt")"
 dst_rate="$(median "$tmp/dst_rate.txt")"
 dst_wall="$(median "$tmp/dst_wall.txt")"
 fig12_wall="$(median "$tmp/fig12_wall.txt")"
+sweep_off_wall="$(minval "$tmp/sweep_off.wall")"
+sweep_on_wall="$(minval "$tmp/sweep_on.wall")"
+sweep_overhead="$(python3 -c \
+    "print(f'{$sweep_on_wall / $sweep_off_wall:.4f}')")"
+spans_off_wall="$(minval "$tmp/spans_off.wall")"
+spans_on_wall="$(minval "$tmp/spans_on.wall")"
+spans_off_rss="$(median "$tmp/spans_off.rss")"
+spans_on_rss="$(median "$tmp/spans_on.rss")"
+spans_overhead="$(python3 -c \
+    "print(f'{$spans_on_wall / $spans_off_wall:.4f}')")"
 
 churn_ratio="$(python3 -c \
     "print(f'{$events_new_churn / $events_legacy_churn:.3f}')")"
@@ -113,6 +191,19 @@ cat > "$OUT_JSON" <<EOF
   "fig12_sweep": {
     "jobs": 1,
     "p50_wall_s": $fig12_wall
+  },
+  "span_tracking": {
+    "sweep": {
+      "off_min_wall_s": $sweep_off_wall,
+      "on_min_wall_s": $sweep_on_wall,
+      "overhead_ratio": $sweep_overhead
+    },
+    "dst": {
+      "seeds": $SPAN_SEEDS,
+      "off": {"min_wall_s": $spans_off_wall, "p50_peak_rss_kb": $spans_off_rss},
+      "on": {"min_wall_s": $spans_on_wall, "p50_peak_rss_kb": $spans_on_rss},
+      "overhead_ratio": $spans_overhead
+    }
   }
 }
 EOF
