@@ -80,13 +80,14 @@ Autoscaler::drained(const engine::Machine& m) const
     // fires onMemoryFreed, deadlocking the request. Hold the park
     // until nothing in the simulation references the machine.
     const int id = m.id();
-    for (const auto& req : cluster_.liveRequests()) {
-        if (req->terminal())
-            continue;
-        if (req->promptMachine == id || req->tokenMachine == id)
-            return false;
-    }
-    return true;
+    bool referenced = false;
+    cluster_.requestPool().forEachLive([&](const engine::LiveRequest& req) {
+        if (req.terminal())
+            return;
+        if (req.promptMachine == id || req.tokenMachine == id)
+            referenced = true;
+    });
+    return !referenced;
 }
 
 void

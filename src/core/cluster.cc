@@ -59,6 +59,10 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
                              worstSlowdown(result));
         }
 #endif
+        // The machine dropped every reference before this callback
+        // (mls.finish ran, KV released); the record and span are
+        // folded, so the slot can recycle for a future arrival.
+        pool_.release(req);
     };
     callbacks.transferInterference =
         [this](engine::Machine& m, engine::LiveRequest* req,
@@ -104,6 +108,8 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
     engine_.setRetryPolicy(config_.kvRetry);
     engine_.setOnAbort(
         [this](engine::LiveRequest* req) { onTransferAbort(req); });
+
+    pool_.setRecycling(config_.requestRecycling);
 
     setupTelemetry();
 }
@@ -281,7 +287,8 @@ void
 Cluster::scheduleFailure(int machine_id, sim::TimeUs at)
 {
     checkFaultSchedulable(machine_id);
-    simulator_.post(at, [this, machine_id] { failMachine(machine_id); });
+    simulator_.post(at, [this, machine_id] { failMachine(machine_id); },
+                    kFaultEventPriority);
 }
 
 void
@@ -291,9 +298,11 @@ Cluster::scheduleFailure(int machine_id, sim::TimeUs at,
     checkFaultSchedulable(machine_id);
     if (downtime_us <= 0)
         sim::fatal("Cluster::scheduleFailure: downtime must be positive");
-    simulator_.post(at, [this, machine_id] { failMachine(machine_id); });
+    simulator_.post(at, [this, machine_id] { failMachine(machine_id); },
+                    kFaultEventPriority);
     simulator_.post(at + downtime_us,
-                    [this, machine_id] { recoverMachine(machine_id); });
+                    [this, machine_id] { recoverMachine(machine_id); },
+                    kFaultEventPriority);
 }
 
 void
@@ -305,10 +314,10 @@ Cluster::scheduleSlowdown(int machine_id, sim::TimeUs at,
         sim::fatal("Cluster::scheduleSlowdown: factor must be positive");
     simulator_.post(at, [this, machine_id, factor] {
         machineById(machine_id)->setPerfScale(factor);
-    });
+    }, kFaultEventPriority);
     simulator_.post(at + duration_us, [this, machine_id] {
         machineById(machine_id)->setPerfScale(1.0);
-    });
+    }, kFaultEventPriority);
 }
 
 void
@@ -355,10 +364,15 @@ Cluster::failMachine(int machine_id)
                     {{"machine", std::to_string(standby_id)}});
     }
 
-    for (const auto& req_ptr : live_) {
-        engine::LiveRequest* req = req_ptr.get();
+    // Pool slot order is recycling order, not arrival order; collect
+    // the stranded requests first and restart them sorted by id
+    // (monotone in arrival order) so recovery placement matches the
+    // old trace-order walk exactly.
+    std::vector<engine::LiveRequest*> stranded_reqs;
+    pool_.forEachLive([&](engine::LiveRequest& live_req) {
+        engine::LiveRequest* req = &live_req;
         if (req->terminal())
-            continue;
+            return;
         const bool stranded =
             ((req->phase == engine::RequestPhase::kPromptQueued ||
               req->phase == engine::RequestPhase::kPromptRunning) &&
@@ -369,30 +383,8 @@ Cluster::failMachine(int machine_id)
             (req->phase == engine::RequestPhase::kDecoding &&
              req->tokenMachine == machine_id);
         if (stranded) {
-            // Log lines from the restart path (admission, KV
-            // release, checkpoint restore) identify their request.
-            sim::LogRequestScope log_scope(req->spec.id);
-            // Release any KV copy a surviving machine still holds
-            // (e.g. the prompt machine of an in-flight transfer).
-            for (int mid : {req->promptMachine, req->tokenMachine}) {
-                if (mid >= 0 && mid != machine_id)
-                    machineById(mid)->releaseKv(req);
-            }
-            // Past the prompt with checkpointing on: restore the
-            // KV-cache from the in-memory store instead of
-            // recomputing the whole context (SIV-E).
-            if (config_.kvCheckpointing && req->generated > 0 &&
-                restoreFromCheckpoint(req)) {
-                checkpointRestores_->add();
-                continue;
-            }
-            // Fold the lost work into a restart-penalty span before
-            // re-admission re-opens the queue span.
-            TELEM_REQ_RESTART(spans_.get(), req->spec.id, simulator_.now());
-            req->resetForRestart();
-            restarts_->add();
-            cls_->onArrival(req, /*force_admit=*/true);
-            continue;
+            stranded_reqs.push_back(req);
+            return;
         }
         // Requests not yet split off this machine but destined for
         // it: decode locally instead.
@@ -400,6 +392,35 @@ Cluster::failMachine(int machine_id)
             req->promptMachine != machine_id) {
             req->tokenMachine = -1;
         }
+    });
+    std::sort(stranded_reqs.begin(), stranded_reqs.end(),
+              [](const engine::LiveRequest* a, const engine::LiveRequest* b) {
+                  return a->spec.id < b->spec.id;
+              });
+    for (engine::LiveRequest* req : stranded_reqs) {
+        // Log lines from the restart path (admission, KV
+        // release, checkpoint restore) identify their request.
+        sim::LogRequestScope log_scope(req->spec.id);
+        // Release any KV copy a surviving machine still holds
+        // (e.g. the prompt machine of an in-flight transfer).
+        for (int mid : {req->promptMachine, req->tokenMachine}) {
+            if (mid >= 0 && mid != machine_id)
+                machineById(mid)->releaseKv(req);
+        }
+        // Past the prompt with checkpointing on: restore the
+        // KV-cache from the in-memory store instead of
+        // recomputing the whole context (SIV-E).
+        if (config_.kvCheckpointing && req->generated > 0 &&
+            restoreFromCheckpoint(req)) {
+            checkpointRestores_->add();
+            continue;
+        }
+        // Fold the lost work into a restart-penalty span before
+        // re-admission re-opens the queue span.
+        TELEM_REQ_RESTART(spans_.get(), req->spec.id, simulator_.now());
+        req->resetForRestart();
+        restarts_->add();
+        cls_->onArrival(req, /*force_admit=*/true);
     }
     // Fault epochs are exactly where fixed-interval sampling
     // under-resolves; snapshot the post-failure state immediately.
@@ -486,26 +507,55 @@ Cluster::machineById(int id)
     return machines_[static_cast<std::size_t>(id)].get();
 }
 
+void
+Cluster::admitArrival(const workload::Request& spec)
+{
+    engine::LiveRequest* req = pool_.acquire();
+    req->spec = spec;
+    ++submitted_;
+    if (!cls_->onArrival(req)) {
+        req->phase = engine::RequestPhase::kRejected;
+        rejected_->add();
+        // Shed before any work ran: nothing holds a pointer (no
+        // route, no span), so the slot recycles immediately.
+        pool_.release(req);
+    }
+}
+
+void
+Cluster::postNextArrival()
+{
+    workload::Request spec;
+    if (!stream_->next(spec))
+        return;
+    // Posting into the past panics in the simulator, which doubles
+    // as the stream-ordering check: arrivals must be non-decreasing.
+    simulator_.post(spec.arrival, [this, spec] {
+        admitArrival(spec);
+        postNextArrival();
+    }, kArrivalEventPriority);
+}
+
 RunReport
 Cluster::run(const workload::Trace& trace)
+{
+    workload::VectorTraceStream stream(trace);
+    return run(stream);
+}
+
+RunReport
+Cluster::run(workload::TraceStream& stream)
 {
     if (ran_)
         sim::fatal("Cluster::run is one-shot; build a fresh cluster");
     ran_ = true;
 
-    live_.reserve(trace.size());
-    for (const auto& spec : trace) {
-        auto req = std::make_unique<engine::LiveRequest>();
-        req->spec = spec;
-        live_.push_back(std::move(req));
-        engine::LiveRequest* ptr = live_.back().get();
-        simulator_.post(spec.arrival, [this, ptr] {
-            if (!cls_->onArrival(ptr)) {
-                ptr->phase = engine::RequestPhase::kRejected;
-                rejected_->add();
-            }
-        });
-    }
+    // Lazy arrival chain: exactly one pending arrival event at any
+    // time, each admitting its request and pulling the next. The
+    // event queue and the live set stay O(in-flight) regardless of
+    // trace length.
+    stream_ = &stream;
+    postNextArrival();
 
     if (config_.telemetry.sampleIntervalUs > 0) {
         sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(
@@ -514,20 +564,16 @@ Cluster::run(const workload::Trace& trace)
     }
 
     simulator_.run();
+    stream_ = nullptr;
 
-    std::size_t unfinished = 0;
-    for (const auto& req : live_) {
-        if (!req->terminal())
-            ++unfinished;
-    }
-    if (unfinished > 0) {
-        sim::fatal("Cluster: " + std::to_string(unfinished) +
+    if (pool_.liveCount() > 0) {
+        sim::fatal("Cluster: " + std::to_string(pool_.liveCount()) +
                    " requests never completed (deadlock)");
     }
 
     RunReport report;
     report.requests = results_;
-    report.submitted = trace.size();
+    report.submitted = submitted_;
     report.simulatedUs = simulator_.now();
     report.footprint = design_.footprint();
     report.transfers = engine_.stats();

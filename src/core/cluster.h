@@ -9,6 +9,7 @@
 #include "core/designs.h"
 #include "engine/kv_transfer.h"
 #include "engine/machine.h"
+#include "engine/request_pool.h"
 #include "metrics/request_metrics.h"
 #include "metrics/time_weighted.h"
 #include "model/llm_config.h"
@@ -18,8 +19,20 @@
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace splitwise::core {
+
+/**
+ * Event-priority classes at equal timestamps. Arrivals are pulled
+ * from the trace stream one at a time (each arrival event posts the
+ * next), so they can no longer rely on pre-run posting order for
+ * their low sequence numbers; the explicit priority reproduces the
+ * old ordering: fault-plan events, then arrivals, then everything
+ * posted at runtime.
+ */
+inline constexpr int kFaultEventPriority = -2;
+inline constexpr int kArrivalEventPriority = -1;
 
 /** Simulation tunables for a cluster run. */
 struct SimConfig {
@@ -56,6 +69,20 @@ struct SimConfig {
      * empty. Flip before run() only.
      */
     bool sketchLatencies = false;
+    /**
+     * Declared bound on simultaneously in-flight request slots;
+     * 0 = unbounded. Not enforced by the cluster - the DST
+     * invariant checker's live-set-bound invariant fails a run whose
+     * live set ever exceeds it, pinning the O(in-flight) memory
+     * contract.
+     */
+    std::size_t maxLiveRequests = 0;
+    /**
+     * Recycle retired request slots (the normal O(in-flight) mode).
+     * Off reproduces the pre-pool O(total-arrivals) live set; the
+     * scale bench's naive-baseline mode only.
+     */
+    bool requestRecycling = true;
     /** Lifecycle tracing and time-series sampling switches. */
     telemetry::TelemetryConfig telemetry;
 };
@@ -174,8 +201,19 @@ class Cluster {
     Cluster& operator=(const Cluster&) = delete;
 
     /**
-     * Inject the trace, run the simulation to completion, and
-     * report. Requests that can never finish trip a fatal error.
+     * Run the simulation to completion over a pull-based trace
+     * stream and report. Arrivals are pulled one at a time (each
+     * arrival event posts the next), so the full request vector is
+     * never materialized and retired request slots recycle as
+     * requests complete. Requests that can never finish trip a
+     * fatal error.
+     */
+    RunReport run(workload::TraceStream& stream);
+
+    /**
+     * Materialized-trace convenience wrapper: adapts @p trace
+     * through a VectorTraceStream and runs the streaming path, so
+     * both entry points produce byte-identical reports.
      */
     RunReport run(const workload::Trace& trace);
 
@@ -253,15 +291,16 @@ class Cluster {
     }
 
     /**
-     * Live simulation state of every submitted request, in trace
-     * order. Populated by run(); the DST invariant checker walks
-     * this to assert cross-layer conservation laws mid-run.
+     * Pooled live-request storage: one recycled slot per in-flight
+     * request. The DST invariant checker and the control plane walk
+     * the live slots (forEachLive) to assert cross-layer
+     * conservation laws mid-run; retired requests are released at
+     * completion, so the walk is O(in-flight).
      */
-    const std::vector<std::unique_ptr<engine::LiveRequest>>&
-    liveRequests() const
-    {
-        return live_;
-    }
+    const engine::RequestPool& requestPool() const { return pool_; }
+
+    /** The simulation tunables this cluster was built with. */
+    const SimConfig& config() const { return config_; }
 
     /** Completed-request records accumulated so far. */
     const metrics::RequestMetrics& results() const { return results_; }
@@ -274,6 +313,15 @@ class Cluster {
 
   private:
     engine::Machine* machineById(int id);
+
+    /**
+     * Pull the next request from the active stream and post its
+     * arrival event (which admits it and pulls the one after).
+     */
+    void postNextArrival();
+
+    /** Acquire a slot for @p spec and route it through admission. */
+    void admitArrival(const workload::Request& spec);
 
     /** Register counters/gauges and attach the trace recorder. */
     void setupTelemetry();
@@ -319,7 +367,11 @@ class Cluster {
     engine::KvTransferEngine engine_;
     std::unique_ptr<ClusterScheduler> cls_;
 
-    std::vector<std::unique_ptr<engine::LiveRequest>> live_;
+    engine::RequestPool pool_;
+    /** The stream feeding the current run(); null outside run(). */
+    workload::TraceStream* stream_ = nullptr;
+    /** Arrivals pulled from the stream (admitted or rejected). */
+    std::size_t submitted_ = 0;
     metrics::RequestMetrics results_;
 
     /**

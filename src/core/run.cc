@@ -26,15 +26,20 @@ effectiveConfig(const RunOptions& options)
     return config;
 }
 
-/** Execute one trace of the options under an explicit run index. */
+/**
+ * Build the cluster, execute it via @p doRun (materialized trace or
+ * pull stream), and write the requested sinks under run index
+ * @p index. Shared spine of runOne and runStream.
+ */
+template <typename RunFn>
 RunReport
-runOne(const RunOptions& options, const SimConfig& config,
-       const workload::Trace& trace, int index)
+runOneWith(const RunOptions& options, const SimConfig& config, int index,
+           RunFn&& doRun)
 {
     Cluster cluster(options.llm, options.design, config);
     if (!options.faults.empty())
         FaultInjector(cluster).apply(options.faults);
-    RunReport report = cluster.run(trace);
+    RunReport report = doRun(cluster);
     if (!options.sinks.tracePath.empty() && cluster.traceRecorder()) {
         const auto path = indexedSinkPath(options.sinks.tracePath, index);
         cluster.traceRecorder()->writeFile(path);
@@ -61,6 +66,15 @@ runOne(const RunOptions& options, const SimConfig& config,
                     cluster.spanTracker()->completedCount());
     }
     return report;
+}
+
+/** Execute one trace of the options under an explicit run index. */
+RunReport
+runOne(const RunOptions& options, const SimConfig& config,
+       const workload::Trace& trace, int index)
+{
+    return runOneWith(options, config, index,
+                      [&](Cluster& cluster) { return cluster.run(trace); });
 }
 
 }  // namespace
@@ -90,6 +104,18 @@ run(const RunOptions& options)
     }
     return runOne(options, effectiveConfig(options), options.traces.front(),
                   /*index=*/0);
+}
+
+RunReport
+runStream(const RunOptions& options, workload::TraceStream& stream)
+{
+    if (!options.traces.empty()) {
+        sim::fatal("core::runStream: options.traces must be empty (got " +
+                   std::to_string(options.traces.size()) +
+                   "); the stream is the workload");
+    }
+    return runOneWith(options, effectiveConfig(options), /*index=*/0,
+                      [&](Cluster& cluster) { return cluster.run(stream); });
 }
 
 std::vector<RunReport>

@@ -25,6 +25,7 @@
 #include "core/fault_plan.h"
 #include "model/llm_config.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace splitwise::core {
 
@@ -89,6 +90,18 @@ RunReport run(const RunOptions& options);
  * telemetry sinks.
  */
 std::vector<RunReport> runMany(const RunOptions& options);
+
+/**
+ * Run a single cluster fed from a pull-based trace stream instead of
+ * a materialized Trace: arrivals are drawn one at a time, so the
+ * run's memory stays O(in-flight requests) regardless of how many
+ * requests the stream produces. Produces a report byte-identical to
+ * run() over the drained equivalent of the same stream.
+ *
+ * @pre options.traces is empty (fatal otherwise): the stream is the
+ *      workload.
+ */
+RunReport runStream(const RunOptions& options, workload::TraceStream& stream);
 
 /** "out.json" with run index 2 becomes "out.2.json"; index 0 is unchanged. */
 std::string indexedSinkPath(const std::string& path, int index);

@@ -77,6 +77,12 @@ struct LiveRequest {
     int promptMachine = -1;
     int tokenMachine = -1;
 
+    /**
+     * Slot index inside the owning RequestPool; pool bookkeeping
+     * only. Preserved (with restartEpoch) across slot recycling.
+     */
+    std::uint32_t poolSlot = 0;
+
     /** KV context tokens accumulated so far. */
     std::int64_t
     contextTokens() const

@@ -96,17 +96,26 @@ InvariantChecker::onAdvance(sim::TimeUs next)
 void
 InvariantChecker::refreshIndex()
 {
-    const auto& live = cluster_.liveRequests();
-    if (byId_.size() == live.size())
+    const auto& pool = cluster_.requestPool();
+    if (poolVersion_ == pool.version())
         return;
+    poolVersion_ = pool.version();
     byId_.clear();
-    byId_.reserve(live.size());
-    for (const auto& req : live) {
-        if (!byId_.emplace(req->spec.id, req.get()).second) {
+    byId_.reserve(pool.liveCount());
+    pool.forEachLive([&](const engine::LiveRequest& req) {
+        if (!byId_.emplace(req.spec.id, &req).second) {
             violate("request-conservation",
-                    "duplicate request id " + std::to_string(req->spec.id) +
+                    "duplicate request id " + std::to_string(req.spec.id) +
                         " in the live set");
         }
+    });
+    // Snapshots of retired requests can never be observed again;
+    // prune them so the checker's memory stays O(in-flight) too.
+    for (auto it = lastSeen_.begin(); it != lastSeen_.end();) {
+        if (byId_.count(it->first) == 0)
+            it = lastSeen_.erase(it);
+        else
+            ++it;
     }
 }
 
@@ -129,42 +138,32 @@ void
 InvariantChecker::checkRequests()
 {
     const sim::TimeUs now = cluster_.simulator().now();
-    std::size_t done = 0;
-    std::size_t rejected = 0;
+    const auto& pool = cluster_.requestPool();
+    std::size_t liveSeen = 0;
     std::size_t decoding = 0;
 
-    for (const auto& req_ptr : cluster_.liveRequests()) {
-        const engine::LiveRequest& req = *req_ptr;
+    pool.forEachLive([&](const engine::LiveRequest& req) {
+        ++liveSeen;
 
+        // Slots are acquired by the arrival event itself, so a live
+        // slot for a request from the future means the stream path
+        // admitted it early.
         if (req.spec.arrival > now) {
-            // Not yet arrived: nothing may have touched it.
-            if (req.phase != engine::RequestPhase::kPromptQueued ||
-                req.promptMachine >= 0 || req.generated != 0) {
-                violate("request-conservation",
-                        requestTag(req) + " touched before its arrival at " +
-                            std::to_string(req.spec.arrival));
-            }
-            continue;
+            violate("request-conservation",
+                    requestTag(req) + " holds a live slot before its "
+                        "arrival at " + std::to_string(req.spec.arrival));
         }
 
         switch (req.phase) {
           case engine::RequestPhase::kDone:
-            ++done;
-            if (!req.finished() || req.doneTime < 0 || req.doneTime > now) {
-                violate("request-conservation",
-                        requestTag(req) + " done with generated=" +
-                            std::to_string(req.generated) + "/" +
-                            std::to_string(req.spec.outputTokens) +
-                            " done_t=" + std::to_string(req.doneTime));
-            }
-            break;
           case engine::RequestPhase::kRejected:
-            ++rejected;
-            if (req.generated != 0 || req.promptMachine >= 0) {
-                violate("request-conservation",
-                        requestTag(req) + " rejected after work ran");
-            }
-            break;
+            // Terminal slots release inside the completion callback,
+            // before the next quiescent point; one still live here is
+            // a leaked slot - exactly the O(in-flight) bug class the
+            // pool exists to prevent.
+            violate("live-set-bound",
+                    requestTag(req) +
+                        " is terminal but still holds a pool slot");
           case engine::RequestPhase::kTransferring:
             if (req.promptMachine < 0 || req.tokenMachine < 0) {
                 violate("request-conservation",
@@ -239,29 +238,46 @@ InvariantChecker::checkRequests()
         }
         snap = Snapshot{req.phase,     req.generated,   req.restartEpoch,
                         req.restarts,  req.preemptions, req.doneTime};
+    });
+
+    // Pool accounting must be internally consistent: the live column
+    // walk, the counter, and the acquire/release totals agree.
+    if (liveSeen != pool.liveCount()) {
+        violate("live-set-bound",
+                "pool counts " + std::to_string(pool.liveCount()) +
+                    " live slots but the live column holds " +
+                    std::to_string(liveSeen));
     }
 
-    // Conservation cross-checks: the metrics pipeline, the
-    // scheduler's shed counter, and the registry must all agree with
-    // the live state - a lost or double-counted request breaks one.
-    if (done != cluster_.results().completed()) {
+    // The declared in-flight budget (SimConfig::maxLiveRequests)
+    // bounds the live set at every quiescent point - the memory
+    // contract of the streaming path.
+    const std::size_t budget = cluster_.config().maxLiveRequests;
+    if (budget > 0 && pool.liveCount() > budget) {
+        violate("live-set-bound",
+                std::to_string(pool.liveCount()) +
+                    " in-flight request slots exceed the configured "
+                    "budget of " + std::to_string(budget));
+    }
+
+    // Conservation cross-checks: every acquired slot is either still
+    // live, folded into a completion record, or counted rejected -
+    // a lost or double-counted request breaks the ledger.
+    const std::uint64_t completed = cluster_.results().completed();
+    const std::uint64_t rejected =
+        cluster_.metrics().counterValue("rejected");
+    if (pool.acquiredTotal() != pool.liveCount() + completed + rejected) {
         violate("request-conservation",
-                std::to_string(done) + " requests in phase done but " +
-                    std::to_string(cluster_.results().completed()) +
-                    " completion records");
+                std::to_string(pool.acquiredTotal()) + " slots acquired != " +
+                    std::to_string(pool.liveCount()) + " live + " +
+                    std::to_string(completed) + " completed + " +
+                    std::to_string(rejected) + " rejected");
     }
     if (rejected != cluster_.scheduler().shedRequests()) {
         violate("request-conservation",
-                std::to_string(rejected) + " requests rejected but CLS shed " +
+                "registry counter 'rejected' = " + std::to_string(rejected) +
+                    " but CLS shed " +
                     std::to_string(cluster_.scheduler().shedRequests()));
-    }
-    if (cluster_.metrics().counterValue("rejected") != rejected) {
-        violate("request-conservation",
-                "registry counter 'rejected' = " +
-                    std::to_string(
-                        cluster_.metrics().counterValue("rejected")) +
-                    " but " + std::to_string(rejected) +
-                    " requests are in phase rejected");
     }
 
     // Every machine resident must be a live decoding request; a
@@ -519,10 +535,10 @@ InvariantChecker::checkTelemetry()
         if (m->busy() && !m->failed())
             ++expected;
     }
-    for (const auto& req : cluster_.liveRequests()) {
-        if (!req->terminal() && req->promptMachine >= 0)
+    cluster_.requestPool().forEachLive([&](const engine::LiveRequest& req) {
+        if (!req.terminal() && req.promptMachine >= 0)
             ++expected;
-    }
+    });
     if (rec->openSpans() != expected) {
         violate("span-balance",
                 std::to_string(rec->openSpans()) + " open spans, expected " +
@@ -550,10 +566,10 @@ InvariantChecker::checkSpanTimelines()
     // non-terminal request - the tracker may neither leak completed
     // timelines nor lose live ones.
     std::size_t routed = 0;
-    for (const auto& req : cluster_.liveRequests()) {
-        if (!req->terminal() && req->promptMachine >= 0)
+    cluster_.requestPool().forEachLive([&](const engine::LiveRequest& req) {
+        if (!req.terminal() && req.promptMachine >= 0)
             ++routed;
-    }
+    });
     if (spans->liveCount() != routed) {
         violate("span-balance",
                 std::to_string(spans->liveCount()) +
@@ -573,34 +589,41 @@ InvariantChecker::finalCheck(const core::RunReport& report)
 {
     refreshIndex();
 
-    std::size_t done = 0;
-    std::size_t rejected = 0;
-    for (const auto& req : cluster_.liveRequests()) {
-        if (!req->terminal()) {
-            violate("liveness",
-                    requestTag(*req) + " never reached a terminal phase");
-        }
-        if (req->phase == engine::RequestPhase::kDone)
-            ++done;
-        else
-            ++rejected;
+    const auto& pool = cluster_.requestPool();
+    if (pool.liveCount() != 0) {
+        std::string first;
+        pool.forEachLive([&](const engine::LiveRequest& req) {
+            if (first.empty())
+                first = requestTag(req);
+        });
+        violate("liveness",
+                std::to_string(pool.liveCount()) +
+                    " requests still hold pool slots after the run "
+                    "drained (first: " + first + ")");
     }
+    // Retired slots are recycled, so the final balance runs on the
+    // counter ledger: every acquired slot must have retired as either
+    // a completion (latency record) or a rejection (counter).
+    const std::uint64_t done = cluster_.results().completed();
+    const std::uint64_t rejected = cluster_.metrics().counterValue("rejected");
     if (done + rejected != report.submitted ||
-        report.submitted != cluster_.liveRequests().size()) {
+        report.submitted != pool.acquiredTotal()) {
         violate("request-conservation",
                 "submitted " + std::to_string(report.submitted) +
                     " != done " + std::to_string(done) + " + rejected " +
-                    std::to_string(rejected));
+                    std::to_string(rejected) + " (pool acquired " +
+                    std::to_string(pool.acquiredTotal()) + ")");
     }
     if (report.requests.completed() != done) {
         violate("request-conservation",
                 "report says " + std::to_string(report.requests.completed()) +
-                    " completed, live state says " + std::to_string(done));
+                    " completed, results ledger says " + std::to_string(done));
     }
     if (report.rejected != rejected) {
         violate("request-conservation",
                 "report says " + std::to_string(report.rejected) +
-                    " rejected, live state says " + std::to_string(rejected));
+                    " rejected, counter ledger says " +
+                    std::to_string(rejected));
     }
     if (report.rejoins != cluster_.scheduler().rejoins()) {
         violate("machine-pool", "report/scheduler rejoin counts disagree");

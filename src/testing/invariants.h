@@ -156,6 +156,12 @@ class InvariantChecker {
     std::uint64_t spanCheckTick_ = 0;
     sim::TimeUs lastAdvance_ = -1;
     engine::KvTransferEngine::Stats lastTransferStats_;
+    /**
+     * Pool version byId_ was built against; rebuilt whenever the
+     * pool acquires or releases a slot (recycling means size alone
+     * cannot detect churn).
+     */
+    std::uint64_t poolVersion_ = ~0ull;
     std::unordered_map<std::uint64_t, const engine::LiveRequest*> byId_;
     std::unordered_map<std::uint64_t, Snapshot> lastSeen_;
 };

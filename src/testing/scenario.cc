@@ -1,5 +1,6 @@
 #include "testing/scenario.h"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -7,6 +8,7 @@
 
 #include "core/report_io.h"
 #include "sim/log.h"
+#include "workload/trace_stream.h"
 
 namespace splitwise::testing {
 
@@ -267,6 +269,11 @@ scenarioSimConfig(const Scenario& scenario)
     // Span tracking rides the trace switch (or the explicit
     // override) so fuzzed runs exercise the span-balance invariant.
     config.telemetry.spanTracking = scenario.spansEnabled();
+    // Every scenario declares a live-set budget: no run may ever hold
+    // more pool slots than it has requests, so the checker's
+    // live-set-bound invariant is armed on every DST run.
+    config.maxLiveRequests =
+        std::max<std::size_t>(std::size_t{1}, scenario.requests.size());
     return config;
 }
 
@@ -298,24 +305,23 @@ runScenario(const Scenario& scenario, const InvariantOptions& options)
                                                 &leaked](sim::TimeUs) {
             if (leaked)
                 return;
-            for (const auto& req : cluster.liveRequests()) {
-                if (req->terminal() ||
-                    req->phase != engine::RequestPhase::kDecoding ||
-                    req->promptMachine < 0 ||
-                    req->promptMachine == req->tokenMachine) {
-                    continue;
-                }
-                // The "forgotten" source-side copy after a transfer.
-                auto& blocks =
-                    cluster.machines()[static_cast<std::size_t>(
-                                           req->promptMachine)]
-                        ->mls()
-                        .blocks();
-                if (blocks.allocate(kPhantomIdBase + req->spec.id, 16)) {
-                    leaked = true;
-                    return;
-                }
-            }
+            cluster.requestPool().forEachLive(
+                [&](const engine::LiveRequest& req) {
+                    if (leaked || req.terminal() ||
+                        req.phase != engine::RequestPhase::kDecoding ||
+                        req.promptMachine < 0 ||
+                        req.promptMachine == req.tokenMachine) {
+                        return;
+                    }
+                    // The "forgotten" source-side copy after a transfer.
+                    auto& blocks =
+                        cluster.machines()[static_cast<std::size_t>(
+                                               req.promptMachine)]
+                            ->mls()
+                            .blocks();
+                    if (blocks.allocate(kPhantomIdBase + req.spec.id, 16))
+                        leaked = true;
+                });
         });
     }
 
@@ -332,7 +338,12 @@ runScenario(const Scenario& scenario, const InvariantOptions& options)
     if (autoscaler)
         checker.attachController(autoscaler.get());
     try {
-        core::RunReport report = cluster.run(scenario.requests);
+        // Both ingestion paths must be byte-identical; the fuzzer
+        // flips streamIngest on a fraction of seeds to prove it.
+        workload::VectorTraceStream stream(scenario.requests);
+        core::RunReport report = scenario.streamIngest
+                                     ? cluster.run(stream)
+                                     : cluster.run(scenario.requests);
         if (autoscaler)
             autoscaler->fillReport(report);
         checker.finalCheck(report);

@@ -96,6 +96,15 @@ struct Scenario {
      */
     int spanOverride = 0;
 
+    /**
+     * Runtime-only ingestion-path selector (never serialized): when
+     * true the run feeds the trace through Cluster::run(TraceStream&)
+     * instead of the materialized Trace overload. Both paths must
+     * produce byte-identical outcomes; the fuzzer flips this on a
+     * fraction of seeds so DST continuously proves it.
+     */
+    bool streamIngest = false;
+
     int machines() const { return numPrompt + numToken; }
 
     /** Whether a run of this scenario tracks request spans. */

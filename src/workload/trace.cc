@@ -50,21 +50,31 @@ readCsv(const std::string& path)
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        std::istringstream row(line);
-        Request r;
-        char comma = 0;
-        if (!(row >> r.id >> comma >> r.arrival >> comma >> r.promptTokens >>
-              comma >> r.outputTokens)) {
-            sim::fatal("readCsv: malformed row in " + path + ": " + line);
-        }
-        // Priority is a later addition; rows without it parse as 0.
-        if (row >> comma) {
-            if (!(row >> r.priority))
-                sim::fatal("readCsv: malformed row in " + path + ": " + line);
-        }
-        trace.push_back(r);
+        trace.push_back(detail::parseCsvRow(line, path));
     }
     return trace;
 }
+
+namespace detail {
+
+Request
+parseCsvRow(const std::string& line, const std::string& path)
+{
+    std::istringstream row(line);
+    Request r;
+    char comma = 0;
+    if (!(row >> r.id >> comma >> r.arrival >> comma >> r.promptTokens >>
+          comma >> r.outputTokens)) {
+        sim::fatal("readCsv: malformed row in " + path + ": " + line);
+    }
+    // Priority is a later addition; rows without it parse as 0.
+    if (row >> comma) {
+        if (!(row >> r.priority))
+            sim::fatal("readCsv: malformed row in " + path + ": " + line);
+    }
+    return r;
+}
+
+}  // namespace detail
 
 }  // namespace splitwise::workload

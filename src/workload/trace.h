@@ -50,6 +50,14 @@ void writeCsv(const Trace& trace, const std::string& path);
  */
 Trace readCsv(const std::string& path);
 
+namespace detail {
+/**
+ * Parse one writeCsv data row. @p path only labels error messages.
+ * Shared by readCsv and the pull-based CsvTraceStream.
+ */
+Request parseCsvRow(const std::string& line, const std::string& path);
+}  // namespace detail
+
 }  // namespace splitwise::workload
 
 #endif  // SPLITWISE_WORKLOAD_TRACE_H_

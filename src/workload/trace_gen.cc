@@ -4,13 +4,113 @@
 
 namespace splitwise::workload {
 
-TraceGenerator::TraceGenerator(Workload workload, std::uint64_t seed)
-    : workload_(std::move(workload)), rng_(seed)
-{
-}
+namespace {
+
+/** Poisson-arrival stream (generate(rps, duration)'s twin). */
+class PoissonStream final : public GenTraceStream {
+  public:
+    PoissonStream(Workload workload, sim::Rng rng, std::uint64_t next_id,
+                  double rps, sim::TimeUs duration)
+        : GenTraceStream(std::move(workload), rng, next_id), rps_(rps),
+          horizonS_(sim::usToSeconds(duration))
+    {
+    }
+
+    bool
+    next(Request& out) override
+    {
+        if (done_)
+            return false;
+        tS_ += rng_.exponential(rps_);
+        if (tS_ >= horizonS_) {
+            done_ = true;
+            return false;
+        }
+        out = makeRequest(sim::secondsToUs(tS_));
+        return true;
+    }
+
+  private:
+    double rps_;
+    double horizonS_;
+    double tS_ = 0.0;
+    bool done_ = false;
+};
+
+/** Fixed-interval stream (generateUniform's twin). */
+class UniformStream final : public GenTraceStream {
+  public:
+    UniformStream(Workload workload, sim::Rng rng, std::uint64_t next_id,
+                  std::size_t count, sim::TimeUs interval)
+        : GenTraceStream(std::move(workload), rng, next_id), count_(count),
+          interval_(interval)
+    {
+    }
+
+    bool
+    next(Request& out) override
+    {
+        if (emitted_ >= count_)
+            return false;
+        out = makeRequest(static_cast<sim::TimeUs>(emitted_) * interval_);
+        ++emitted_;
+        return true;
+    }
+
+  private:
+    std::size_t count_;
+    sim::TimeUs interval_;
+    std::size_t emitted_ = 0;
+};
+
+/** Thinned non-homogeneous Poisson stream (rate-curve twin). */
+class CurveStream final : public GenTraceStream {
+  public:
+    CurveStream(Workload workload, sim::Rng rng, std::uint64_t next_id,
+                RateCurve curve, sim::TimeUs duration)
+        : GenTraceStream(std::move(workload), rng, next_id),
+          curve_(std::move(curve)), bound_(curve_.maxRate()),
+          horizonS_(sim::usToSeconds(duration))
+    {
+        if (bound_ <= 0.0)
+            sim::fatal("TraceGenerator: rate curve has non-positive envelope");
+    }
+
+    bool
+    next(Request& out) override
+    {
+        // Thinning (Lewis-Shedler): draw candidates at the envelope
+        // rate and keep each with probability lambda(t)/envelope.
+        // Every candidate consumes the same rng draws whether kept
+        // or not, so the stream stays aligned across curve tweaks to
+        // spike windows.
+        while (!done_) {
+            tS_ += rng_.exponential(bound_);
+            if (tS_ >= horizonS_) {
+                done_ = true;
+                return false;
+            }
+            const sim::TimeUs t = sim::secondsToUs(tS_);
+            if (rng_.bernoulli(curve_.rateAt(t) / bound_)) {
+                out = makeRequest(t);
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    RateCurve curve_;
+    double bound_;
+    double horizonS_;
+    double tS_ = 0.0;
+    bool done_ = false;
+};
+
+}  // namespace
 
 Request
-TraceGenerator::makeRequest(sim::TimeUs arrival)
+GenTraceStream::makeRequest(sim::TimeUs arrival)
 {
     Request r;
     r.id = nextId_++;
@@ -20,54 +120,69 @@ TraceGenerator::makeRequest(sim::TimeUs arrival)
     return r;
 }
 
-Trace
-TraceGenerator::generate(double rps, sim::TimeUs duration)
+TraceGenerator::TraceGenerator(Workload workload, std::uint64_t seed)
+    : workload_(std::move(workload)), rng_(seed)
+{
+}
+
+std::unique_ptr<GenTraceStream>
+TraceGenerator::streamPoisson(double rps, sim::TimeUs duration) const
 {
     if (rps <= 0.0)
         sim::fatal("TraceGenerator: rps must be positive");
-    Trace trace;
-    double t_s = 0.0;
-    const double horizon_s = sim::usToSeconds(duration);
-    while (true) {
-        t_s += rng_.exponential(rps);
-        if (t_s >= horizon_s)
-            break;
-        trace.push_back(makeRequest(sim::secondsToUs(t_s)));
-    }
+    return std::make_unique<PoissonStream>(workload_, rng_, nextId_, rps,
+                                           duration);
+}
+
+std::unique_ptr<GenTraceStream>
+TraceGenerator::streamUniform(std::size_t count, sim::TimeUs interval) const
+{
+    return std::make_unique<UniformStream>(workload_, rng_, nextId_, count,
+                                           interval);
+}
+
+std::unique_ptr<GenTraceStream>
+TraceGenerator::streamCurve(const RateCurve& curve, sim::TimeUs duration) const
+{
+    return std::make_unique<CurveStream>(workload_, rng_, nextId_, curve,
+                                         duration);
+}
+
+void
+TraceGenerator::adopt(const GenTraceStream& stream)
+{
+    rng_ = stream.rng();
+    nextId_ = stream.nextId();
+}
+
+Trace
+TraceGenerator::generate(double rps, sim::TimeUs duration)
+{
+    auto stream = streamPoisson(rps, duration);
+    Trace trace = drainStream(*stream);
+    adopt(*stream);
     return trace;
 }
 
 Trace
 TraceGenerator::generateUniform(std::size_t count, sim::TimeUs interval)
 {
+    auto stream = streamUniform(count, interval);
     Trace trace;
     trace.reserve(count);
-    for (std::size_t i = 0; i < count; ++i)
-        trace.push_back(makeRequest(static_cast<sim::TimeUs>(i) * interval));
+    Request r;
+    while (stream->next(r))
+        trace.push_back(r);
+    adopt(*stream);
     return trace;
 }
 
 Trace
 TraceGenerator::generate(const RateCurve& curve, sim::TimeUs duration)
 {
-    // Thinning (Lewis-Shedler): draw candidates at the envelope rate
-    // and keep each with probability lambda(t)/envelope. Every
-    // candidate consumes the same rng draws whether kept or not, so
-    // the stream stays aligned across curve tweaks to spike windows.
-    const double bound = curve.maxRate();
-    if (bound <= 0.0)
-        sim::fatal("TraceGenerator: rate curve has non-positive envelope");
-    Trace trace;
-    double t_s = 0.0;
-    const double horizon_s = sim::usToSeconds(duration);
-    while (true) {
-        t_s += rng_.exponential(bound);
-        if (t_s >= horizon_s)
-            break;
-        const sim::TimeUs t = sim::secondsToUs(t_s);
-        if (rng_.bernoulli(curve.rateAt(t) / bound))
-            trace.push_back(makeRequest(t));
-    }
+    auto stream = streamCurve(curve, duration);
+    Trace trace = drainStream(*stream);
+    adopt(*stream);
     return trace;
 }
 

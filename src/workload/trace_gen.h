@@ -2,19 +2,53 @@
 #define SPLITWISE_WORKLOAD_TRACE_GEN_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "workload/rate_curve.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 #include "workload/workloads.h"
 
 namespace splitwise::workload {
 
 /**
+ * A TraceStream that samples requests from a workload's token
+ * distributions on demand. Owns a snapshot of the generator's
+ * sampling state (workload, rng, next id), so pulling from the
+ * stream consumes exactly the draws a materialized generate() call
+ * would - the generator syncs the state back after a drain, which is
+ * what guarantees streamed and materialized traces are identical.
+ */
+class GenTraceStream : public TraceStream {
+  public:
+    GenTraceStream(Workload workload, sim::Rng rng, std::uint64_t next_id)
+        : workload_(std::move(workload)), rng_(rng), nextId_(next_id)
+    {
+    }
+
+    /** Sampling state after the pulls so far (for sync-back). */
+    const sim::Rng& rng() const { return rng_; }
+    std::uint64_t nextId() const { return nextId_; }
+
+  protected:
+    Request makeRequest(sim::TimeUs arrival);
+
+    Workload workload_;
+    sim::Rng rng_;
+    std::uint64_t nextId_;
+};
+
+/**
  * Generates request traces from a workload's token distributions
  * with Poisson arrivals - the paper tunes the Poisson rate to sweep
  * cluster load (SV-B).
+ *
+ * Each generate*() overload has a stream*() twin returning a pull
+ * based GenTraceStream that yields the identical request sequence
+ * without materializing it; generate*() is implemented as a drain of
+ * its twin, so the two can never diverge.
  */
 class TraceGenerator {
   public:
@@ -45,9 +79,23 @@ class TraceGenerator {
      */
     Trace generate(const RateCurve& curve, sim::TimeUs duration);
 
-  private:
-    Request makeRequest(sim::TimeUs arrival);
+    /**
+     * Pull-based twins: the stream snapshots the generator's current
+     * sampling state and advances independently. The generator's own
+     * state is NOT advanced; call adopt() after draining to fold the
+     * stream's final state back in (generate*() does exactly that).
+     */
+    std::unique_ptr<GenTraceStream> streamPoisson(double rps,
+                                                  sim::TimeUs duration) const;
+    std::unique_ptr<GenTraceStream> streamUniform(std::size_t count,
+                                                  sim::TimeUs interval) const;
+    std::unique_ptr<GenTraceStream> streamCurve(const RateCurve& curve,
+                                                sim::TimeUs duration) const;
 
+    /** Fold a drained stream's sampling state back into this. */
+    void adopt(const GenTraceStream& stream);
+
+  private:
     Workload workload_;
     sim::Rng rng_;
     std::uint64_t nextId_ = 0;

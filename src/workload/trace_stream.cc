@@ -1,0 +1,38 @@
+#include "workload/trace_stream.h"
+
+#include "sim/log.h"
+
+namespace splitwise::workload {
+
+CsvTraceStream::CsvTraceStream(const std::string& path)
+    : in_(path), path_(path)
+{
+    if (!in_)
+        sim::fatal("CsvTraceStream: cannot open " + path);
+    if (!std::getline(in_, line_))
+        sim::fatal("CsvTraceStream: empty file " + path);
+}
+
+bool
+CsvTraceStream::next(Request& out)
+{
+    while (std::getline(in_, line_)) {
+        if (line_.empty())
+            continue;
+        out = detail::parseCsvRow(line_, path_);
+        return true;
+    }
+    return false;
+}
+
+Trace
+drainStream(TraceStream& stream)
+{
+    Trace trace;
+    Request r;
+    while (stream.next(r))
+        trace.push_back(r);
+    return trace;
+}
+
+}  // namespace splitwise::workload

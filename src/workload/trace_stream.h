@@ -1,0 +1,89 @@
+#ifndef SPLITWISE_WORKLOAD_TRACE_STREAM_H_
+#define SPLITWISE_WORKLOAD_TRACE_STREAM_H_
+
+/**
+ * @file
+ * Pull-based trace ingestion.
+ *
+ * A TraceStream yields requests one at a time in arrival order, so a
+ * million-request run never materializes the full request vector:
+ * the cluster pulls the next arrival only when the previous one has
+ * been posted, keeping both the event queue and the workload-side
+ * memory O(1) in trace length. Every materialized-trace entry point
+ * is a thin wrapper over a stream (VectorTraceStream), which is what
+ * makes the streamed and materialized paths byte-identical by
+ * construction.
+ */
+
+#include <fstream>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace splitwise::workload {
+
+/**
+ * A source of requests in non-decreasing arrival order.
+ *
+ * next() is pull-based and single-pass: each call either fills
+ * @p out with the next request and returns true, or returns false
+ * forever once the stream is exhausted. Implementations must not
+ * consume underlying entropy or I/O after exhaustion, so draining a
+ * stream leaves its state exactly where a materialized generation
+ * would have.
+ */
+class TraceStream {
+  public:
+    virtual ~TraceStream() = default;
+
+    /** Pull the next request; false once exhausted (idempotent). */
+    virtual bool next(Request& out) = 0;
+};
+
+/**
+ * Stream view over an already-materialized trace (not owned; the
+ * trace must outlive the stream). This is the adapter that routes
+ * the classic Trace-vector entry points through the streaming path.
+ */
+class VectorTraceStream final : public TraceStream {
+  public:
+    explicit VectorTraceStream(const Trace& trace) : trace_(&trace) {}
+
+    bool
+    next(Request& out) override
+    {
+        if (cursor_ >= trace_->size())
+            return false;
+        out = (*trace_)[cursor_++];
+        return true;
+    }
+
+  private:
+    const Trace* trace_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Stream over a writeCsv-format trace file, parsing one row per
+ * pull so file-backed runs never hold the whole trace in memory.
+ * Construction fails (sim::fatal) on a missing file or header;
+ * malformed rows fail at the pull that reaches them.
+ */
+class CsvTraceStream final : public TraceStream {
+  public:
+    explicit CsvTraceStream(const std::string& path);
+
+    bool next(Request& out) override;
+
+  private:
+    std::ifstream in_;
+    std::string path_;
+    std::string line_;
+};
+
+/** Drain @p stream into a vector (tests and small traces). */
+Trace drainStream(TraceStream& stream);
+
+}  // namespace splitwise::workload
+
+#endif  // SPLITWISE_WORKLOAD_TRACE_STREAM_H_

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Pull-based trace streams must be indistinguishable from their
+ * materialized twins: every stream*() factory yields exactly the
+ * requests the matching generate*() call returns, draining a stream
+ * advances the generator's sampling state identically, and the CSV
+ * stream replays a file byte-for-byte as readCsv would load it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/rate_curve.h"
+#include "workload/trace.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_stream.h"
+#include "workload/workloads.h"
+
+namespace splitwise::workload {
+namespace {
+
+void
+expectSameTrace(const Trace& a, const Trace& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id) << "request " << i;
+        EXPECT_EQ(a[i].arrival, b[i].arrival) << "request " << i;
+        EXPECT_EQ(a[i].promptTokens, b[i].promptTokens) << "request " << i;
+        EXPECT_EQ(a[i].outputTokens, b[i].outputTokens) << "request " << i;
+        EXPECT_EQ(a[i].priority, b[i].priority) << "request " << i;
+    }
+}
+
+TEST(TraceStreamTest, PoissonStreamMatchesGenerate)
+{
+    TraceGenerator materialized(coding(), 7);
+    const Trace trace = materialized.generate(20.0, sim::secondsToUs(30.0));
+
+    TraceGenerator streaming(coding(), 7);
+    auto stream = streaming.streamPoisson(20.0, sim::secondsToUs(30.0));
+    const Trace drained = drainStream(*stream);
+
+    ASSERT_FALSE(trace.empty());
+    expectSameTrace(trace, drained);
+}
+
+TEST(TraceStreamTest, UniformStreamMatchesGenerate)
+{
+    TraceGenerator materialized(conversation(), 11);
+    const Trace trace = materialized.generateUniform(500, 1000);
+
+    TraceGenerator streaming(conversation(), 11);
+    auto stream = streaming.streamUniform(500, 1000);
+    const Trace drained = drainStream(*stream);
+
+    ASSERT_EQ(drained.size(), 500u);
+    expectSameTrace(trace, drained);
+}
+
+TEST(TraceStreamTest, CurveStreamMatchesGenerate)
+{
+    RateCurve curve =
+        RateCurve::diurnal(5.0, 40.0, sim::secondsToUs(20.0));
+    curve.addSpike(sim::secondsToUs(6.0), sim::secondsToUs(2.0), 3.0);
+
+    TraceGenerator materialized(coding(), 3);
+    const Trace trace = materialized.generate(curve, sim::secondsToUs(20.0));
+
+    TraceGenerator streaming(coding(), 3);
+    auto stream = streaming.streamCurve(curve, sim::secondsToUs(20.0));
+    const Trace drained = drainStream(*stream);
+
+    ASSERT_FALSE(trace.empty());
+    expectSameTrace(trace, drained);
+}
+
+TEST(TraceStreamTest, AdoptSyncsGeneratorStateAcrossDrains)
+{
+    // Generating twice from one generator must equal stream-drain +
+    // adopt + generate: the stream consumes exactly the generator's
+    // draws and hands the state back.
+    TraceGenerator twice(coding(), 21);
+    const Trace first = twice.generate(15.0, sim::secondsToUs(20.0));
+    const Trace second = twice.generate(15.0, sim::secondsToUs(20.0));
+
+    TraceGenerator mixed(coding(), 21);
+    auto stream = mixed.streamPoisson(15.0, sim::secondsToUs(20.0));
+    const Trace streamed_first = drainStream(*stream);
+    mixed.adopt(*stream);
+    const Trace mixed_second = mixed.generate(15.0, sim::secondsToUs(20.0));
+
+    expectSameTrace(first, streamed_first);
+    expectSameTrace(second, mixed_second);
+    // Ids keep counting across the boundary - no reuse, no gap.
+    ASSERT_FALSE(second.empty());
+    EXPECT_EQ(second.front().id, first.back().id + 1);
+}
+
+TEST(TraceStreamTest, StreamFactoriesDoNotAdvanceTheGenerator)
+{
+    TraceGenerator gen(coding(), 5);
+    // Building (and even draining) a stream leaves the generator
+    // untouched until adopt().
+    auto stream = gen.streamPoisson(10.0, sim::secondsToUs(10.0));
+    drainStream(*stream);
+
+    TraceGenerator fresh(coding(), 5);
+    expectSameTrace(fresh.generate(10.0, sim::secondsToUs(10.0)),
+                    gen.generate(10.0, sim::secondsToUs(10.0)));
+}
+
+TEST(TraceStreamTest, NextIsIdempotentlyFalseAfterExhaustion)
+{
+    TraceGenerator gen(coding(), 9);
+    auto stream = gen.streamUniform(3, 500);
+    Request out;
+    EXPECT_TRUE(stream->next(out));
+    EXPECT_TRUE(stream->next(out));
+    EXPECT_TRUE(stream->next(out));
+    EXPECT_FALSE(stream->next(out));
+    EXPECT_FALSE(stream->next(out));
+}
+
+TEST(TraceStreamTest, VectorStreamYieldsTheTraceInOrder)
+{
+    Trace trace;
+    for (int i = 0; i < 5; ++i)
+        trace.push_back({static_cast<std::uint64_t>(i), i * 100, 10 + i,
+                         2 + i, i % 2});
+    VectorTraceStream stream(trace);
+    expectSameTrace(trace, drainStream(stream));
+    Request out;
+    EXPECT_FALSE(stream.next(out));
+}
+
+TEST(TraceStreamTest, CsvStreamMatchesReadCsv)
+{
+    TraceGenerator gen(conversation(), 13);
+    const Trace trace = gen.generate(25.0, sim::secondsToUs(10.0));
+    ASSERT_FALSE(trace.empty());
+
+    const std::string path = ::testing::TempDir() + "trace_stream_test.csv";
+    writeCsv(trace, path);
+
+    const Trace loaded = readCsv(path);
+    CsvTraceStream stream(path);
+    const Trace streamed = drainStream(stream);
+
+    expectSameTrace(loaded, streamed);
+    expectSameTrace(trace, streamed);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace splitwise::workload

@@ -21,19 +21,29 @@
 #   BUILD_DIR defaults to ./build, OUT_JSON to ./BENCH_PR5.json.
 #   RUNS=N overrides the repetition count (min 5 for the committed
 #   baseline; CI may lower it for the smoke gate).
+#
+# Scale trajectory (PR 8):
+#
+#   tools/perf_baseline.sh scale [BUILD_DIR] [OUT_JSON]
+#
+# sweeps bench_scale over requests x machines shapes (one process per
+# shape, so each peak_rss_kb is a true per-shape high-water mark),
+# runs the naive materialized baseline at the headline 10^6 x 2000
+# shape, and emits BENCH_PR8.json — the committed numbers CI's
+# scale-smoke step gates against. The streamed 10^6 x 2000 run is
+# budget-enforced (--budget-mb) so the O(in-flight) memory contract
+# fails loudly here, not just in DST.
 set -euo pipefail
+
+SUBCOMMAND=""
+if [[ "${1:-}" == "scale" ]]; then
+    SUBCOMMAND="scale"
+    shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_PR5.json}"
-RUNS="${RUNS:-5}"
 BENCH="$BUILD_DIR/bench"
-
-for bin in bench_events bench_dst bench_fig12_design_space; do
-    if [[ ! -x "$BENCH/$bin" ]]; then
-        echo "perf_baseline: missing $BENCH/$bin (build first)" >&2
-        exit 1
-    fi
-done
 
 # median FILE -> median of one number per line
 median() {
@@ -42,6 +52,119 @@ median() {
         if (NR % 2) print a[(NR+1)/2];
         else printf "%.6f\n", (a[NR/2] + a[NR/2+1]) / 2 }'
 }
+
+# --- scale subcommand: bench_scale sweep -> BENCH_PR8.json -----------
+if [[ "$SUBCOMMAND" == "scale" ]]; then
+    [[ "$OUT_JSON" == "BENCH_PR5.json" ]] && OUT_JSON="BENCH_PR8.json"
+    RUNS="${RUNS:-3}"
+    SCALE_BUDGET_MB=150
+    if [[ ! -x "$BENCH/bench_scale" ]]; then
+        echo "perf_baseline: missing $BENCH/bench_scale (build first)" >&2
+        exit 1
+    fi
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+
+    # run_scale_shape MODE REQUESTS MACHINES PREFIX [EXTRA...]
+    # One process per invocation: peak_rss_kb is a per-shape number.
+    run_scale_shape() {
+        local mode="$1" requests="$2" machines="$3" prefix="$4"
+        shift 4
+        "$BENCH/bench_scale" --mode="$mode" --requests="$requests" \
+            --machines="$machines" "$@" > "$tmp/$prefix.out"
+        awk '/^SCALE_BENCH/ {
+            for (f = 1; f <= NF; ++f) {
+                if ($f ~ /^requests_per_sec=/)
+                    print substr($f, 18) >> ("'"$tmp"'/'"$prefix"'.rps")
+                if ($f ~ /^events_per_sec=/)
+                    print substr($f, 16) >> ("'"$tmp"'/'"$prefix"'.eps")
+                if ($f ~ /^peak_rss_kb=/)
+                    print substr($f, 13) >> ("'"$tmp"'/'"$prefix"'.rss")
+                if ($f ~ /^live_slot_high_water=/)
+                    print substr($f, 22) >> ("'"$tmp"'/'"$prefix"'.hw")
+            }
+        }' "$tmp/$prefix.out"
+    }
+
+    # shape_json PREFIX MODE REQUESTS MACHINES -> one JSON object
+    shape_json() {
+        local prefix="$1" mode="$2" requests="$3" machines="$4"
+        printf '{"mode": "%s", "requests": %s, "machines": %s, ' \
+            "$mode" "$requests" "$machines"
+        printf '"requests_per_sec": %s, "events_per_sec": %s, ' \
+            "$(median "$tmp/$prefix.rps")" "$(median "$tmp/$prefix.eps")"
+        printf '"peak_rss_kb": %s, "live_slot_high_water": %s}' \
+            "$(median "$tmp/$prefix.rss")" "$(median "$tmp/$prefix.hw")"
+    }
+
+    echo "perf_baseline scale: $RUNS runs per shape" >&2
+    STREAMED_SHAPES="100000:100 1000000:100 100000:2000 1000000:2000"
+    for i in $(seq 1 "$RUNS"); do
+        # The CI smoke shape, both modes: the smoke gate compares the
+        # streamed/materialized throughput ratio (host-independent)
+        # rather than absolute requests/sec from whatever machine
+        # produced this baseline.
+        run_scale_shape streamed 50000 100 short
+        run_scale_shape materialized 50000 100 short_mat
+        for shape in $STREAMED_SHAPES; do
+            requests="${shape%%:*}"; machines="${shape##*:}"
+            budget=()
+            if [[ "$shape" == "1000000:2000" ]]; then
+                budget=(--budget-mb="$SCALE_BUDGET_MB")
+            fi
+            run_scale_shape streamed "$requests" "$machines" \
+                "s_${requests}_${machines}" "${budget[@]}"
+            echo "  streamed ${requests}x${machines} run $i done" >&2
+        done
+        # Naive materialized baseline at the headline shape only: it
+        # exists to price the memory the streaming path saves.
+        run_scale_shape materialized 1000000 2000 m_1000000_2000
+        echo "  materialized 1000000x2000 run $i done" >&2
+    done
+
+    streamed_rss="$(median "$tmp/s_1000000_2000.rss")"
+    materialized_rss="$(median "$tmp/m_1000000_2000.rss")"
+    rss_reduction="$(python3 -c \
+        "print(f'{$materialized_rss / $streamed_rss:.2f}')")"
+    short_ratio="$(python3 -c \
+        "print(f'{$(median "$tmp/short.rps") / $(median "$tmp/short_mat.rps"):.3f}')")"
+
+    {
+        printf '{\n'
+        printf '  "runs": %s,\n' "$RUNS"
+        printf '  "statistic": "median",\n'
+        printf '  "budget_mb": %s,\n' "$SCALE_BUDGET_MB"
+        printf '  "short": %s,\n' "$(shape_json short streamed 50000 100)"
+        printf '  "short_materialized": %s,\n' \
+            "$(shape_json short_mat materialized 50000 100)"
+        printf '  "short_throughput_ratio": %s,\n' "$short_ratio"
+        printf '  "streamed": {\n'
+        sep=""
+        for shape in $STREAMED_SHAPES; do
+            requests="${shape%%:*}"; machines="${shape##*:}"
+            printf '%s    "r%s_m%s": %s' "$sep" "$requests" "$machines" \
+                "$(shape_json "s_${requests}_${machines}" streamed \
+                       "$requests" "$machines")"
+            sep=$',\n'
+        done
+        printf '\n  },\n'
+        printf '  "materialized": {\n    "r1000000_m2000": %s\n  },\n' \
+            "$(shape_json m_1000000_2000 materialized 1000000 2000)"
+        printf '  "rss_reduction_1m_2000": %s\n' "$rss_reduction"
+        printf '}\n'
+    } > "$OUT_JSON"
+
+    echo "perf_baseline scale: wrote $OUT_JSON" >&2
+    cat "$OUT_JSON"
+    exit 0
+fi
+
+for bin in bench_events bench_dst bench_fig12_design_space; do
+    if [[ ! -x "$BENCH/$bin" ]]; then
+        echo "perf_baseline: missing $BENCH/$bin (build first)" >&2
+        exit 1
+    fi
+done
 
 # minval FILE -> smallest of one number per line
 minval() {
@@ -53,6 +176,7 @@ now_s() { python3 -c 'import time; print(f"{time.monotonic():.6f}")'; }
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+RUNS="${RUNS:-5}"
 echo "perf_baseline: $RUNS runs per probe" >&2
 
 # --- bench_events: events/sec per (impl, workload) -------------------
