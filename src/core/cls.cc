@@ -414,9 +414,35 @@ ClusterScheduler::shouldShedRequest(const engine::LiveRequest& request) const
     return shouldShed();
 }
 
+engine::Machine*
+ClusterScheduler::affinityMachine(engine::LiveRequest* request)
+{
+    if (!policy_)
+        return nullptr;
+    const int target = policy_->prepareRoute(*request);
+    if (target < 0)
+        return nullptr;
+    const auto it = entries_.find(target);
+    if (it == entries_.end() || it->second.machine->failed()) {
+        // Stale directory entry: the machine crashed, retired, or
+        // parked since the prefix was stored. The prefix can only be
+        // pinned where it lives, so the hit degrades to a full
+        // prefill on whatever machine JSQ picks.
+        request->cachedPrefixTokens = 0;
+        return nullptr;
+    }
+    policy_->noteAffinityRoute();
+    return it->second.machine;
+}
+
 void
 ClusterScheduler::routeBaseline(engine::LiveRequest* request)
 {
+    if (engine::Machine* affinity = affinityMachine(request)) {
+        request->tokenMachine = affinity->id();
+        affinity->submitPrompt(request);
+        return;
+    }
     engine::Machine* best = nullptr;
     std::int64_t best_depth = std::numeric_limits<std::int64_t>::max();
     std::vector<engine::Machine*> eligible;
@@ -445,7 +471,15 @@ void
 ClusterScheduler::routeSplitwise(engine::LiveRequest* request)
 {
     bool local_decode = false;
-    engine::Machine* prompt_machine = pickPromptMachine(local_decode);
+    engine::Machine* prompt_machine = affinityMachine(request);
+    if (prompt_machine) {
+        // Session affinity overrides JSQ for the prompt phase only;
+        // the decode placement below stays load-driven. A mixed-pool
+        // target keeps both phases local, like any mixed-pool route.
+        local_decode = poolOf(prompt_machine->id()) == PoolType::kMixed;
+    } else {
+        prompt_machine = pickPromptMachine(local_decode);
+    }
     if (!prompt_machine)
         sim::panic("ClusterScheduler: no prompt machine available");
 

@@ -7,6 +7,7 @@
 
 #include "engine/machine.h"
 #include "engine/request.h"
+#include "sched/policy.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -233,6 +234,15 @@ class ClusterScheduler {
      */
     void setSpans(telemetry::SpanTracker* spans) { spans_ = spans; }
 
+    /**
+     * Attach a scheduling policy (non-owning; the Cluster owns it).
+     * prepareRoute() runs before every admitted arrival's routing;
+     * an affinity preference is honoured when the named machine is
+     * still routed, and degrades to the normal JSQ path (with the
+     * request's prefix tag cleared) otherwise. nullptr detaches.
+     */
+    void setPolicy(sched::Policy* policy) { policy_ = policy; }
+
   private:
     struct Entry {
         engine::Machine* machine = nullptr;
@@ -259,6 +269,14 @@ class ClusterScheduler {
 
     void routeBaseline(engine::LiveRequest* request);
     void routeSplitwise(engine::LiveRequest* request);
+
+    /**
+     * Resolve the policy's affinity preference for @p request:
+     * the preferred machine when it is still routed and live, else
+     * nullptr (after clearing the request's prefix tag — the pin
+     * can only be taken on the machine that holds the prefix).
+     */
+    engine::Machine* affinityMachine(engine::LiveRequest* request);
 
     /** Pick the prompt-phase machine, spilling into the mixed pool
      *  and opposite pool under load. Sets local_decode when the
@@ -293,6 +311,7 @@ class ClusterScheduler {
     std::uint64_t cappedRequests_ = 0;
     telemetry::TraceRecorder* trace_ = nullptr;
     telemetry::SpanTracker* spans_ = nullptr;
+    sched::Policy* policy_ = nullptr;
 };
 
 }  // namespace splitwise::core

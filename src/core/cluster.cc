@@ -76,6 +76,11 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
         if (cls_)
             cls_->onIterationEnd(m);
     };
+    callbacks.onPrefillComplete = [this](engine::Machine& m,
+                                         engine::LiveRequest* req) {
+        if (policy_)
+            policy_->onPrefillComplete(m, *req);
+    };
 
     auto build_pool = [&](const hw::MachineSpec& spec, int count,
                           std::vector<engine::Machine*>& out) {
@@ -104,6 +109,18 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
 
     cls_ = std::make_unique<ClusterScheduler>(
         simulator_, config_.cls, prompt_pool, token_pool, design_.splitwise);
+
+    policy_ = sched::makePolicy(config_.policy);
+    if (policy_->kind() != sched::PolicyKind::kDefault) {
+        // The default policy is pure identity; skipping its routing
+        // hook keeps the default path exactly the pre-seam code.
+        std::vector<engine::Machine*> all_machines;
+        all_machines.reserve(machines_.size());
+        for (const auto& m : machines_)
+            all_machines.push_back(m.get());
+        policy_->bind(all_machines);
+        cls_->setPolicy(policy_.get());
+    }
 
     engine_.setRetryPolicy(config_.kvRetry);
     engine_.setOnAbort(
@@ -160,6 +177,38 @@ Cluster::setupTelemetry()
         }
         return total;
     });
+
+    // Prefix-cache counters exist only under a non-default policy so
+    // default-policy time-series columns stay byte-identical.
+    if (config_.policy.kind != sched::PolicyKind::kDefault) {
+        auto prefix_sum = [this](auto pick) {
+            return [this, pick] {
+                std::uint64_t total = 0;
+                for (const auto& m : machines_)
+                    total += pick(m->mls().blocks().prefixStats());
+                return total;
+            };
+        };
+        registry_.addCounterFn(
+            "prefix_hits", prefix_sum([](const engine::PrefixCacheStats& s) {
+                return s.hits;
+            }));
+        registry_.addCounterFn(
+            "prefix_misses",
+            prefix_sum([](const engine::PrefixCacheStats& s) {
+                return s.misses;
+            }));
+        registry_.addCounterFn(
+            "prefix_evictions",
+            prefix_sum([](const engine::PrefixCacheStats& s) {
+                return s.evictions;
+            }));
+        registry_.addCounterFn(
+            "prefix_hit_tokens",
+            prefix_sum([](const engine::PrefixCacheStats& s) {
+                return static_cast<std::uint64_t>(s.hitTokens);
+            }));
+    }
 
     // Instantaneous cluster gauges.
     registry_.addGauge("queued_prompt_tokens", [this] {
@@ -348,6 +397,10 @@ Cluster::failMachine(int machine_id)
     // survivors.
     cls_->markFailed(machine_id);
     machine->fail();
+    // The crash wiped the machine's cached prefixes with its KV;
+    // drop the policy's directory entries so follow-up session turns
+    // miss cleanly instead of routing to an empty cache.
+    policy_->onMachineFailed(machine_id);
     sim::inform("machine failed", {{"machine", std::to_string(machine_id)}});
 
     // A failure can empty routing entirely while the controller holds
@@ -586,6 +639,23 @@ Cluster::run(workload::TraceStream& stream)
     report.control.emergencyRestores = emergencyRestores_;
     if (spans_)
         report.breakdown = spans_->breakdown();
+
+    if (policy_->kind() != sched::PolicyKind::kDefault) {
+        report.prefixCache.enabled = true;
+        for (const auto& m : machines_) {
+            const auto& ps = m->mls().blocks().prefixStats();
+            report.prefixCache.hits += ps.hits;
+            report.prefixCache.misses += ps.misses;
+            report.prefixCache.evictions += ps.evictions;
+            report.prefixCache.stores += ps.stores;
+            report.prefixCache.hitTokens += ps.hitTokens;
+        }
+        const sched::PolicyStats pstats = policy_->stats();
+        report.prefixCache.directoryMisses = pstats.directoryMisses;
+        report.prefixCache.affinityRoutes = pstats.affinityRoutes;
+        report.prefixCache.directorySize =
+            static_cast<std::uint64_t>(pstats.directorySize);
+    }
 
     if (sampler_) {
         // The final row lands at end-of-run, so cumulative columns

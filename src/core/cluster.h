@@ -38,6 +38,13 @@ inline constexpr int kArrivalEventPriority = -1;
 struct SimConfig {
     engine::MlsConfig mls;
     ClsConfig cls;
+    /**
+     * Scheduling-policy plug-in riding on the two-level scheduler.
+     * The default policy is the identity (reports byte-identical to
+     * builds without the seam); the prefix policy adds session
+     * KV-prefix reuse with affinity routing.
+     */
+    sched::PolicyConfig policy;
     /** Prompt size at which KV transfer switches to layer-wise. */
     std::int64_t layerwiseThresholdTokens = 512;
     /** KV compression ratio applied before transfer (SVII); 1 = raw. */
@@ -145,6 +152,32 @@ struct ControlReport {
     double sloAttainment = 0.0;
 };
 
+/**
+ * Session prefix-cache activity over a run. Only meaningful (and only
+ * serialized) when the prefix policy drove scheduling; a disabled
+ * report keeps default-policy outputs byte-identical.
+ */
+struct PrefixCacheReport {
+    bool enabled = false;
+    /** Prefix pins taken (cluster-wide, from BlockManager). */
+    std::uint64_t hits = 0;
+    /** Machine-level acquire failures (entry evicted under the
+     *  routed request's feet). */
+    std::uint64_t misses = 0;
+    /** Refcount-zero prefixes evicted for real traffic. */
+    std::uint64_t evictions = 0;
+    /** Prefix inserts plus in-place growths. */
+    std::uint64_t stores = 0;
+    /** Prompt tokens skipped across all hits. */
+    std::int64_t hitTokens = 0;
+    /** Directory lookups that named no machine (policy-level). */
+    std::uint64_t directoryMisses = 0;
+    /** Requests routed by session affinity instead of JSQ. */
+    std::uint64_t affinityRoutes = 0;
+    /** Sessions tracked in the directory at end of run. */
+    std::uint64_t directorySize = 0;
+};
+
 /** Everything a cluster run produced. */
 struct RunReport {
     metrics::RequestMetrics requests;
@@ -173,6 +206,8 @@ struct RunReport {
     telemetry::TimeSeries timeseries;
     /** Control-plane activity; disabled unless an autoscaler ran. */
     ControlReport control;
+    /** Prefix-cache activity; disabled under the default policy. */
+    PrefixCacheReport prefixCache;
     /**
      * Critical-path latency attribution; disabled unless
      * SimConfig::telemetry.spanTracking was set.
@@ -264,6 +299,10 @@ class Cluster {
     sim::Simulator& simulator() { return simulator_; }
     ClusterScheduler& scheduler() { return *cls_; }
     engine::KvTransferEngine& transferEngine() { return engine_; }
+
+    /** The scheduling policy selected by SimConfig::policy. */
+    sched::Policy& policy() { return *policy_; }
+    const sched::Policy& policy() const { return *policy_; }
 
     /**
      * Lifecycle trace of the last run; nullptr unless
@@ -366,6 +405,8 @@ class Cluster {
     std::vector<std::unique_ptr<engine::Machine>> machines_;
     engine::KvTransferEngine engine_;
     std::unique_ptr<ClusterScheduler> cls_;
+    /** The scheduling-policy plug-in; never null once constructed. */
+    std::unique_ptr<sched::Policy> policy_;
 
     engine::RequestPool pool_;
     /** The stream feeding the current run(); null outside run(). */

@@ -125,6 +125,21 @@ reportToJson(const RunReport& report, const SloReport* slo)
         out << "}}";
     }
 
+    // Prefix-cache section: present only under a non-default
+    // scheduling policy, so default-policy reports (and every
+    // existing golden) keep their byte-exact schema.
+    if (report.prefixCache.enabled) {
+        const PrefixCacheReport& p = report.prefixCache;
+        out << ",\"prefix_cache\":{\"hits\":" << p.hits
+            << ",\"misses\":" << p.misses
+            << ",\"evictions\":" << p.evictions
+            << ",\"stores\":" << p.stores
+            << ",\"hit_tokens\":" << p.hitTokens
+            << ",\"directory_misses\":" << p.directoryMisses
+            << ",\"affinity_routes\":" << p.affinityRoutes
+            << ",\"directory_size\":" << p.directorySize << '}';
+    }
+
     // Sampled time-series: present only when sampling was on, so
     // telemetry-off reports keep the exact pre-telemetry schema.
     if (!report.timeseries.empty())
@@ -207,6 +222,16 @@ reportDigestFromJson(const std::string& json)
     d.checkpointRestores = counter(scheduler.at("checkpoint_restores"));
     d.rejected = counter(scheduler.at("rejected"));
     d.rejoins = counter(scheduler.at("rejoins"));
+
+    if (doc.has("prefix_cache")) {
+        const JsonValue& p = doc.at("prefix_cache");
+        d.hasPrefixCache = true;
+        d.prefixHits = counter(p.at("hits"));
+        d.prefixMisses = counter(p.at("misses"));
+        d.prefixEvictions = counter(p.at("evictions"));
+        d.prefixHitTokens = p.at("hit_tokens").asInt();
+        d.affinityRoutes = counter(p.at("affinity_routes"));
+    }
 
     if (doc.has("slo")) {
         d.hasSlo = true;

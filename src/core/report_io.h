@@ -66,6 +66,14 @@ struct ReportDigest {
 
     bool hasSlo = false;
     bool sloPass = false;
+
+    /** Prefix-cache section (non-default scheduling policy only). */
+    bool hasPrefixCache = false;
+    std::uint64_t prefixHits = 0;
+    std::uint64_t prefixMisses = 0;
+    std::uint64_t prefixEvictions = 0;
+    std::int64_t prefixHitTokens = 0;
+    std::uint64_t affinityRoutes = 0;
 };
 
 /**

@@ -25,7 +25,39 @@ BlockManager::blocksFor(std::int64_t tokens) const
 bool
 BlockManager::canAllocate(std::int64_t tokens) const
 {
-    return blocksFor(tokens) <= freeBlocks();
+    return blocksFor(tokens) <= freeBlocks() + reclaimableBlocks_;
+}
+
+bool
+BlockManager::reclaimFor(std::int64_t need_blocks)
+{
+    while (freeBlocks() < need_blocks) {
+        // LRU victim among refcount-zero entries; key breaks ties
+        // deterministically. O(entries) per eviction is fine at
+        // cache sizes a machine can hold.
+        auto victim = prefixes_.end();
+        for (auto it = prefixes_.begin(); it != prefixes_.end(); ++it) {
+            if (it->second.refcount != 0)
+                continue;
+            if (victim == prefixes_.end() ||
+                it->second.lastUse < victim->second.lastUse ||
+                (it->second.lastUse == victim->second.lastUse &&
+                 it->first < victim->first)) {
+                victim = it;
+            }
+        }
+        if (victim == prefixes_.end())
+            return false;
+        usedBlocks_ -= victim->second.blocks;
+        usedTokens_ -= victim->second.tokens;
+        sharedBlocks_ -= victim->second.blocks;
+        sharedTokens_ -= victim->second.tokens;
+        reclaimableBlocks_ -= victim->second.blocks;
+        reclaimableTokens_ -= victim->second.tokens;
+        ++stats_.evictions;
+        prefixes_.erase(victim);
+    }
+    return true;
 }
 
 bool
@@ -35,12 +67,14 @@ BlockManager::allocate(std::uint64_t request_id, std::int64_t tokens)
         sim::panic("BlockManager::allocate with negative tokens");
     if (table_.count(request_id) > 0)
         return false;
-    const std::int64_t need = blocksFor(tokens);
-    if (need > freeBlocks())
+    const std::int64_t effective =
+        std::max<std::int64_t>(0, tokens - prefixTokensHeldBy(request_id));
+    const std::int64_t need = blocksFor(effective);
+    if (need > freeBlocks() && !reclaimFor(need))
         return false;
-    table_[request_id] = {tokens, need};
+    table_[request_id] = {effective, need};
     usedBlocks_ += need;
-    usedTokens_ += tokens;
+    usedTokens_ += effective;
     return true;
 }
 
@@ -51,8 +85,10 @@ BlockManager::canExtend(std::uint64_t request_id,
     const auto it = table_.find(request_id);
     if (it == table_.end())
         return false;
-    const std::int64_t need = blocksFor(new_total_tokens) - it->second.blocks;
-    return need <= freeBlocks();
+    const std::int64_t effective = std::max<std::int64_t>(
+        0, new_total_tokens - prefixTokensHeldBy(request_id));
+    const std::int64_t need = blocksFor(effective) - it->second.blocks;
+    return need <= freeBlocks() + reclaimableBlocks_;
 }
 
 bool
@@ -61,15 +97,17 @@ BlockManager::extend(std::uint64_t request_id, std::int64_t new_total_tokens)
     const auto it = table_.find(request_id);
     if (it == table_.end())
         return false;
-    if (new_total_tokens <= it->second.tokens) {
+    const std::int64_t effective = std::max<std::int64_t>(
+        0, new_total_tokens - prefixTokensHeldBy(request_id));
+    if (effective <= it->second.tokens) {
         // Contexts only grow; a no-op extension is still a success.
         return true;
     }
-    const std::int64_t need = blocksFor(new_total_tokens) - it->second.blocks;
-    if (need > freeBlocks())
+    const std::int64_t need = blocksFor(effective) - it->second.blocks;
+    if (need > freeBlocks() && !reclaimFor(need))
         return false;
-    usedTokens_ += new_total_tokens - it->second.tokens;
-    it->second.tokens = new_total_tokens;
+    usedTokens_ += effective - it->second.tokens;
+    it->second.tokens = effective;
     it->second.blocks += need;
     usedBlocks_ += need;
     return true;
@@ -79,11 +117,22 @@ void
 BlockManager::release(std::uint64_t request_id)
 {
     const auto it = table_.find(request_id);
-    if (it == table_.end())
-        return;
-    usedBlocks_ -= it->second.blocks;
-    usedTokens_ -= it->second.tokens;
-    table_.erase(it);
+    if (it != table_.end()) {
+        usedBlocks_ -= it->second.blocks;
+        usedTokens_ -= it->second.tokens;
+        table_.erase(it);
+    }
+    const auto pin = pins_.find(request_id);
+    if (pin != pins_.end()) {
+        const auto entry = prefixes_.find(pin->second.key);
+        if (entry == prefixes_.end())
+            sim::panic("BlockManager::release: pin on evicted prefix");
+        if (--entry->second.refcount == 0) {
+            reclaimableBlocks_ += entry->second.blocks;
+            reclaimableTokens_ += entry->second.tokens;
+        }
+        pins_.erase(pin);
+    }
 }
 
 bool
@@ -110,6 +159,140 @@ BlockManager::heldRequestIds() const
     return ids;
 }
 
+void
+BlockManager::reset()
+{
+    table_.clear();
+    prefixes_.clear();
+    pins_.clear();
+    usedBlocks_ = 0;
+    usedTokens_ = 0;
+    sharedBlocks_ = 0;
+    sharedTokens_ = 0;
+    reclaimableBlocks_ = 0;
+    reclaimableTokens_ = 0;
+    useTick_ = 0;
+}
+
+std::int64_t
+BlockManager::lookupPrefix(std::uint64_t key)
+{
+    const auto it = prefixes_.find(key);
+    if (it == prefixes_.end())
+        return 0;
+    touch(it->second);
+    return it->second.tokens;
+}
+
+bool
+BlockManager::storePrefix(std::uint64_t key, std::int64_t tokens)
+{
+    if (tokens <= 0)
+        sim::panic("BlockManager::storePrefix with non-positive tokens");
+    const auto it = prefixes_.find(key);
+    if (it != prefixes_.end()) {
+        SharedPrefix& entry = it->second;
+        if (tokens <= entry.tokens) {
+            touch(entry);
+            return true;
+        }
+        const std::int64_t delta = blocksFor(tokens) - entry.blocks;
+        // A refcount-zero entry must not be cannibalized to grow
+        // itself, so it is temporarily pinned around the reclaim.
+        ++entry.refcount;
+        if (entry.refcount == 1) {
+            reclaimableBlocks_ -= entry.blocks;
+            reclaimableTokens_ -= entry.tokens;
+        }
+        const bool fits = delta <= freeBlocks() || reclaimFor(delta);
+        if (--entry.refcount == 0) {
+            reclaimableBlocks_ += entry.blocks;
+            reclaimableTokens_ += entry.tokens;
+        }
+        if (!fits)
+            return false;
+        const std::int64_t token_delta = tokens - entry.tokens;
+        entry.tokens = tokens;
+        entry.blocks += delta;
+        usedBlocks_ += delta;
+        usedTokens_ += token_delta;
+        sharedBlocks_ += delta;
+        sharedTokens_ += token_delta;
+        if (entry.refcount == 0) {
+            reclaimableBlocks_ += delta;
+            reclaimableTokens_ += token_delta;
+        }
+        touch(entry);
+        ++stats_.stores;
+        return true;
+    }
+    const std::int64_t need = blocksFor(tokens);
+    if (need > freeBlocks() && !reclaimFor(need))
+        return false;
+    SharedPrefix entry;
+    entry.tokens = tokens;
+    entry.blocks = need;
+    touch(entry);
+    prefixes_.emplace(key, entry);
+    usedBlocks_ += need;
+    usedTokens_ += tokens;
+    sharedBlocks_ += need;
+    sharedTokens_ += tokens;
+    reclaimableBlocks_ += need;
+    reclaimableTokens_ += tokens;
+    ++stats_.stores;
+    return true;
+}
+
+bool
+BlockManager::acquirePrefix(std::uint64_t key, std::uint64_t request_id)
+{
+    const auto it = prefixes_.find(key);
+    if (it == prefixes_.end() || pins_.count(request_id) > 0) {
+        ++stats_.misses;
+        return false;
+    }
+    SharedPrefix& entry = it->second;
+    if (entry.refcount == 0) {
+        reclaimableBlocks_ -= entry.blocks;
+        reclaimableTokens_ -= entry.tokens;
+    }
+    ++entry.refcount;
+    pins_[request_id] = {key, entry.tokens};
+    touch(entry);
+    ++stats_.hits;
+    stats_.hitTokens += entry.tokens;
+    return true;
+}
+
+std::int64_t
+BlockManager::prefixTokensHeldBy(std::uint64_t request_id) const
+{
+    const auto it = pins_.find(request_id);
+    return it == pins_.end() ? 0 : it->second.tokens;
+}
+
+std::int64_t
+BlockManager::prefixRefcount(std::uint64_t key) const
+{
+    const auto it = prefixes_.find(key);
+    return it == prefixes_.end() ? -1 : it->second.refcount;
+}
+
+std::vector<PrefixReference>
+BlockManager::prefixReferences() const
+{
+    std::vector<PrefixReference> refs;
+    refs.reserve(pins_.size());
+    for (const auto& [id, pin] : pins_)
+        refs.push_back({id, pin.key, pin.tokens});
+    std::sort(refs.begin(), refs.end(),
+              [](const PrefixReference& a, const PrefixReference& b) {
+                  return a.requestId < b.requestId;
+              });
+    return refs;
+}
+
 std::string
 BlockManager::audit() const
 {
@@ -129,13 +312,67 @@ BlockManager::audit() const
         blocks += alloc.blocks;
         tokens += alloc.tokens;
     }
-    if (blocks != usedBlocks_) {
-        return "used-block aggregate " + std::to_string(usedBlocks_) +
-               " != table sum " + std::to_string(blocks);
+    std::unordered_map<std::uint64_t, std::int64_t> pin_counts;
+    for (const auto& [id, pin] : pins_) {
+        const auto entry = prefixes_.find(pin.key);
+        if (entry == prefixes_.end()) {
+            return "request " + std::to_string(id) +
+                   " pins evicted prefix " + std::to_string(pin.key);
+        }
+        if (pin.tokens <= 0 || pin.tokens > entry->second.tokens) {
+            return "request " + std::to_string(id) + " pins " +
+                   std::to_string(pin.tokens) + " tokens of prefix " +
+                   std::to_string(pin.key) + " holding " +
+                   std::to_string(entry->second.tokens);
+        }
+        ++pin_counts[pin.key];
     }
-    if (tokens != usedTokens_) {
+    std::int64_t shared_blocks = 0;
+    std::int64_t shared_tokens = 0;
+    std::int64_t reclaim_blocks = 0;
+    std::int64_t reclaim_tokens = 0;
+    for (const auto& [key, entry] : prefixes_) {
+        if (entry.tokens <= 0 || entry.blocks != blocksFor(entry.tokens)) {
+            return "prefix " + std::to_string(key) + " holds " +
+                   std::to_string(entry.blocks) + " blocks for " +
+                   std::to_string(entry.tokens) + " tokens";
+        }
+        const auto counted = pin_counts.find(key);
+        const std::int64_t pinned =
+            counted == pin_counts.end() ? 0 : counted->second;
+        if (entry.refcount != pinned) {
+            return "prefix " + std::to_string(key) + " refcount " +
+                   std::to_string(entry.refcount) + " != " +
+                   std::to_string(pinned) + " per-request references";
+        }
+        shared_blocks += entry.blocks;
+        shared_tokens += entry.tokens;
+        if (entry.refcount == 0) {
+            reclaim_blocks += entry.blocks;
+            reclaim_tokens += entry.tokens;
+        }
+    }
+    if (shared_blocks != sharedBlocks_ || shared_tokens != sharedTokens_) {
+        return "shared aggregates (" + std::to_string(sharedBlocks_) + "," +
+               std::to_string(sharedTokens_) + ") != entry sums (" +
+               std::to_string(shared_blocks) + "," +
+               std::to_string(shared_tokens) + ")";
+    }
+    if (reclaim_blocks != reclaimableBlocks_ ||
+        reclaim_tokens != reclaimableTokens_) {
+        return "reclaimable aggregates (" +
+               std::to_string(reclaimableBlocks_) + "," +
+               std::to_string(reclaimableTokens_) + ") != entry sums (" +
+               std::to_string(reclaim_blocks) + "," +
+               std::to_string(reclaim_tokens) + ")";
+    }
+    if (blocks + shared_blocks != usedBlocks_) {
+        return "used-block aggregate " + std::to_string(usedBlocks_) +
+               " != table sum " + std::to_string(blocks + shared_blocks);
+    }
+    if (tokens + shared_tokens != usedTokens_) {
         return "used-token aggregate " + std::to_string(usedTokens_) +
-               " != table sum " + std::to_string(tokens);
+               " != table sum " + std::to_string(tokens + shared_tokens);
     }
     if (usedBlocks_ < 0 || usedBlocks_ > totalBlocks_) {
         return "used blocks " + std::to_string(usedBlocks_) +
@@ -150,6 +387,15 @@ BlockManager::utilization() const
     if (totalBlocks_ == 0)
         return 0.0;
     return static_cast<double>(usedBlocks_) / static_cast<double>(totalBlocks_);
+}
+
+double
+BlockManager::committedUtilization() const
+{
+    if (totalBlocks_ == 0)
+        return 0.0;
+    return static_cast<double>(usedBlocks_ - reclaimableBlocks_) /
+           static_cast<double>(totalBlocks_);
 }
 
 }  // namespace splitwise::engine

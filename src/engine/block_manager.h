@@ -8,6 +8,31 @@
 
 namespace splitwise::engine {
 
+/** Hit/miss/evict accounting for the shared-prefix tier. Survives
+ *  reset() so a machine's counters span crash/recovery cycles. */
+struct PrefixCacheStats {
+    /** Successful prefix acquisitions (one per reusing request). */
+    std::uint64_t hits = 0;
+    /** Failed acquisitions: the prefix was evicted, or the request
+     *  was routed to a machine that never held it. The scheduling
+     *  policy counts directory-level misses separately. */
+    std::uint64_t misses = 0;
+    /** Refcount-zero prefixes evicted under memory pressure. */
+    std::uint64_t evictions = 0;
+    /** Prefix inserts plus in-place growths. */
+    std::uint64_t stores = 0;
+    /** Prompt tokens skipped across all hits. */
+    std::int64_t hitTokens = 0;
+};
+
+/** One request's pin on a shared prefix (for the DST checker). */
+struct PrefixReference {
+    std::uint64_t requestId = 0;
+    std::uint64_t key = 0;
+    /** The prefix size when acquired; the entry may grow later. */
+    std::int64_t tokens = 0;
+};
+
 /**
  * Paged KV-cache allocator, in the style of vLLM's block manager.
  *
@@ -16,6 +41,15 @@ namespace splitwise::engine {
  * its context grows during decoding. Paging eliminates external
  * fragmentation; internal fragmentation is at most one block per
  * request, which utilization() accounts for.
+ *
+ * On top of the per-request tables sits a shared-prefix tier for
+ * session KV reuse: ref-counted prefix entries keyed by session,
+ * evicted LRU-at-refcount-zero, and evicted automatically whenever a
+ * per-request allocation needs the space (the cache is strictly
+ * opportunistic use of free memory). A request that acquirePrefix()'d
+ * an entry has that many tokens of its context priced out of its own
+ * allocations: allocate()/extend() are called with full context sizes
+ * and deduct the pinned prefix internally.
  */
 class BlockManager {
   public:
@@ -48,12 +82,15 @@ class BlockManager {
     /** Blocks needed to hold @p tokens. */
     std::int64_t blocksFor(std::int64_t tokens) const;
 
-    /** True when @p tokens more could be allocated right now. */
+    /** True when @p tokens more could be allocated right now,
+     *  counting reclaimable (refcount-zero) prefix blocks as free. */
     bool canAllocate(std::int64_t tokens) const;
 
     /**
      * Allocate the block table for a new request holding @p tokens
-     * of context.
+     * of context. A pinned shared prefix (acquirePrefix) is deducted
+     * from @p tokens first; refcount-zero prefixes are evicted LRU as
+     * needed to make room.
      *
      * @return false (and allocate nothing) when the pool is full or
      *     the request already holds an allocation.
@@ -62,7 +99,8 @@ class BlockManager {
 
     /**
      * Grow a request's context to @p new_total_tokens, allocating
-     * blocks as needed.
+     * blocks as needed (net of any pinned shared prefix, evicting
+     * reclaimable prefixes as needed).
      *
      * @return false (leaving the allocation untouched) when the pool
      *     cannot cover the growth.
@@ -73,20 +111,36 @@ class BlockManager {
     bool canExtend(std::uint64_t request_id,
                    std::int64_t new_total_tokens) const;
 
-    /** Release a request's blocks; no-op for unknown ids. */
+    /** Release a request's blocks and drop its shared-prefix pin (if
+     *  any); no-op for unknown ids. */
     void release(std::uint64_t request_id);
 
     /** True when the request holds an allocation. */
     bool holds(std::uint64_t request_id) const;
 
-    /** Tokens recorded for the request (0 if absent). */
+    /** Tokens recorded for the request's own allocation, net of any
+     *  pinned shared prefix (0 if absent). */
     std::int64_t tokensOf(std::uint64_t request_id) const;
 
-    /** Total context tokens currently stored (pre-rounding). */
+    /** Total context tokens currently stored (pre-rounding),
+     *  including the shared-prefix tier. */
     std::int64_t usedTokens() const { return usedTokens_; }
 
-    /** Fraction of blocks in use. */
+    /** usedTokens() minus reclaimable (refcount-zero) prefix tokens:
+     *  the load a scheduler should see, since the cache yields to
+     *  real traffic. Equal to usedTokens() when the cache is empty. */
+    std::int64_t
+    committedTokens() const
+    {
+        return usedTokens_ - reclaimableTokens_;
+    }
+
+    /** Fraction of blocks in use (including the shared tier). */
     double utilization() const;
+
+    /** Fraction of blocks in use that cannot be reclaimed by
+     *  evicting refcount-zero prefixes. */
+    double committedUtilization() const;
 
     /** Number of requests holding allocations. */
     std::size_t residents() const { return table_.size(); }
@@ -95,11 +149,67 @@ class BlockManager {
     std::vector<std::uint64_t> heldRequestIds() const;
 
     /**
+     * Drop every allocation, prefix entry, and prefix pin, returning
+     * the pool to empty. Stats survive: a machine crash wipes its KV
+     * (and its cached prefixes) but not its lifetime counters.
+     */
+    void reset();
+
+    // Shared-prefix tier -------------------------------------------------
+
+    /**
+     * Cached prefix tokens for @p key (0 = not cached). Bumps the
+     * entry's LRU position: the caller is about to route against it.
+     */
+    std::int64_t lookupPrefix(std::uint64_t key);
+
+    /**
+     * Insert or grow the cached prefix for @p key to @p tokens,
+     * evicting refcount-zero prefixes LRU as needed. Entries never
+     * shrink; storing fewer tokens than cached just bumps the LRU.
+     *
+     * @return false (cache unchanged) when the pool cannot make room.
+     */
+    bool storePrefix(std::uint64_t key, std::int64_t tokens);
+
+    /**
+     * Pin the prefix for @p key on behalf of @p request_id:
+     * refcount+1, and the entry's current size is deducted from the
+     * request's subsequent allocate()/extend() calls. Counted as a
+     * hit; a pinned entry cannot be evicted.
+     *
+     * @return false (counted as a miss) when the key is not cached or
+     *     the request already pins a prefix.
+     */
+    bool acquirePrefix(std::uint64_t key, std::uint64_t request_id);
+
+    /** The tokens pinned by @p request_id's prefix reference (0 if
+     *  none): the request's acquire-time prefix size. */
+    std::int64_t prefixTokensHeldBy(std::uint64_t request_id) const;
+
+    /** Number of cached prefix entries. */
+    std::size_t sharedPrefixCount() const { return prefixes_.size(); }
+
+    /** Blocks held by the shared-prefix tier. */
+    std::int64_t sharedBlocks() const { return sharedBlocks_; }
+
+    /** Refcount of @p key's entry; -1 when not cached. */
+    std::int64_t prefixRefcount(std::uint64_t key) const;
+
+    /** Every live prefix pin, sorted by request id (DST checker). */
+    std::vector<PrefixReference> prefixReferences() const;
+
+    /** Lifetime hit/miss/evict/store counters. */
+    const PrefixCacheStats& prefixStats() const { return stats_; }
+
+    /**
      * Audit the allocator's internal accounting: per-allocation block
      * counts match blocksFor(), the used-block/used-token aggregates
-     * equal the table sums, and usage stays within [0, capacity].
-     * The DST invariant checker calls this at every quiescent point;
-     * a leak or double-release shows up as an aggregate mismatch.
+     * equal the table sums (private tables plus the shared tier),
+     * per-entry refcounts equal the number of pins pointing at them,
+     * and usage stays within [0, capacity]. The DST invariant checker
+     * calls this at every quiescent point; a leak or double-release
+     * shows up as an aggregate mismatch.
      *
      * @return Empty string when consistent, else a description of
      *     the first inconsistency found.
@@ -112,11 +222,41 @@ class BlockManager {
         std::int64_t blocks = 0;
     };
 
+    struct SharedPrefix {
+        std::int64_t tokens = 0;
+        std::int64_t blocks = 0;
+        std::int64_t refcount = 0;
+        /** LRU position: larger = more recently used. */
+        std::uint64_t lastUse = 0;
+    };
+
+    struct PrefixPin {
+        std::uint64_t key = 0;
+        std::int64_t tokens = 0;
+    };
+
+    /** Evict refcount-zero prefixes (LRU first, key as tie-break)
+     *  until at least @p need_blocks are free. */
+    bool reclaimFor(std::int64_t need_blocks);
+
+    /** Blocks reclaimable right now from refcount-zero prefixes. */
+    std::int64_t reclaimableBlocks() const { return reclaimableBlocks_; }
+
+    void touch(SharedPrefix& entry) { entry.lastUse = ++useTick_; }
+
     std::int64_t totalBlocks_ = 0;
     std::int64_t usedBlocks_ = 0;
     std::int64_t usedTokens_ = 0;
+    std::int64_t sharedBlocks_ = 0;
+    std::int64_t sharedTokens_ = 0;
+    std::int64_t reclaimableBlocks_ = 0;
+    std::int64_t reclaimableTokens_ = 0;
     int blockSize_ = 16;
+    std::uint64_t useTick_ = 0;
     std::unordered_map<std::uint64_t, Allocation> table_;
+    std::unordered_map<std::uint64_t, SharedPrefix> prefixes_;
+    std::unordered_map<std::uint64_t, PrefixPin> pins_;
+    PrefixCacheStats stats_;
 };
 
 }  // namespace splitwise::engine

@@ -57,6 +57,17 @@ Machine::submitPrompt(LiveRequest* request)
     if (parked_)
         sim::panic("Machine::submitPrompt on a parked machine");
     request->promptMachine = id_;
+    // A routed-in prefix hit must be pinned now, while the entry
+    // still exists: it may be evicted between routing and admission
+    // otherwise. A failed pin degrades to a full prefill.
+    if (request->cachedPrefixTokens > 0) {
+        if (mls_.blocks().acquirePrefix(request->spec.session,
+                                        request->spec.id)) {
+            request->promptProcessed = request->cachedPrefixTokens;
+        } else {
+            request->cachedPrefixTokens = 0;
+        }
+    }
     TELEM_TRANSITION(trace_, telemetry::TraceRecorder::requestTrack(
                                  request->spec.id),
                      "queued", simulator_.now(),
@@ -109,7 +120,9 @@ Machine::promptQueueDepthTokens() const
 std::int64_t
 Machine::tokenLoadTokens() const
 {
-    return mls_.blocks().usedTokens();
+    // Committed load only: reclaimable (refcount-zero) cached
+    // prefixes yield to real traffic, so JSQ must not see them.
+    return mls_.blocks().committedTokens();
 }
 
 int
@@ -334,7 +347,13 @@ Machine::startIteration()
     }
     if (spans_) {
         for (auto* req : plan.prompts) {
-            spans_->transition(req->spec.id, telemetry::SpanPhase::kPrefill,
+            // A prefix hit computes only the suffix; attribute the
+            // compute to its own phase so reports can separate cheap
+            // (cache-assisted) prefills from full ones.
+            spans_->transition(req->spec.id,
+                               req->cachedPrefixTokens > 0
+                                   ? telemetry::SpanPhase::kPrefixHit
+                                   : telemetry::SpanPhase::kPrefill,
                                simulator_.now());
         }
     }
@@ -451,6 +470,8 @@ Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
                                       : req->spec.promptTokens;
         if (req->promptProcessed < work)
             continue;
+        if (callbacks_.onPrefillComplete)
+            callbacks_.onPrefillComplete(*this, req);
         req->recordToken(now);
         ++stats_.tokensGenerated;
         routePromptCompletion(req, duration);

@@ -71,6 +71,13 @@ class Machine {
         std::function<void(Machine&, LiveRequest*)> onRequestDone;
 
         /**
+         * The full prompt has been computed (before the request is
+         * routed onward to decode). The scheduling policy uses this
+         * to publish the session's KV prefix for reuse. Optional.
+         */
+        std::function<void(Machine&, LiveRequest*)> onPrefillComplete;
+
+        /**
          * Extra iteration time caused by overlapped KV-transfer
          * synchronization for an outbound prompt (SIV-C). Optional.
          */

@@ -119,8 +119,10 @@ Mls::clearAll()
     residents_.clear();
     requestLevelBatch_.clear();
     // Allocations held by in-flight iterations or inbound-transfer
-    // reservations are swept too: the machine's memory is gone.
-    blocks_ = BlockManager(blocks_.tokenCapacity());
+    // reservations are swept too, along with every cached shared
+    // prefix: the machine's memory is gone. Lifetime cache counters
+    // survive the wipe.
+    blocks_.reset();
 }
 
 std::int64_t
@@ -238,6 +240,9 @@ Mls::preemptForMemory()
     ++preemptions_;
     victim->phase = RequestPhase::kPromptQueued;
     victim->promptProcessed = 0;
+    // release() dropped the victim's prefix pin; the recompute runs
+    // the full context as a plain prefill.
+    victim->cachedPrefixTokens = 0;
     promptQueue_.push_front(victim);
     if (onPreempt_)
         onPreempt_(victim);

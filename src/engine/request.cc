@@ -59,6 +59,9 @@ LiveRequest::resetForRestart()
     starvedIterations = 0;
     promptMachine = -1;
     tokenMachine = -1;
+    // A restart re-routes from scratch; any prefix pin was dropped
+    // with the machine's KV, and the policy re-decides hit vs miss.
+    cachedPrefixTokens = 0;
     ++restarts;
     ++restartEpoch;
 }

@@ -78,6 +78,14 @@ struct LiveRequest {
     int tokenMachine = -1;
 
     /**
+     * Leading prompt tokens served from a shared session prefix
+     * (prefix-cache policy): set at routing, pinned at submit, and
+     * priced out of prefill — the machine computes only the suffix.
+     * 0 = full prefill (default policy, or a cache miss).
+     */
+    std::int64_t cachedPrefixTokens = 0;
+
+    /**
      * Slot index inside the owning RequestPool; pool bookkeeping
      * only. Preserved (with restartEpoch) across slot recycling.
      */

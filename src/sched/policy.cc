@@ -1,0 +1,174 @@
+#include "sched/policy.h"
+
+#include "engine/machine.h"
+#include "engine/request.h"
+#include "sim/log.h"
+
+namespace splitwise::sched {
+
+const char*
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kDefault: return "default";
+      case PolicyKind::kPrefixCache: return "prefix";
+    }
+    return "?";
+}
+
+bool
+parsePolicyKind(const std::string& name, PolicyKind* out)
+{
+    if (name == "default") {
+        *out = PolicyKind::kDefault;
+        return true;
+    }
+    if (name == "prefix") {
+        *out = PolicyKind::kPrefixCache;
+        return true;
+    }
+    return false;
+}
+
+Policy::~Policy() = default;
+
+void
+Policy::bind(const std::vector<engine::Machine*>&)
+{
+}
+
+int
+Policy::prepareRoute(engine::LiveRequest&)
+{
+    return -1;
+}
+
+void
+Policy::onPrefillComplete(engine::Machine&, engine::LiveRequest&)
+{
+}
+
+void
+Policy::onMachineFailed(int)
+{
+}
+
+PolicyStats
+Policy::stats() const
+{
+    return stats_;
+}
+
+PrefixCachePolicy::PrefixCachePolicy(const PolicyConfig& config)
+    : config_(config)
+{
+    if (config_.maxContextTokens < 1)
+        sim::fatal("PrefixCachePolicy: bad context cap");
+}
+
+void
+PrefixCachePolicy::bind(const std::vector<engine::Machine*>& machines)
+{
+    machines_.clear();
+    for (engine::Machine* machine : machines)
+        machines_.emplace(machine->id(), machine);
+}
+
+int
+PrefixCachePolicy::prepareRoute(engine::LiveRequest& request)
+{
+    request.cachedPrefixTokens = 0;
+    const std::uint64_t session = request.spec.session;
+    if (session == 0)
+        return -1;  // Standalone request; sessions only.
+    const auto it = directory_.find(session);
+    if (it == directory_.end()) {
+        ++stats_.directoryMisses;
+        return -1;
+    }
+    const auto machine = machines_.find(it->second);
+    if (machine == machines_.end()) {
+        ++stats_.directoryMisses;
+        directory_.erase(it);
+        return -1;
+    }
+    const std::int64_t cached =
+        machine->second->mls().blocks().lookupPrefix(session);
+    if (cached == 0) {
+        // Evicted (or wiped by a crash the failure hook has not seen,
+        // e.g. a recovered machine): forget the session.
+        ++stats_.directoryMisses;
+        directory_.erase(it);
+        return -1;
+    }
+    if (!workload::contextPrefixValid(cached, request.spec.promptTokens,
+                                      config_.maxContextTokens)) {
+        // The prompt reached the API context cap, so the stored
+        // context may no longer be a true prefix (sliding window):
+        // conservative miss-and-recompute.
+        ++stats_.directoryMisses;
+        return -1;
+    }
+    request.cachedPrefixTokens = cached;
+    return it->second;
+}
+
+void
+PrefixCachePolicy::onPrefillComplete(engine::Machine& machine,
+                                     engine::LiveRequest& request)
+{
+    const std::uint64_t session = request.spec.session;
+    if (session == 0)
+        return;
+    // The full prompt context is now resident on this machine; keep
+    // it for the session's next turn. The prompt itself was already
+    // capped by the generator, so "truncated" reduces to sitting at
+    // the cap (accumulateContext pins capped sessions there forever).
+    const workload::ContextAccum context{
+        request.spec.promptTokens,
+        request.spec.promptTokens >= config_.maxContextTokens};
+    if (!workload::contextCacheStorable(context, config_.maxContextTokens))
+        return;
+    if (machine.mls().blocks().storePrefix(session,
+                                           request.spec.promptTokens)) {
+        directory_[session] = machine.id();
+    }
+    // On store failure (no reclaimable room) any older directory
+    // entry stays: a smaller prefix elsewhere is still a valid one.
+}
+
+void
+PrefixCachePolicy::onMachineFailed(int machine_id)
+{
+    // The crash wiped the machine's KV including its cached
+    // prefixes; follow-up turns must miss and recompute.
+    for (auto it = directory_.begin(); it != directory_.end();) {
+        if (it->second == machine_id)
+            it = directory_.erase(it);
+        else
+            ++it;
+    }
+}
+
+PolicyStats
+PrefixCachePolicy::stats() const
+{
+    PolicyStats out = stats_;
+    out.directorySize = directory_.size();
+    return out;
+}
+
+std::unique_ptr<Policy>
+makePolicy(const PolicyConfig& config)
+{
+    switch (config.kind) {
+      case PolicyKind::kDefault:
+        return std::make_unique<DefaultPolicy>();
+      case PolicyKind::kPrefixCache:
+        return std::make_unique<PrefixCachePolicy>(config);
+    }
+    sim::fatal("makePolicy: unknown policy kind");
+    return nullptr;
+}
+
+}  // namespace splitwise::sched

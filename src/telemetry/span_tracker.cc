@@ -37,6 +37,7 @@ spanPhaseName(SpanPhase phase)
       case SpanPhase::kKvBackoff: return "kv_backoff";
       case SpanPhase::kDecode: return "decode";
       case SpanPhase::kRestartPenalty: return "restart_penalty";
+      case SpanPhase::kPrefixHit: return "prefix_hit";
     }
     return "?";
 }

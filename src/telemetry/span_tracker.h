@@ -36,9 +36,13 @@ enum class SpanPhase : std::uint8_t {
     /** Wall time lost to a machine crash: everything the request did
      *  since its last (re)start, folded on restart. */
     kRestartPenalty,
+    /** Suffix-only prompt computation after a session prefix-cache
+     *  hit (prefix policy); kept distinct from kPrefill so reports
+     *  separate cache-assisted prefills from full ones. */
+    kPrefixHit,
 };
 
-inline constexpr int kSpanPhaseCount = 8;
+inline constexpr int kSpanPhaseCount = 9;
 
 /** Stable lower-case phase name used in JSON and reports. */
 const char* spanPhaseName(SpanPhase phase);

@@ -4,6 +4,7 @@
 
 #include "sim/rng.h"
 #include "sim/run_pool.h"
+#include "workload/multi_turn.h"
 #include "workload/trace_gen.h"
 #include "workload/workloads.h"
 
@@ -101,6 +102,38 @@ makeScenario(std::uint64_t seed)
         workload::assignPriorities(
             s.requests, rng.uniform(0.1, 0.5),
             static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000)));
+    }
+
+    // Prefix-cache sessions last, appended after every earlier draw
+    // so pre-policy seeds keep composing byte-identical scenarios. A
+    // quarter of seeds swap the trace for interleaved multi-turn chat
+    // sessions under the prefix-cache policy, so shared-block
+    // refcounts and hit accounting race the fault storm above
+    // (crashes drop cached prefixes mid-session).
+    if (rng.bernoulli(0.25)) {
+        s.policy = sched::PolicyKind::kPrefixCache;
+        workload::MultiTurnConfig mt = workload::defaultMultiTurnConfig();
+        mt.maxTurns = static_cast<int>(rng.uniformInt(3, 6));
+        // Seconds-scale horizons need sub-second think times, and a
+        // small context cap reaches the truncation paths that the
+        // production 16k cap never would in a few simulated seconds.
+        mt.thinkTimeMeanS = rng.uniform(0.05, 0.3);
+        mt.maxContextTokens = rng.bernoulli(0.5) ? 2048 : 4096;
+        s.policyMaxContextTokens = mt.maxContextTokens;
+        workload::MultiTurnTraceGenerator sessions(
+            mt,
+            static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000)));
+        s.requests = sessions.generate(rng.uniform(1.0, 4.0), duration);
+        // Tail truncation only drops late turns of open sessions -
+        // their cached prefixes simply go unused, which is legal.
+        if (s.requests.size() > kMaxRequests)
+            s.requests.resize(kMaxRequests);
+        if (s.autoscale) {
+            workload::assignPriorities(
+                s.requests, rng.uniform(0.1, 0.5),
+                static_cast<std::uint64_t>(
+                    rng.uniformInt(1, 1'000'000'000)));
+        }
     }
     return s;
 }

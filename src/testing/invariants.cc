@@ -383,6 +383,48 @@ InvariantChecker::checkMachines()
                             " which is not placed on it");
             }
         }
+
+        // Shared-prefix pins must balance against live requests:
+        // every pin belongs to a live, non-terminal request of that
+        // session, placed on this machine, whose prefix tag matches
+        // the pin's acquire-time size. (The per-entry refcount ==
+        // pin-count sum is already enforced by blocks().audit().)
+        for (const engine::PrefixReference& ref :
+             m.mls().blocks().prefixReferences()) {
+            const auto it = byId_.find(ref.requestId);
+            if (it == byId_.end()) {
+                violate("prefix-refcount",
+                        "machine " + std::to_string(m.id()) +
+                            " holds a prefix pin for unknown request id " +
+                            std::to_string(ref.requestId));
+            }
+            const engine::LiveRequest& req = *it->second;
+            if (req.terminal()) {
+                violate("prefix-refcount",
+                        "machine " + std::to_string(m.id()) +
+                            " holds a prefix pin for terminal " +
+                            requestTag(req));
+            }
+            if (req.spec.session != ref.key) {
+                violate("prefix-refcount",
+                        requestTag(req) + " pins prefix of session " +
+                            std::to_string(ref.key) + " but belongs to " +
+                            std::to_string(req.spec.session));
+            }
+            if (req.cachedPrefixTokens != ref.tokens) {
+                violate("prefix-refcount",
+                        requestTag(req) + " pin holds " +
+                            std::to_string(ref.tokens) +
+                            " tokens but the request's prefix tag says " +
+                            std::to_string(req.cachedPrefixTokens));
+            }
+            if (req.promptMachine != m.id() && req.tokenMachine != m.id()) {
+                violate("prefix-refcount",
+                        "machine " + std::to_string(m.id()) +
+                            " holds a prefix pin for " + requestTag(req) +
+                            " which is not placed on it");
+            }
+        }
     }
 
     if (cls.liveMachines() != alive) {
@@ -648,6 +690,17 @@ InvariantChecker::finalCheck(const core::RunReport& report)
         if (!audit.empty()) {
             violate("kv-accounting",
                     "machine " + std::to_string(m->id()) + ": " + audit);
+        }
+        // Every session is over once the run drains, so no shared
+        // prefix may still be pinned: surviving cache entries must
+        // all be reclaimable (refcount zero).
+        if (!m->mls().blocks().prefixReferences().empty()) {
+            violate("prefix-refcount",
+                    "machine " + std::to_string(m->id()) +
+                        " ends the run with " +
+                        std::to_string(
+                            m->mls().blocks().prefixReferences().size()) +
+                        " live prefix pins");
         }
     }
 

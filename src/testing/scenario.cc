@@ -97,6 +97,10 @@ scenarioToJson(const Scenario& s)
                JsonValue(s.usePiecewisePerfModel));
     config.set("trace_enabled", JsonValue(s.traceEnabled));
     config.set("autoscale", JsonValue(s.autoscale));
+    config.set("policy", JsonValue(std::string(
+                             sched::policyKindName(s.policy))));
+    config.set("policy_max_context_tokens",
+               JsonValue(s.policyMaxContextTokens));
     JsonValue retry = JsonValue::makeObject();
     retry.set("max_retries",
               JsonValue(static_cast<std::int64_t>(s.kvRetry.maxRetries)));
@@ -114,6 +118,8 @@ scenarioToJson(const Scenario& s)
         req.set("prompt_tokens", JsonValue(r.promptTokens));
         req.set("output_tokens", JsonValue(r.outputTokens));
         req.set("priority", JsonValue(static_cast<std::int64_t>(r.priority)));
+        req.set("session", JsonValue(static_cast<std::int64_t>(r.session)));
+        req.set("turn", JsonValue(static_cast<std::int64_t>(r.turn)));
         requests.push(req);
     }
     doc.set("requests", requests);
@@ -170,6 +176,17 @@ scenarioFromJson(const core::JsonValue& doc)
     // pinned repros replaying byte-identically.
     if (config.has("autoscale"))
         s.autoscale = config.at("autoscale").asBool();
+    // Absent in pre-policy scenario files; the defaults replay them
+    // exactly as the two-level scheduler always ran them.
+    if (config.has("policy") &&
+        !sched::parsePolicyKind(config.at("policy").asString(), &s.policy)) {
+        sim::fatal("scenario: unknown policy \"" +
+                   config.at("policy").asString() + "\"");
+    }
+    if (config.has("policy_max_context_tokens")) {
+        s.policyMaxContextTokens =
+            config.at("policy_max_context_tokens").asInt();
+    }
     const auto& retry = config.at("kv_retry");
     s.kvRetry.maxRetries = static_cast<int>(retry.at("max_retries").asInt());
     s.kvRetry.backoffBaseUs = retry.at("backoff_base_us").asInt();
@@ -184,6 +201,10 @@ scenarioFromJson(const core::JsonValue& doc)
         r.outputTokens = req.at("output_tokens").asInt();
         if (req.has("priority"))
             r.priority = static_cast<int>(req.at("priority").asInt());
+        if (req.has("session")) {
+            r.session = static_cast<std::uint64_t>(req.at("session").asInt());
+            r.turn = static_cast<int>(req.at("turn").asInt());
+        }
         s.requests.push_back(r);
     }
 
@@ -265,6 +286,8 @@ scenarioSimConfig(const Scenario& scenario)
     config.kvCheckpointing = scenario.kvCheckpointing;
     config.usePiecewisePerfModel = scenario.usePiecewisePerfModel;
     config.kvRetry = scenario.kvRetry;
+    config.policy.kind = scenario.policy;
+    config.policy.maxContextTokens = scenario.policyMaxContextTokens;
     config.telemetry.traceEnabled = scenario.traceEnabled;
     // Span tracking rides the trace switch (or the explicit
     // override) so fuzzed runs exercise the span-balance invariant.

@@ -22,6 +22,7 @@
 #include "core/fault_plan.h"
 #include "core/json.h"
 #include "provision/provisioner.h"
+#include "sched/policy.h"
 #include "testing/invariants.h"
 #include "workload/trace.h"
 
@@ -83,6 +84,18 @@ struct Scenario {
      * baselines.
      */
     bool autoscale = false;
+    /**
+     * Scheduling policy under test. kPrefixCache seeds run multi-turn
+     * session traces through the prefix-cache plug-in so its
+     * refcount/accounting invariants race faults and evictions.
+     */
+    sched::PolicyKind policy = sched::PolicyKind::kDefault;
+    /**
+     * Context cap handed to the prefix policy's cache-key logic.
+     * Small DST caps force truncation paths that production caps
+     * would never reach within a few simulated seconds.
+     */
+    std::int64_t policyMaxContextTokens = workload::kDefaultMaxContextTokens;
 
     workload::Trace requests;
     core::FaultPlan faults;

@@ -1,7 +1,5 @@
 #include "workload/multi_turn.h"
 
-#include <algorithm>
-
 #include "sim/log.h"
 
 namespace splitwise::workload {
@@ -27,6 +25,29 @@ defaultMultiTurnConfig()
     return config;
 }
 
+ContextAccum
+accumulateContext(std::int64_t context, std::int64_t added, std::int64_t cap)
+{
+    const std::int64_t grown = context + added;
+    if (grown > cap)
+        return {cap, true};
+    return {grown, false};
+}
+
+bool
+contextPrefixValid(std::int64_t stored_tokens, std::int64_t prompt_tokens,
+                   std::int64_t cap)
+{
+    return stored_tokens > 0 && stored_tokens < prompt_tokens &&
+           prompt_tokens < cap;
+}
+
+bool
+contextCacheStorable(const ContextAccum& context, std::int64_t cap)
+{
+    return !context.truncated && context.tokens < cap;
+}
+
 MultiTurnTraceGenerator::MultiTurnTraceGenerator(MultiTurnConfig config,
                                                  std::uint64_t seed)
     : config_(std::move(config)), rng_(seed)
@@ -42,49 +63,95 @@ MultiTurnTraceGenerator::MultiTurnTraceGenerator(MultiTurnConfig config,
 Trace
 MultiTurnTraceGenerator::generate(double sessions_per_s, sim::TimeUs duration)
 {
+    auto s = stream(sessions_per_s, duration);
+    Trace trace = drainStream(*s);
+    adopt(*s);
+    return trace;
+}
+
+std::unique_ptr<MultiTurnTraceStream>
+MultiTurnTraceGenerator::stream(double sessions_per_s, sim::TimeUs duration)
+{
     if (sessions_per_s <= 0.0)
         sim::fatal("MultiTurnTraceGenerator: rate must be positive");
+    return std::unique_ptr<MultiTurnTraceStream>(
+        new MultiTurnTraceStream(*this, sessions_per_s, duration));
+}
 
-    Trace trace;
-    lastSessions_ = 0;
-    double session_start_s = 0.0;
-    const double horizon_s = sim::usToSeconds(duration);
-    while (true) {
-        session_start_s += rng_.exponential(sessions_per_s);
-        if (session_start_s >= horizon_s)
-            break;
-        ++lastSessions_;
+void
+MultiTurnTraceGenerator::adopt(const MultiTurnTraceStream& stream)
+{
+    rng_ = stream.rng();
+    nextId_ = stream.nextId();
+    nextSession_ = stream.nextSession();
+    lastSessions_ = stream.sessionCount();
+}
 
-        const int turns = static_cast<int>(
-            rng_.uniformInt(config_.minTurns, config_.maxTurns));
-        double t_s = session_start_s;
-        std::int64_t context = 0;
-        for (int turn = 0; turn < turns; ++turn) {
-            const std::int64_t user = config_.userTokens->sample(rng_);
-            const std::int64_t output = config_.outputTokens->sample(rng_);
-            // Chat APIs resend the whole context: prior prompts and
-            // outputs plus the new user message (capped at the API
-            // context limit).
-            context = std::min(context + user, config_.maxContextTokens);
-            Request r;
-            r.id = nextId_++;
-            r.arrival = sim::secondsToUs(t_s);
-            r.promptTokens = context;
-            r.outputTokens = output;
-            trace.push_back(r);
-            context = std::min(context + output, config_.maxContextTokens);
-            // The user reads the reply, then types the next turn.
-            t_s += sim::usToSeconds(sim::msToUs(50.0)) +
-                   rng_.exponential(1.0 / config_.thinkTimeMeanS);
-        }
+MultiTurnTraceStream::MultiTurnTraceStream(const MultiTurnTraceGenerator& gen,
+                                           double sessions_per_s,
+                                           sim::TimeUs duration)
+    : config_(gen.config_),
+      rng_(gen.rng_),
+      nextId_(gen.nextId_),
+      nextSession_(gen.nextSession_),
+      rate_(sessions_per_s),
+      horizonS_(sim::usToSeconds(duration))
+{
+    nextStartS_ = rng_.exponential(rate_);
+    exhausted_ = nextStartS_ >= horizonS_;
+}
+
+void
+MultiTurnTraceStream::openSession()
+{
+    ++sessions_;
+    const std::uint64_t session = nextSession_++;
+    const int turns = static_cast<int>(
+        rng_.uniformInt(config_.minTurns, config_.maxTurns));
+    double t_s = nextStartS_;
+    ContextAccum context{0, false};
+    for (int turn = 0; turn < turns; ++turn) {
+        const std::int64_t user = config_.userTokens->sample(rng_);
+        const std::int64_t output = config_.outputTokens->sample(rng_);
+        // Chat APIs resend the whole context: prior prompts and
+        // outputs plus the new user message (capped at the API
+        // context limit, which slides the window once exceeded).
+        context = accumulateContext(context.tokens, user,
+                                    config_.maxContextTokens);
+        Request r;
+        r.id = nextId_++;
+        r.arrival = sim::secondsToUs(t_s);
+        r.promptTokens = context.tokens;
+        r.outputTokens = output;
+        r.session = session;
+        r.turn = turn;
+        pending_.push(r);
+        context = accumulateContext(context.tokens, output,
+                                    config_.maxContextTokens);
+        // The user reads the reply, then types the next turn.
+        t_s += sim::usToSeconds(sim::msToUs(50.0)) +
+               rng_.exponential(1.0 / config_.thinkTimeMeanS);
     }
+    nextStartS_ += rng_.exponential(rate_);
+    exhausted_ = nextStartS_ >= horizonS_;
+}
 
-    std::sort(trace.begin(), trace.end(),
-              [](const Request& a, const Request& b) {
-                  return a.arrival != b.arrival ? a.arrival < b.arrival
-                                                : a.id < b.id;
-              });
-    return trace;
+bool
+MultiTurnTraceStream::next(Request& out)
+{
+    // A pending turn is safe to emit only once every session starting
+    // at or before its arrival has been materialized: later sessions
+    // can only produce later (arrival, id) pairs.
+    while (!exhausted_ &&
+           (pending_.empty() ||
+            sim::secondsToUs(nextStartS_) <= pending_.top().arrival)) {
+        openSession();
+    }
+    if (pending_.empty())
+        return false;
+    out = pending_.top();
+    pending_.pop();
+    return true;
 }
 
 }  // namespace splitwise::workload

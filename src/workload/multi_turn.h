@@ -3,13 +3,21 @@
 
 #include <cstdint>
 #include <memory>
+#include <queue>
+#include <vector>
 
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "workload/distribution.h"
 #include "workload/trace.h"
+#include "workload/trace_stream.h"
 
 namespace splitwise::workload {
+
+/** Default cap on a session's resent context, tokens (API limit).
+ *  Shared between MultiTurnConfig and the prefix-cache policy so the
+ *  generator and the cache-key logic agree on truncation. */
+inline constexpr std::int64_t kDefaultMaxContextTokens = 16384;
 
 /**
  * Multi-turn chat sessions (paper SVII, "conversation back and
@@ -30,16 +38,61 @@ struct MultiTurnConfig {
     /** Mean user think time between turns, seconds (exponential). */
     double thinkTimeMeanS = 20.0;
     /** Cap on a session's resent context, tokens (API limit). */
-    std::int64_t maxContextTokens = 16384;
+    std::int64_t maxContextTokens = kDefaultMaxContextTokens;
 };
 
 /** A default configuration shaped like the conversation service. */
 MultiTurnConfig defaultMultiTurnConfig();
 
 /**
+ * The result of growing a session context by @p added tokens under
+ * the API context cap: the new resent-context size plus whether the
+ * cap truncated it.
+ */
+struct ContextAccum {
+    std::int64_t tokens = 0;
+    bool truncated = false;
+};
+
+/**
+ * Deterministic context accumulation, shared between the trace
+ * generator and the prefix-cache key logic. Truncation drops the
+ * *oldest* tokens (a sliding window), so once a session has been
+ * truncated its stored context is no longer a prefix of the next
+ * prompt - which is why the two sides must agree on exactly when
+ * truncation happens.
+ */
+ContextAccum accumulateContext(std::int64_t context, std::int64_t added,
+                               std::int64_t cap);
+
+/**
+ * Whether a stored context of @p stored_tokens is a valid reusable
+ * prefix of a follow-up prompt of @p prompt_tokens under @p cap.
+ *
+ * Requires strict growth (there is always at least one new user
+ * token to prefill) and an un-truncated prompt: a prompt at the cap
+ * may have slid the window, so it is conservatively a miss. Because
+ * accumulateContext() pins a truncated session at the cap forever,
+ * `prompt < cap` also implies no truncation ever occurred.
+ */
+bool contextPrefixValid(std::int64_t stored_tokens,
+                        std::int64_t prompt_tokens, std::int64_t cap);
+
+/**
+ * Whether a completed turn's context of @p tokens may be stored as a
+ * cached prefix for the session's next turn. Contexts at (or
+ * truncated to) the cap are not storable: the next prompt can never
+ * validate them via contextPrefixValid().
+ */
+bool contextCacheStorable(const ContextAccum& context, std::int64_t cap);
+
+class MultiTurnTraceStream;
+
+/**
  * Generates request traces of interleaved multi-turn sessions with
  * Poisson session arrivals. Each turn is one inference request whose
- * prompt is the session's full accumulated context.
+ * prompt is the session's full accumulated context; requests carry
+ * their session id and turn index.
  */
 class MultiTurnTraceGenerator {
   public:
@@ -48,18 +101,81 @@ class MultiTurnTraceGenerator {
     /**
      * Generate a trace of sessions arriving at @p sessions_per_s
      * over @p duration. Turns may land after the horizon (think
-     * time); the trace is sorted by arrival.
+     * time); the trace is sorted by arrival. Implemented as a full
+     * drain of the stream() twin, so the two can never diverge.
      */
     Trace generate(double sessions_per_s, sim::TimeUs duration);
 
-    /** Sessions produced by the last generate() call. */
+    /**
+     * The same workload as a pull-based stream: sessions are
+     * materialized lazily as the arrival frontier reaches them, so
+     * memory stays O(concurrently open sessions) instead of O(trace).
+     * The generator's own state is not advanced; call adopt() on the
+     * drained stream to fold the state back (what generate() does).
+     */
+    std::unique_ptr<MultiTurnTraceStream> stream(double sessions_per_s,
+                                                 sim::TimeUs duration);
+
+    /** Fold a drained stream's state back into this generator. */
+    void adopt(const MultiTurnTraceStream& stream);
+
+    /** Sessions produced by the last generate()/adopt(). */
     std::size_t lastSessionCount() const { return lastSessions_; }
 
   private:
+    friend class MultiTurnTraceStream;
+
     MultiTurnConfig config_;
     sim::Rng rng_;
     std::uint64_t nextId_ = 0;
+    std::uint64_t nextSession_ = 1;
     std::size_t lastSessions_ = 0;
+};
+
+/**
+ * Pull-based twin of MultiTurnTraceGenerator::generate. A session's
+ * turns are drawn all at once when its start is reached (the exact
+ * RNG draw order of the materialized path) and merged by
+ * (arrival, id) through a heap of pending turns; a turn is emitted
+ * only once no later-starting session could precede it.
+ */
+class MultiTurnTraceStream final : public TraceStream {
+  public:
+    bool next(Request& out) override;
+
+    sim::Rng rng() const { return rng_; }
+    std::uint64_t nextId() const { return nextId_; }
+    std::uint64_t nextSession() const { return nextSession_; }
+    std::size_t sessionCount() const { return sessions_; }
+
+  private:
+    friend class MultiTurnTraceGenerator;
+
+    MultiTurnTraceStream(const MultiTurnTraceGenerator& gen,
+                         double sessions_per_s, sim::TimeUs duration);
+
+    /** Draw the next session's turns into the heap, then advance the
+     *  session-start frontier. */
+    void openSession();
+
+    struct Later {
+        bool operator()(const Request& a, const Request& b) const
+        {
+            return a.arrival != b.arrival ? a.arrival > b.arrival
+                                          : a.id > b.id;
+        }
+    };
+
+    MultiTurnConfig config_;
+    sim::Rng rng_;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t nextSession_ = 1;
+    std::size_t sessions_ = 0;
+    double rate_ = 0.0;
+    double horizonS_ = 0.0;
+    double nextStartS_ = 0.0;
+    bool exhausted_ = false;
+    std::priority_queue<Request, std::vector<Request>, Later> pending_;
 };
 
 }  // namespace splitwise::workload

@@ -30,10 +30,12 @@ writeCsv(const Trace& trace, const std::string& path)
     std::ofstream out(path);
     if (!out)
         sim::fatal("writeCsv: cannot open " + path);
-    out << "id,arrival_us,prompt_tokens,output_tokens,priority\n";
+    out << "id,arrival_us,prompt_tokens,output_tokens,priority,"
+           "session,turn\n";
     for (const auto& r : trace) {
         out << r.id << ',' << r.arrival << ',' << r.promptTokens << ','
-            << r.outputTokens << ',' << r.priority << '\n';
+            << r.outputTokens << ',' << r.priority << ',' << r.session
+            << ',' << r.turn << '\n';
     }
 }
 
@@ -67,9 +69,14 @@ parseCsvRow(const std::string& line, const std::string& path)
           comma >> r.outputTokens)) {
         sim::fatal("readCsv: malformed row in " + path + ": " + line);
     }
-    // Priority is a later addition; rows without it parse as 0.
+    // Priority and session/turn are later additions; rows without
+    // them parse as 0 (interactive, standalone).
     if (row >> comma) {
         if (!(row >> r.priority))
+            sim::fatal("readCsv: malformed row in " + path + ": " + line);
+    }
+    if (row >> comma) {
+        if (!(row >> r.session >> comma >> r.turn))
             sim::fatal("readCsv: malformed row in " + path + ": " + line);
     }
     return r;

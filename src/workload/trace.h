@@ -25,6 +25,14 @@ struct Request {
      * brownout ladder drops the highest values first.
      */
     int priority = 0;
+    /**
+     * Multi-turn session this request belongs to; 0 = standalone
+     * request (default). Turns of one session share a growing prompt
+     * prefix, which the prefix-cache policy can reuse.
+     */
+    std::uint64_t session = 0;
+    /** Zero-based turn index within the session. */
+    int turn = 0;
 };
 
 /** A request trace sorted by arrival time. */
@@ -38,13 +46,14 @@ sim::TimeUs traceSpan(const Trace& trace);
 
 /**
  * Write a trace as CSV with header
- * `id,arrival_us,prompt_tokens,output_tokens,priority`.
+ * `id,arrival_us,prompt_tokens,output_tokens,priority,session,turn`.
  */
 void writeCsv(const Trace& trace, const std::string& path);
 
 /**
- * Read a trace written by writeCsv. The trailing priority column is
- * optional so traces from before it existed still load (priority 0).
+ * Read a trace written by writeCsv. The trailing priority and
+ * session/turn columns are optional so traces from before they
+ * existed still load (priority 0, no session).
  *
  * @throws std::runtime_error on malformed rows (via sim::fatal).
  */

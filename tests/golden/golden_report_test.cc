@@ -27,6 +27,8 @@
 #include "core/json.h"
 #include "core/report_io.h"
 #include "model/llm_config.h"
+#include "sched/policy.h"
+#include "workload/multi_turn.h"
 #include "workload/trace_gen.h"
 #include "workload/workloads.h"
 
@@ -58,6 +60,24 @@ table5SmallReport()
     const SloChecker checker(model::llama2_70b());
     const SloReport slo = checker.evaluate(report.requests, SloSet{});
     return reportToJson(report, &slo);
+}
+
+/** The bench_ablation_prefix --short 5P+5T cell in miniature:
+ *  multi-turn sessions under the prefix-cache policy, pinning the
+ *  hit/miss/evict accounting, the per-pool load shift, and the TTFT
+ *  tail of KV reuse. */
+std::string
+prefixSmallReport()
+{
+    workload::MultiTurnConfig mt = workload::defaultMultiTurnConfig();
+    mt.thinkTimeMeanS = 2.0;
+    workload::MultiTurnTraceGenerator gen(mt, 42);
+    const auto trace = gen.generate(4.0, sim::secondsToUs(8));
+    SimConfig config;
+    config.policy.kind = sched::PolicyKind::kPrefixCache;
+    config.policy.maxContextTokens = mt.maxContextTokens;
+    Cluster cluster(model::llama2_70b(), splitwiseHH(5, 5), config);
+    return reportToJson(cluster.run(trace));
 }
 
 std::string
@@ -148,12 +168,25 @@ TEST(GoldenReportTest, Table5SmallMatchesGolden)
     checkGolden("table5_small.json", table5SmallReport());
 }
 
+TEST(GoldenReportTest, PrefixSmallMatchesGolden)
+{
+    const std::string actual = prefixSmallReport();
+    // The prefix policy must actually engage in the pinned
+    // configuration; a silent fall-back to the default path would
+    // otherwise golden an empty cache.
+    const ReportDigest digest = reportDigestFromJson(actual);
+    ASSERT_TRUE(digest.hasPrefixCache);
+    ASSERT_GT(digest.prefixHits, 0u);
+    checkGolden("prefix_small.json", actual);
+}
+
 /** The golden inputs themselves are deterministic - a regression
  *  here means flaky goldens, not a behavior change. */
 TEST(GoldenReportTest, GoldenConfigurationsAreDeterministic)
 {
     EXPECT_EQ(fig12SmallReport(), fig12SmallReport());
     EXPECT_EQ(table5SmallReport(), table5SmallReport());
+    EXPECT_EQ(prefixSmallReport(), prefixSmallReport());
 }
 
 }  // namespace

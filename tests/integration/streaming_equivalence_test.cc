@@ -19,6 +19,8 @@
 #include "core/run.h"
 #include "model/llm_config.h"
 #include "provision/provisioner.h"
+#include "sched/policy.h"
+#include "workload/multi_turn.h"
 #include "workload/trace_gen.h"
 #include "workload/trace_stream.h"
 #include "workload/workloads.h"
@@ -117,6 +119,60 @@ TEST(StreamingEquivalenceTest, ByteIdenticalUnderFaultStorm)
         EXPECT_EQ(serial, parallel) << "seed " << seed;
         EXPECT_EQ(serial, vector_streamed) << "seed " << seed;
         EXPECT_EQ(serial, gen_streamed) << "seed " << seed;
+    }
+}
+
+TEST(StreamingEquivalenceTest, MultiTurnSessionsByteIdenticalAcrossPolicies)
+{
+    // The full matrix the prefix-cache PR adds: materialized vs
+    // streamed (via the MultiTurnTraceGenerator stream twin) x jobs
+    // 1 vs 8 x policy default vs prefix. Every cell of a policy must
+    // produce the same bytes; the two policies must not.
+    workload::MultiTurnConfig mt = workload::defaultMultiTurnConfig();
+    mt.thinkTimeMeanS = 1.0;
+    mt.maxContextTokens = 4096;
+
+    for (const std::uint64_t seed : kSeeds) {
+        std::string default_json;
+        std::string prefix_json;
+        for (const auto policy : {sched::PolicyKind::kDefault,
+                                  sched::PolicyKind::kPrefixCache}) {
+            RunOptions base = baseOptions();
+            base.sim.policy.kind = policy;
+            base.sim.policy.maxContextTokens = mt.maxContextTokens;
+
+            workload::MultiTurnTraceGenerator gen(mt, seed);
+            const workload::Trace trace =
+                gen.generate(2.0, sim::secondsToUs(20.0));
+            ASSERT_FALSE(trace.empty()) << "seed " << seed;
+
+            const std::string serial = materializedJson(base, trace, 1);
+            const std::string parallel = materializedJson(base, trace, 8);
+            const std::string vector_streamed = streamedJson(base, trace);
+
+            workload::MultiTurnTraceGenerator twin(mt, seed);
+            auto stream = twin.stream(2.0, sim::secondsToUs(20.0));
+            const std::string gen_streamed =
+                reportToJson(runStream(base, *stream));
+
+            EXPECT_EQ(serial, parallel) << "seed " << seed;
+            EXPECT_EQ(serial, vector_streamed) << "seed " << seed;
+            EXPECT_EQ(serial, gen_streamed) << "seed " << seed;
+
+            const ReportDigest digest = reportDigestFromJson(serial);
+            if (policy == sched::PolicyKind::kDefault) {
+                default_json = serial;
+                EXPECT_FALSE(digest.hasPrefixCache) << "seed " << seed;
+            } else {
+                prefix_json = serial;
+                EXPECT_TRUE(digest.hasPrefixCache) << "seed " << seed;
+                EXPECT_GT(digest.prefixHits, 0u) << "seed " << seed;
+                EXPECT_GT(digest.prefixHitTokens, 0) << "seed " << seed;
+            }
+        }
+        // Same workload, different policy: the reports must diverge
+        // (the prefix policy actually changed the simulation).
+        EXPECT_NE(default_json, prefix_json) << "seed " << seed;
     }
 }
 

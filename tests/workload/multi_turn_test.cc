@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -98,6 +99,130 @@ TEST(MultiTurnTest, DeterministicPerSeed)
     for (std::size_t i = 0; i < ta.size(); ++i) {
         ASSERT_EQ(ta[i].arrival, tb[i].arrival);
         ASSERT_EQ(ta[i].promptTokens, tb[i].promptTokens);
+    }
+}
+
+TEST(MultiTurnTest, TruncationIsDeterministicAndPinsAtCap)
+{
+    // Regression: truncation must be a pure function shared between
+    // the generator and the prefix-cache key logic. Once a session
+    // exceeds the cap its context is pinned there forever - it can
+    // never "un-truncate" and masquerade as a valid prefix again.
+    const std::int64_t cap = 1000;
+    ContextAccum c = accumulateContext(0, 400, cap);
+    EXPECT_EQ(c.tokens, 400);
+    EXPECT_FALSE(c.truncated);
+    c = accumulateContext(c.tokens, 500, cap);
+    EXPECT_EQ(c.tokens, 900);
+    EXPECT_FALSE(c.truncated);
+    c = accumulateContext(c.tokens, 500, cap);
+    EXPECT_EQ(c.tokens, cap);
+    EXPECT_TRUE(c.truncated);
+    // Pinned: any further growth stays exactly at the cap.
+    for (std::int64_t add : {1, 100, 10000}) {
+        c = accumulateContext(c.tokens, add, cap);
+        EXPECT_EQ(c.tokens, cap);
+        EXPECT_TRUE(c.truncated);
+    }
+}
+
+TEST(MultiTurnTest, PrefixValidityRejectsTruncatedAndNonGrowingContexts)
+{
+    const std::int64_t cap = 1000;
+    // The happy path: a stored context strictly inside the prompt.
+    EXPECT_TRUE(contextPrefixValid(400, 700, cap));
+    // Nothing stored, no strict growth, or an at-cap prompt (the
+    // window may have slid) are all conservative misses.
+    EXPECT_FALSE(contextPrefixValid(0, 700, cap));
+    EXPECT_FALSE(contextPrefixValid(700, 700, cap));
+    EXPECT_FALSE(contextPrefixValid(800, 700, cap));
+    EXPECT_FALSE(contextPrefixValid(400, cap, cap));
+
+    // Storability mirrors it: an at-cap or truncated context can
+    // never validate on the next turn, so it is not storable.
+    EXPECT_TRUE(contextCacheStorable({400, false}, cap));
+    EXPECT_FALSE(contextCacheStorable({cap, false}, cap));
+    EXPECT_FALSE(contextCacheStorable({cap, true}, cap));
+}
+
+TEST(MultiTurnTest, GeneratorPromptsReplayThroughSharedAccumulation)
+{
+    // The generator and the cache-key logic must agree on exactly
+    // when truncation happens: replaying a generated session through
+    // accumulateContext() must reproduce every turn's prompt.
+    MultiTurnConfig config = fastConfig();
+    config.minTurns = 8;
+    config.maxTurns = 8;
+    config.maxContextTokens = 2048;  // small cap: truncation certain
+    MultiTurnTraceGenerator gen(config, 21);
+    const Trace trace = gen.generate(1.0, sim::secondsToUs(120));
+    ASSERT_GT(trace.size(), 8u);
+
+    std::map<std::uint64_t, ContextAccum> contexts;
+    bool saw_truncation = false;
+    for (const auto& r : trace) {
+        ContextAccum& c = contexts[r.session];
+        // Prompt = prior context + the new user message. The user
+        // message size is not recoverable from the trace, but the
+        // shared accumulator must map (prior, delta) to exactly this
+        // prompt - including the pin at the cap once truncated.
+        const std::int64_t user = r.promptTokens - c.tokens;
+        if (c.truncated || user <= 0) {
+            // Only a capped session may stop growing strictly.
+            ASSERT_EQ(r.promptTokens, config.maxContextTokens)
+                << "request " << r.id;
+        }
+        const ContextAccum prompt = accumulateContext(
+            c.tokens, std::max<std::int64_t>(user, 1),
+            config.maxContextTokens);
+        ASSERT_EQ(prompt.tokens, r.promptTokens) << "request " << r.id;
+        saw_truncation = saw_truncation || prompt.truncated;
+        c = accumulateContext(prompt.tokens, r.outputTokens,
+                              config.maxContextTokens);
+    }
+    EXPECT_TRUE(saw_truncation);
+}
+
+TEST(MultiTurnTest, StreamTwinMatchesMaterializedTrace)
+{
+    // PR8 treatment for the multi-turn generator: the pull-based
+    // stream must be request-for-request identical to generate(),
+    // session and turn ids included.
+    MultiTurnConfig config = fastConfig();
+    config.maxContextTokens = 4096;
+    MultiTurnTraceGenerator a(config, 33);
+    MultiTurnTraceGenerator b(config, 33);
+    const Trace materialized = a.generate(2.0, sim::secondsToUs(60));
+
+    auto stream = b.stream(2.0, sim::secondsToUs(60));
+    Trace streamed;
+    Request r;
+    while (stream->next(r))
+        streamed.push_back(r);
+    b.adopt(*stream);
+
+    ASSERT_EQ(streamed.size(), materialized.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        ASSERT_EQ(streamed[i].id, materialized[i].id) << i;
+        ASSERT_EQ(streamed[i].arrival, materialized[i].arrival) << i;
+        ASSERT_EQ(streamed[i].promptTokens, materialized[i].promptTokens)
+            << i;
+        ASSERT_EQ(streamed[i].outputTokens, materialized[i].outputTokens)
+            << i;
+        ASSERT_EQ(streamed[i].session, materialized[i].session) << i;
+        ASSERT_EQ(streamed[i].turn, materialized[i].turn) << i;
+    }
+    ASSERT_EQ(a.lastSessionCount(), b.lastSessionCount());
+
+    // adopt() folds the stream's RNG state back: a continuation run
+    // from either generator stays identical.
+    const Trace next_a = a.generate(2.0, sim::secondsToUs(30));
+    const Trace next_b = b.generate(2.0, sim::secondsToUs(30));
+    ASSERT_EQ(next_a.size(), next_b.size());
+    for (std::size_t i = 0; i < next_a.size(); ++i) {
+        ASSERT_EQ(next_a[i].id, next_b[i].id) << i;
+        ASSERT_EQ(next_a[i].arrival, next_b[i].arrival) << i;
+        ASSERT_EQ(next_a[i].session, next_b[i].session) << i;
     }
 }
 
