@@ -64,9 +64,8 @@ main(int argc, char** argv)
             core::SimConfig config;
             config.policy.kind = kind;
             config.policy.maxContextTokens = mt.maxContextTokens;
-            const auto report =
-                bench::runCluster(model::llama2_70b(), design, trace,
-                                  config);
+            const auto report = core::run(bench::cliRunOptions(
+                model::llama2_70b(), design, trace, config));
 
             const double total_prompt = static_cast<double>(
                 report.requests.totalPromptTokens());

@@ -61,8 +61,8 @@ main(int argc, char** argv)
     for (DesignKind kind : provision::allDesignKinds()) {
         const core::ClusterDesign design =
             bench::isoPowerDesign(kind, "conversation");
-        const auto report =
-            bench::runCluster(model::llama2_70b(), design, trace);
+        const auto report = core::run(
+            bench::cliRunOptions(model::llama2_70b(), design, trace));
         const double rps = sustainedRps(report);
         const std::string pools =
             design.splitwise ? std::to_string(design.numPrompt) + "P+" +

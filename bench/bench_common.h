@@ -11,7 +11,7 @@
  * under a second, so every bench still finishes in seconds.
  *
  * Every bench accepts the shared flags (registered on the typed
- * bench::ArgParser by benchParser, applied by runCluster):
+ * bench::ArgParser by benchParser, applied by cliRunOptions):
  *
  *   --trace-out=PATH        Perfetto/Chrome trace JSON per cluster
  *                           run (open in ui.perfetto.dev).
@@ -32,6 +32,10 @@
  *   --jobs=N                Concurrent simulations for multi-run
  *                           benches (default hardware_concurrency;
  *                           --jobs=1 is the exact serial path).
+ *   --policy=NAME           Scheduling policy, resolved through
+ *                           sched::policyRegistry() (default,
+ *                           prefix); unset keeps the bench's own
+ *                           choice.
  *   --runs=N                Repetition count for benches that soak
  *                           over seeds (bench_chaos).
  *   --short                 Reduced-duration smoke variant for CI.
@@ -53,6 +57,7 @@
 #include "metrics/table.h"
 #include "model/llm_config.h"
 #include "provision/provisioner.h"
+#include "sched/policy.h"
 #include "sim/log.h"
 #include "sim/run_pool.h"
 #include "workload/trace_gen.h"
@@ -148,6 +153,12 @@ struct BenchArgs {
     int jobs = 0;
     /** Repetition count for seed-soak benches. */
     int runs = 1;
+    /**
+     * Scheduling-policy name (`--policy`), resolved through
+     * sched::policyRegistry(); empty keeps the bench's own
+     * SimConfig::policy untouched.
+     */
+    std::string policy;
     /** Reduced-duration smoke variant (`--short`). */
     bool shortRun = false;
     /**
@@ -202,6 +213,9 @@ benchParser(const std::string& program, const std::string& summary)
                   "1 = exact serial path)");
     parser.addInt("--runs", &args.runs,
                   "repetition count for seed-soak benches");
+    parser.addString("--policy", &args.policy,
+                     "scheduling policy (" + sched::policyNames() +
+                         "; default: the bench's own)");
     parser.addFlag("--short", &args.shortRun,
                    "reduced-duration smoke variant for CI");
     parser.addValidator([&args] {
@@ -219,6 +233,9 @@ benchParser(const std::string& program, const std::string& summary)
             sim::fatal("--spans must be auto, on, or off");
         if (args.spans == "off" && !args.breakdownOut.empty())
             sim::fatal("--spans=off contradicts --breakdown-out");
+        if (!args.policy.empty() && !sched::findPolicy(args.policy))
+            sim::fatal("--policy: unknown policy '" + args.policy +
+                       "' (known: " + sched::policyNames() + ")");
     });
     return parser;
 }
@@ -242,6 +259,22 @@ effectiveJobs()
     return args.jobs > 0 ? args.jobs : sim::RunPool::defaultJobs();
 }
 
+/**
+ * Apply an explicit `--policy` selection to @p config; without the
+ * flag the bench's own policy choice stands.
+ */
+inline void
+applyPolicyCli(core::SimConfig& config)
+{
+    const BenchArgs& args = benchArgs();
+    if (args.policy.empty())
+        return;
+    const sched::PolicyFactory* factory = sched::findPolicy(args.policy);
+    if (!factory)
+        sim::fatal("--policy: unknown policy '" + args.policy + "'");
+    config.policy.kind = factory->kind;
+}
+
 /** Turn the parsed bench flags into per-run telemetry switches. */
 inline void
 applyTelemetryCli(core::SimConfig& config)
@@ -256,13 +289,6 @@ applyTelemetryCli(core::SimConfig& config)
     if (args.spans == "off")
         config.telemetry.spanTracking = false;
     config.telemetry.exemplarK = args.exemplars;
-}
-
-/** Deprecated shim: use core::indexedSinkPath. */
-inline std::string
-indexedPath(const std::string& path, int index)
-{
-    return core::indexedSinkPath(path, index);
 }
 
 /**
@@ -301,19 +327,19 @@ writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report,
     if (!args.any())
         return;
     if (!args.traceOut.empty() && cluster.traceRecorder()) {
-        const auto path = indexedPath(args.traceOut, index);
+        const auto path = core::indexedSinkPath(args.traceOut, index);
         cluster.traceRecorder()->writeFile(path);
         std::printf("wrote trace %s (%zu events)\n", path.c_str(),
                     cluster.traceRecorder()->eventCount());
     }
     if (!args.timeseriesOut.empty() && !report.timeseries.empty()) {
-        const auto path = indexedPath(args.timeseriesOut, index);
+        const auto path = core::indexedSinkPath(args.timeseriesOut, index);
         report.timeseries.writeCsv(path);
         std::printf("wrote timeseries %s (%zu rows)\n", path.c_str(),
                     report.timeseries.rows.size());
     }
     if (!args.breakdownOut.empty() && cluster.spanTracker()) {
-        const auto path = indexedPath(args.breakdownOut, index);
+        const auto path = core::indexedSinkPath(args.breakdownOut, index);
         const std::string json = cluster.spanTracker()->attributionJson();
         std::FILE* file = std::fopen(path.c_str(), "w");
         if (!file)
@@ -341,13 +367,14 @@ writeTelemetryOutputs(core::Cluster& cluster, const core::RunReport& report)
 }
 
 /**
- * Deprecated shim over core::run: run a design on a trace with the
- * CLI telemetry sinks and return the report. Serial multi-run
- * benches get one file set per call via the shared run index.
+ * The parsed bench CLI as a complete core::RunOptions for one trace:
+ * policy selection, telemetry sinks (advancing the shared run index
+ * so serial multi-run benches get one file set per run), and the
+ * sampling grid. Benches call `core::run(cliRunOptions(...))`.
  */
-inline core::RunReport
-runCluster(const model::LlmConfig& llm, const core::ClusterDesign& design,
-           const workload::Trace& trace, core::SimConfig config = {})
+inline core::RunOptions
+cliRunOptions(const model::LlmConfig& llm, const core::ClusterDesign& design,
+              const workload::Trace& trace, core::SimConfig config = {})
 {
     BenchArgs& args = benchArgs();
     core::RunOptions options;
@@ -355,31 +382,10 @@ runCluster(const model::LlmConfig& llm, const core::ClusterDesign& design,
     options.design = design;
     options.traces = {trace};
     options.sim = config;
+    applyPolicyCli(options.sim);
     const int index = args.any() ? args.runIndex.fetch_add(1) : 0;
     options.sinks = cliRunSinks(options.sim, index);
-    return core::run(options);
-}
-
-/**
- * Deprecated shim over core::runMany: run one design over several
- * traces concurrently (`--jobs`) and return the reports in trace
- * order. Output files are suffixed with the trace index, so results
- * and artifacts are identical at every job count.
- */
-inline std::vector<core::RunReport>
-runClusterMany(const model::LlmConfig& llm,
-               const core::ClusterDesign& design,
-               const std::vector<workload::Trace>& traces,
-               core::SimConfig config = {})
-{
-    core::RunOptions options;
-    options.llm = llm;
-    options.design = design;
-    options.traces = traces;
-    options.sim = config;
-    options.sinks = cliRunSinks(options.sim);
-    options.jobs = effectiveJobs();
-    return core::runMany(options);
+    return options;
 }
 
 /** Print a section banner. */

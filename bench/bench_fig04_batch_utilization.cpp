@@ -28,8 +28,8 @@ report(const char* model_name, const splitwise::model::LlmConfig& llm)
                                               &workload::conversation()};
     for (int i = 0; i < 2; ++i) {
         const auto trace = bench::makeTrace(*workloads[i], 2.0, 120);
-        const auto run =
-            bench::runCluster(llm, core::baselineH100(1), trace);
+        const auto run = core::run(
+            bench::cliRunOptions(llm, core::baselineH100(1), trace));
         hists[i] = run.promptPool.activeTokens;
     }
     for (std::int64_t threshold : {0, 1, 2, 5, 10, 20, 50, 100, 500, 2000,

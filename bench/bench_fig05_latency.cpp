@@ -95,8 +95,8 @@ main(int argc, char** argv)
             provision::DesignKind::kSplitwiseHH, "coding");
         const auto trace = bench::makeTrace(workload::coding(), 60.0,
                                             short_run ? 20.0 : 60.0);
-        const auto report =
-            bench::runCluster(model::llama2_70b(), design, trace, config);
+        const auto report = core::run(bench::cliRunOptions(
+            model::llama2_70b(), design, trace, config));
         if (!report.breakdown.enabled) {
             std::printf("span tracking unavailable "
                         "(SPLITWISE_TELEMETRY=OFF build); skipped\n");

@@ -40,20 +40,20 @@ main(int argc, char** argv)
 
     // Baseline: one machine, no transfer (run two so capacity and
     // contention match the Splitwise pair).
-    const auto local =
-        bench::runCluster(model::llama2_70b(), core::baselineH100(2), trace);
+    const auto local = core::run(bench::cliRunOptions(
+        model::llama2_70b(), core::baselineH100(2), trace));
 
     // Splitwise with the adaptive serialized/layer-wise policy.
-    const auto split =
-        bench::runCluster(model::llama2_70b(), core::splitwiseHH(1, 1), trace);
+    const auto split = core::run(bench::cliRunOptions(
+        model::llama2_70b(), core::splitwiseHH(1, 1), trace));
 
     // Ablation: force serialized transfers for every prompt size.
     core::SimConfig serialized_only;
     serialized_only.layerwiseThresholdTokens =
         std::numeric_limits<std::int64_t>::max();
-    const auto serialized = bench::runCluster(
+    const auto serialized = core::run(bench::cliRunOptions(
         model::llama2_70b(), core::splitwiseHH(1, 1), trace,
-        serialized_only);
+        serialized_only));
 
     bench::banner("Fig. 15: KV transfer overhead, coding trace, H100 pair");
     Table table({"setup", "TTFT p50 (ms)", "2nd token p50 (ms)",

@@ -39,7 +39,8 @@ sweepWorkload(const char* workload_name,
         for (double rps : loads_rps) {
             const auto trace = bench::makeTrace(workload, rps, 40);
             const auto report =
-                bench::runCluster(model::llama2_70b(), design, trace);
+                core::run(bench::cliRunOptions(
+                    model::llama2_70b(), design, trace));
             const auto slo = checker.evaluate(report.requests,
                                               core::SloSet{});
             table.addRow({

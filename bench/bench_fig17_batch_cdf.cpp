@@ -22,14 +22,14 @@ atLoad(double rps, const char* label)
     const auto trace =
         bench::makeTrace(workload::conversation(), rps, 40);
 
-    const auto baseline = bench::runCluster(
+    const auto baseline = core::run(bench::cliRunOptions(
         model::llama2_70b(),
         bench::isoPowerDesign(DesignKind::kBaselineH100, "conversation"),
-        trace);
-    const auto split = bench::runCluster(
+        trace));
+    const auto split = core::run(bench::cliRunOptions(
         model::llama2_70b(),
         bench::isoPowerDesign(DesignKind::kSplitwiseHH, "conversation"),
-        trace);
+        trace));
 
     bench::banner(std::string("Fig. 17: active batched tokens CDF, ") +
                   label);

@@ -30,7 +30,8 @@ sweep(const char* title, const splitwise::model::LlmConfig& llm,
             bench::isoPowerDesign(kind, provisioned_for);
         for (double rps : loads) {
             const auto trace = bench::makeTrace(workload, rps, 30);
-            const auto report = bench::runCluster(llm, design, trace);
+            const auto report =
+                core::run(bench::cliRunOptions(llm, design, trace));
             const auto slo =
                 checker.evaluate(report.requests, core::SloSet{});
             table.addRow({

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <string>
 
+#include "core/ingress.h"
+#include "core/recording.h"
+#include "sim/clock.h"
 #include "sim/log.h"
 
 namespace splitwise::core {
@@ -59,6 +62,8 @@ Cluster::Cluster(model::LlmConfig llm, ClusterDesign design, SimConfig config)
                              worstSlowdown(result));
         }
 #endif
+        if (liveDone_)
+            liveDone_(req);
         // The machine dropped every reference before this callback
         // (mls.finish ran, KV released); the record and span are
         // folded, so the slot can recycle for a future arrival.
@@ -569,6 +574,8 @@ Cluster::admitArrival(const workload::Request& spec)
     if (!cls_->onArrival(req)) {
         req->phase = engine::RequestPhase::kRejected;
         rejected_->add();
+        if (liveRejected_)
+            liveRejected_(req);
         // Shed before any work ran: nothing holds a pointer (no
         // route, no span), so the slot recycles immediately.
         pool_.release(req);
@@ -596,12 +603,28 @@ Cluster::run(const workload::Trace& trace)
     return run(stream);
 }
 
-RunReport
-Cluster::run(workload::TraceStream& stream)
+void
+Cluster::beginRun()
 {
     if (ran_)
         sim::fatal("Cluster::run is one-shot; build a fresh cluster");
     ran_ = true;
+}
+
+void
+Cluster::installSampler()
+{
+    if (config_.telemetry.sampleIntervalUs > 0) {
+        sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(
+            simulator_, registry_, config_.telemetry.sampleIntervalUs);
+        sampler_->install();
+    }
+}
+
+RunReport
+Cluster::run(workload::TraceStream& stream)
+{
+    beginRun();
 
     // Lazy arrival chain: exactly one pending arrival event at any
     // time, each admitting its request and pulling the next. The
@@ -610,15 +633,17 @@ Cluster::run(workload::TraceStream& stream)
     stream_ = &stream;
     postNextArrival();
 
-    if (config_.telemetry.sampleIntervalUs > 0) {
-        sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(
-            simulator_, registry_, config_.telemetry.sampleIntervalUs);
-        sampler_->install();
-    }
+    installSampler();
 
     simulator_.run();
     stream_ = nullptr;
 
+    return buildReport();
+}
+
+RunReport
+Cluster::buildReport()
+{
     if (pool_.liveCount() > 0) {
         sim::fatal("Cluster: " + std::to_string(pool_.liveCount()) +
                    " requests never completed (deadlock)");
@@ -687,6 +712,138 @@ Cluster::run(workload::TraceStream& stream)
     for (int i = design_.numPrompt; i < design_.machines(); ++i)
         fold(*machines_[static_cast<std::size_t>(i)], report.tokenPool);
 
+    return report;
+}
+
+void
+Cluster::cancelRequest(std::uint64_t request_id)
+{
+    // At most one live request carries the id (ids are unique and
+    // the scan skips terminal ones), so visit order is immaterial
+    // and the operation is deterministic.
+    pool_.forEachLive([&](engine::LiveRequest& req) {
+        if (req.spec.id != request_id || req.terminal())
+            return;
+        // Clamp instead of tearing down: the request ends naturally
+        // at its next token boundary, so every downstream path
+        // (spans, KV release, transfer completion) runs unchanged.
+        // Never below one token — a request that produced nothing
+        // yet still yields its prompt token, keeping accounting and
+        // the invariant checker consistent. Idempotent: a second
+        // cancel sees the same or a smaller budget and never
+        // extends it.
+        const std::int64_t floor = std::max<std::int64_t>(req.generated + 1, 1);
+        req.spec.outputTokens = std::min(req.spec.outputTokens, floor);
+    });
+}
+
+void
+Cluster::scheduleCancel(std::uint64_t request_id, sim::TimeUs at)
+{
+    if (ran_)
+        sim::fatal("Cluster: scheduleCancel before run(), not during");
+    simulator_.post(at, [this, request_id] { cancelRequest(request_id); },
+                    kArrivalEventPriority);
+}
+
+RunReport
+Cluster::serve(Ingress& ingress, sim::Clock& clock, SessionRecording* capture)
+{
+    beginRun();
+    installSampler();
+
+    // Stream per-token updates out through the ingress callback map.
+    for (auto& m : machines_) {
+        m->setOnToken([this, &ingress](engine::LiveRequest* req) {
+            TokenUpdate update;
+            update.requestId = req->spec.id;
+            update.tokensGenerated = req->generated;
+            update.finished = req->finished();
+            update.at = simulator_.now();
+            ingress.dispatch(update);
+        });
+    }
+    liveDone_ = [&ingress](engine::LiveRequest* req) {
+        ingress.onFinished(req->spec.id);
+    };
+    liveRejected_ = [this, &ingress](engine::LiveRequest* req) {
+        ingress.onRejected(req->spec.id, simulator_.now());
+    };
+
+    ingress.beginServe(&clock);
+
+    // Drain the mailbox: stamp each client operation with a strictly
+    // increasing simulated time and post it as an ordinary
+    // arrival-priority event. Unique stamps give ingress ops a total
+    // order all by themselves, so the capture replays bit-exact.
+    std::vector<Ingress::Op> ops;
+    sim::TimeUs last_stamp = 0;
+    auto drain = [&] {
+        if (!ingress.takeOps(&ops))
+            return;
+        for (Ingress::Op& op : ops) {
+            if (op.kind == Ingress::Op::Kind::kInspect) {
+                // Quiescent by construction — run inline, off the
+                // record: inspections never perturb the event order.
+                Ingress::runInspect(op, *this);
+                continue;
+            }
+            sim::TimeUs t = clock.now();
+            if (t <= simulator_.now())
+                t = simulator_.now() + 1;
+            if (t <= last_stamp)
+                t = last_stamp + 1;
+            last_stamp = t;
+            if (op.kind == Ingress::Op::Kind::kSubmit) {
+                workload::Request spec;
+                spec.id = op.id;
+                spec.arrival = t;
+                spec.promptTokens = op.request.promptTokens;
+                spec.outputTokens = op.request.outputTokens;
+                spec.priority = op.request.priority;
+                spec.session = op.request.session;
+                spec.turn = op.request.turn;
+                if (capture)
+                    capture->requests.push_back(spec);
+                ingress.onAdmitQueued(op.id, std::move(op.onToken));
+                simulator_.post(t, [this, spec] { admitArrival(spec); },
+                                kArrivalEventPriority);
+            } else {
+                if (capture)
+                    capture->cancels.push_back({t, op.id});
+                const std::uint64_t id = op.id;
+                simulator_.post(t, [this, id] { cancelRequest(id); },
+                                kArrivalEventPriority);
+            }
+        }
+    };
+
+    for (;;) {
+        drain();
+        if (simulator_.pendingEvents() == 0) {
+            if (ingress.shutdownRequested() && !ingress.hasQueued())
+                break;
+            clock.waitForWork();
+            continue;
+        }
+        const sim::TimeUs next = simulator_.eventQueue().nextTime();
+        if (!clock.waitUntil(next))
+            continue;  // Woken early: fresh ingress ops to stamp.
+        // Fire the whole timestamp batch before draining again, so
+        // new ingress ops can only land strictly after it — the
+        // quiescent-point rule that makes live == replay.
+        while (simulator_.pendingEvents() > 0 &&
+               simulator_.eventQueue().nextTime() == next) {
+            simulator_.step();
+        }
+    }
+
+    liveDone_ = nullptr;
+    liveRejected_ = nullptr;
+    for (auto& m : machines_)
+        m->setOnToken(nullptr);
+    RunReport report = buildReport();
+    ingress.endServe(*this);
     return report;
 }
 

@@ -21,7 +21,14 @@
 #include "workload/trace.h"
 #include "workload/trace_stream.h"
 
+namespace splitwise::sim {
+class Clock;
+}  // namespace splitwise::sim
+
 namespace splitwise::core {
+
+class Ingress;
+struct SessionRecording;
 
 /**
  * Event-priority classes at equal timestamps. Arrivals are pulled
@@ -253,6 +260,37 @@ class Cluster {
     RunReport run(const workload::Trace& trace);
 
     /**
+     * Serve live traffic from a thread-safe Ingress until it is shut
+     * down and drained, paced by @p clock (SimClock = full speed,
+     * WallClock = real time), and report exactly as run() does.
+     *
+     * The event engine stays single-threaded: client operations park
+     * in the ingress mailbox and are drained only at quiescent
+     * points — after every event sharing a timestamp has fired —
+     * then stamped with a strictly increasing simulated time and
+     * posted at arrival priority. Because the stamps are unique and
+     * the whole timestamp batch fires before the next drain, the
+     * run's total event order is a function of the stamped operation
+     * list alone; @p capture (when non-null) records that list as a
+     * SessionRecording, which core::replay() re-runs bit-exact
+     * through the offline streaming path.
+     *
+     * One-shot, like run(). Mutually exclusive with run().
+     */
+    RunReport serve(Ingress& ingress, sim::Clock& clock,
+                    SessionRecording* capture = nullptr);
+
+    /**
+     * Schedule a cancellation of request @p request_id at simulated
+     * time @p at (replay of a captured live session). The request's
+     * token budget is clamped so it finishes at its next token
+     * boundary — the same brownout-style clamp the live cancel path
+     * applies. Unknown or already-finished ids no-op. Call before
+     * run().
+     */
+    void scheduleCancel(std::uint64_t request_id, sim::TimeUs at);
+
+    /**
      * Schedule a permanent machine failure at simulated time @p at
      * (SIV-E). The machine drops out of every pool; requests queued,
      * running, transferring, or decoding on it restart from scratch
@@ -297,6 +335,7 @@ class Cluster {
     const ClusterDesign& design() const { return design_; }
     const model::LlmConfig& llm() const { return llm_; }
     sim::Simulator& simulator() { return simulator_; }
+    const sim::Simulator& simulator() const { return simulator_; }
     ClusterScheduler& scheduler() { return *cls_; }
     engine::KvTransferEngine& transferEngine() { return engine_; }
 
@@ -361,6 +400,24 @@ class Cluster {
 
     /** Acquire a slot for @p spec and route it through admission. */
     void admitArrival(const workload::Request& spec);
+
+    /** One-shot guard shared by run() and serve(). */
+    void beginRun();
+
+    /** Start periodic time-series sampling when configured. */
+    void installSampler();
+
+    /**
+     * Post-run balance check plus report assembly; the tail shared
+     * by run() and serve().
+     */
+    RunReport buildReport();
+
+    /**
+     * Clamp @p request_id's token budget so it finishes at the next
+     * token boundary (live cancel / replayed cancel event body).
+     */
+    void cancelRequest(std::uint64_t request_id);
 
     /** Register counters/gauges and attach the trace recorder. */
     void setupTelemetry();
@@ -430,6 +487,15 @@ class Cluster {
     std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
     std::uint64_t emergencyRestores_ = 0;
     bool ran_ = false;
+
+    /**
+     * Live-serving hooks, installed by serve() only: request
+     * completion and admission-rejection notifications for the
+     * ingress boundary. Null on every offline path, so run() stays
+     * byte-identical to pre-serve builds.
+     */
+    std::function<void(engine::LiveRequest*)> liveDone_;
+    std::function<void(engine::LiveRequest*)> liveRejected_;
 };
 
 }  // namespace splitwise::core

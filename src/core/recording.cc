@@ -1,0 +1,91 @@
+#include "core/recording.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/json.h"
+#include "sim/log.h"
+
+namespace splitwise::core {
+
+std::string
+SessionRecording::toJson() const
+{
+    JsonValue doc = JsonValue::makeObject();
+    JsonValue reqs = JsonValue::makeArray();
+    for (const workload::Request& r : requests) {
+        JsonValue row = JsonValue::makeObject();
+        row.set("id", JsonValue(static_cast<std::int64_t>(r.id)));
+        row.set("arrival_us", JsonValue(static_cast<std::int64_t>(r.arrival)));
+        row.set("prompt_tokens", JsonValue(r.promptTokens));
+        row.set("output_tokens", JsonValue(r.outputTokens));
+        row.set("priority", JsonValue(static_cast<std::int64_t>(r.priority)));
+        row.set("session", JsonValue(static_cast<std::int64_t>(r.session)));
+        row.set("turn", JsonValue(static_cast<std::int64_t>(r.turn)));
+        reqs.push(std::move(row));
+    }
+    doc.set("requests", std::move(reqs));
+    JsonValue cans = JsonValue::makeArray();
+    for (const Cancel& c : cancels) {
+        JsonValue row = JsonValue::makeObject();
+        row.set("at_us", JsonValue(static_cast<std::int64_t>(c.at)));
+        row.set("id", JsonValue(static_cast<std::int64_t>(c.requestId)));
+        cans.push(std::move(row));
+    }
+    doc.set("cancels", std::move(cans));
+    return doc.dump();
+}
+
+SessionRecording
+SessionRecording::fromJson(const std::string& json)
+{
+    const JsonValue doc = JsonValue::parse(json);
+    SessionRecording rec;
+    const JsonValue& reqs = doc.at("requests");
+    rec.requests.reserve(reqs.size());
+    for (const JsonValue& row : reqs.items()) {
+        workload::Request r;
+        r.id = static_cast<std::uint64_t>(row.at("id").asInt());
+        r.arrival = row.at("arrival_us").asInt();
+        r.promptTokens = row.at("prompt_tokens").asInt();
+        r.outputTokens = row.at("output_tokens").asInt();
+        r.priority = static_cast<int>(row.at("priority").asInt());
+        r.session = static_cast<std::uint64_t>(row.at("session").asInt());
+        r.turn = static_cast<int>(row.at("turn").asInt());
+        rec.requests.push_back(r);
+    }
+    const JsonValue& cans = doc.at("cancels");
+    rec.cancels.reserve(cans.size());
+    for (const JsonValue& row : cans.items()) {
+        Cancel c;
+        c.at = row.at("at_us").asInt();
+        c.requestId = static_cast<std::uint64_t>(row.at("id").asInt());
+        rec.cancels.push_back(c);
+    }
+    return rec;
+}
+
+void
+SessionRecording::save(const std::string& path) const
+{
+    const std::string json = toJson();
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file)
+        sim::fatal("SessionRecording: cannot write " + path);
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+}
+
+SessionRecording
+SessionRecording::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("SessionRecording: cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromJson(buffer.str());
+}
+
+}  // namespace splitwise::core

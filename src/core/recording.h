@@ -1,0 +1,68 @@
+#ifndef SPLITWISE_CORE_RECORDING_H_
+#define SPLITWISE_CORE_RECORDING_H_
+
+/**
+ * @file
+ * Capture of a live serving session for bit-exact replay.
+ *
+ * Cluster::serve() stamps every ingress operation with a strictly
+ * increasing simulated time before posting it (see core/ingress.h),
+ * so a live session is fully described by two ordered lists: the
+ * stamped arrival records (a plain workload::Trace) and the stamped
+ * cancellations. core::replay() re-runs a recording through the
+ * ordinary streaming path — pre-posting each cancel at the captured
+ * time — and produces an event sequence, and therefore a RunReport,
+ * identical to the live run's. The record→replay round-trip test
+ * and the CI server smoke compare the serialized reports
+ * byte-for-byte.
+ *
+ * Serialization is the repo's own JSON (core::JsonValue), so a
+ * capture taken from the server binary feeds straight back into
+ * `splitwise_server --replay` or the DST invariant checker.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/trace.h"
+
+namespace splitwise::core {
+
+/** One recorded live session: stamped arrivals plus cancels. */
+struct SessionRecording {
+    /** A cancellation, replayed at its captured simulated time. */
+    struct Cancel {
+        sim::TimeUs at = 0;
+        std::uint64_t requestId = 0;
+    };
+
+    /** Stamped arrival records, in arrival (= stamp) order. */
+    workload::Trace requests;
+    /** Stamped cancellations, in stamp order. */
+    std::vector<Cancel> cancels;
+
+    bool empty() const { return requests.empty() && cancels.empty(); }
+
+    /**
+     * Serialize as a JSON object:
+     *   {"requests": [{"id","arrival_us","prompt_tokens",
+     *                  "output_tokens","priority","session","turn"}],
+     *    "cancels": [{"at_us","id"}]}
+     */
+    std::string toJson() const;
+
+    /** Parse toJson() output; fatal() on malformed documents. */
+    static SessionRecording fromJson(const std::string& json);
+
+    /** Write toJson() to @p path; fatal() when unwritable. */
+    void save(const std::string& path) const;
+
+    /** Load a save()d recording; fatal() on a missing file. */
+    static SessionRecording load(const std::string& path);
+};
+
+}  // namespace splitwise::core
+
+#endif  // SPLITWISE_CORE_RECORDING_H_

@@ -118,6 +118,39 @@ runStream(const RunOptions& options, workload::TraceStream& stream)
                       [&](Cluster& cluster) { return cluster.run(stream); });
 }
 
+RunReport
+runLive(const RunOptions& options, Ingress& ingress, sim::Clock& clock,
+        SessionRecording* capture)
+{
+    if (!options.traces.empty()) {
+        sim::fatal("core::runLive: options.traces must be empty (got " +
+                   std::to_string(options.traces.size()) +
+                   "); the ingress is the workload");
+    }
+    return runOneWith(options, effectiveConfig(options), /*index=*/0,
+                      [&](Cluster& cluster) {
+                          return cluster.serve(ingress, clock, capture);
+                      });
+}
+
+RunReport
+replay(const RunOptions& options, const SessionRecording& recording)
+{
+    if (!options.traces.empty()) {
+        sim::fatal("core::replay: options.traces must be empty (got " +
+                   std::to_string(options.traces.size()) +
+                   "); the recording is the workload");
+    }
+    return runOneWith(options, effectiveConfig(options), /*index=*/0,
+                      [&](Cluster& cluster) {
+                          for (const auto& c : recording.cancels)
+                              cluster.scheduleCancel(c.requestId, c.at);
+                          workload::VectorTraceStream stream(
+                              recording.requests);
+                          return cluster.run(stream);
+                      });
+}
+
 std::vector<RunReport>
 runMany(const RunOptions& options)
 {

@@ -9,8 +9,10 @@
  * telemetry-output overloads accreted into parallel surfaces that
  * each threaded a different subset of (design, workload, faults,
  * telemetry, jobs) by hand. RunOptions names the whole input of a
- * run; run()/runMany() are the one way to execute it. The old
- * helpers survive one PR as thin deprecated shims.
+ * run; run()/runMany() are the one way to execute it (the deprecated
+ * bench shims are gone). runLive() serves the same cluster from a
+ * thread-safe Ingress under an abstract clock, and replay() re-runs
+ * a captured live session bit-exact through the offline path.
  *
  * Layering note: ISSUE 5 sketches this as `sim::RunOptions`, but the
  * run input spans core-layer types (ClusterDesign, FaultPlan,
@@ -23,6 +25,8 @@
 
 #include "core/cluster.h"
 #include "core/fault_plan.h"
+#include "core/ingress.h"
+#include "core/recording.h"
 #include "model/llm_config.h"
 #include "workload/trace.h"
 #include "workload/trace_stream.h"
@@ -102,6 +106,29 @@ std::vector<RunReport> runMany(const RunOptions& options);
  *      workload.
  */
 RunReport runStream(const RunOptions& options, workload::TraceStream& stream);
+
+/**
+ * Serve live traffic: build one cluster from @p options and run its
+ * serve loop against @p ingress under @p clock until
+ * Ingress::shutdown() drains it. With a SimClock the loop runs at
+ * full simulation speed; with a WallClock it sleeps until the next
+ * event, preempted by new arrivals. When @p capture is non-null the
+ * stamped arrival/cancel records are appended to it for a later
+ * bit-exact replay().
+ *
+ * @pre options.traces is empty (fatal otherwise): the ingress is the
+ *      workload.
+ */
+RunReport runLive(const RunOptions& options, Ingress& ingress,
+                  sim::Clock& clock, SessionRecording* capture = nullptr);
+
+/**
+ * Re-run a captured live session through the ordinary streaming
+ * path: cancels are pre-posted at their recorded times, arrivals
+ * replay in stamp order. Produces a RunReport identical to the live
+ * run that produced @p recording.
+ */
+RunReport replay(const RunOptions& options, const SessionRecording& recording);
 
 /** "out.json" with run index 2 becomes "out.2.json"; index 0 is unchanged. */
 std::string indexedSinkPath(const std::string& path, int index);

@@ -446,6 +446,8 @@ Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
     for (auto* req : plan.decodes) {
         req->recordToken(now);
         ++stats_.tokensGenerated;
+        if (onToken_)
+            onToken_(req);
         if (req->finished()) {
             req->phase = RequestPhase::kDone;
             TELEM_CLOSE(trace_,
@@ -474,6 +476,8 @@ Machine::completeIteration(const BatchPlan& plan, sim::TimeUs duration)
             callbacks_.onPrefillComplete(*this, req);
         req->recordToken(now);
         ++stats_.tokensGenerated;
+        if (onToken_)
+            onToken_(req);
         routePromptCompletion(req, duration);
     }
 

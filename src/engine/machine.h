@@ -219,6 +219,19 @@ class Machine {
     void setSpans(telemetry::SpanTracker* spans);
 
     /**
+     * Attach a per-token hook, fired after every recordToken() —
+     * each decode token and the prompt-completion (first) token.
+     * Live serving streams TokenUpdates through it; offline runs
+     * leave it unset, keeping the hot path at one null check.
+     * nullptr detaches.
+     */
+    void
+    setOnToken(std::function<void(LiveRequest*)> on_token)
+    {
+        onToken_ = std::move(on_token);
+    }
+
+    /**
      * Modeled machine power draw right now: the in-flight
      * iteration's draw while busy, the platform/idle floor
      * otherwise. Telemetry gauge for the paper's power figures.
@@ -247,6 +260,8 @@ class Machine {
     model::PowerModel power_;
     Mls mls_;
     Callbacks callbacks_;
+    /** Live-serving per-token hook; unset (and free) offline. */
+    std::function<void(LiveRequest*)> onToken_;
 
     bool busy_ = false;
     bool failed_ = false;

@@ -6,12 +6,52 @@
 
 namespace splitwise::sched {
 
+const std::vector<PolicyFactory>&
+policyRegistry()
+{
+    static const std::vector<PolicyFactory> registry = {
+        {PolicyKind::kDefault, "default",
+         "the unmodified two-level scheduler",
+         [](const PolicyConfig&) -> std::unique_ptr<Policy> {
+             return std::make_unique<DefaultPolicy>();
+         }},
+        {PolicyKind::kPrefixCache, "prefix",
+         "session prefix-cache KV reuse with affinity routing",
+         [](const PolicyConfig& config) -> std::unique_ptr<Policy> {
+             return std::make_unique<PrefixCachePolicy>(config);
+         }},
+    };
+    return registry;
+}
+
+const PolicyFactory*
+findPolicy(const std::string& name)
+{
+    for (const PolicyFactory& factory : policyRegistry()) {
+        if (name == factory.name)
+            return &factory;
+    }
+    return nullptr;
+}
+
+std::string
+policyNames()
+{
+    std::string names;
+    for (const PolicyFactory& factory : policyRegistry()) {
+        if (!names.empty())
+            names += ", ";
+        names += factory.name;
+    }
+    return names;
+}
+
 const char*
 policyKindName(PolicyKind kind)
 {
-    switch (kind) {
-      case PolicyKind::kDefault: return "default";
-      case PolicyKind::kPrefixCache: return "prefix";
+    for (const PolicyFactory& factory : policyRegistry()) {
+        if (factory.kind == kind)
+            return factory.name;
     }
     return "?";
 }
@@ -19,15 +59,11 @@ policyKindName(PolicyKind kind)
 bool
 parsePolicyKind(const std::string& name, PolicyKind* out)
 {
-    if (name == "default") {
-        *out = PolicyKind::kDefault;
-        return true;
-    }
-    if (name == "prefix") {
-        *out = PolicyKind::kPrefixCache;
-        return true;
-    }
-    return false;
+    const PolicyFactory* factory = findPolicy(name);
+    if (!factory)
+        return false;
+    *out = factory->kind;
+    return true;
 }
 
 Policy::~Policy() = default;
@@ -161,11 +197,9 @@ PrefixCachePolicy::stats() const
 std::unique_ptr<Policy>
 makePolicy(const PolicyConfig& config)
 {
-    switch (config.kind) {
-      case PolicyKind::kDefault:
-        return std::make_unique<DefaultPolicy>();
-      case PolicyKind::kPrefixCache:
-        return std::make_unique<PrefixCachePolicy>(config);
+    for (const PolicyFactory& factory : policyRegistry()) {
+        if (factory.kind == config.kind)
+            return factory.make(config);
     }
     sim::fatal("makePolicy: unknown policy kind");
     return nullptr;

@@ -44,6 +44,32 @@ const char* policyKindName(PolicyKind kind);
 /** Inverse of policyKindName; false on unknown names. */
 bool parsePolicyKind(const std::string& name, PolicyKind* out);
 
+struct PolicyConfig;
+class Policy;
+
+/**
+ * One registry entry: a stable CLI name, a one-line description for
+ * --help/error text, and the factory. The registry table is the
+ * single authority mapping names to policies — policyKindName,
+ * parsePolicyKind, makePolicy, and the --policy bench/server flag
+ * are all views over it.
+ */
+struct PolicyFactory {
+    PolicyKind kind;
+    const char* name;
+    const char* description;
+    std::unique_ptr<Policy> (*make)(const PolicyConfig& config);
+};
+
+/** Every registered policy, in a stable (enum) order. */
+const std::vector<PolicyFactory>& policyRegistry();
+
+/** Registry entry for @p name; nullptr on unknown names. */
+const PolicyFactory* findPolicy(const std::string& name);
+
+/** The registered names, comma-separated — for CLI error text. */
+std::string policyNames();
+
 /** Policy selection plus the knobs of the non-default policies. */
 struct PolicyConfig {
     PolicyKind kind = PolicyKind::kDefault;

@@ -1,0 +1,183 @@
+#include "server/http_client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace splitwise::server {
+
+namespace {
+
+int
+connectLoopback(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+bool
+sendRequest(int fd, const std::string& method, const std::string& path,
+            const std::string& body)
+{
+    std::string request = method + " " + path + " HTTP/1.1\r\n" +
+                          "Host: 127.0.0.1\r\n" +
+                          "Content-Length: " + std::to_string(body.size()) +
+                          "\r\nConnection: close\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Incremental chunked-framing decoder over the response byte
+ *  stream; forwards decoded payload to the callback. */
+class ChunkDecoder {
+  public:
+    explicit ChunkDecoder(
+        const std::function<bool(const std::string&)>& on_chunk)
+        : onChunk_(on_chunk)
+    {
+    }
+
+    /** Feed response-body bytes. @return false to abort (callback
+     *  declined or framing ended). */
+    bool
+    feed(const char* data, std::size_t size)
+    {
+        buffer_.append(data, size);
+        for (;;) {
+            if (state_ == State::kTrailingCrlf) {
+                if (buffer_.size() < 2)
+                    return true;
+                buffer_.erase(0, 2);
+                state_ = State::kSizeLine;
+            }
+            if (state_ == State::kSizeLine) {
+                const auto eol = buffer_.find("\r\n");
+                if (eol == std::string::npos)
+                    return true;  // Need more bytes for the size line.
+                remaining_ = std::strtoull(buffer_.c_str(), nullptr, 16);
+                buffer_.erase(0, eol + 2);
+                if (remaining_ == 0)
+                    return false;  // Terminating chunk: stream done.
+                state_ = State::kData;
+            }
+            if (buffer_.empty())
+                return true;
+            const std::size_t take =
+                std::min<std::size_t>(remaining_, buffer_.size());
+            if (onChunk_ && !onChunk_(buffer_.substr(0, take)))
+                return false;
+            buffer_.erase(0, take);
+            remaining_ -= take;
+            if (remaining_ == 0)
+                state_ = State::kTrailingCrlf;
+        }
+    }
+
+  private:
+    enum class State { kSizeLine, kData, kTrailingCrlf };
+
+    const std::function<bool(const std::string&)>& onChunk_;
+    std::string buffer_;
+    State state_ = State::kSizeLine;
+    std::size_t remaining_ = 0;
+};
+
+}  // namespace
+
+int
+httpStream(int port, const std::string& method, const std::string& path,
+           const std::string& body,
+           const std::function<bool(const std::string&)>& on_chunk)
+{
+    const int fd = connectLoopback(port);
+    if (fd < 0)
+        return 0;
+    if (!sendRequest(fd, method, path, body)) {
+        ::close(fd);
+        return 0;
+    }
+
+    std::string head;
+    std::size_t header_end = std::string::npos;
+    char buffer[4096];
+    while (header_end == std::string::npos) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return 0;
+        }
+        head.append(buffer, static_cast<std::size_t>(n));
+        header_end = head.find("\r\n\r\n");
+    }
+    int status = 0;
+    std::sscanf(head.c_str(), "HTTP/1.1 %d", &status);
+    const bool chunked =
+        head.substr(0, header_end).find("Transfer-Encoding: chunked") !=
+        std::string::npos;
+
+    std::string rest = head.substr(header_end + 4);
+    if (chunked) {
+        ChunkDecoder decoder(on_chunk);
+        bool more = decoder.feed(rest.data(), rest.size());
+        while (more) {
+            const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+            if (n <= 0)
+                break;
+            more = decoder.feed(buffer, static_cast<std::size_t>(n));
+        }
+    } else {
+        // Content-Length framing: drain until close, then forward.
+        for (;;) {
+            const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+            if (n <= 0)
+                break;
+            rest.append(buffer, static_cast<std::size_t>(n));
+        }
+        if (on_chunk && !rest.empty())
+            on_chunk(rest);
+    }
+    ::close(fd);
+    return status;
+}
+
+HttpResult
+httpRequest(int port, const std::string& method, const std::string& path,
+            const std::string& body)
+{
+    HttpResult result;
+    result.status = httpStream(port, method, path, body,
+                               [&result](const std::string& data) {
+                                   result.body += data;
+                                   return true;
+                               });
+    return result;
+}
+
+}  // namespace splitwise::server

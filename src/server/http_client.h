@@ -1,0 +1,42 @@
+#ifndef SPLITWISE_SERVER_HTTP_CLIENT_H_
+#define SPLITWISE_SERVER_HTTP_CLIENT_H_
+
+/**
+ * @file
+ * Blocking loopback HTTP/1.1 client for the load driver and the
+ * server tests. One request per connection, mirroring the server's
+ * Connection: close framing.
+ */
+
+#include <functional>
+#include <string>
+
+namespace splitwise::server {
+
+/** A completed (non-streaming) HTTP exchange. */
+struct HttpResult {
+    /** HTTP status; 0 when the connection failed outright. */
+    int status = 0;
+    std::string body;
+};
+
+/** Issue one request and read the whole response (both framings). */
+HttpResult httpRequest(int port, const std::string& method,
+                       const std::string& path,
+                       const std::string& body = "");
+
+/**
+ * Issue one request and stream the chunked response body through
+ * @p on_chunk as data arrives. Returning false from the callback
+ * aborts the stream (closes the socket mid-response — how a client
+ * hang-up looks to the server).
+ *
+ * @return the HTTP status, or 0 when the connection failed.
+ */
+int httpStream(int port, const std::string& method,
+               const std::string& path, const std::string& body,
+               const std::function<bool(const std::string&)>& on_chunk);
+
+}  // namespace splitwise::server
+
+#endif  // SPLITWISE_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * splitwise_load_driver: closed-loop HTTP load generator for the
+ * live serving front-end.
+ *
+ * `--concurrency` worker threads each keep one streaming completion
+ * in flight against a running splitwise_server, re-submitting until
+ * `--requests` have been issued in total. Every `--cancel-every`-th
+ * request is cancelled mid-stream through DELETE, and every
+ * `--abort-every`-th stream is abandoned by closing the connection
+ * (exercising the server's hang-up auto-cancel path). With
+ * `--shutdown` the driver posts /v1/admin/shutdown when done — the
+ * CI smoke's clean-drain gate.
+ *
+ * Exits 0 when every issued request reached a terminal record
+ * (finished, rejected, or cancelled-and-finished).
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/arg_parser.h"
+#include "core/json.h"
+#include "server/http_client.h"
+#include "sim/log.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splitwise;
+
+    int port = 8080;
+    int requests = 100;
+    int concurrency = 8;
+    int cancel_every = 0;
+    int abort_every = 0;
+    int prompt_tokens = 512;
+    int output_tokens = 64;
+    bool shutdown_after = false;
+
+    bench::ArgParser parser(
+        "splitwise_load_driver",
+        "closed-loop load generator for splitwise_server");
+    parser.addInt("--port", &port, "server port on 127.0.0.1");
+    parser.addInt("--requests", &requests, "total requests to issue");
+    parser.addInt("--concurrency", &concurrency,
+                  "concurrent streaming connections");
+    parser.addInt("--cancel-every", &cancel_every,
+                  "DELETE every Nth request mid-stream (0 = never)");
+    parser.addInt("--abort-every", &abort_every,
+                  "abandon every Nth stream by closing the "
+                  "connection (0 = never)");
+    parser.addInt("--prompt-tokens", &prompt_tokens,
+                  "prompt length per request");
+    parser.addInt("--output-tokens", &output_tokens,
+                  "output budget per request");
+    parser.addFlag("--shutdown", &shutdown_after,
+                   "POST /v1/admin/shutdown once all requests resolved");
+    parser.addValidator([&] {
+        if (requests < 1 || concurrency < 1)
+            sim::fatal("--requests and --concurrency must be >= 1");
+        if (prompt_tokens < 1 || output_tokens < 1)
+            sim::fatal("token counts must be >= 1");
+    });
+    parser.parse(argc, argv);
+
+    std::atomic<int> next{0};
+    std::atomic<int> finished{0};
+    std::atomic<int> rejected{0};
+    std::atomic<int> aborted{0};
+    std::atomic<int> failed{0};
+
+    auto worker = [&] {
+        for (;;) {
+            const int n = next.fetch_add(1);
+            if (n >= requests)
+                return;
+            const bool cancel =
+                cancel_every > 0 && (n + 1) % cancel_every == 0;
+            const bool abandon =
+                abort_every > 0 && (n + 1) % abort_every == 0;
+
+            core::JsonValue body = core::JsonValue::makeObject();
+            body.set("prompt_tokens",
+                     core::JsonValue(static_cast<std::int64_t>(
+                         prompt_tokens)));
+            body.set("output_tokens",
+                     core::JsonValue(static_cast<std::int64_t>(
+                         output_tokens)));
+
+            bool terminal = false;
+            bool was_abandoned = false;
+            std::string partial;
+            const int status = server::httpStream(
+                port, "POST", "/v1/completions", body.dump(),
+                [&](const std::string& data) {
+                    partial += data;
+                    // Act on each complete NDJSON record.
+                    std::size_t eol;
+                    while ((eol = partial.find('\n')) !=
+                           std::string::npos) {
+                        const std::string line = partial.substr(0, eol);
+                        partial.erase(0, eol + 1);
+                        core::JsonValue record;
+                        try {
+                            record = core::JsonValue::parse(line);
+                        } catch (const std::exception&) {
+                            return false;  // Corrupt stream: give up.
+                        }
+                        if (!record.has("id"))
+                            return false;
+                        if (record.has("rejected")) {
+                            terminal = true;
+                            return false;
+                        }
+                        const std::int64_t tokens =
+                            record.at("tokens").asInt();
+                        if (record.at("finished").asBool()) {
+                            terminal = true;
+                            return false;
+                        }
+                        if (abandon && tokens >= 1) {
+                            was_abandoned = true;
+                            return false;  // Close mid-stream.
+                        }
+                        if (cancel && tokens == 1) {
+                            const std::int64_t id =
+                                record.at("id").asInt();
+                            server::httpRequest(
+                                port, "DELETE",
+                                "/v1/completions/" + std::to_string(id));
+                        }
+                    }
+                    return true;
+                });
+
+            if (was_abandoned)
+                aborted.fetch_add(1);
+            else if (status != 200)
+                (status == 503 ? rejected : failed).fetch_add(1);
+            else if (terminal)
+                finished.fetch_add(1);
+            else
+                failed.fetch_add(1);
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(concurrency));
+    for (int i = 0; i < concurrency; ++i)
+        workers.emplace_back(worker);
+    for (std::thread& t : workers)
+        t.join();
+
+    if (shutdown_after)
+        server::httpRequest(port, "POST", "/v1/admin/shutdown");
+
+    const int ok = finished.load() + rejected.load() + aborted.load();
+    std::printf("issued=%d finished=%d rejected=%d aborted=%d failed=%d\n",
+                requests, finished.load(), rejected.load(),
+                aborted.load(), failed.load());
+    return (ok == requests && failed.load() == 0) ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+
+namespace splitwise::sim {
+
+void
+Clock::waitForWork()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return wakePendingLocked(); });
+    consumeWakeupsLocked();
+}
+
+void
+Clock::wake()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++wakeups_;
+    }
+    cv_.notify_all();
+}
+
+bool
+SimClock::waitUntil(TimeUs)
+{
+    // Virtual time: the deadline is already here. A pending wake-up
+    // still wins so freshly submitted work is stamped before the
+    // batch fires — replay then reproduces the same interleaving.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wakePendingLocked()) {
+        consumeWakeupsLocked();
+        return false;
+    }
+    return true;
+}
+
+void
+WallClock::anchorLocked()
+{
+    if (anchored_)
+        return;
+    anchored_ = true;
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+bool
+WallClock::waitUntil(TimeUs next)
+{
+    // Sleep in bounded slices so a deadline near kTimeNever (e.g. a
+    // watchdog event) cannot overflow the chrono arithmetic.
+    constexpr TimeUs kMaxSliceUs = 3'600'000'000;  // one hour
+
+    std::unique_lock<std::mutex> lock(mu_);
+    anchorLocked();
+    for (;;) {
+        if (wakePendingLocked()) {
+            consumeWakeupsLocked();
+            return false;
+        }
+        const auto elapsed = std::chrono::duration_cast<
+            std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                       epoch_);
+        const TimeUs now_us = static_cast<TimeUs>(elapsed.count());
+        if (now_us >= next)
+            return true;
+        const TimeUs slice = std::min(next - now_us, kMaxSliceUs);
+        cv_.wait_for(lock, std::chrono::microseconds(slice),
+                     [this] { return wakePendingLocked(); });
+    }
+}
+
+TimeUs
+WallClock::now()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    anchorLocked();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_);
+    return static_cast<TimeUs>(elapsed.count());
+}
+
+}  // namespace splitwise::sim

@@ -1,0 +1,126 @@
+#ifndef SPLITWISE_SIM_CLOCK_H_
+#define SPLITWISE_SIM_CLOCK_H_
+
+/**
+ * @file
+ * The time-source seam between the event engine and the world.
+ *
+ * A discrete-event run and a live serving run differ in exactly one
+ * place: what happens between firing the batch of events at one
+ * timestamp and the batch at the next. Offline, nothing — virtual
+ * time jumps. Live, the serve loop must *sleep* until the next
+ * event's wall-clock deadline, and that sleep must be preemptible:
+ * a client submitting a request mid-sleep needs the loop awake now,
+ * not at the deadline, so the arrival can be stamped and enqueued.
+ *
+ * Clock abstracts that wait. SimClock is the virtual-time source
+ * (waits return immediately; runs at full simulation speed), used by
+ * tests, CI smoke, and record/replay. WallClock anchors simulated
+ * microsecond 0 at its first wait and sleeps each gap for real.
+ * Both are preemptible through wake(), the only Clock entry point
+ * that may be called from outside the serving thread.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/time.h"
+
+namespace splitwise::sim {
+
+/**
+ * A source of pacing for a live serve loop.
+ *
+ * Threading model: waitUntil()/waitForWork()/now() belong to the
+ * single serving thread; wake() is safe from any thread. Wake-ups
+ * are level-triggered and sticky — a wake() delivered while the
+ * serving thread is not waiting is consumed by its next wait, so the
+ * submit-then-sleep race loses no work.
+ */
+class Clock {
+  public:
+    virtual ~Clock() = default;
+
+    Clock() = default;
+    Clock(const Clock&) = delete;
+    Clock& operator=(const Clock&) = delete;
+
+    /**
+     * Block until the moment events stamped @p next are due.
+     *
+     * @return true when the deadline was reached (fire the batch);
+     *     false when wake() preempted the wait (drain new ingress
+     *     work and re-evaluate — the next event may have changed).
+     */
+    virtual bool waitUntil(TimeUs next) = 0;
+
+    /**
+     * Block until wake(); the idle state of a serve loop with an
+     * empty event queue. Returns immediately when a wake-up is
+     * already pending.
+     */
+    void waitForWork();
+
+    /** Preempt the current (or next) wait. Thread-safe. */
+    void wake();
+
+    /**
+     * The current position on this clock's simulated-time axis, for
+     * stamping new arrivals. SimClock pins it at 0 (the serve loop's
+     * monotone-stamp floor takes over); WallClock reports elapsed
+     * microseconds since its anchor.
+     */
+    virtual TimeUs now() = 0;
+
+  protected:
+    /** True (without consuming) when a wake-up is pending. */
+    bool wakePendingLocked() const { return wakeups_ != seen_; }
+
+    /** Consume every pending wake-up. */
+    void consumeWakeupsLocked() { seen_ = wakeups_; }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+
+  private:
+    /** Wake-ups delivered / consumed; sticky level trigger. */
+    std::uint64_t wakeups_ = 0;
+    std::uint64_t seen_ = 0;
+};
+
+/**
+ * Virtual time: every deadline is "now". Drives the serve loop at
+ * full simulation speed, which is what makes live-captured sessions
+ * replayable in milliseconds and the CI smoke test fast.
+ */
+class SimClock final : public Clock {
+  public:
+    bool waitUntil(TimeUs next) override;
+    TimeUs now() override { return 0; }
+};
+
+/**
+ * Real time: simulated microsecond 0 is anchored at the first
+ * wait/now() call, and each waitUntil() sleeps until the event's
+ * wall deadline (or a wake()). Events run no earlier than their
+ * stamp; a loaded machine may run them late, which is the standard
+ * best-effort contract of a wall-clock reactor.
+ */
+class WallClock final : public Clock {
+  public:
+    bool waitUntil(TimeUs next) override;
+    TimeUs now() override;
+
+  private:
+    /** Anchor simulated 0 at the first use; callers hold mu_. */
+    void anchorLocked();
+
+    bool anchored_ = false;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace splitwise::sim
+
+#endif  // SPLITWISE_SIM_CLOCK_H_

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Concurrent-ingress stress: N submitter threads hammer one serve
+ * loop while it runs. Built into the CI ThreadSanitizer job, so any
+ * data race between client threads and the serving thread is a test
+ * failure, not a latent bug. Asserts request conservation: every
+ * accepted submit resolves terminally, exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/designs.h"
+#include "core/ingress.h"
+#include "core/run.h"
+#include "model/llm_config.h"
+#include "sim/clock.h"
+
+namespace splitwise::core {
+namespace {
+
+TEST(IngressThreadsTest, ConcurrentSubmittersConserveRequests)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+
+    RunOptions options;
+    options.llm = model::llama2_70b();
+    options.design = splitwiseHH(1, 1);
+
+    Ingress ingress;
+    sim::SimClock clock;
+    RunReport report;
+    std::thread serve_thread(
+        [&] { report = runLive(options, ingress, clock); });
+
+    // Every submission must see exactly one terminal update.
+    std::atomic<std::uint64_t> terminals{0};
+    std::atomic<std::uint64_t> double_terminals{0};
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                IngressRequest spec;
+                spec.promptTokens = 32 + (t * kPerThread + i) % 96;
+                spec.outputTokens = 1 + i % 4;
+                auto seen = std::make_shared<std::atomic<int>>(0);
+                RequestHandle handle = ingress.submit(
+                    spec,
+                    [seen, &terminals,
+                     &double_terminals](const TokenUpdate& update) {
+                        if (update.finished || update.rejected) {
+                            if (seen->fetch_add(1) == 0)
+                                terminals.fetch_add(1);
+                            else
+                                double_terminals.fetch_add(1);
+                        }
+                    });
+                if (handle.valid()) {
+                    if (i % 5 == 0)
+                        handle.cancel();
+                    else
+                        (void)handle.detach();
+                }
+            }
+        });
+    }
+    for (std::thread& t : submitters)
+        t.join();
+    ingress.shutdown();
+    serve_thread.join();
+
+    EXPECT_EQ(ingress.accepted(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(terminals.load(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(double_terminals.load(), 0u);
+    EXPECT_EQ(ingress.unresolved(), 0u);
+    EXPECT_EQ(ingress.completed() + ingress.rejectedByAdmission() +
+                  ingress.rejectedAtShutdown(),
+              ingress.accepted());
+}
+
+TEST(IngressThreadsTest, ShutdownRacesWithSubmitters)
+{
+    RunOptions options;
+    options.llm = model::llama2_70b();
+    options.design = splitwiseHH(1, 1);
+
+    Ingress ingress;
+    sim::SimClock clock;
+    std::thread serve_thread([&] { runLive(options, ingress, clock); });
+
+    std::atomic<std::uint64_t> terminals{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&] {
+            for (int i = 0; i < 25; ++i) {
+                IngressRequest spec;
+                spec.promptTokens = 64;
+                spec.outputTokens = 2;
+                RequestHandle handle = ingress.submit(
+                    spec, [&terminals](const TokenUpdate& update) {
+                        if (update.finished || update.rejected)
+                            terminals.fetch_add(1);
+                    });
+                if (handle.valid())
+                    (void)handle.detach();
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+    // Shut down while submitters are still running: late submissions
+    // must be rejected inline or resolved by endServe, never lost.
+    ingress.shutdown();
+    for (std::thread& t : submitters)
+        t.join();
+    serve_thread.join();
+
+    EXPECT_EQ(ingress.unresolved(), 0u);
+    EXPECT_EQ(ingress.completed() + ingress.rejectedByAdmission() +
+                  ingress.rejectedAtShutdown(),
+              ingress.accepted());
+}
+
+}  // namespace
+}  // namespace splitwise::core

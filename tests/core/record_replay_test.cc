@@ -1,0 +1,179 @@
+#include "core/recording.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/designs.h"
+#include "core/ingress.h"
+#include "core/report_io.h"
+#include "core/run.h"
+#include "model/llm_config.h"
+#include "sim/clock.h"
+#include "testing/invariants.h"
+#include "workload/trace_stream.h"
+
+namespace splitwise::core {
+namespace {
+
+RunOptions
+liveOptions()
+{
+    RunOptions options;
+    options.llm = model::llama2_70b();
+    options.design = splitwiseHH(1, 1);
+    return options;
+}
+
+/**
+ * Drive a live session from @p submitters concurrent client threads
+ * (each issuing @p per_thread requests, cancelling every third one
+ * mid-flight) and return (capture, live report).
+ */
+std::pair<SessionRecording, RunReport>
+runLiveSession(int submitters, int per_thread)
+{
+    Ingress ingress;
+    sim::SimClock clock;
+    SessionRecording capture;
+    RunReport report;
+    std::thread serve_thread([&] {
+        report = runLive(liveOptions(), ingress, clock, &capture);
+    });
+
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(submitters));
+    for (int t = 0; t < submitters; ++t) {
+        clients.emplace_back([&ingress, per_thread, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                IngressRequest spec;
+                spec.promptTokens = 64 + 13 * ((t + i) % 7);
+                spec.outputTokens = 4 + (i % 5);
+                RequestHandle handle = ingress.submit(spec);
+                ASSERT_TRUE(handle.valid());
+                if (i % 3 == 0) {
+                    // Cancel some requests mid-flight; the rest run
+                    // to completion unowned.
+                    handle.cancel();
+                } else {
+                    (void)handle.detach();
+                }
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    ingress.shutdown();
+    serve_thread.join();
+    EXPECT_EQ(ingress.unresolved(), 0u);
+    return {std::move(capture), std::move(report)};
+}
+
+TEST(RecordReplayTest, ConcurrentLiveSessionReplaysBitExact)
+{
+    auto [capture, live_report] = runLiveSession(3, 10);
+    ASSERT_EQ(capture.requests.size(), 30u);
+    EXPECT_FALSE(capture.cancels.empty());
+
+    // Stamps are strictly increasing and unique: the recorded op
+    // order *is* the event order.
+    for (std::size_t i = 1; i < capture.requests.size(); ++i) {
+        EXPECT_GT(capture.requests[i].arrival,
+                  capture.requests[i - 1].arrival);
+    }
+
+    const RunReport replayed = replay(liveOptions(), capture);
+    EXPECT_EQ(reportToJson(live_report), reportToJson(replayed));
+}
+
+TEST(RecordReplayTest, ReplayIsDeterministicUnderInvariantChecker)
+{
+    auto [capture, live_report] = runLiveSession(2, 8);
+
+    auto replay_once = [&] {
+        const RunOptions options = liveOptions();
+        Cluster cluster(options.llm, options.design, options.sim);
+        testing::InvariantChecker checker(cluster);
+        for (const auto& cancel : capture.cancels)
+            cluster.scheduleCancel(cancel.requestId, cancel.at);
+        workload::VectorTraceStream stream(capture.requests);
+        const RunReport report = cluster.run(stream);
+        checker.finalCheck(report);
+        return reportToJson(report);
+    };
+
+    const std::string first = replay_once();
+    const std::string second = replay_once();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, reportToJson(live_report));
+}
+
+TEST(RecordReplayTest, JsonRoundTripPreservesTheSession)
+{
+    auto [capture, live_report] = runLiveSession(2, 5);
+    const SessionRecording reloaded =
+        SessionRecording::fromJson(capture.toJson());
+    ASSERT_EQ(reloaded.requests.size(), capture.requests.size());
+    ASSERT_EQ(reloaded.cancels.size(), capture.cancels.size());
+    for (std::size_t i = 0; i < capture.requests.size(); ++i) {
+        EXPECT_EQ(reloaded.requests[i].id, capture.requests[i].id);
+        EXPECT_EQ(reloaded.requests[i].arrival,
+                  capture.requests[i].arrival);
+        EXPECT_EQ(reloaded.requests[i].promptTokens,
+                  capture.requests[i].promptTokens);
+        EXPECT_EQ(reloaded.requests[i].outputTokens,
+                  capture.requests[i].outputTokens);
+    }
+    const RunReport replayed = replay(liveOptions(), reloaded);
+    EXPECT_EQ(reportToJson(live_report), reportToJson(replayed));
+}
+
+TEST(RecordReplayTest, SessionPrefixPolicySessionsReplayBitExact)
+{
+    // Sequential multi-turn session under the prefix-cache policy:
+    // live serving must reuse prefixes exactly as replay does.
+    RunOptions options = liveOptions();
+    options.sim.policy.kind = sched::PolicyKind::kPrefixCache;
+
+    Ingress ingress;
+    sim::SimClock clock;
+    SessionRecording capture;
+    RunReport report;
+    std::thread serve_thread([&] {
+        report = runLive(options, ingress, clock, &capture);
+    });
+    for (int turn = 0; turn < 4; ++turn) {
+        IngressRequest spec;
+        spec.promptTokens = 128 * (turn + 1);
+        spec.outputTokens = 8;
+        spec.session = 77;
+        spec.turn = turn;
+        // Sequential turns: wait for each to finish before the next,
+        // as a chat client would.
+        std::atomic<bool> done{false};
+        RequestHandle handle =
+            ingress.submit(spec, [&done](const TokenUpdate& update) {
+                if (update.finished || update.rejected)
+                    done.store(true);
+            });
+        ASSERT_TRUE(handle.valid());
+        while (!done.load())
+            std::this_thread::yield();
+        (void)handle.detach();
+    }
+    ingress.shutdown();
+    serve_thread.join();
+
+    EXPECT_TRUE(report.prefixCache.enabled);
+    EXPECT_GT(report.prefixCache.hits, 0u);
+
+    const RunReport replayed = replay(options, capture);
+    EXPECT_EQ(reportToJson(report), reportToJson(replayed));
+}
+
+}  // namespace
+}  // namespace splitwise::core

@@ -1,0 +1,93 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace splitwise::sim {
+namespace {
+
+TEST(SimClockTest, NowIsAlwaysZero)
+{
+    SimClock clock;
+    EXPECT_EQ(clock.now(), 0);
+    EXPECT_TRUE(clock.waitUntil(1'000'000));
+    EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClockTest, WaitUntilReachesDeadlineWithoutWake)
+{
+    SimClock clock;
+    EXPECT_TRUE(clock.waitUntil(5));
+    EXPECT_TRUE(clock.waitUntil(kTimeNever));
+}
+
+TEST(SimClockTest, PendingWakePreemptsWaitOnce)
+{
+    SimClock clock;
+    clock.wake();
+    // The sticky wakeup aborts exactly one wait, then is consumed.
+    EXPECT_FALSE(clock.waitUntil(5));
+    EXPECT_TRUE(clock.waitUntil(5));
+}
+
+TEST(SimClockTest, MultipleWakesCoalesce)
+{
+    SimClock clock;
+    clock.wake();
+    clock.wake();
+    clock.wake();
+    EXPECT_FALSE(clock.waitUntil(5));
+    EXPECT_TRUE(clock.waitUntil(5));
+}
+
+TEST(SimClockTest, WaitForWorkReturnsOnWake)
+{
+    SimClock clock;
+    std::thread waker([&clock] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        clock.wake();
+    });
+    clock.waitForWork();  // Must return rather than hang.
+    waker.join();
+}
+
+TEST(WallClockTest, NowAdvances)
+{
+    WallClock clock;
+    const TimeUs t0 = clock.now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const TimeUs t1 = clock.now();
+    EXPECT_GE(t1 - t0, 4'000);
+}
+
+TEST(WallClockTest, WaitUntilSleepsToDeadline)
+{
+    WallClock clock;
+    const TimeUs start = clock.now();
+    EXPECT_TRUE(clock.waitUntil(start + 10'000));
+    EXPECT_GE(clock.now(), start + 10'000);
+}
+
+TEST(WallClockTest, PastDeadlineReturnsImmediately)
+{
+    WallClock clock;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_TRUE(clock.waitUntil(0));
+}
+
+TEST(WallClockTest, WakePreemptsLongSleep)
+{
+    WallClock clock;
+    std::thread waker([&clock] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        clock.wake();
+    });
+    // Without the wake this would sleep for kTimeNever (forever).
+    EXPECT_FALSE(clock.waitUntil(kTimeNever));
+    waker.join();
+}
+
+}  // namespace
+}  // namespace splitwise::sim
